@@ -1,0 +1,391 @@
+//! The IntelLog anomaly detector (paper §4.2).
+//!
+//! A trained [`Detector`] holds the frozen Spell key set, the Intel Keys and
+//! the HW-graph. For each incoming session it instantiates a HW-graph
+//! instance and checks it against the model:
+//!
+//! 1. every message must match a known Intel Key — otherwise it is reported
+//!    as an *unexpected log message* and its information is extracted
+//!    ad hoc to aid diagnosis;
+//! 2. per entity group, messages are routed into subroutine instances
+//!    (Algorithm 2); when the session closes, instances must carry a known
+//!    signature, contain every critical Intel Key and respect the learned
+//!    BEFORE order;
+//! 3. mandatory groups must appear; learned PARENT/BEFORE group relations
+//!    must hold on the instance lifespans.
+
+use crate::instance::{GroupInstance, HwInstance};
+use crate::report::{Anomaly, JobReport, SessionReport};
+use extract::{IntelExtractor, IntelKey, IntelMessage};
+use hwgraph::{split_instances, GroupRel, HwGraph, Lifespan};
+use serde::{Deserialize, Serialize};
+use spell::{KeyId, Session, SpellParser};
+use std::collections::{BTreeSet, HashMap};
+
+/// A trained IntelLog model ready for detection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Detector {
+    /// Frozen Spell parser (key matching only, no refinement).
+    pub parser: SpellParser,
+    /// Intel Keys indexed by [`KeyId`].
+    pub keys: Vec<IntelKey>,
+    /// The trained HW-graph.
+    pub graph: HwGraph,
+    /// Keys whose messages are not natural language — matched messages are
+    /// ignored instead of triggering unexpected-message errors (paper §5).
+    pub ignored_keys: BTreeSet<KeyId>,
+}
+
+impl Detector {
+    /// Assemble a detector from trained components.
+    pub fn new(
+        parser: SpellParser,
+        keys: Vec<IntelKey>,
+        graph: HwGraph,
+        ignored_keys: BTreeSet<KeyId>,
+    ) -> Detector {
+        Detector { parser, keys, graph, ignored_keys }
+    }
+
+    /// Detect anomalies in one session.
+    pub fn detect_session(&self, session: &Session) -> SessionReport {
+        self.detect_session_detailed(session).0
+    }
+
+    /// Detect anomalies in one session, returning the reconstructed
+    /// HW-graph instance alongside the report (paper §4.2; the case studies
+    /// inspect instances directly).
+    pub fn detect_session_detailed(&self, session: &Session) -> (SessionReport, HwInstance) {
+        let extractor = IntelExtractor::new();
+        let mut report = SessionReport {
+            session: session.id.clone(),
+            lines: session.lines.len(),
+            anomalies: Vec::new(),
+        };
+
+        // 1. Match lines to keys; collect Intel Messages, flag unexpected.
+        let mut messages: Vec<IntelMessage> = Vec::with_capacity(session.lines.len());
+        for line in &session.lines {
+            let tokens = spell::tokenize_message(&line.message);
+            match self.parser.match_message(&tokens) {
+                Some(kid) if self.ignored_keys.contains(&kid) => {}
+                Some(kid) => {
+                    let ik = &self.keys[kid.0 as usize];
+                    messages.push(IntelMessage::instantiate(ik, &tokens, &session.id, line.ts_ms));
+                }
+                None => {
+                    let adhoc_key = extractor.extract_adhoc(&line.message);
+                    let intel =
+                        IntelMessage::instantiate(&adhoc_key, &tokens, &session.id, line.ts_ms);
+                    let groups = self.groups_of_entities(&intel.entities);
+                    report.anomalies.push(Anomaly::UnexpectedMessage {
+                        ts_ms: line.ts_ms,
+                        text: line.message.clone(),
+                        intel,
+                        groups,
+                    });
+                }
+            }
+        }
+
+        let instance = self.structural_checks(&messages, &mut report);
+        (report, HwInstance { session: session.id.clone(), groups: instance })
+    }
+
+    /// The end-of-session structural checks (§4.2 steps 2–5): subroutine
+    /// instances, critical keys, BEFORE orders, mandatory groups, hierarchy.
+    /// Shared by batch and streaming detection. Returns the per-group
+    /// HW-graph instance material.
+    pub(crate) fn structural_checks(
+        &self,
+        messages: &[IntelMessage],
+        report: &mut SessionReport,
+    ) -> std::collections::BTreeMap<usize, GroupInstance> {
+        // 2. Route matched messages into groups; track lifespans.
+        let mut per_group: HashMap<usize, Vec<&IntelMessage>> = HashMap::new();
+        let mut spans: HashMap<usize, Lifespan> = HashMap::new();
+        for m in messages {
+            for &g in self.graph.groups_of_key(m.key_id) {
+                per_group.entry(g).or_default().push(m);
+                spans
+                    .entry(g)
+                    .and_modify(|l| l.extend(m.ts_ms))
+                    .or_insert_with(|| Lifespan::at(m.ts_ms));
+            }
+        }
+
+        // The session is checked against its best-matching *session
+        // profile* (session type): heterogeneous containers (AM vs map vs
+        // reduce) have different mandatory groups and subroutine shapes.
+        let fingerprint: std::collections::BTreeSet<usize> = per_group.keys().copied().collect();
+        let matched = self.graph.profiles.best_match_scored(&fingerprint);
+        let profile = matched.map(|(_, p, _)| p);
+
+        // 3. Per-group subroutine-instance checks; the instances are also
+        //    collected into the session's HW-graph instance.
+        let mut collected: std::collections::BTreeMap<usize, GroupInstance> = Default::default();
+        for (&g, msgs) in &per_group {
+            let gm = &self.graph.groups[g];
+            let profile_subs = profile.and_then(|p| p.subroutines.get(&g));
+            let instances = split_instances(msgs.as_slice());
+            collected.insert(
+                g,
+                GroupInstance {
+                    group: gm.name.clone(),
+                    lifespan: spans.get(&g).copied(),
+                    subroutines: instances.clone(),
+                    messages: msgs.len(),
+                },
+            );
+            for inst in instances {
+                // Prefer the per-profile learner; fall back to the global
+                // one for signatures the profile never saw (a signature is
+                // only *unknown* if neither learner knows it).
+                let model = profile_subs
+                    .and_then(|s| s.get(&inst.signature))
+                    .or_else(|| gm.subroutines.get(&inst.signature));
+                match model {
+                    None => report.anomalies.push(Anomaly::UnknownSignature {
+                        group: gm.name.clone(),
+                        signature: inst.signature.clone(),
+                    }),
+                    Some(model) => {
+                        // first-occurrence order of keys in this instance
+                        let mut first: HashMap<KeyId, usize> = HashMap::new();
+                        for (i, &k) in inst.keys.iter().enumerate() {
+                            first.entry(k).or_insert(i);
+                        }
+                        for &crit in &model.critical {
+                            if !first.contains_key(&crit) {
+                                report.anomalies.push(Anomaly::MissingCriticalKey {
+                                    group: gm.name.clone(),
+                                    signature: inst.signature.clone(),
+                                    key: crit,
+                                    instance: inst.id_values.clone(),
+                                });
+                            }
+                        }
+                        for &(a, b) in &model.before {
+                            if let (Some(&ia), Some(&ib)) = (first.get(&a), first.get(&b)) {
+                                if ia >= ib {
+                                    report.anomalies.push(Anomaly::BrokenOrder {
+                                        group: gm.name.clone(),
+                                        signature: inst.signature.clone(),
+                                        first: a,
+                                        second: b,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Mandatory groups of the session's profile must appear
+        //    (§6.4 case 3: sessions missing the 'task' entity group).
+        //    Only enforced against well-supported, well-matching profiles —
+        //    a thin or distant profile says little about what this session
+        //    type must contain.
+        if let Some((_, p, sim)) = matched {
+            if p.sessions_seen >= 3 && sim >= 0.5 {
+                for &g in &p.mandatory {
+                    // Only *critical* groups (multi-key / repeating — the
+                    // §6.3 definition) are load-bearing enough that their
+                    // absence flags a session; single-key probabilistic
+                    // groups (an occasional GC line) are not.
+                    if self.graph.groups[g].critical && !per_group.contains_key(&g) {
+                        report
+                            .anomalies
+                            .push(Anomaly::MissingGroup { group: self.graph.groups[g].name.clone() });
+                    }
+                }
+            }
+        }
+
+        // 5. Hierarchy checks on instance lifespans.
+        for (g, node) in self.graph.hierarchy.nodes.iter().enumerate() {
+            if let (Some(p), Some(lg)) = (node.parent, spans.get(&g)) {
+                if let Some(lp) = spans.get(&p) {
+                    if !lg.within(lp) {
+                        report.anomalies.push(Anomaly::HierarchyViolation {
+                            parent: self.graph.groups[p].name.clone(),
+                            child: self.graph.groups[g].name.clone(),
+                        });
+                    }
+                }
+            }
+            for &b in &node.before {
+                if let (Some(la), Some(lb)) = (spans.get(&g), spans.get(&b)) {
+                    if !la.before(lb) {
+                        report.anomalies.push(Anomaly::GroupOrderViolation {
+                            before: self.graph.groups[g].name.clone(),
+                            after: self.graph.groups[b].name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let _ = GroupRel::Parallel; // relations other than parent/before need no check
+        collected
+    }
+
+    /// Detect anomalies across a whole job.
+    pub fn detect_job(&self, sessions: &[Session]) -> JobReport {
+        JobReport { sessions: sessions.iter().map(|s| self.detect_session(s)).collect() }
+    }
+
+    /// Map entity phrases to group names via the trained grouping.
+    pub(crate) fn groups_of_entities(&self, entities: &[String]) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for e in entities {
+            for (gi, gm) in self.graph.groups.iter().enumerate() {
+                if gm.entities.contains(e)
+                    || hwgraph::longest_common_phrase(&gm.name, e).is_some()
+                {
+                    let name = self.graph.groups[gi].name.clone();
+                    if !out.contains(&name) {
+                        out.push(name);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::Trainer;
+    use spell::{Level, LogLine};
+
+    fn line(ts: u64, msg: &str) -> LogLine {
+        LogLine { ts_ms: ts, level: Level::Info, source: "X".into(), message: msg.into() }
+    }
+
+    fn normal_session(id: &str, hosts: &str, tasks: &[u32]) -> Session {
+        let mut lines = vec![
+            line(0, "Changing view acls to root"),
+            line(10, &format!("Registering block manager endpoint on {hosts}")),
+            line(20, "block manager registered with 2 GB memory"),
+        ];
+        let mut t = 30;
+        for &k in tasks {
+            lines.push(line(t, &format!("Starting task {k} in stage 0")));
+            t += 10;
+        }
+        for &k in tasks {
+            lines.push(line(t, &format!("Finished task {k} in stage 0 and sent 2264 bytes to driver")));
+            t += 10;
+        }
+        lines.push(line(t, "Stopped block manager cleanly"));
+        lines.push(line(t + 10, "Shutdown hook called"));
+        Session::new(id, lines)
+    }
+
+    fn trained() -> Detector {
+        let sessions = vec![
+            normal_session("c0", "host1", &[1, 2]),
+            normal_session("c1", "host2", &[3]),
+            normal_session("c2", "host1", &[4, 5, 6]),
+        ];
+        Trainer::default().train(&sessions)
+    }
+
+    #[test]
+    fn clean_session_has_no_anomalies() {
+        let d = trained();
+        let r = d.detect_session(&normal_session("c9", "host1", &[7, 8]));
+        assert!(!r.is_problematic(), "{:?}", r.anomalies);
+    }
+
+    #[test]
+    fn unexpected_message_reported_with_extraction() {
+        let d = trained();
+        let mut s = normal_session("c9", "host1", &[7]);
+        s.lines.insert(
+            4,
+            line(33, "spill 1 written to /tmp/spill1.out due to memory pressure"),
+        );
+        let r = d.detect_session(&s);
+        assert!(r.is_problematic());
+        let unexpected = r.unexpected_messages();
+        assert_eq!(unexpected.len(), 1);
+        assert!(unexpected[0].entities.contains(&"spill".to_string()), "{unexpected:?}");
+        assert!(unexpected[0].localities.iter().any(|l| l.starts_with("/tmp/")));
+    }
+
+    #[test]
+    fn truncated_session_misses_critical_keys() {
+        let d = trained();
+        let mut s = normal_session("c9", "host1", &[7, 8]);
+        s.lines.truncate(5); // killed mid-flight: no finish/stop/shutdown
+        let r = d.detect_session(&s);
+        assert!(r.is_problematic());
+        assert!(
+            r.anomalies.iter().any(|a| matches!(a, Anomaly::MissingCriticalKey { .. })),
+            "{:?}",
+            r.anomalies
+        );
+    }
+
+    #[test]
+    fn missing_mandatory_group_detected() {
+        // Spark-19371 shape: a session with no task messages at all.
+        let d = trained();
+        let s = Session::new(
+            "c9",
+            vec![
+                line(0, "Changing view acls to root"),
+                line(10, "Registering block manager endpoint on host1"),
+                line(20, "block manager registered with 2 GB memory"),
+                line(90, "Stopped block manager cleanly"),
+                line(100, "Shutdown hook called"),
+            ],
+        );
+        let r = d.detect_session(&s);
+        assert!(
+            r.anomalies
+                .iter()
+                .any(|a| matches!(a, Anomaly::MissingGroup { group } if group == "task")),
+            "{:?}",
+            r.anomalies
+        );
+    }
+
+    #[test]
+    fn broken_order_detected() {
+        let d = trained();
+        // finish before start for the same task id
+        let s = Session::new(
+            "c9",
+            vec![
+                line(0, "Changing view acls to root"),
+                line(10, "Registering block manager endpoint on host1"),
+                line(20, "block manager registered with 2 GB memory"),
+                line(30, "Finished task 7 in stage 0 and sent 2264 bytes to driver"),
+                line(40, "Starting task 7 in stage 0"),
+                line(50, "Finished task 7 in stage 0 and sent 2264 bytes to driver"),
+                line(90, "Stopped block manager cleanly"),
+                line(100, "Shutdown hook called"),
+            ],
+        );
+        let r = d.detect_session(&s);
+        assert!(
+            r.anomalies.iter().any(|a| matches!(a, Anomaly::BrokenOrder { .. })),
+            "{:?}",
+            r.anomalies
+        );
+    }
+
+    #[test]
+    fn job_level_aggregation() {
+        let d = trained();
+        let mut bad = normal_session("c8", "host1", &[9]);
+        bad.lines.truncate(4);
+        let job = d.detect_job(&[normal_session("c9", "host1", &[7]), bad]);
+        assert_eq!(job.total_count(), 2);
+        assert_eq!(job.problematic_count(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! HW-graph instances (paper §4.2).
+//!
+//! "IntelLog instantiates a HW-graph instance for each session of the
+//! targeted system. A HW-graph instance has the same entity group hierarchy
+//! as the corresponding HW-graph. In each entity group, however, it has
+//! multiple subroutine instances." This module exposes that structure for
+//! inspection: the case studies count subroutine instances per session
+//! (case 3: "each session has at most 8 subroutine instances in the task
+//! entity group").
+
+use hwgraph::{Lifespan, SubroutineInstance};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One entity group of a HW-graph instance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupInstance {
+    /// Group name.
+    pub group: String,
+    /// Lifespan of the group within this session.
+    pub lifespan: Option<Lifespan>,
+    /// The subroutine instances recovered by Algorithm 2.
+    pub subroutines: Vec<SubroutineInstance>,
+    /// Number of messages routed to this group.
+    pub messages: usize,
+}
+
+/// The HW-graph instance of one session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HwInstance {
+    /// Session id.
+    pub session: String,
+    /// Per-group instances, keyed by group index in the trained HW-graph.
+    pub groups: BTreeMap<usize, GroupInstance>,
+}
+
+impl HwInstance {
+    /// The group instance by group name, if present in this session.
+    pub fn group(&self, name: &str) -> Option<&GroupInstance> {
+        self.groups.values().find(|g| g.group == name)
+    }
+
+    /// Number of subroutine instances in the named group (case study 3
+    /// counts these).
+    pub fn subroutine_instance_count(&self, name: &str) -> usize {
+        self.group(name).map(|g| g.subroutines.len()).unwrap_or(0)
+    }
+
+    /// Serialise to pretty JSON (paper §5: instances are output as JSON).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("HwInstance is always serialisable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::train::Trainer;
+    use spell::{Level, LogLine, Session};
+
+    fn line(ts: u64, msg: &str) -> LogLine {
+        LogLine { ts_ms: ts, level: Level::Info, source: "X".into(), message: msg.into() }
+    }
+
+    fn session(id: &str, tasks: &[u32]) -> Session {
+        let mut lines = vec![line(0, "Registering block manager endpoint on host1")];
+        let mut t = 10;
+        for &k in tasks {
+            lines.push(line(t, &format!("Starting task {k} in stage 0")));
+            lines.push(line(t + 5, &format!("Finished task {k} in stage 0 and sent 9 bytes to driver")));
+            t += 10;
+        }
+        lines.push(line(t, "Shutdown hook called"));
+        Session::new(id, lines)
+    }
+
+    #[test]
+    fn instance_counts_subroutines_per_group() {
+        let d = Trainer::default().train(&[
+            session("c0", &[1, 2]),
+            session("c1", &[3]),
+            session("c2", &[4, 5, 6]),
+        ]);
+        let (report, inst) = d.detect_session_detailed(&session("c9", &[7, 8, 9]));
+        assert!(!report.is_problematic(), "{:?}", report.anomalies);
+        // three task ids → three TASK-signature subroutine instances plus
+        // possibly a NONE bucket
+        let n = inst.subroutine_instance_count("task");
+        assert!(n >= 3, "expected >=3 task subroutine instances, got {n}\n{inst:?}");
+        let g = inst.group("task").expect("task group present");
+        assert!(g.lifespan.is_some());
+        assert!(g.messages >= 6);
+        assert!(inst.to_json().contains("\"task\""));
+    }
+
+    #[test]
+    fn starved_session_has_no_task_instances() {
+        let d = Trainer::default().train(&[
+            session("c0", &[1, 2]),
+            session("c1", &[3]),
+            session("c2", &[4]),
+        ]);
+        let bare = Session::new(
+            "c9",
+            vec![
+                line(0, "Registering block manager endpoint on host1"),
+                line(50, "Shutdown hook called"),
+            ],
+        );
+        let (_, inst) = d.detect_session_detailed(&bare);
+        assert_eq!(inst.subroutine_instance_count("task"), 0);
+        assert!(inst.group("task").is_none());
+    }
+}

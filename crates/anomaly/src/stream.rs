@@ -1,0 +1,161 @@
+//! Streaming (online) detection.
+//!
+//! The paper's detection stage "consumes incoming logs" (Fig. 2); this
+//! module provides the online form of §4.2: *unexpected log messages* are
+//! reported the moment they arrive, while the *erroneous HW-graph instance*
+//! checks (critical keys, orders, mandatory groups, hierarchy) run when the
+//! session closes — they are end-of-session properties by definition.
+
+use crate::detector::Detector;
+use crate::report::{Anomaly, SessionReport};
+use extract::{IntelExtractor, IntelMessage};
+use spell::LogLine;
+
+/// An in-flight session being checked line by line.
+pub struct StreamDetector<'a> {
+    detector: &'a Detector,
+    extractor: IntelExtractor,
+    session_id: String,
+    lines: usize,
+    messages: Vec<IntelMessage>,
+    online_anomalies: Vec<Anomaly>,
+}
+
+impl<'a> StreamDetector<'a> {
+    /// Open a streaming session against a trained detector.
+    pub fn begin(detector: &'a Detector, session_id: impl Into<String>) -> StreamDetector<'a> {
+        StreamDetector {
+            detector,
+            extractor: IntelExtractor::new(),
+            session_id: session_id.into(),
+            lines: 0,
+            messages: Vec::new(),
+            online_anomalies: Vec::new(),
+        }
+    }
+
+    /// Feed one log line. Returns an anomaly immediately if the line is an
+    /// unexpected message (no Intel Key matches).
+    pub fn feed(&mut self, line: &LogLine) -> Option<Anomaly> {
+        self.lines += 1;
+        let tokens = spell::tokenize_message(&line.message);
+        match self.detector.parser.match_message(&tokens) {
+            Some(kid) if self.detector.ignored_keys.contains(&kid) => None,
+            Some(kid) => {
+                let ik = &self.detector.keys[kid.0 as usize];
+                self.messages
+                    .push(IntelMessage::instantiate(ik, &tokens, &self.session_id, line.ts_ms));
+                None
+            }
+            None => {
+                let adhoc = self.extractor.extract_adhoc(&line.message);
+                let intel = IntelMessage::instantiate(&adhoc, &tokens, &self.session_id, line.ts_ms);
+                let groups = self.detector.groups_of_entities(&intel.entities);
+                let a = Anomaly::UnexpectedMessage {
+                    ts_ms: line.ts_ms,
+                    text: line.message.clone(),
+                    intel,
+                    groups,
+                };
+                self.online_anomalies.push(a.clone());
+                Some(a)
+            }
+        }
+    }
+
+    /// Number of lines consumed so far.
+    pub fn lines_seen(&self) -> usize {
+        self.lines
+    }
+
+    /// Close the session: run the end-of-session structural checks and
+    /// return the full report (online anomalies included).
+    pub fn finish(self) -> SessionReport {
+        let mut report = SessionReport {
+            session: self.session_id,
+            lines: self.lines,
+            anomalies: self.online_anomalies,
+        };
+        let _ = self.detector.structural_checks(&self.messages, &mut report);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::Trainer;
+    use spell::{Level, LogLine, Session};
+
+    fn line(ts: u64, msg: &str) -> LogLine {
+        LogLine { ts_ms: ts, level: Level::Info, source: "X".into(), message: msg.into() }
+    }
+
+    fn trained() -> Detector {
+        let mk = |id: &str, host: &str, k: u32| {
+            Session::new(
+                id,
+                vec![
+                    line(0, &format!("Registering block manager endpoint on {host}")),
+                    line(10, &format!("Starting task {k} in stage 0")),
+                    line(20, &format!("Finished task {k} in stage 0 and sent 9 bytes to driver")),
+                    line(30, "Shutdown hook called"),
+                ],
+            )
+        };
+        Trainer::default().train(&[mk("c0", "host1", 1), mk("c1", "host2", 2), mk("c2", "host1", 3)])
+    }
+
+    #[test]
+    fn unexpected_message_surfaces_immediately() {
+        let d = trained();
+        let mut s = StreamDetector::begin(&d, "c9");
+        assert!(s.feed(&line(0, "Registering block manager endpoint on host1")).is_none());
+        let a = s.feed(&line(5, "spill 1 written to /tmp/x.out"));
+        assert!(matches!(a, Some(Anomaly::UnexpectedMessage { .. })));
+        assert_eq!(s.lines_seen(), 2);
+    }
+
+    #[test]
+    fn streaming_equals_batch_detection() {
+        let d = trained();
+        let session = Session::new(
+            "c9",
+            vec![
+                line(0, "Registering block manager endpoint on host1"),
+                line(5, "spill 1 written to /tmp/x.out"),
+                line(10, "Starting task 9 in stage 0"),
+                // task never finishes → missing critical key at close
+                line(30, "Shutdown hook called"),
+            ],
+        );
+        let batch = d.detect_session(&session);
+        let mut s = StreamDetector::begin(&d, "c9");
+        for l in &session.lines {
+            s.feed(l);
+        }
+        let streamed = s.finish();
+        assert_eq!(batch.lines, streamed.lines);
+        assert_eq!(batch.anomalies.len(), streamed.anomalies.len(), "\nbatch: {:?}\nstream: {:?}", batch.anomalies, streamed.anomalies);
+        assert!(streamed
+            .anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::MissingCriticalKey { .. })));
+    }
+
+    #[test]
+    fn clean_stream_has_clean_close() {
+        let d = trained();
+        let mut s = StreamDetector::begin(&d, "c9");
+        for l in [
+            line(0, "Registering block manager endpoint on host1"),
+            line(10, "Starting task 5 in stage 0"),
+            line(20, "Finished task 5 in stage 0 and sent 9 bytes to driver"),
+            line(30, "Shutdown hook called"),
+        ] {
+            assert!(s.feed(&l).is_none());
+        }
+        let report = s.finish();
+        assert!(!report.is_problematic(), "{:?}", report.anomalies);
+    }
+}

@@ -1,0 +1,144 @@
+//! Training: from raw log sessions to a ready [`crate::Detector`].
+//!
+//! The training phase (paper Fig. 2, stages 1–3) runs Spell over all
+//! sessions, builds Intel Keys, filters out non-natural-language keys into
+//! the ignored list (paper §5), instantiates Intel Messages and trains the
+//! HW-graph.
+
+use crate::detector::Detector;
+use extract::{IntelExtractor, IntelKey, IntelMessage, LocalityMatcher};
+use hwgraph::HwGraph;
+use spell::{KeyId, Session, SpellParser};
+use std::collections::BTreeSet;
+
+/// Configurable trainer for the IntelLog pipeline.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    /// Spell matching threshold `t` (paper default 1.7).
+    pub spell_threshold: f64,
+    /// Locality matcher (user-extensible patterns).
+    pub matcher: LocalityMatcher,
+}
+
+impl Default for Trainer {
+    fn default() -> Trainer {
+        Trainer { spell_threshold: 1.7, matcher: LocalityMatcher::new() }
+    }
+}
+
+impl Trainer {
+    /// Train on normal-execution sessions and return a detector.
+    pub fn train(&self, sessions: &[Session]) -> Detector {
+        let mut parser = SpellParser::new(self.spell_threshold);
+
+        // Stage 1: log keys. Remember each line's key and tokens.
+        let mut parsed: Vec<Vec<(KeyId, Vec<String>, u64)>> = Vec::with_capacity(sessions.len());
+        for session in sessions {
+            let mut v = Vec::with_capacity(session.lines.len());
+            for line in &session.lines {
+                let out = parser.parse_message(&line.message);
+                v.push((out.key_id, out.tokens, line.ts_ms));
+            }
+            parsed.push(v);
+        }
+
+        // Stage 2: Intel Keys; non-NL keys go to the ignored list (§5).
+        let extractor = IntelExtractor::with_matcher(self.matcher.clone());
+        let keys: Vec<IntelKey> = parser.keys().iter().map(|k| extractor.build(k)).collect();
+        let ignored_keys: BTreeSet<KeyId> = parser
+            .keys()
+            .iter()
+            .filter(|k| !lognlp::is_natural_language(&k.render_sample()))
+            .map(|k| k.id)
+            .collect();
+
+        // Stage 3: Intel Messages per session → HW-graph.
+        let mut msg_sessions: Vec<Vec<IntelMessage>> = Vec::with_capacity(sessions.len());
+        for (session, lines) in sessions.iter().zip(&parsed) {
+            let msgs = lines
+                .iter()
+                .filter(|(kid, _, _)| !ignored_keys.contains(kid))
+                .map(|(kid, tokens, ts)| {
+                    IntelMessage::instantiate(&keys[kid.0 as usize], tokens, &session.id, *ts)
+                })
+                .collect();
+            msg_sessions.push(msgs);
+        }
+        // Ignored keys contribute neither entities nor lifespans to the
+        // HW-graph (paper §5: they are captured by pattern matching only).
+        let graph_keys: Vec<IntelKey> = keys
+            .iter()
+            .filter(|k| !ignored_keys.contains(&k.key_id))
+            .cloned()
+            .collect();
+        let graph = HwGraph::build(&graph_keys, &msg_sessions);
+
+        Detector::new(parser, keys, graph, ignored_keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spell::{Level, LogLine};
+
+    fn line(ts: u64, msg: &str) -> LogLine {
+        LogLine { ts_ms: ts, level: Level::Info, source: "X".into(), message: msg.into() }
+    }
+
+    #[test]
+    fn non_nl_keys_are_ignored() {
+        let sessions = vec![Session::new(
+            "c0",
+            vec![
+                line(0, "Starting task 1 in stage 0"),
+                line(10, "memory=1024 vcores=4 disk=2"),
+                line(20, "Finished task 1 in stage 0 and sent 4 bytes to driver"),
+            ],
+        )];
+        let d = Trainer::default().train(&sessions);
+        assert_eq!(d.ignored_keys.len(), 1, "{:?}", d.ignored_keys);
+        // the key-value dump key is excluded from every group
+        for ik in &d.ignored_keys {
+            assert!(d.graph.groups_of_key(*ik).is_empty());
+        }
+    }
+
+    #[test]
+    fn trainer_produces_usable_detector() {
+        let sessions = vec![
+            Session::new(
+                "c0",
+                vec![
+                    line(0, "Registering block manager endpoint on host1"),
+                    line(10, "Starting task 1 in stage 0"),
+                    line(20, "Finished task 1 in stage 0 and sent 9 bytes to driver"),
+                    line(30, "Shutdown hook called"),
+                ],
+            ),
+            Session::new(
+                "c1",
+                vec![
+                    line(0, "Registering block manager endpoint on host2"),
+                    line(10, "Starting task 2 in stage 0"),
+                    line(20, "Finished task 2 in stage 0 and sent 7 bytes to driver"),
+                    line(30, "Shutdown hook called"),
+                ],
+            ),
+        ];
+        let d = Trainer::default().train(&sessions);
+        assert!(!d.keys.is_empty());
+        assert!(!d.graph.groups.is_empty());
+        // detection over a training session is clean
+        let r = d.detect_session(&sessions[0]);
+        assert!(!r.is_problematic(), "{:?}", r.anomalies);
+    }
+
+    #[test]
+    fn custom_spell_threshold_respected() {
+        let t = Trainer { spell_threshold: 1.0, ..Default::default() };
+        let d = t.train(&[Session::new("c0", vec![line(0, "a b c"), line(1, "a b d")])]);
+        assert_eq!(d.parser.threshold(), 1.0);
+        assert_eq!(d.parser.len(), 2); // exact matching: two keys
+    }
+}

@@ -1,0 +1,20 @@
+//! # baselines — the comparison systems of the paper's evaluation
+//!
+//! * [`stitch`] — Stitch's identifier-only S³ graph (OSDI'16), used for the
+//!   Fig. 9 workflow comparison;
+//! * [`deeplog`] — DeepLog's next-log-key detection mechanism (CCS'17),
+//!   realised as an order-h n-gram predictor with top-g acceptance
+//!   (substitution documented in DESIGN.md §1);
+//! * [`logcluster`] — LogCluster's knowledge-base sequence clustering
+//!   (ICSE'16).
+//!
+//! All three consume the same key sequences / Intel Message streams as the
+//! IntelLog pipeline, so the Table 8 comparison runs on identical inputs.
+
+pub mod deeplog;
+pub mod logcluster;
+pub mod stitch;
+
+pub use deeplog::{DeepLog, DeepLogConfig};
+pub use logcluster::{LogCluster, LogClusterConfig};
+pub use stitch::{S3Graph, S3Rel};

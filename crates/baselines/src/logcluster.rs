@@ -1,0 +1,179 @@
+//! LogCluster-style sequence clustering (Lin et al., ICSE'16).
+//!
+//! LogCluster builds a knowledge base by clustering log sequences from
+//! normal (repository) runs; at check time, new sequences that fall into
+//! clusters absent from the knowledge base are surfaced for examination.
+//! Sessions are vectorised as IDF-weighted log-key histograms and clustered
+//! by cosine similarity with a threshold — high precision (what it flags is
+//! usually anomalous), unknown recall (paper Table 8 reports N/A).
+
+use serde::{Deserialize, Serialize};
+use spell::KeyId;
+use std::collections::HashMap;
+
+/// Configuration of the clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogClusterConfig {
+    /// Cosine-similarity threshold for joining an existing cluster.
+    pub threshold: f64,
+}
+
+impl Default for LogClusterConfig {
+    fn default() -> LogClusterConfig {
+        LogClusterConfig { threshold: 0.7 }
+    }
+}
+
+/// An IDF-weighted key-count vector.
+type Vector = HashMap<u32, f64>;
+
+fn cosine(a: &Vector, b: &Vector) -> f64 {
+    let dot: f64 = a.iter().filter_map(|(k, va)| b.get(k).map(|vb| va * vb)).sum();
+    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// The trained knowledge base.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LogCluster {
+    /// Configuration.
+    pub config: LogClusterConfig,
+    /// Inverse document frequency per key.
+    idf: HashMap<u32, f64>,
+    /// Cluster representatives (centroids).
+    representatives: Vec<Vector>,
+}
+
+impl LogCluster {
+    /// Train the knowledge base on normal sessions (key sequences).
+    pub fn train(config: LogClusterConfig, sessions: &[Vec<KeyId>]) -> LogCluster {
+        let n = sessions.len().max(1) as f64;
+        let mut df: HashMap<u32, u64> = HashMap::new();
+        for s in sessions {
+            let mut seen: Vec<u32> = s.iter().map(|k| k.0).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for k in seen {
+                *df.entry(k).or_insert(0) += 1;
+            }
+        }
+        let idf: HashMap<u32, f64> =
+            df.into_iter().map(|(k, d)| (k, (n / d as f64).ln() + 1.0)).collect();
+        let mut kb = LogCluster { config, idf, representatives: Vec::new() };
+        for s in sessions {
+            let v = kb.vectorize(s);
+            match kb.nearest(&v) {
+                Some((i, sim)) if sim >= config.threshold => {
+                    // online centroid update
+                    let rep = &mut kb.representatives[i];
+                    for (k, val) in v {
+                        let e = rep.entry(k).or_insert(0.0);
+                        *e = (*e + val) / 2.0;
+                    }
+                }
+                _ => kb.representatives.push(v),
+            }
+        }
+        kb
+    }
+
+    fn vectorize(&self, keys: &[KeyId]) -> Vector {
+        let mut v: Vector = HashMap::new();
+        for k in keys {
+            *v.entry(k.0).or_insert(0.0) += 1.0;
+        }
+        for (k, val) in v.iter_mut() {
+            // unseen keys get a high default IDF — they are maximally
+            // surprising
+            let w = self.idf.get(k).copied().unwrap_or(5.0);
+            *val = (1.0 + val.ln()) * w;
+        }
+        v
+    }
+
+    fn nearest(&self, v: &Vector) -> Option<(usize, f64)> {
+        self.representatives
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, cosine(v, r)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Number of learned clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Similarity of a session to its closest known cluster.
+    pub fn best_similarity(&self, keys: &[KeyId]) -> f64 {
+        self.nearest(&self.vectorize(keys)).map(|(_, s)| s).unwrap_or(0.0)
+    }
+
+    /// Verdict: a session in no known cluster is surfaced for examination.
+    pub fn is_anomalous(&self, keys: &[KeyId]) -> bool {
+        self.best_similarity(keys) < self.config.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ks(v: &[u32]) -> Vec<KeyId> {
+        v.iter().map(|&x| KeyId(x)).collect()
+    }
+
+    #[test]
+    fn known_shapes_are_clean() {
+        let train: Vec<Vec<KeyId>> = vec![
+            ks(&[1, 2, 3, 4]),
+            ks(&[1, 2, 3, 4, 4]),
+            ks(&[1, 2, 2, 3, 4]),
+            ks(&[5, 6, 7]),
+        ];
+        let kb = LogCluster::train(LogClusterConfig::default(), &train);
+        assert!(kb.cluster_count() >= 2);
+        assert!(!kb.is_anomalous(&ks(&[1, 2, 3, 4])));
+        assert!(!kb.is_anomalous(&ks(&[5, 6, 7])));
+    }
+
+    #[test]
+    fn novel_key_mix_is_flagged() {
+        let train: Vec<Vec<KeyId>> = vec![ks(&[1, 2, 3, 4]); 5];
+        let kb = LogCluster::train(LogClusterConfig::default(), &train);
+        assert!(kb.is_anomalous(&ks(&[9, 9, 9])));
+        assert!(kb.is_anomalous(&ks(&[1, 9, 9, 9, 9, 9])));
+    }
+
+    #[test]
+    fn length_variations_of_same_mix_stay_clean() {
+        // LogCluster tolerates repetition-count variation — analytics
+        // sessions of different input sizes still map to the same cluster.
+        let train: Vec<Vec<KeyId>> = vec![ks(&[1, 2, 2, 3]), ks(&[1, 2, 2, 2, 2, 3])];
+        let kb = LogCluster::train(LogClusterConfig::default(), &train);
+        assert!(!kb.is_anomalous(&ks(&[1, 2, 2, 2, 3])));
+    }
+
+    #[test]
+    fn truncated_session_may_be_missed_low_recall() {
+        // A killed session shares most of its key mix with a clean one —
+        // LogCluster can miss it (the recall N/A story of Table 8).
+        let train: Vec<Vec<KeyId>> = vec![ks(&[1, 2, 2, 2, 3, 4]); 4];
+        let kb = LogCluster::train(LogClusterConfig::default(), &train);
+        let truncated = ks(&[1, 2, 2, 2]); // lost tail keys 3,4
+        // not asserting a specific verdict is the point: similarity stays
+        // high even though the session is anomalous
+        assert!(kb.best_similarity(&truncated) > 0.5);
+    }
+
+    #[test]
+    fn empty_kb_flags_all() {
+        let kb = LogCluster::train(LogClusterConfig::default(), &[]);
+        assert!(kb.is_anomalous(&ks(&[1])));
+    }
+}

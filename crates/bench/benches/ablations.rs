@@ -1,0 +1,106 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * Spell threshold `t` sweep — how key counts and parse cost move;
+//! * nomenclature grouping with/without the "common last words" rule
+//!   (Algorithm 1's distinguishing feature vs naive common-substring
+//!   grouping);
+//! * DeepLog history-length sweep — predictability of analytics logs.
+
+use baselines::{DeepLog, DeepLogConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlasim::SystemKind;
+use hwgraph::group_entities;
+use intellog_bench::{train_keyseqs, training_sessions};
+use spell::SpellParser;
+
+fn ablate_spell_threshold(c: &mut Criterion) {
+    let sessions = training_sessions(SystemKind::MapReduce, 3, 10);
+    let messages: Vec<String> = sessions
+        .iter()
+        .flat_map(|s| s.lines.iter().map(|l| l.message.clone()))
+        .collect();
+    let mut g = c.benchmark_group("ablation_spell_threshold");
+    g.sample_size(10);
+    for t in [1.2f64, 1.7, 2.5] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let mut p = SpellParser::new(t);
+                for m in &messages {
+                    p.parse_message(m);
+                }
+                p.len() // higher t → more merging → fewer keys
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_grouping_rule(c: &mut Criterion) {
+    // entities harvested from a Spark corpus
+    let sessions = training_sessions(SystemKind::Spark, 4, 11);
+    let (parser, _) = train_keyseqs(&sessions);
+    let ex = extract::IntelExtractor::new();
+    let entities: Vec<String> = parser
+        .keys()
+        .iter()
+        .flat_map(|k| {
+            ex.build(k)
+                .entity_phrases()
+                .into_iter()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut g = c.benchmark_group("ablation_grouping");
+    g.bench_function("algorithm1", |b| {
+        b.iter(|| group_entities(entities.iter().cloned()).len())
+    });
+    // Algorithm 1 *without* the "common last words" rule: plain
+    // longest-common-substring grouping over-merges unrelated families
+    // ('block manager' + 'security manager' → one 'manager' group).
+    g.bench_function("no_last_words_rule", |b| {
+        b.iter(|| {
+            hwgraph::group_entities_with(
+                entities.iter().cloned(),
+                hwgraph::GroupingOptions { last_words_rule: false },
+            )
+            .len()
+        })
+    });
+    // naive variant: group by shared first word only (no LCP, no last-words
+    // rule) — what a simple prefix-bucket approach would do
+    g.bench_function("naive_first_word", |b| {
+        b.iter(|| {
+            let mut buckets: std::collections::BTreeMap<&str, usize> = Default::default();
+            for e in &entities {
+                let first = e.split(' ').next().unwrap_or("");
+                *buckets.entry(first).or_insert(0) += 1;
+            }
+            buckets.len()
+        })
+    });
+    g.finish();
+}
+
+fn ablate_deeplog_history(c: &mut Criterion) {
+    let sessions = training_sessions(SystemKind::Spark, 4, 12);
+    let (_, seqs) = train_keyseqs(&sessions);
+    let mut g = c.benchmark_group("ablation_deeplog_history");
+    g.sample_size(10);
+    for h in [2usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| {
+                let mut dl = DeepLog::new(DeepLogConfig { history: h, top_g: 9 });
+                for s in &seqs {
+                    dl.train_session(s);
+                }
+                // misses on a held-in session: interleaving noise persists
+                dl.count_misses(&seqs[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablate_spell_threshold, ablate_grouping_rule, ablate_deeplog_history);
+criterion_main!(benches);

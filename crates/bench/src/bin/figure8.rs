@@ -1,0 +1,23 @@
+//! Figure 8 — the Spark HW-graph with the semantic knowledge of the
+//! workflow: hierarchical entity groups (critical marked `*`), subroutines
+//! per identifier-type signature, critical Intel Keys marked `!`.
+//!
+//! Run with: `cargo run --release -p intellog-bench --bin figure8 [jobs]`
+
+use dlasim::SystemKind;
+use intellog_bench::training_sessions;
+use intellog_core::IntelLog;
+
+fn main() {
+    let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let sessions = training_sessions(SystemKind::Spark, jobs, 88);
+    let total_msgs: usize = sessions.iter().map(|s| s.len()).sum();
+    let il = IntelLog::train(&sessions);
+    println!(
+        "Figure 8: the HW-graph for Spark (built from {} sessions / {} messages)\n",
+        sessions.len(),
+        total_msgs
+    );
+    print!("{}", il.render_graph());
+    println!("\nJSON export: {} bytes (paper §5: HW-graphs are output as JSON)", il.graph_json().len());
+}

@@ -1,0 +1,27 @@
+//! Figure 9 — the S³ graph of Spark built by Stitch (the identifier-only
+//! baseline). Contrast with Figure 8: the S³ graph captures identifier
+//! hierarchies but none of the operations/events the HW-graph carries.
+//!
+//! Run with: `cargo run --release -p intellog-bench --bin figure9 [jobs]`
+
+use baselines::S3Graph;
+use dlasim::SystemKind;
+use intellog_bench::{intel_messages, train_keyseqs, training_jobs, training_sessions};
+use intellog_core::sessions_from_job;
+
+fn main() {
+    let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    // keys learned over the whole corpus, S3 relations scoped per job
+    let all_sessions = training_sessions(SystemKind::Spark, jobs, 88);
+    let (parser, _) = train_keyseqs(&all_sessions);
+    let per_job: Vec<_> = training_jobs(SystemKind::Spark, jobs, 88)
+        .iter()
+        .map(|job| intel_messages(&parser, &sessions_from_job(job)))
+        .collect();
+    let g = S3Graph::build_scoped(&per_job);
+    println!("Figure 9: the S3 graph of Spark built by Stitch\n");
+    println!("identifier types: {:?}\n", g.types);
+    print!("{}", g.render());
+    println!("\npaper shape: {{HOST/IP}} -> {{EXECUTOR/CONTAINER}} -> {{STAGE, TASK}} -> {{TID}}; {{BROADCAST}} isolated");
+    println!("note: no operations, no entities — identifier names only (the paper's §6.3 critique)");
+}

@@ -1,0 +1,33 @@
+//! Table 5 — log and HW-graph statistics for the three systems.
+//!
+//! Paper shape: entity groups are 5–10× fewer than the messages of one
+//! session (critical groups 10–50× fewer); subroutines are short enough for
+//! manual analysis (max ≈ 10–19 keys).
+//!
+//! Run with: `cargo run --release -p intellog-bench --bin table5 [jobs]`
+
+use dlasim::SystemKind;
+use intellog_bench::training_sessions;
+use intellog_core::IntelLog;
+
+fn main() {
+    let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    println!("Table 5: log and HW-graph statistics ({jobs} training jobs per system)\n");
+    println!(
+        "{:<11} {:>12} {:>16} {:>30}",
+        "Framework", "session len", "groups all/crit", "subroutine max/avg/avg-crit"
+    );
+    for system in SystemKind::ANALYTICS {
+        let sessions = training_sessions(system, jobs, 70 + system as u64);
+        let il = IntelLog::train(&sessions);
+        let s = &il.graph().stats;
+        println!(
+            "{:<11} {:>12.0} {:>16} {:>30}",
+            system.name(),
+            s.avg_session_len,
+            format!("{} / {}", s.groups_all, s.groups_critical),
+            format!("{} / {:.1} / {:.1}", s.sub_len_max, s.sub_len_avg_all, s.sub_len_avg_crit),
+        );
+    }
+    println!("\npaper: Spark 347, 45/10, 10/1.2/2.3 | MapReduce 137, 35/13, 19/1.7/2.8 | Tez 304, 59/27, 14/2.7/4.6");
+}

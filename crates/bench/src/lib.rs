@@ -1,0 +1,21 @@
+//! # intellog-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6). Each
+//! `src/bin/tableN.rs` / `src/bin/figureN.rs` binary prints the same rows /
+//! series the paper reports; `benches/` holds the criterion
+//! micro-benchmarks and ablations. Shared machinery:
+//!
+//! * [`corpus`] — the §6.1/§6.4 experimental protocol (training corpora,
+//!   the 30-job fault-injection matrix, scoring);
+//! * [`accuracy`] — the Table 4 extraction-accuracy evaluation against the
+//!   simulator's template ground truth.
+
+pub mod accuracy;
+pub mod corpus;
+pub mod keyseq;
+
+pub use accuracy::{evaluate, AccuracyRow, FieldCounts};
+pub use keyseq::{intel_messages, match_keyseq, train_keyseqs, UNKNOWN_KEY};
+pub use corpus::{
+    prf, score_jobs, table6_jobs, training_jobs, training_sessions, EvalJob, JobScore,
+};

@@ -1,0 +1,112 @@
+//! Bridges between the simulated cluster and the IntelLog pipeline.
+//!
+//! Two paths are provided:
+//!
+//! * [`session_from_gen`] — direct structural conversion (fast path used by
+//!   benchmarks);
+//! * [`sessions_from_raw`] — the full-fidelity path: the simulator renders
+//!   raw log text and the `spell` formatters parse it back, exercising the
+//!   same code a deployment against real log files would use.
+
+use dlasim::{GenJob, GenSession, RawFormat, SimLevel};
+use spell::{Level, LogFormat, LogLine, Session};
+
+/// Map a simulator severity onto the formatter's level type.
+pub fn level_of(sim: SimLevel) -> Level {
+    match sim {
+        SimLevel::Info => Level::Info,
+        SimLevel::Warn => Level::Warn,
+        SimLevel::Error => Level::Error,
+    }
+}
+
+/// Structural conversion of one generated session.
+pub fn session_from_gen(gen: &GenSession) -> Session {
+    let lines = gen
+        .lines
+        .iter()
+        .map(|l| LogLine {
+            ts_ms: l.ts_ms,
+            level: level_of(l.level),
+            source: l.source.clone(),
+            message: l.message.clone(),
+        })
+        .collect();
+    Session::new(gen.id.clone(), lines)
+}
+
+/// Structural conversion of a whole job.
+pub fn sessions_from_job(job: &GenJob) -> Vec<Session> {
+    job.sessions.iter().map(session_from_gen).collect()
+}
+
+/// Full-fidelity conversion: render to raw text, parse with the formatter.
+/// Lines the formatter rejects are dropped (like stack-trace continuations
+/// in real files).
+pub fn sessions_from_raw(job: &GenJob) -> Vec<Session> {
+    let raw_fmt = RawFormat::for_system(job.system);
+    let parse_fmt = match raw_fmt {
+        RawFormat::Hadoop => LogFormat::Hadoop,
+        RawFormat::Spark => LogFormat::Spark,
+    };
+    job.sessions
+        .iter()
+        .map(|s| {
+            let lines = s
+                .raw_lines(raw_fmt)
+                .iter()
+                .filter_map(|raw| parse_fmt.parse(raw))
+                .collect();
+            Session::new(s.id.clone(), lines)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlasim::{JobConfig, SystemKind};
+
+    fn job(system: SystemKind) -> GenJob {
+        dlasim::generate(
+            &JobConfig {
+                system,
+                workload: "wordcount".into(),
+                input_gb: 2,
+                mem_mb: 1024,
+                cores: 2,
+                executors: 2,
+                hosts: 3,
+                seed: 11,
+            },
+            None,
+        )
+    }
+
+    #[test]
+    fn structural_and_raw_paths_agree_on_messages() {
+        for system in SystemKind::ANALYTICS {
+            let j = job(system);
+            let a = sessions_from_job(&j);
+            let b = sessions_from_raw(&j);
+            assert_eq!(a.len(), b.len());
+            for (sa, sb) in a.iter().zip(&b) {
+                assert_eq!(sa.id, sb.id);
+                assert_eq!(sa.len(), sb.len(), "formatter dropped lines for {system:?}");
+                for (la, lb) in sa.lines.iter().zip(&sb.lines) {
+                    assert_eq!(la.message, lb.message);
+                    assert_eq!(la.level, lb.level);
+                    assert_eq!(la.source, lb.source);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_path_preserves_ordering() {
+        let j = job(SystemKind::MapReduce);
+        for s in sessions_from_raw(&j) {
+            assert!(s.lines.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+        }
+    }
+}

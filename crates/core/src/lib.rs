@@ -1,0 +1,15 @@
+//! # intellog-core — the assembled IntelLog pipeline
+//!
+//! Ties the substrates together behind one API (paper Fig. 2):
+//!
+//! * [`pipeline`] — [`IntelLog`]: train on normal sessions, detect anomalies
+//!   (rayon-parallel across sessions), diagnose, export HW-graphs;
+//! * [`bridge`] — conversions between the simulated cluster (`dlasim`) and
+//!   the log-session types the pipeline consumes, both structural and
+//!   through raw log text + formatters.
+
+pub mod bridge;
+pub mod pipeline;
+
+pub use bridge::{session_from_gen, sessions_from_job, sessions_from_raw};
+pub use pipeline::{IntelLog, IntelLogBuilder};

@@ -1,0 +1,193 @@
+//! The end-to-end IntelLog pipeline (paper Fig. 2).
+//!
+//! [`IntelLog`] wraps training (Spell → Intel Keys → HW-graph) and
+//! detection behind one API, and — following the HPC guides for this
+//! reproduction — parallelises the embarrassingly-parallel per-session
+//! detection with rayon.
+
+use anomaly::{diagnose, Detector, Diagnosis, JobReport, SessionReport, Trainer};
+use extract::LocalityMatcher;
+use hwgraph::HwGraph;
+use rayon::prelude::*;
+use spell::Session;
+
+/// A trained IntelLog instance.
+#[derive(Debug, Clone)]
+pub struct IntelLog {
+    detector: Detector,
+}
+
+/// Builder for [`IntelLog`] training.
+#[derive(Debug, Clone, Default)]
+pub struct IntelLogBuilder {
+    spell_threshold: Option<f64>,
+    matcher: Option<LocalityMatcher>,
+}
+
+impl IntelLogBuilder {
+    /// Override the Spell matching threshold (paper default 1.7).
+    pub fn spell_threshold(mut self, t: f64) -> Self {
+        self.spell_threshold = Some(t);
+        self
+    }
+
+    /// Provide a user-extended locality matcher.
+    pub fn locality_matcher(mut self, m: LocalityMatcher) -> Self {
+        self.matcher = Some(m);
+        self
+    }
+
+    /// Train on normal-execution sessions.
+    pub fn train(self, sessions: &[Session]) -> IntelLog {
+        let trainer = Trainer {
+            spell_threshold: self.spell_threshold.unwrap_or(1.7),
+            matcher: self.matcher.unwrap_or_default(),
+        };
+        IntelLog { detector: trainer.train(sessions) }
+    }
+}
+
+impl IntelLog {
+    /// Start building a trained instance.
+    pub fn builder() -> IntelLogBuilder {
+        IntelLogBuilder::default()
+    }
+
+    /// Train with defaults.
+    pub fn train(sessions: &[Session]) -> IntelLog {
+        IntelLog::builder().train(sessions)
+    }
+
+    /// The trained detector (Spell keys, Intel Keys, HW-graph).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// The trained HW-graph.
+    pub fn graph(&self) -> &HwGraph {
+        &self.detector.graph
+    }
+
+    /// Detect anomalies in one session.
+    pub fn detect_session(&self, session: &Session) -> SessionReport {
+        self.detector.detect_session(session)
+    }
+
+    /// Detect anomalies in a job — sessions are processed in parallel with
+    /// rayon (each session is independent; the detector is shared
+    /// read-only).
+    pub fn detect_job(&self, sessions: &[Session]) -> JobReport {
+        JobReport {
+            sessions: sessions
+                .par_iter()
+                .map(|s| self.detector.detect_session(s))
+                .collect(),
+        }
+    }
+
+    /// Sequential detection (used by the scaling benchmark as the
+    /// single-thread baseline).
+    pub fn detect_job_sequential(&self, sessions: &[Session]) -> JobReport {
+        self.detector.detect_job(sessions)
+    }
+
+    /// Run the case-study diagnosis procedure over a report.
+    pub fn diagnose(&self, report: &JobReport) -> Diagnosis {
+        let entities: Vec<String> = self
+            .detector
+            .graph
+            .groups
+            .iter()
+            .flat_map(|g| g.entities.iter().cloned())
+            .collect();
+        diagnose(report, &entities)
+    }
+
+    /// Serialise the trained HW-graph to JSON (paper §5).
+    pub fn graph_json(&self) -> String {
+        self.detector.graph.to_json()
+    }
+
+    /// Render the HW-graph as a Fig. 8-style text tree.
+    pub fn render_graph(&self) -> String {
+        self.detector.graph.render_text(&self.detector.keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridge::sessions_from_job;
+    use dlasim::{FaultKind, JobConfig, SystemKind, WorkloadGen};
+
+    fn train_sessions(system: SystemKind, jobs: usize) -> Vec<Session> {
+        let mut gen = WorkloadGen::new(42, 8);
+        let mut out = Vec::new();
+        for j in 0..jobs {
+            let cfg = gen.training_config(system);
+            let job = dlasim::generate(&cfg, None);
+            for (i, s) in sessions_from_job(&job).into_iter().enumerate() {
+                let mut s = s;
+                s.id = format!("train{j}_{i}_{}", s.id);
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn train_and_detect_clean_spark_job() {
+        let il = IntelLog::train(&train_sessions(SystemKind::Spark, 4));
+        let mut gen = WorkloadGen::new(99, 8);
+        let cfg = gen.training_config(SystemKind::Spark);
+        let job = dlasim::generate(&cfg, None);
+        let report = il.detect_job(&sessions_from_job(&job));
+        let frac = report.problematic_count() as f64 / report.total_count() as f64;
+        assert!(frac < 0.3, "clean job should be mostly clean: {frac}");
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let il = IntelLog::train(&train_sessions(SystemKind::MapReduce, 2));
+        let mut gen = WorkloadGen::new(7, 8);
+        let cfg = gen.detection_config(SystemKind::MapReduce, 1);
+        let plan = gen.fault_plan(FaultKind::NetworkFailure);
+        let job = dlasim::generate(&cfg, Some(&plan));
+        let sessions = sessions_from_job(&job);
+        let par = il.detect_job(&sessions);
+        let seq = il.detect_job_sequential(&sessions);
+        assert_eq!(par, seq);
+        assert!(par.is_problematic());
+    }
+
+    #[test]
+    fn network_fault_is_diagnosed_to_victim_host() {
+        let il = IntelLog::train(&train_sessions(SystemKind::MapReduce, 3));
+        let cfg = JobConfig {
+            system: SystemKind::MapReduce,
+            workload: "wordcount".into(),
+            input_gb: 8,
+            mem_mb: 2048,
+            cores: 4,
+            executors: 3,
+            hosts: 8,
+            seed: 1234,
+        };
+        let plan = dlasim::FaultPlan::new(FaultKind::NetworkFailure, 0.2, 3, 0);
+        let job = dlasim::generate(&cfg, Some(&plan));
+        let report = il.detect_job(&sessions_from_job(&job));
+        assert!(report.is_problematic());
+        let diag = il.diagnose(&report);
+        assert!(!diag.hosts.is_empty(), "{diag:?}");
+        assert_eq!(diag.hosts[0].0, "worker4", "{:?}", diag.hosts);
+    }
+
+    #[test]
+    fn graph_render_and_json() {
+        let il = IntelLog::train(&train_sessions(SystemKind::Spark, 3));
+        let txt = il.render_graph();
+        assert!(txt.contains("task"), "{txt}");
+        let json = il.graph_json();
+        assert!(json.contains("\"groups\""));
+    }
+}

@@ -1,0 +1,264 @@
+//! Tez + Hive job model: DAG AM and child (task) container sessions.
+//!
+//! Tez logs are short and well formatted — a sentence followed by key-value
+//! pairs — which is why IntelLog's extraction accuracy is highest on Tez
+//! (paper §6.2/§7). The model includes the two "vague" operator keys the
+//! paper quotes (`6 Close done`, `4 finished. Closing`).
+
+use crate::catalog::Truth;
+use crate::emit::Emitter;
+use crate::faults::{FaultKind, FaultPlan};
+use crate::types::{GenJob, GenSession, SystemKind};
+use crate::workload::JobConfig;
+
+/// Ground truth for the Tez templates.
+pub const TRUTHS: &[Truth] = &[
+    Truth::new("tz.am.dag.submit", "Submitting DAG dag_1529021_1 to session",
+        &["dag", "session"], 1, 0, 0, 1, true),
+    Truth::new("tz.session.ref", "session ref r_4521 opened for user root",
+        &["session", "user"], 1, 0, 0, 1, true),
+    Truth::new("tz.am.dag.run", "Running DAG query8 with 4 vertices",
+        &["dag", "vertex"], 0, 1, 0, 1, true),
+    Truth::new("tz.am.vertex.init", "Initializing vertex vertex_01 with 8 tasks",
+        &["vertex", "task"], 1, 1, 0, 1, true),
+    Truth::new("tz.am.vertex.done", "vertex vertex_01 completed with 8 successful tasks",
+        &["vertex", "successful task"], 1, 1, 0, 1, true),
+    Truth::new("tz.am.dag.done", "DAG dag_1529021_1 finished successfully in 42 seconds",
+        &["dag"], 1, 1, 0, 1, true),
+    Truth::new("tz.child.init", "Initializing task attempt_1529021_t_000000_0 for vertex vertex_01",
+        &["task", "vertex"], 2, 0, 0, 1, true),
+    Truth::new("tz.op.init", "Initializing operator TS_4",
+        &["operator"], 1, 0, 0, 1, true),
+    Truth::new("tz.op.rows", "operator RS_4 finished processing 15000 rows",
+        &["operator"], 1, 1, 0, 1, true),
+    Truth::new("tz.op.close1", "6 Close done",
+        &[], 1, 0, 0, 1, true),
+    Truth::new("tz.op.close2", "4 finished. Closing",
+        &[], 1, 0, 0, 2, true),
+    Truth::new("tz.child.transition", "task attempt_1529021_t_000000_0 transitioned from RUNNING to SUCCEEDED",
+        &["task"], 1, 0, 0, 1, true),
+    Truth::new("tz.counters", "FILE_BYTES_READ=2264 RECORDS_OUT=15000 SPILLED_RECORDS=0",
+        &[], 0, 3, 0, 0, false),
+    Truth::new("tz.shuffle.fetch", "fetched 4 shuffle inputs for vertex vertex_01 from worker2:13563",
+        &["shuffle input", "vertex"], 1, 1, 1, 1, true),
+    Truth::new("tz.edge.setup", "Connecting vertex vertex_00 to vertex vertex_01 with scatter gather edge",
+        &["vertex", "scatter gather edge"], 2, 0, 0, 1, true),
+    Truth::new("tz.mem.alloc", "Allocated 512 MB of scoped memory for attempt_1529021_t_000000_0",
+        &["scoped memory"], 1, 1, 0, 1, true),
+    Truth::new("tz.input.init", "Initializing input for vertex vertex_01 from hdfs://namenode:8020/warehouse/lineitem",
+        &["input", "vertex"], 1, 0, 1, 1, true),
+    Truth::new("tz.output.commit", "Committing output of vertex vertex_01 to the warehouse table",
+        &["output of vertex", "warehouse table"], 1, 0, 0, 1, true),
+    Truth::new("tz.hive.plan", "Query plan has 4 stages with 2 map joins",
+        &["query plan", "stage", "map join"], 0, 2, 0, 1, true),
+    Truth::new("tz.hive.optimizer", "Applying predicate pushdown optimization to operator TS_0",
+        &["predicate pushdown optimization", "operator"], 1, 0, 0, 1, true),
+    Truth::new("tz.rare.reuse", "container reused for the next task attempt after close",
+        &["container", "task attempt"], 0, 0, 0, 1, true),
+    // fault-only
+    Truth::new("tz.fault.lost", "Lost container on node worker3 holding 2 task attempts",
+        &["container", "node", "task attempt"], 0, 1, 1, 1, true),
+    Truth::new("tz.fault.connect", "failed to connect to worker3:13563 while fetching shuffle input for vertex vertex_01",
+        &["shuffle input", "vertex"], 1, 0, 1, 1, true),
+    Truth::new("tz.fault.spill", "writing spill 2 of intermediate data to /tmp/hive/spill2.out because memory usage reached the limit",
+        &["spill", "intermediate data", "memory usage", "limit"], 1, 0, 1, 1, true),
+];
+
+/// Generate a Tez (Hive query) job.
+pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
+    let job_id = 1_529_000 + (cfg.seed % 1000);
+    let vertices = (2 + cfg.input_gb / 4).clamp(2, 6) as u64;
+    let tasks_per_vertex = (cfg.input_gb as u64 * 2).clamp(2, 24);
+    let hosts: Vec<String> = (0..cfg.hosts.max(2)).map(|h| format!("worker{}", h + 1)).collect();
+    let mut am = Emitter::new(cfg.seed, 0);
+    let mut sessions: Vec<GenSession> = Vec::new();
+
+    am.info("HiveSessionImpl", "tz.session.ref", format!("session ref r_{} opened for user root", 4000 + job_id % 1000));
+    am.info("TezClient", "tz.am.dag.submit", format!("Submitting DAG dag_{job_id}_1 to session"));
+    am.info("DAGAppMaster", "tz.am.dag.run", format!("Running DAG {} with {vertices} vertices", cfg.workload));
+    let joins = am.range(1, 4);
+    am.info("SemanticAnalyzer", "tz.hive.plan", format!("Query plan has {vertices} stages with {joins} map joins"));
+    for v in 1..vertices {
+        am.info(
+            "Edge",
+            "tz.edge.setup",
+            format!("Connecting vertex vertex_{:02} to vertex vertex_{v:02} with scatter gather edge", v - 1),
+        );
+    }
+
+    // Tez reuses containers: a fixed pool of child containers each runs
+    // many task attempts across the DAG's vertices. This is what makes Tez
+    // sessions long (paper Table 5) while child counts stay small.
+    let n_children = cfg.executors.max(1) as u64;
+    let mut children: Vec<(String, String, Emitter)> = (0..n_children)
+        .map(|c| {
+            let host = hosts[(c as usize + 1) % hosts.len()].clone();
+            let id = format!("container_{job_id}_01_{:06}", c + 2);
+            (id, host, am.fork(c + 1))
+        })
+        .collect();
+
+    for v in 0..vertices {
+        am.info("VertexImpl", "tz.am.vertex.init", format!("Initializing vertex vertex_{v:02} with {tasks_per_vertex} tasks"));
+        for t in 0..tasks_per_vertex {
+            let c = ((v * tasks_per_vertex + t) % n_children) as usize;
+            let att = format!("attempt_{job_id}_t_{:06}_0", v * tasks_per_vertex + t);
+            let e = &mut children[c].2;
+            e.info("TezChild", "tz.child.init", format!("Initializing task {att} for vertex vertex_{v:02}"));
+            let mb = e.range(64, cfg.mem_mb as u64);
+            e.info("TezTaskRunner", "tz.mem.alloc", format!("Allocated {mb} MB of scoped memory for {att}"));
+            if v == 0 {
+                e.info(
+                    "MRInput",
+                    "tz.input.init",
+                    format!("Initializing input for vertex vertex_{v:02} from hdfs://namenode:8020/warehouse/lineitem"),
+                );
+            }
+            // Downstream vertices fetch shuffle input from upstream hosts.
+            if v > 0 {
+                let src = &hosts[(c + v as usize + t as usize + 1) % hosts.len()];
+                let victim = fault
+                    .filter(|p| p.kind == FaultKind::NetworkFailure)
+                    .map(|p| hosts[p.victim_host % hosts.len()].clone());
+                if victim.as_deref() == Some(src.as_str()) && e.now() > 200 {
+                    e.warn(
+                        "ShuffleManager",
+                        "tz.fault.connect",
+                        format!("failed to connect to {src}:13563 while fetching shuffle input for vertex vertex_{v:02}"),
+                    );
+                } else {
+                    let n = e.range(1, 8);
+                    e.info(
+                        "ShuffleManager",
+                        "tz.shuffle.fetch",
+                        format!("fetched {n} shuffle inputs for vertex vertex_{v:02} from {src}:13563"),
+                    );
+                }
+            }
+            let n_ops = e.range(2, 5);
+            for o in 0..n_ops {
+                let op_kind = if o % 2 == 0 { "TS" } else { "RS" };
+                let op_id = v * 10 + o;
+                if e.chance(0.3) {
+                    e.info(
+                        "Optimizer",
+                        "tz.hive.optimizer",
+                        format!("Applying predicate pushdown optimization to operator {op_kind}_{op_id}"),
+                    );
+                }
+                e.info("MapOperator", "tz.op.init", format!("Initializing operator {op_kind}_{op_id}"));
+                let rows = e.range(1000, 90_000);
+                e.info("MapOperator", "tz.op.rows", format!("operator {op_kind}_{op_id} finished processing {rows} rows"));
+            }
+            if let Some(p) = fault {
+                if p.kind == FaultKind::MemorySpill && e.chance(0.7) {
+                    let sp = e.range(1, 6);
+                    e.warn(
+                        "PipelinedSorter",
+                        "tz.fault.spill",
+                        format!("writing spill {sp} of intermediate data to /tmp/hive/spill{sp}.out because memory usage reached the limit"),
+                    );
+                }
+            }
+            if cfg.mem_mb <= 1024 && e.chance(0.04) {
+                e.info("TezChild", "tz.rare.reuse", "container reused for the next task attempt after close".into());
+            }
+            let cl = e.range(2, 9);
+            e.info("ReduceRecordProcessor", "tz.op.close1", format!("{cl} Close done"));
+            e.info("ReduceRecordProcessor", "tz.op.close2", format!("{} finished. Closing", cl / 2));
+            if v == vertices - 1 {
+                e.info("FileSinkOperator", "tz.output.commit", format!("Committing output of vertex vertex_{v:02} to the warehouse table"));
+            }
+            e.info("TaskAttemptImpl", "tz.child.transition", format!("task {att} transitioned from RUNNING to SUCCEEDED"));
+            let b = e.range(500, 90_000);
+            e.info("Counters", "tz.counters", format!("FILE_BYTES_READ={b} RECORDS_OUT={} SPILLED_RECORDS=0", b / 3));
+        }
+        am.tick(50, 300);
+        am.info("VertexImpl", "tz.am.vertex.done", format!("vertex vertex_{v:02} completed with {tasks_per_vertex} successful tasks"));
+    }
+    for (id, host, e) in children {
+        sessions.push(GenSession { id, host, lines: e.finish(), affected: false });
+    }
+    let secs = am.range(10, 120);
+    am.info("DAGAppMaster", "tz.am.dag.done", format!("DAG dag_{job_id}_1 finished successfully in {secs} seconds"));
+    sessions.insert(
+        0,
+        GenSession { id: format!("container_{job_id}_01_000001"), host: hosts[0].clone(), lines: am.finish(), affected: false },
+    );
+
+    crate::spark::apply_truncating_faults(&mut sessions, fault, &hosts, "tz.fault.lost", "TaskSchedulerEventHandler", |i, victim| {
+        format!("Lost container on node {victim} holding {i} task attempts")
+    });
+    crate::spark::mark_fault_affected(&mut sessions);
+
+    GenJob {
+        system: SystemKind::Tez,
+        workload: cfg.workload.clone(),
+        sessions,
+        injected: fault.map(|p| p.kind),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> JobConfig {
+        JobConfig {
+            system: SystemKind::Tez,
+            workload: "query8".into(),
+            input_gb: 5,
+            mem_mb: 1024,
+            cores: 1,
+            executors: 2,
+            hosts: 4,
+            seed,
+        }
+    }
+
+    #[test]
+    fn job_shape_and_templates_known() {
+        let job = generate(&cfg(1), None);
+        assert_eq!(job.sessions.len(), 3); // AM + 2 reused children
+        for s in &job.sessions {
+            for l in &s.lines {
+                assert!(
+                    crate::catalog::truth_of(SystemKind::Tez, l.template_id).is_some(),
+                    "unknown template {}",
+                    l.template_id
+                );
+            }
+        }
+        // vague operator keys present (paper §6.2)
+        let all: Vec<&str> = job.sessions.iter().flat_map(|s| &s.lines).map(|l| l.template_id).collect();
+        assert!(all.contains(&"tz.op.close1"));
+        assert!(all.contains(&"tz.op.close2"));
+    }
+
+    #[test]
+    fn spill_fault_records_disk_path() {
+        let plan = FaultPlan::new(FaultKind::MemorySpill, 0.5, 0, 0);
+        let job = generate(&cfg(2), Some(&plan));
+        let spill_lines: Vec<&str> = job
+            .sessions
+            .iter()
+            .flat_map(|s| &s.lines)
+            .filter(|l| l.template_id == "tz.fault.spill")
+            .map(|l| l.message.as_str())
+            .collect();
+        assert!(!spill_lines.is_empty());
+        assert!(spill_lines.iter().all(|m| m.contains("/tmp/hive/")));
+    }
+
+    #[test]
+    fn containers_are_reused_across_attempts() {
+        // Tez container reuse: child sessions hold many task attempts,
+        // which is what makes Tez sessions long (paper Table 5).
+        let job = generate(&cfg(3), None);
+        assert_eq!(job.sessions.len(), 1 + 2); // AM + executors children
+        for s in &job.sessions[1..] {
+            let attempts = s.lines.iter().filter(|l| l.template_id == "tz.child.init").count();
+            assert!(attempts > 1, "container should run several attempts: {attempts}");
+        }
+    }
+}

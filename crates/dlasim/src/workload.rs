@@ -1,0 +1,173 @@
+//! Workload generation (paper §6.1).
+//!
+//! The paper's workload generator randomly submits HiBench jobs to Spark
+//! and MapReduce and TPC-H queries (via Hive) to Tez, with resource
+//! configurations tuned for successful execution during training and five
+//! configuration sets of varying input sizes / resources for the anomaly
+//! experiments (§6.4).
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::types::{GenJob, SystemKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one submitted job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobConfig {
+    /// Target system.
+    pub system: SystemKind,
+    /// Workload name (HiBench job or TPC-H query).
+    pub workload: String,
+    /// Input data size in GB — drives task counts and session lengths.
+    pub input_gb: u32,
+    /// Container memory in MB.
+    pub mem_mb: u32,
+    /// Cores per container.
+    pub cores: u32,
+    /// Number of worker containers (executors / reducers / Tez children).
+    pub executors: u32,
+    /// Number of cluster hosts.
+    pub hosts: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// HiBench-style job names used for Spark and MapReduce (paper: text
+/// processing, machine learning and graph processing).
+pub const HIBENCH_JOBS: &[&str] = &[
+    "wordcount", "sort", "terasort", "kmeans", "pagerank", "bayes", "nutchindexing", "scan",
+];
+
+/// TPC-H query names used for Tez via Hive.
+pub const TPCH_QUERIES: &[&str] = &[
+    "query1", "query3", "query5", "query6", "query8", "query10", "query12", "query14",
+];
+
+/// The five configuration sets of §6.4 (input sizes and resources vary to
+/// produce sessions of very different lengths).
+pub const CONFIG_SETS: [(u32, u32, u32, u32); 5] = [
+    // (input_gb, mem_mb, cores, executors)
+    (2, 1024, 1, 2),
+    (5, 1024, 2, 3),
+    (10, 2048, 4, 4),
+    (30, 4096, 8, 6),
+    (60, 8192, 8, 8),
+];
+
+/// The workload generator: randomly picks jobs and configurations.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    rng: ChaCha8Rng,
+    hosts: u32,
+}
+
+impl WorkloadGen {
+    /// A generator over a cluster with `hosts` worker nodes (the paper uses
+    /// 26 workers).
+    pub fn new(seed: u64, hosts: u32) -> WorkloadGen {
+        WorkloadGen { rng: ChaCha8Rng::seed_from_u64(seed), hosts: hosts.max(2) }
+    }
+
+    /// Draw a random training configuration for `system` (resources tuned
+    /// generously so jobs run cleanly, per §6.1).
+    pub fn training_config(&mut self, system: SystemKind) -> JobConfig {
+        let workload = match system {
+            SystemKind::Tez => TPCH_QUERIES[self.rng.gen_range(0..TPCH_QUERIES.len())],
+            _ => HIBENCH_JOBS[self.rng.gen_range(0..HIBENCH_JOBS.len())],
+        };
+        JobConfig {
+            system,
+            workload: workload.to_string(),
+            input_gb: self.rng.gen_range(2..=30),
+            mem_mb: 4096,
+            cores: 8,
+            executors: self.rng.gen_range(2..=6),
+            hosts: self.hosts,
+            seed: self.rng.gen(),
+        }
+    }
+
+    /// Draw the §6.4 detection-phase configuration for config set `set`.
+    pub fn detection_config(&mut self, system: SystemKind, set: usize) -> JobConfig {
+        let (input_gb, mem_mb, cores, executors) = CONFIG_SETS[set % CONFIG_SETS.len()];
+        let workload = match system {
+            SystemKind::Tez => TPCH_QUERIES[self.rng.gen_range(0..TPCH_QUERIES.len())],
+            _ => HIBENCH_JOBS[self.rng.gen_range(0..HIBENCH_JOBS.len())],
+        };
+        JobConfig {
+            system,
+            workload: workload.to_string(),
+            input_gb,
+            mem_mb,
+            cores,
+            executors,
+            hosts: self.hosts,
+            seed: self.rng.gen(),
+        }
+    }
+
+    /// A fault plan with a random trigger point and victims (paper §6.4:
+    /// "the injection tool triggers the problem at a random point").
+    pub fn fault_plan(&mut self, kind: FaultKind) -> FaultPlan {
+        FaultPlan::new(
+            kind,
+            self.rng.gen_range(0.2..0.9),
+            self.rng.gen_range(0..self.hosts as usize),
+            self.rng.gen_range(0..16),
+        )
+    }
+}
+
+/// Generate a job for any analytics system.
+pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
+    match cfg.system {
+        SystemKind::Spark => crate::spark::generate(cfg, fault),
+        SystemKind::MapReduce => crate::mapreduce::generate(cfg, fault),
+        SystemKind::Tez => crate::tez::generate(cfg, fault),
+        SystemKind::Yarn => crate::yarn::generate(cfg),
+        SystemKind::Nova => crate::nova::generate(cfg),
+        SystemKind::TensorFlow => crate::tensorflow::generate(cfg, fault),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_configs_are_varied_and_deterministic() {
+        let mut a = WorkloadGen::new(1, 26);
+        let mut b = WorkloadGen::new(1, 26);
+        let ca: Vec<JobConfig> = (0..10).map(|_| a.training_config(SystemKind::Spark)).collect();
+        let cb: Vec<JobConfig> = (0..10).map(|_| b.training_config(SystemKind::Spark)).collect();
+        assert_eq!(ca, cb);
+        let sizes: std::collections::HashSet<u32> = ca.iter().map(|c| c.input_gb).collect();
+        assert!(sizes.len() > 2, "input sizes should vary: {sizes:?}");
+    }
+
+    #[test]
+    fn tez_uses_tpch_spark_uses_hibench() {
+        let mut g = WorkloadGen::new(2, 26);
+        let t = g.training_config(SystemKind::Tez);
+        assert!(t.workload.starts_with("query"));
+        let s = g.training_config(SystemKind::Spark);
+        assert!(HIBENCH_JOBS.contains(&s.workload.as_str()));
+    }
+
+    #[test]
+    fn config_sets_scale_input() {
+        assert_eq!(CONFIG_SETS.len(), 5);
+        assert!(CONFIG_SETS[4].0 > CONFIG_SETS[0].0 * 10);
+    }
+
+    #[test]
+    fn fault_plans_within_bounds() {
+        let mut g = WorkloadGen::new(3, 26);
+        for kind in FaultKind::INJECTED {
+            let p = g.fault_plan(kind);
+            assert!(p.at_frac >= 0.05 && p.at_frac <= 0.95);
+            assert!(p.victim_host < 26);
+        }
+    }
+}

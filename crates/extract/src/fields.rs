@@ -1,0 +1,254 @@
+//! Identifier / value classification of variable fields (paper §3.1).
+//!
+//! Both identifiers and values appear as variable fields in a log key, and
+//! both can be purely numeric strings. The paper applies four heuristics in
+//! order on each variable field:
+//!
+//! 1. filter out fields with verb POS tags or recognised locality info;
+//! 2. a field followed by a unit is a **value** (`12 MB`, `5 ms`);
+//! 3. a field mixing letters and numbers is an **identifier** (`attempt_01`);
+//! 4. a purely numeric field is an **identifier** iff the preceding word's
+//!    POS tag is a noun, otherwise a **value**.
+//!
+//! Identifiers additionally receive an *identifier type* — a capitalised
+//! word (`container_01` → `CONTAINER`) used by Algorithm 2's subroutine
+//! signatures.
+
+use crate::locality::{LocalityKind, LocalityMatcher};
+use lognlp::lexicon::Lexicon;
+use lognlp::pos::TaggedToken;
+use lognlp::tags::PosTag;
+use lognlp::token::TokenShape;
+use serde::{Deserialize, Serialize};
+
+/// The category assigned to a variable field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldCategory {
+    /// An identifier distinguishing concurrent objects (`attempt_01`).
+    Identifier,
+    /// A metric value (`2264` in `read 2264 bytes`).
+    Value,
+    /// Locality information (`host1:13562`, paths).
+    Locality,
+    /// Filtered out (verb-tagged fields, heuristic 1).
+    Skipped,
+}
+
+/// A classified variable field of an Intel Key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarField {
+    /// Token position within the key.
+    pub pos: usize,
+    /// Assigned category.
+    pub category: FieldCategory,
+    /// For identifiers: the identifier type (`"ATTEMPT"`, `"FETCHER"`).
+    pub id_type: Option<String>,
+    /// For values: the associated unit or naming word (`"bytes"`, `"ms"`).
+    pub name: Option<String>,
+    /// For localities: which pattern matched.
+    pub locality: Option<LocalityKind>,
+}
+
+/// Derive the identifier type from the identifier text itself
+/// (`container_01` → `CONTAINER`) or, failing that, from the nearest
+/// preceding noun (`fetcher # 1` → `FETCHER`). Symbols like `#` are skipped
+/// when walking left.
+pub fn identifier_type(sample_text: &str, pos: usize, tagged: &[TaggedToken]) -> String {
+    // Alphabetic prefix of the identifier: "attempt_01" → "attempt".
+    let prefix: String = sample_text
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .collect();
+    if prefix.len() >= 2 {
+        return prefix.to_ascii_uppercase();
+    }
+    // Nearest preceding noun, skipping symbols and punctuation.
+    let mut i = pos;
+    while i > 0 {
+        i -= 1;
+        let t = &tagged[i];
+        if matches!(t.tag, PosTag::SYM | PosTag::Punct) {
+            continue;
+        }
+        if t.tag.is_noun() {
+            return lognlp::singularize(&t.lower()).to_ascii_uppercase();
+        }
+        break;
+    }
+    "ID".to_string()
+}
+
+/// Classify the field at position `pos` of a key.
+///
+/// `tagged` is the key tagged through its sample message, `sample_text` the
+/// concrete token observed at `pos` in the sample, and `next_const` the key
+/// token following the field (if constant) — used for the unit heuristic.
+pub fn classify_field(
+    pos: usize,
+    sample_text: &str,
+    tagged: &[TaggedToken],
+    matcher: &LocalityMatcher,
+) -> VarField {
+    let lex = Lexicon::global();
+    let tag = tagged[pos].tag;
+    let mut field = VarField { pos, category: FieldCategory::Skipped, id_type: None, name: None, locality: None };
+
+    // Heuristic 1a: verb-tagged fields are filtered out.
+    if tag.is_verb() {
+        return field;
+    }
+    // Heuristic 1b: locality info recognised by the locality patterns.
+    if let Some(kind) = matcher.classify(sample_text) {
+        field.category = FieldCategory::Locality;
+        field.locality = Some(kind);
+        return field;
+    }
+
+    let shape = lognlp::classify(sample_text);
+
+    // Heuristic 2: a field followed by a unit is a value ("12 MB", "5 ms"),
+    // including units fused onto the number ("4ms").
+    if let Some(next) = tagged.get(pos + 1) {
+        if next.token.shape != TokenShape::Star && lex.is_unit(&next.lower()) {
+            field.category = FieldCategory::Value;
+            field.name = Some(next.lower());
+            return field;
+        }
+    }
+    if shape == TokenShape::AlphaNum {
+        let lower = sample_text.to_ascii_lowercase();
+        let digits_end = lower.find(|c: char| !c.is_ascii_digit()).unwrap_or(lower.len());
+        if digits_end > 0 && lex.is_unit(&lower[digits_end..]) {
+            field.category = FieldCategory::Value;
+            field.name = Some(lower[digits_end..].to_string());
+            return field;
+        }
+        // Heuristic 3: letters and numbers mixed → identifier.
+        field.category = FieldCategory::Identifier;
+        field.id_type = Some(identifier_type(sample_text, pos, tagged));
+        return field;
+    }
+
+    // Heuristic 4: purely numeric field → identifier iff the preceding
+    // word's tag is a noun, else value.
+    if shape == TokenShape::Number {
+        let mut i = pos;
+        let mut prev_tag = None;
+        while i > 0 {
+            i -= 1;
+            let t = &tagged[i];
+            if matches!(t.tag, PosTag::Punct) {
+                continue;
+            }
+            prev_tag = Some((t.tag, t.lower()));
+            break;
+        }
+        // The '#' symbol acts as an identifier marker ("fetcher # 1"): look
+        // one more step left for the noun.
+        let is_id = match prev_tag {
+            Some((PosTag::SYM, ref s)) if s == "#" => true,
+            Some((t, _)) => t.is_noun(),
+            None => false,
+        };
+        if is_id {
+            field.category = FieldCategory::Identifier;
+            field.id_type = Some(identifier_type(sample_text, pos, tagged));
+        } else {
+            field.category = FieldCategory::Value;
+            field.name = prev_tag.map(|(_, s)| s);
+        }
+        return field;
+    }
+
+    // Remaining word-shaped variable fields (e.g. a field that alternates
+    // between words like "Starting"/"Stopping"): entity-ish, skip.
+    field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lognlp::{tag, tag_key_with_sample, tokenize};
+
+    fn fields_for(key: &str, sample: &str) -> Vec<(usize, VarField)> {
+        let kt = tokenize(key);
+        let st = tokenize(sample);
+        assert_eq!(kt.len(), st.len(), "test inputs must align");
+        let tagged = tag_key_with_sample(&kt, &st);
+        let m = LocalityMatcher::new();
+        kt.iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_star())
+            .map(|(i, _)| (i, classify_field(i, &st[i].text, &tagged, &m)))
+            .collect()
+    }
+
+    #[test]
+    fn figure1_line2_classification() {
+        // "[fetcher # *] read * bytes from map-output for *"
+        let f = fields_for(
+            "[ fetcher # * read * bytes from map-output for *",
+            "[ fetcher # 1 read 2264 bytes from map-output for attempt_01",
+        );
+        assert_eq!(f.len(), 3);
+        // fetcher number: identifier of type FETCHER
+        assert_eq!(f[0].1.category, FieldCategory::Identifier);
+        assert_eq!(f[0].1.id_type.as_deref(), Some("FETCHER"));
+        // 2264 followed by unit: value named "bytes"
+        assert_eq!(f[1].1.category, FieldCategory::Value);
+        assert_eq!(f[1].1.name.as_deref(), Some("bytes"));
+        // attempt_01: identifier of type ATTEMPT
+        assert_eq!(f[2].1.category, FieldCategory::Identifier);
+        assert_eq!(f[2].1.id_type.as_deref(), Some("ATTEMPT"));
+    }
+
+    #[test]
+    fn figure1_line3_locality_and_fused_unit() {
+        // "* freed by fetcher # * in *"
+        let f = fields_for(
+            "* freed by fetcher # * in *",
+            "host1:13562 freed by fetcher # 1 in 4ms",
+        );
+        assert_eq!(f[0].1.category, FieldCategory::Locality);
+        assert_eq!(f[0].1.locality, Some(LocalityKind::HostPort));
+        assert_eq!(f[1].1.category, FieldCategory::Identifier);
+        assert_eq!(f[1].1.id_type.as_deref(), Some("FETCHER"));
+        assert_eq!(f[2].1.category, FieldCategory::Value);
+        assert_eq!(f[2].1.name.as_deref(), Some("ms"));
+    }
+
+    #[test]
+    fn verb_variable_is_skipped() {
+        // "* MapTask metrics system" ← "Starting MapTask metrics system"
+        let f = fields_for("* MapTask metrics system", "Starting MapTask metrics system");
+        assert_eq!(f[0].1.category, FieldCategory::Skipped);
+    }
+
+    #[test]
+    fn numeric_after_non_noun_is_value() {
+        // "took *" ← "took 42": preceding tag is a verb → value.
+        let f = fields_for("task took *", "task took 42");
+        assert_eq!(f[0].1.category, FieldCategory::Value);
+    }
+
+    #[test]
+    fn numeric_after_noun_is_identifier() {
+        let f = fields_for("starting task *", "starting task 7");
+        assert_eq!(f[0].1.category, FieldCategory::Identifier);
+        assert_eq!(f[0].1.id_type.as_deref(), Some("TASK"));
+    }
+
+    #[test]
+    fn path_is_locality() {
+        let f = fields_for("spilling data to *", "spilling data to /tmp/spill0.out");
+        assert_eq!(f[0].1.category, FieldCategory::Locality);
+        assert_eq!(f[0].1.locality, Some(LocalityKind::LocalPath));
+    }
+
+    #[test]
+    fn identifier_type_from_prefix_beats_context() {
+        let toks = tokenize("launched container container_01_0001 on host1");
+        let tagged = tag(&toks);
+        assert_eq!(identifier_type("container_01_0001", 2, &tagged), "CONTAINER");
+    }
+}

@@ -1,0 +1,168 @@
+//! Operation extraction via sentence-structure parsing (paper §3.2).
+//!
+//! An operation is a 3-tuple `{subj-entity, predicate, obj-entity}`: the
+//! predicate is indicated by the UD `ROOT`/`xcomp` relations, the subject by
+//! `nsubj`/`nsubjpass` and the object by `dobj`/`iobj`/`nmod` (Table 3).
+//! Multi-clause keys (Fig. 4's Spark task-finish key has two sentences) are
+//! split on sentence periods and parsed clause by clause.
+
+use crate::entity::{entity_at, Entity};
+use lognlp::depparse::{parse, UdRel};
+use lognlp::pos::TaggedToken;
+use serde::{Deserialize, Serialize};
+
+/// An extracted operation `{subj-entity, predicate, obj-entity}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Operation {
+    /// Subject entity phrase (`None` for subject-less clauses like
+    /// "Starting X"; `"*"` when the subject is a variable field).
+    pub subj: Option<String>,
+    /// The predicate surface form, lowercased (`"registered"`, `"read"`).
+    pub predicate: String,
+    /// Object entity phrase, if any.
+    pub obj: Option<String>,
+    /// Global token index of the subject head, when it is a single token
+    /// (used to fill `*` subjects from concrete messages).
+    pub subj_pos: Option<usize>,
+    /// Global token index of the object head.
+    pub obj_pos: Option<usize>,
+}
+
+impl std::fmt::Display for Operation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{{{}, {}, {}}}",
+            self.subj.as_deref().unwrap_or("-"),
+            self.predicate,
+            self.obj.as_deref().unwrap_or("-")
+        )
+    }
+}
+
+/// Resolve a token index to its entity phrase, the token text for variables
+/// and identifiers, or `None` for anything unusable.
+fn phrase_at(idx: usize, tagged: &[TaggedToken], entities: &[Entity], offset: usize) -> Option<String> {
+    let global = idx + offset;
+    if let Some(e) = entity_at(entities, global) {
+        return Some(e.phrase.clone());
+    }
+    let t = &tagged[idx];
+    if t.token.is_star() {
+        return Some("*".to_string());
+    }
+    if t.tag.is_noun() || t.tag == lognlp::PosTag::CD {
+        return Some(t.lower());
+    }
+    None
+}
+
+/// Extract all operations from a tagged key, one per clause.
+///
+/// `entities` must come from [`crate::entity::extract_entities`] over the
+/// same tagged sequence (global token indices).
+pub fn extract_operations(tagged: &[TaggedToken], entities: &[Entity]) -> Vec<Operation> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let n = tagged.len();
+    for end in 0..=n {
+        let at_boundary = end == n || tagged[end].token.text == ".";
+        if !at_boundary {
+            continue;
+        }
+        if end > start {
+            let clause = &tagged[start..end];
+            let p = parse(clause);
+            if let Some(pred) = p.predicate {
+                let subj_arc = p
+                    .arcs
+                    .iter()
+                    .find(|a| matches!(a.rel, UdRel::Nsubj | UdRel::NsubjPass));
+                let obj_arc = p
+                    .arcs
+                    .iter()
+                    .find(|a| a.rel == UdRel::Dobj)
+                    .or_else(|| p.arcs.iter().find(|a| a.rel == UdRel::Iobj))
+                    .or_else(|| p.arcs.iter().find(|a| a.rel == UdRel::Nmod));
+                let subj = subj_arc.and_then(|a| phrase_at(a.dep, clause, entities, start));
+                let obj = obj_arc.and_then(|a| phrase_at(a.dep, clause, entities, start));
+                let subj_pos = if subj.is_some() { subj_arc.map(|a| a.dep + start) } else { None };
+                let obj_pos = if obj.is_some() { obj_arc.map(|a| a.dep + start) } else { None };
+                out.push(Operation {
+                    subj,
+                    predicate: clause[pred].lower(),
+                    obj,
+                    subj_pos,
+                    obj_pos,
+                });
+            }
+        }
+        start = end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::extract_entities;
+    use lognlp::{tag, tokenize};
+
+    fn ops(text: &str) -> Vec<String> {
+        let tagged = tag(&tokenize(text));
+        let entities = extract_entities(&tagged);
+        extract_operations(&tagged, &entities)
+            .into_iter()
+            .map(|o| o.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn figure1_line1() {
+        let o = ops("fetcher # 1 about to shuffle output of map attempt_01");
+        assert_eq!(o.len(), 1);
+        // subj resolves through the "fetcher # 1" NP; head lands on the
+        // number whose covering entity is none, so the subject is the raw
+        // nominal or the fetcher entity.
+        assert!(o[0].contains("shuffle"), "{o:?}");
+        assert!(o[0].contains("output of map"), "{o:?}");
+    }
+
+    #[test]
+    fn figure1_line3_passive() {
+        let o = ops("host1:13562 freed by fetcher # 1 in 4ms");
+        assert_eq!(o.len(), 1);
+        assert!(o[0].contains("freed"));
+        assert!(o[0].starts_with("{host1:13562"), "{o:?}");
+    }
+
+    #[test]
+    fn figure4_two_sentences() {
+        // Modeled on the Spark task-finish key of Fig. 4: two clauses give
+        // two operations.
+        let o = ops("Finished task 0.0 in stage 1.0. 2264 bytes result sent to driver");
+        assert_eq!(o.len(), 2, "{o:?}");
+        assert!(o[0].contains("finished"), "{o:?}");
+        assert!(o[1].contains("sent"), "{o:?}");
+        assert!(o[1].contains("driver"), "{o:?}");
+    }
+
+    #[test]
+    fn no_predicate_no_operation() {
+        assert!(ops("Down to the last merge-pass").is_empty());
+    }
+
+    #[test]
+    fn subjectless_gerund() {
+        let o = ops("Starting MapTask metrics system");
+        assert_eq!(o.len(), 1);
+        assert_eq!(o[0], "{-, starting, map task metrics system}");
+    }
+
+    #[test]
+    fn star_subject_preserved() {
+        let o = ops("* stored as bytes in memory");
+        assert_eq!(o.len(), 1);
+        assert!(o[0].starts_with("{*, stored"), "{o:?}");
+    }
+}

@@ -1,0 +1,411 @@
+//! The Hierarchical Workflow graph (HW-graph) and its builder.
+//!
+//! A HW-graph represents the workflow of a targeted system (paper §4.1):
+//! entity groups (Algorithm 1) arranged hierarchically by lifespan analysis
+//! (Fig. 6/7), each group carrying its learned subroutines (Algorithm 2).
+//! Groups are flagged *critical* (paper §6.3) when they hold multiple Intel
+//! Keys or a key that repeats within a single session.
+
+use crate::group::{group_entities, Grouping};
+use crate::hierarchy::Hierarchy;
+use crate::lifespan::{GroupRelations, Lifespan};
+use crate::profile::ProfileSet;
+use crate::subroutine::SubroutineSet;
+use extract::{IntelKey, IntelMessage};
+use serde::{Deserialize, Serialize};
+use spell::KeyId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One entity group of a HW-graph with its learned behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupModel {
+    /// Group label (the common phrase).
+    pub name: String,
+    /// Member entity phrases.
+    pub entities: BTreeSet<String>,
+    /// Intel Keys whose entities belong to this group.
+    pub keys: BTreeSet<KeyId>,
+    /// Subroutines learned for this group.
+    pub subroutines: SubroutineSet,
+    /// Critical group flag (§6.3): multiple keys, or a key that repeats
+    /// within one session.
+    pub critical: bool,
+    /// How many training sessions contained this group.
+    pub sessions_seen: u64,
+    /// `true` if the group appeared in *every* training session — its
+    /// absence from a new session is an erroneous-instance anomaly (the
+    /// Spark-19371 case study detects sessions missing the 'task' group).
+    pub mandatory: bool,
+}
+
+/// Statistics of a trained HW-graph (paper Table 5).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Average number of log messages per session.
+    pub avg_session_len: f64,
+    /// Number of entity groups.
+    pub groups_all: usize,
+    /// Number of critical entity groups.
+    pub groups_critical: usize,
+    /// Longest subroutine skeleton.
+    pub sub_len_max: usize,
+    /// Average subroutine length over all groups.
+    pub sub_len_avg_all: f64,
+    /// Average subroutine length over critical groups.
+    pub sub_len_avg_crit: f64,
+}
+
+/// The trained workflow model of one targeted system.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HwGraph {
+    /// Entity groups with subroutines.
+    pub groups: Vec<GroupModel>,
+    /// Group hierarchy (parents / children / sibling order).
+    pub hierarchy: Hierarchy,
+    /// Key → groups membership (a key may belong to several groups).
+    pub key_groups: BTreeMap<KeyId, Vec<usize>>,
+    /// Session profiles: per-session-type mandatory groups and subroutines
+    /// (see [`crate::profile`]).
+    pub profiles: ProfileSet,
+    /// Training statistics (Table 5 inputs).
+    pub stats: GraphStats,
+}
+
+impl HwGraph {
+    /// Build (train) a HW-graph from Intel Keys and per-session Intel
+    /// Message sequences (time-ordered within each session).
+    pub fn build(keys: &[IntelKey], sessions: &[Vec<IntelMessage>]) -> HwGraph {
+        // 1. Entity universe and Algorithm 1 grouping.
+        let all_entities: BTreeSet<String> = keys
+            .iter()
+            .flat_map(|k| k.entity_phrases().into_iter().map(str::to_string))
+            .collect();
+        let grouping: Grouping = group_entities(all_entities);
+
+        // 2. Key → groups via the reverse index.
+        let mut key_groups: BTreeMap<KeyId, Vec<usize>> = BTreeMap::new();
+        for k in keys {
+            let mut gs: Vec<usize> = k
+                .entity_phrases()
+                .iter()
+                .flat_map(|e| grouping.groups_of(e).iter().copied())
+                .collect();
+            gs.sort_unstable();
+            gs.dedup();
+            key_groups.insert(k.key_id, gs);
+        }
+
+        let n = grouping.len();
+        let mut groups: Vec<GroupModel> = grouping
+            .groups
+            .iter()
+            .map(|g| GroupModel {
+                name: g.name.clone(),
+                entities: g.entities.clone(),
+                ..Default::default()
+            })
+            .collect();
+        for (kid, gs) in &key_groups {
+            for &g in gs {
+                groups[g].keys.insert(*kid);
+            }
+        }
+
+        // 3. Per-session lifespans and subroutine training; track per-key
+        //    per-session repetition for the critical-group criterion.
+        let mut session_lifespans: Vec<HashMap<usize, Lifespan>> = Vec::with_capacity(sessions.len());
+        let mut key_repeats_in_session: BTreeSet<KeyId> = BTreeSet::new();
+        let mut profiles = ProfileSet::new();
+        for session in sessions {
+            let mut spans: HashMap<usize, Lifespan> = HashMap::new();
+            let mut per_group: std::collections::BTreeMap<usize, Vec<&IntelMessage>> = Default::default();
+            let mut key_counts: HashMap<KeyId, u32> = HashMap::new();
+            for m in session {
+                *key_counts.entry(m.key_id).or_insert(0) += 1;
+                let Some(gs) = key_groups.get(&m.key_id) else { continue };
+                for &g in gs {
+                    spans.entry(g).and_modify(|l| l.extend(m.ts_ms)).or_insert_with(|| Lifespan::at(m.ts_ms));
+                    per_group.entry(g).or_default().push(m);
+                }
+            }
+            for (k, c) in key_counts {
+                if c > 1 {
+                    key_repeats_in_session.insert(k);
+                }
+            }
+            if !session.is_empty() {
+                profiles.train_session(&per_group);
+            }
+            for (g, msgs) in per_group {
+                groups[g].sessions_seen += 1;
+                groups[g].subroutines.train_session(&msgs);
+            }
+            session_lifespans.push(spans);
+        }
+
+        // 4. Critical and mandatory flags (§6.3 / §6.4 case 3).
+        for g in groups.iter_mut() {
+            g.critical = g.keys.len() > 1 || g.keys.iter().any(|k| key_repeats_in_session.contains(k));
+            g.mandatory = !sessions.is_empty() && g.sessions_seen == sessions.len() as u64;
+        }
+
+        // 5. Relations and hierarchy.
+        let relations = GroupRelations::compute(n, &session_lifespans);
+        let hierarchy = Hierarchy::build(&relations);
+
+        // 6. Table 5 statistics.
+        let total_msgs: usize = sessions.iter().map(Vec::len).sum();
+        let sub_lens_all: Vec<usize> = groups
+            .iter()
+            .flat_map(|g| g.subroutines.subroutines().map(|s| s.keys.len()))
+            .collect();
+        let sub_lens_crit: Vec<usize> = groups
+            .iter()
+            .filter(|g| g.critical)
+            .flat_map(|g| g.subroutines.subroutines().map(|s| s.keys.len()))
+            .collect();
+        let avg = |v: &[usize]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<usize>() as f64 / v.len() as f64
+            }
+        };
+        let stats = GraphStats {
+            avg_session_len: if sessions.is_empty() { 0.0 } else { total_msgs as f64 / sessions.len() as f64 },
+            groups_all: n,
+            groups_critical: groups.iter().filter(|g| g.critical).count(),
+            sub_len_max: sub_lens_all.iter().copied().max().unwrap_or(0),
+            sub_len_avg_all: avg(&sub_lens_all),
+            sub_len_avg_crit: avg(&sub_lens_crit),
+        };
+
+        HwGraph { groups, hierarchy, key_groups, profiles, stats }
+    }
+
+    /// The groups a key belongs to.
+    pub fn groups_of_key(&self, k: KeyId) -> &[usize] {
+        self.key_groups.get(&k).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Group index by name.
+    pub fn group_by_name(&self, name: &str) -> Option<usize> {
+        self.groups.iter().position(|g| g.name == name)
+    }
+
+    /// Serialise to pretty JSON (paper §5: HW-graphs are output as JSON).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("HwGraph is always serialisable")
+    }
+
+    /// Parse back from JSON.
+    pub fn from_json(s: &str) -> Result<HwGraph, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Render the HW-graph as Graphviz DOT (Fig. 8(a) as a drawable graph):
+    /// clusters are parent/child containment, solid arrows are sibling
+    /// BEFORE edges, critical groups are drawn bold.
+    pub fn render_dot(&self) -> String {
+        let mut out = String::from("digraph hwgraph {\n  rankdir=TB;\n  node [shape=box];\n");
+        for (g, gm) in self.groups.iter().enumerate() {
+            let style = if gm.critical { ",style=bold" } else { "" };
+            out.push_str(&format!(
+                "  g{g} [label=\"{}\\n({} entities, {} keys)\"{style}];\n",
+                gm.name.replace('"', ""),
+                gm.entities.len(),
+                gm.keys.len()
+            ));
+        }
+        for (g, node) in self.hierarchy.nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                out.push_str(&format!("  g{p} -> g{g} [style=dashed,arrowhead=odiamond];\n"));
+            }
+            for &b in &node.before {
+                out.push_str(&format!("  g{g} -> g{b};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render the hierarchy as an indented text tree (Fig. 8(a) analogue).
+    /// Critical groups are marked `*`; `keys` supplies operation labels for
+    /// each group's subroutines (Fig. 8(b) analogue).
+    pub fn render_text(&self, keys: &[IntelKey]) -> String {
+        let mut out = String::new();
+        let key_label = |kid: KeyId| -> String {
+            keys.iter()
+                .find(|k| k.key_id == kid)
+                .map(|k| k.label())
+                .unwrap_or_else(|| kid.to_string())
+        };
+        let mut stack: Vec<usize> = self.hierarchy.roots.iter().rev().copied().collect();
+        while let Some(g) = stack.pop() {
+            let node = &self.hierarchy.nodes[g];
+            let gm = &self.groups[g];
+            let indent = "  ".repeat(node.depth);
+            let mark = if gm.critical { "*" } else { "" };
+            let before: Vec<&str> = node.before.iter().map(|&b| self.groups[b].name.as_str()).collect();
+            out.push_str(&format!(
+                "{indent}[{}{mark}] entities={{{}}}{}\n",
+                gm.name,
+                gm.entities.iter().cloned().collect::<Vec<_>>().join(", "),
+                if before.is_empty() { String::new() } else { format!(" before: {}", before.join(", ")) },
+            ));
+            for (si, sub) in gm.subroutines.subroutines().enumerate() {
+                let sig = if sub.signature.is_empty() {
+                    "no identifier".to_string()
+                } else {
+                    sub.signature.iter().cloned().collect::<Vec<_>>().join(", ")
+                };
+                out.push_str(&format!("{indent}  s{}: [{sig}]\n", si + 1));
+                for &k in &sub.keys {
+                    let crit = if sub.critical.contains(&k) { "!" } else { " " };
+                    out.push_str(&format!("{indent}    {crit} {}\n", key_label(k)));
+                }
+            }
+            for &c in self.hierarchy.nodes[g].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extract::IntelExtractor;
+    use spell::SpellParser;
+
+    /// A miniature two-session Spark-like corpus exercising the whole build.
+    fn mini_corpus() -> (Vec<IntelKey>, Vec<Vec<IntelMessage>>) {
+        let scripts: Vec<Vec<&str>> = vec![
+            vec![
+                "Changing view acls to root",
+                "Registering block manager endpoint on host1",
+                "block manager registered with 2 GB memory",
+                "Starting task 1 in stage 0",
+                "Starting task 2 in stage 0",
+                "Finished task 1 in stage 0 and sent 2264 bytes to driver",
+                "Finished task 2 in stage 0 and sent 998 bytes to driver",
+                "Stopped block manager cleanly",
+                "Shutdown hook called",
+            ],
+            vec![
+                "Changing view acls to root",
+                "Registering block manager endpoint on host2",
+                "block manager registered with 4 GB memory",
+                "Starting task 3 in stage 0",
+                "Finished task 3 in stage 0 and sent 104 bytes to driver",
+                "Stopped block manager cleanly",
+                "Shutdown hook called",
+            ],
+        ];
+        let mut parser = SpellParser::default();
+        let mut sessions = Vec::new();
+        let ex = IntelExtractor::new();
+        // First pass: learn keys.
+        let outs: Vec<Vec<_>> = scripts
+            .iter()
+            .map(|lines| lines.iter().map(|l| parser.parse_message(l)).collect())
+            .collect();
+        let keys: Vec<IntelKey> = parser.keys().iter().map(|k| ex.build(k)).collect();
+        for (si, session_outs) in outs.iter().enumerate() {
+            let msgs: Vec<IntelMessage> = session_outs
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    IntelMessage::instantiate(
+                        &keys[o.key_id.0 as usize],
+                        &o.tokens,
+                        format!("container_{si}"),
+                        i as u64 * 10,
+                    )
+                })
+                .collect();
+            sessions.push(msgs);
+        }
+        (keys, sessions)
+    }
+
+    #[test]
+    fn build_produces_groups_and_hierarchy() {
+        let (keys, sessions) = mini_corpus();
+        let g = HwGraph::build(&keys, &sessions);
+        assert!(!g.groups.is_empty());
+        // the block-manager family lands in one group
+        let bm = g.groups.iter().find(|gr| gr.entities.contains("block manager"));
+        assert!(bm.is_some(), "{:?}", g.groups.iter().map(|x| &x.name).collect::<Vec<_>>());
+        // task group exists and is critical (repeats within a session)
+        let tg = g.group_by_name("task").expect("task group");
+        assert!(g.groups[tg].critical);
+        assert_eq!(g.hierarchy.nodes.len(), g.groups.len());
+        assert!(!g.hierarchy.roots.is_empty());
+    }
+
+    #[test]
+    fn stats_reflect_corpus_shape() {
+        let (keys, sessions) = mini_corpus();
+        let g = HwGraph::build(&keys, &sessions);
+        assert!((g.stats.avg_session_len - 8.0).abs() < 0.01);
+        assert_eq!(g.stats.groups_all, g.groups.len());
+        assert!(g.stats.groups_critical <= g.stats.groups_all);
+        assert!(g.stats.sub_len_max >= 1);
+        assert!(g.stats.sub_len_avg_all > 0.0);
+    }
+
+    #[test]
+    fn task_subroutine_orders_start_before_finish() {
+        let (keys, sessions) = mini_corpus();
+        let g = HwGraph::build(&keys, &sessions);
+        let tg = &g.groups[g.group_by_name("task").unwrap()];
+        // find the TASK-signature subroutine
+        let sub = tg
+            .subroutines
+            .subroutines()
+            .find(|s| s.signature.contains("TASK"))
+            .expect("task subroutine");
+        assert_eq!(sub.keys.len(), 2, "{sub:?}");
+        assert!(sub.is_before(sub.keys[0], sub.keys[1]));
+        assert_eq!(sub.critical.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (keys, sessions) = mini_corpus();
+        let g = HwGraph::build(&keys, &sessions);
+        let j = g.to_json();
+        let back = HwGraph::from_json(&j).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn render_text_contains_groups_and_marks() {
+        let (keys, sessions) = mini_corpus();
+        let g = HwGraph::build(&keys, &sessions);
+        let txt = g.render_text(&keys);
+        assert!(txt.contains("[task*]"), "{txt}");
+        assert!(txt.contains("s1:"), "{txt}");
+    }
+
+    #[test]
+    fn dot_rendering_wellformed() {
+        let (keys, sessions) = mini_corpus();
+        let g = HwGraph::build(&keys, &sessions);
+        let dot = g.render_dot();
+        assert!(dot.starts_with("digraph hwgraph {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("style=bold"), "critical groups drawn bold");
+        // one node line per group
+        assert_eq!(dot.matches("[label=").count(), g.groups.len());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let g = HwGraph::build(&[], &[]);
+        assert!(g.groups.is_empty());
+        assert_eq!(g.stats.avg_session_len, 0.0);
+    }
+}

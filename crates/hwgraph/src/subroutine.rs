@@ -1,0 +1,325 @@
+//! Subroutine construction within an entity group (paper §4.1, Algorithm 2
+//! and the `UpdateSubroutine` function of Fig. 5).
+//!
+//! Within one entity group, the Intel-Key sequence of a session is split
+//! into *subroutine instances* by identifier values: a message joins the
+//! instance whose identifier-value set is ⊆-comparable with its own;
+//! identifier-free messages go to the `NONE` instance. Instances are then
+//! grouped by their *signature* — the set of identifier **types** — and per
+//! signature a partial order over Intel Keys is learned:
+//!
+//! * `BEFORE(k1, k2)` survives as long as `k1`'s first occurrence precedes
+//!   `k2`'s in every observed instance; one counter-example demotes the pair
+//!   to parallel (Fig. 5, `Seq_3`);
+//! * a key is **critical** while it appears in every observed instance
+//!   (Fig. 5, `Seq_4` demotes `D`).
+
+use extract::IntelMessage;
+use serde::{Deserialize, Serialize};
+use spell::KeyId;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// The signature of a subroutine: the set of identifier types its instances
+/// carry (`{"STAGE", "TASK"}`). The empty signature is the `NONE` bucket.
+pub type Signature = BTreeSet<String>;
+
+/// A learned subroutine: the ordered key skeleton for one signature.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subroutine {
+    /// Identifier-type signature.
+    pub signature: Signature,
+    /// Keys in first-seen order.
+    pub keys: Vec<KeyId>,
+    /// Surviving BEFORE pairs (k1 strictly precedes k2 in every instance).
+    pub before: BTreeSet<(KeyId, KeyId)>,
+    /// Keys observed in *every* instance so far.
+    pub critical: BTreeSet<KeyId>,
+    /// Number of instances consumed.
+    pub instances: u64,
+}
+
+impl Subroutine {
+    /// `true` if `a BEFORE b` still holds.
+    pub fn is_before(&self, a: KeyId, b: KeyId) -> bool {
+        self.before.contains(&(a, b))
+    }
+
+    /// Consume one instance: the keys of the instance's messages in order.
+    pub fn update(&mut self, seq: &[KeyId]) {
+        // First-occurrence index per key in this instance.
+        let mut first: HashMap<KeyId, usize> = HashMap::new();
+        for (i, &k) in seq.iter().enumerate() {
+            first.entry(k).or_insert(i);
+        }
+        if self.instances == 0 {
+            self.keys = dedup_in_order(seq);
+            for (i, &a) in self.keys.iter().enumerate() {
+                for &b in &self.keys[i + 1..] {
+                    self.before.insert((a, b));
+                }
+            }
+            self.critical = self.keys.iter().copied().collect();
+        } else {
+            // Register unseen keys (not critical: they were missing before).
+            for &k in &dedup_in_order(seq) {
+                if !self.keys.contains(&k) {
+                    self.keys.push(k);
+                }
+            }
+            // Break BEFORE pairs contradicted by this instance. Pairs whose
+            // keys do not co-occur here are left untouched.
+            self.before.retain(|&(a, b)| match (first.get(&a), first.get(&b)) {
+                (Some(&ia), Some(&ib)) => ia < ib,
+                _ => true,
+            });
+            // A key missed by this instance stops being critical (Fig. 5).
+            self.critical.retain(|k| first.contains_key(k));
+        }
+        self.instances += 1;
+    }
+}
+
+fn dedup_in_order(seq: &[KeyId]) -> Vec<KeyId> {
+    let mut seen = HashSet::new();
+    seq.iter().copied().filter(|k| seen.insert(*k)).collect()
+}
+
+/// One subroutine *instance* recovered from a session (Algorithm 2's
+/// `D_vl` entries): the identifier values bind the messages together.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubroutineInstance {
+    /// Union of identifier values seen (`S_v`); empty for the NONE bucket.
+    pub id_values: BTreeSet<String>,
+    /// Identifier types seen (the signature this instance belongs to).
+    pub signature: Signature,
+    /// Message indices (into the session's group-sequence) in order.
+    pub message_indices: Vec<usize>,
+    /// Key of each message, in order.
+    pub keys: Vec<KeyId>,
+}
+
+/// Split one session's group-local message sequence into subroutine
+/// instances (Algorithm 2 lines 4–15).
+pub fn split_instances(messages: &[&IntelMessage]) -> Vec<SubroutineInstance> {
+    let mut instances: Vec<SubroutineInstance> = Vec::new();
+    // NONE bucket is instance 0.
+    instances.push(SubroutineInstance {
+        id_values: BTreeSet::new(),
+        signature: Signature::new(),
+        message_indices: Vec::new(),
+        keys: Vec::new(),
+    });
+    for (mi, m) in messages.iter().enumerate() {
+        // Values are scoped by their identifier type: bare numerals collide
+        // across types ('executor 3' vs 'task 3'), while real-world ids
+        // like 'attempt_…_m_000003_0' are naturally self-scoping.
+        let ids: BTreeSet<String> = m
+            .identifiers
+            .iter()
+            .map(|(t, v)| format!("{t}:{v}"))
+            .collect();
+        let types: BTreeSet<String> = m.identifiers.iter().map(|(t, _)| t.clone()).collect();
+        if ids.is_empty() {
+            instances[0].message_indices.push(mi);
+            instances[0].keys.push(m.key_id);
+            continue;
+        }
+        let found = instances[1..]
+            .iter()
+            .position(|inst| ids.is_subset(&inst.id_values) || inst.id_values.is_subset(&ids))
+            .map(|p| p + 1);
+        match found {
+            Some(ii) => {
+                let inst = &mut instances[ii];
+                inst.id_values.extend(ids);
+                inst.signature.extend(types);
+                inst.message_indices.push(mi);
+                inst.keys.push(m.key_id);
+            }
+            None => instances.push(SubroutineInstance {
+                id_values: ids,
+                signature: types,
+                message_indices: vec![mi],
+                keys: vec![m.key_id],
+            }),
+        }
+    }
+    if instances[0].message_indices.is_empty() {
+        instances.remove(0);
+    }
+    instances
+}
+
+/// The per-group subroutine learner: `D_ti` of Algorithm 2, one
+/// [`Subroutine`] per signature. (Stored as a vector rather than a
+/// signature-keyed map so the type serialises to JSON.)
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubroutineSet {
+    /// Learned subroutines, one per signature, in first-seen order.
+    pub subs: Vec<Subroutine>,
+}
+
+impl SubroutineSet {
+    /// The subroutine for a signature, if learned.
+    pub fn get(&self, signature: &Signature) -> Option<&Subroutine> {
+        self.subs.iter().find(|s| &s.signature == signature)
+    }
+
+    fn get_or_insert(&mut self, signature: &Signature) -> &mut Subroutine {
+        if let Some(i) = self.subs.iter().position(|s| &s.signature == signature) {
+            &mut self.subs[i]
+        } else {
+            self.subs.push(Subroutine { signature: signature.clone(), ..Default::default() });
+            self.subs.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Consume one session's group-local messages (training).
+    pub fn train_session(&mut self, messages: &[&IntelMessage]) {
+        for inst in split_instances(messages) {
+            self.get_or_insert(&inst.signature).update(&inst.keys);
+        }
+    }
+
+    /// All learned subroutines.
+    pub fn subroutines(&self) -> impl Iterator<Item = &Subroutine> {
+        self.subs.iter()
+    }
+
+    /// Number of subroutines (signatures).
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// `true` if nothing was learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Longest key skeleton length over all subroutines.
+    pub fn max_len(&self) -> usize {
+        self.subs.iter().map(|s| s.keys.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(key: u32, ids: &[(&str, &str)]) -> IntelMessage {
+        IntelMessage {
+            key_id: KeyId(key),
+            session: "s".into(),
+            ts_ms: 0,
+            identifiers: ids.iter().map(|(t, v)| (t.to_string(), v.to_string())).collect(),
+            values: vec![],
+            localities: vec![],
+            entities: vec![],
+            operations: vec![],
+            text: String::new(),
+        }
+    }
+
+    #[test]
+    fn figure5_subroutine_evolution() {
+        // Session 1 has Seq1 = Seq2 = [A, B, C, D]; session 2 has
+        // Seq3 = [A, C, B, D] (B/C become parallel) and Seq4 = [A, B, C]
+        // (D stops being critical).
+        let (a, b, c, d) = (KeyId(0), KeyId(1), KeyId(2), KeyId(3));
+        let mut sub = Subroutine::default();
+        sub.update(&[a, b, c, d]);
+        sub.update(&[a, b, c, d]);
+        assert!(sub.is_before(a, b) && sub.is_before(b, c) && sub.is_before(c, d));
+        assert_eq!(sub.critical.len(), 4);
+
+        sub.update(&[a, c, b, d]); // Seq3: B and C interchange
+        assert!(sub.is_before(a, b) && sub.is_before(a, c));
+        assert!(!sub.is_before(b, c) && !sub.is_before(c, b));
+        assert!(sub.is_before(b, d) && sub.is_before(c, d));
+        assert_eq!(sub.critical.len(), 4);
+
+        sub.update(&[a, b, c]); // Seq4: no D
+        assert!(!sub.critical.contains(&d));
+        assert!(sub.critical.contains(&a));
+        assert_eq!(sub.instances, 4);
+    }
+
+    #[test]
+    fn instance_splitting_by_identifier_values() {
+        // Two concurrent fetcher instances interleave; identifier values
+        // route messages to the right instance.
+        let ms = [
+            msg(0, &[("FETCHER", "1")]),
+            msg(0, &[("FETCHER", "2")]),
+            msg(1, &[("FETCHER", "1")]),
+            msg(1, &[("FETCHER", "2")]),
+            msg(2, &[]),
+        ];
+        let refs: Vec<&IntelMessage> = ms.iter().collect();
+        let insts = split_instances(&refs);
+        assert_eq!(insts.len(), 3);
+        let none = insts.iter().find(|i| i.signature.is_empty()).unwrap();
+        assert_eq!(none.keys, [KeyId(2)]);
+        for i in insts.iter().filter(|i| !i.signature.is_empty()) {
+            assert_eq!(i.keys, [KeyId(0), KeyId(1)]);
+            assert_eq!(i.signature, BTreeSet::from(["FETCHER".to_string()]));
+        }
+    }
+
+    #[test]
+    fn subset_identifier_sets_join_one_instance() {
+        // A message carrying {task} joins the instance already holding
+        // {task, attempt} (⊆-comparability, Algorithm 2 line 9–10).
+        let ms = [
+            msg(0, &[("TASK", "t1")]),
+            msg(1, &[("TASK", "t1"), ("ATTEMPT", "a1")]),
+            msg(2, &[("ATTEMPT", "a1")]),
+        ];
+        let refs: Vec<&IntelMessage> = ms.iter().collect();
+        let insts = split_instances(&refs);
+        assert_eq!(insts.len(), 1, "{insts:?}");
+        assert_eq!(insts[0].keys, [KeyId(0), KeyId(1), KeyId(2)]);
+        assert_eq!(
+            insts[0].signature,
+            BTreeSet::from(["TASK".to_string(), "ATTEMPT".to_string()])
+        );
+    }
+
+    #[test]
+    fn set_trains_per_signature() {
+        let mut set = SubroutineSet::default();
+        let s1 = [
+            msg(0, &[("FETCHER", "1")]),
+            msg(1, &[("FETCHER", "1")]),
+            msg(9, &[]),
+        ];
+        let refs: Vec<&IntelMessage> = s1.iter().collect();
+        set.train_session(&refs);
+        set.train_session(&refs);
+        assert_eq!(set.len(), 2); // FETCHER signature + NONE
+        let fet = set.get(&BTreeSet::from(["FETCHER".to_string()])).unwrap();
+        assert_eq!(fet.keys, [KeyId(0), KeyId(1)]);
+        assert!(fet.is_before(KeyId(0), KeyId(1)));
+        assert_eq!(set.max_len(), 2);
+    }
+
+    #[test]
+    fn new_key_in_later_instance_is_not_critical() {
+        let mut sub = Subroutine::default();
+        sub.update(&[KeyId(0), KeyId(1)]);
+        sub.update(&[KeyId(0), KeyId(1), KeyId(5)]);
+        assert!(sub.keys.contains(&KeyId(5)));
+        assert!(!sub.critical.contains(&KeyId(5)));
+        assert!(sub.critical.contains(&KeyId(0)));
+    }
+
+    #[test]
+    fn repeated_key_uses_first_occurrence() {
+        let mut sub = Subroutine::default();
+        sub.update(&[KeyId(0), KeyId(1), KeyId(0)]);
+        // first(0)=0 < first(1)=1 → before holds even though 0 also appears
+        // after 1.
+        assert!(sub.is_before(KeyId(0), KeyId(1)));
+        assert_eq!(sub.keys, [KeyId(0), KeyId(1)]);
+    }
+}

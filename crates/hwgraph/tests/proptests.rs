@@ -1,0 +1,132 @@
+//! Property-based tests for HW-graph invariants.
+
+use hwgraph::{
+    group_entities, longest_common_phrase, GroupRelations, Hierarchy, Lifespan, Subroutine,
+};
+use proptest::prelude::*;
+use spell::KeyId;
+use std::collections::HashMap;
+
+fn phrase() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("block"), Just("manager"), Just("task"), Just("map"), Just("output"),
+            Just("security"), Just("shuffle"), Just("memory"), Just("store"), Just("driver"),
+        ],
+        1..4,
+    )
+    .prop_map(|ws| {
+        let mut v: Vec<&str> = Vec::new();
+        for w in ws {
+            if v.last() != Some(&w) {
+                v.push(w);
+            }
+        }
+        v.join(" ")
+    })
+}
+
+proptest! {
+    /// LCP is symmetric and its result is a sub-phrase of both inputs.
+    #[test]
+    fn lcp_symmetric_and_contained(a in phrase(), b in phrase()) {
+        let ab = longest_common_phrase(&a, &b);
+        let ba = longest_common_phrase(&b, &a);
+        prop_assert_eq!(ab.clone(), ba);
+        if let Some(c) = ab {
+            prop_assert!(!c.is_empty());
+            let cw: Vec<&str> = c.split(' ').collect();
+            for p in [&a, &b] {
+                let pw: Vec<&str> = p.split(' ').collect();
+                prop_assert!(pw.windows(cw.len()).any(|w| w == cw.as_slice()),
+                    "common {:?} not contiguous in {:?}", c, p);
+            }
+        }
+    }
+
+    /// Every entity ends up in at least one group, and the reverse index is
+    /// consistent with group membership.
+    #[test]
+    fn grouping_total_and_consistent(ents in prop::collection::vec(phrase(), 1..15)) {
+        let g = group_entities(ents.clone());
+        for e in &ents {
+            let gs = g.groups_of(e);
+            prop_assert!(!gs.is_empty(), "{e} has no group");
+            for &gi in gs {
+                prop_assert!(g.groups[gi].entities.contains(e));
+            }
+        }
+        for (gi, gr) in g.groups.iter().enumerate() {
+            for e in &gr.entities {
+                prop_assert!(g.groups_of(e).contains(&gi));
+            }
+        }
+    }
+
+    /// The subroutine learner: `before` is asymmetric, and `critical` +
+    /// `keys` are consistent after any instance stream.
+    #[test]
+    fn subroutine_invariants(
+        instances in prop::collection::vec(prop::collection::vec(0u32..6, 1..8), 1..10)
+    ) {
+        let mut sub = Subroutine::default();
+        for inst in &instances {
+            let keys: Vec<KeyId> = inst.iter().map(|&k| KeyId(k)).collect();
+            sub.update(&keys);
+        }
+        for &(a, b) in &sub.before {
+            prop_assert!(!sub.before.contains(&(b, a)), "symmetric before pair");
+            prop_assert!(sub.keys.contains(&a) && sub.keys.contains(&b));
+        }
+        for k in &sub.critical {
+            prop_assert!(sub.keys.contains(k));
+            // critical keys really appear in every instance
+            for inst in &instances {
+                prop_assert!(inst.iter().any(|&x| KeyId(x) == *k));
+            }
+        }
+        prop_assert_eq!(sub.instances as usize, instances.len());
+    }
+
+    /// Hierarchy: parents are acyclic, depths consistent, every group placed
+    /// exactly once in depth-first order.
+    #[test]
+    fn hierarchy_wellformed(
+        n in 1usize..8,
+        raw in prop::collection::vec((0u64..100, 1u64..50), 1..8),
+    ) {
+        // one synthetic session assigning a lifespan to each group index
+        let mut sessions: Vec<HashMap<usize, Lifespan>> = Vec::new();
+        let mut m = HashMap::new();
+        for (g, &(start, len)) in raw.iter().enumerate().take(n) {
+            m.insert(g, Lifespan { first: start, last: start + len });
+        }
+        sessions.push(m);
+        let rel = GroupRelations::compute(n, &sessions);
+        let h = Hierarchy::build(&rel);
+        prop_assert_eq!(h.nodes.len(), n);
+        let df = h.depth_first();
+        let mut seen = std::collections::HashSet::new();
+        for g in &df {
+            prop_assert!(seen.insert(*g), "duplicate in depth_first");
+        }
+        prop_assert_eq!(df.len(), n);
+        for (g, node) in h.nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                prop_assert!(p < n);
+                prop_assert_eq!(node.depth, h.nodes[p].depth + 1);
+                prop_assert!(h.nodes[p].children.contains(&g));
+                // walk to a root without cycling
+                let mut cur = g;
+                let mut steps = 0;
+                while let Some(pp) = h.nodes[cur].parent {
+                    cur = pp;
+                    steps += 1;
+                    prop_assert!(steps <= n, "parent cycle");
+                }
+            } else {
+                prop_assert_eq!(node.depth, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Camel-case word filter (paper §3.1).
+//!
+//! Some entities in logs are classes defined in the source code, whose names
+//! follow the camel-case convention (`MapTask`, `BlockManagerEndpoint`). The
+//! filter separates such a word into a lowercase phrase (`map task`,
+//! `block manager endpoint`) so that nomenclature grouping can correlate it
+//! with plain-text entities.
+
+/// Split a camel-case word into its lowercase constituent words.
+///
+/// Handles acronym runs (`HDFSBlock` → `["hdfs", "block"]`), digits
+/// (`Task2Attempt` → `["task", "2", "attempt"]`) and underscores/hyphens.
+/// A word with no internal case change is returned as a single lowercase
+/// element.
+pub fn split_camel(word: &str) -> Vec<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = word.chars().collect();
+    let flush = |cur: &mut String, parts: &mut Vec<String>| {
+        if !cur.is_empty() {
+            parts.push(std::mem::take(cur).to_ascii_lowercase());
+        }
+    };
+    for i in 0..chars.len() {
+        let c = chars[i];
+        if c == '_' || c == '-' || c == '.' {
+            flush(&mut cur, &mut parts);
+            continue;
+        }
+        let is_boundary = if cur.is_empty() {
+            false
+        } else if c.is_ascii_uppercase() {
+            let prev = chars[i - 1];
+            // lower→Upper boundary (mapTask), or end of an acronym run
+            // (HDFSBlock: 'B' starts a new word because next is lowercase).
+            prev.is_ascii_lowercase()
+                || prev.is_ascii_digit()
+                || (prev.is_ascii_uppercase()
+                    && chars.get(i + 1).is_some_and(|n| n.is_ascii_lowercase()))
+        } else if c.is_ascii_digit() {
+            !chars[i - 1].is_ascii_digit()
+        } else {
+            // lowercase after digit starts a new word
+            chars[i - 1].is_ascii_digit()
+        };
+        if is_boundary {
+            flush(&mut cur, &mut parts);
+        }
+        cur.push(c);
+    }
+    flush(&mut cur, &mut parts);
+    if parts.is_empty() {
+        parts.push(String::new());
+    }
+    parts
+}
+
+/// `true` if the word would be split into more than one part, i.e. it is a
+/// genuine camel-case (or separator-joined) compound.
+pub fn is_camel_compound(word: &str) -> bool {
+    split_camel(word).len() > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_maptask() {
+        // §3.1: 'MapTask' is transformed to 'map task'.
+        assert_eq!(split_camel("MapTask"), ["map", "task"]);
+    }
+
+    #[test]
+    fn block_manager_endpoint() {
+        assert_eq!(
+            split_camel("BlockManagerEndpoint"),
+            ["block", "manager", "endpoint"]
+        );
+    }
+
+    #[test]
+    fn acronym_runs() {
+        assert_eq!(split_camel("HDFSBlock"), ["hdfs", "block"]);
+        assert_eq!(split_camel("DAGAppMaster"), ["dag", "app", "master"]);
+        assert_eq!(split_camel("RDD"), ["rdd"]);
+    }
+
+    #[test]
+    fn digits_split() {
+        assert_eq!(split_camel("Task2Attempt"), ["task", "2", "attempt"]);
+        assert_eq!(split_camel("spill0"), ["spill", "0"]);
+    }
+
+    #[test]
+    fn separators() {
+        assert_eq!(split_camel("map_output"), ["map", "output"]);
+        assert_eq!(split_camel("merge-pass"), ["merge", "pass"]);
+    }
+
+    #[test]
+    fn plain_words_stay_whole() {
+        assert_eq!(split_camel("task"), ["task"]);
+        assert_eq!(split_camel("Starting"), ["starting"]);
+        assert!(!is_camel_compound("task"));
+        assert!(is_camel_compound("MapTask"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(split_camel(""), [""]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Natural-language detection for log messages (paper §2.2, Table 1).
+//!
+//! The paper defines a log message as *written in a natural language* if it
+//! contains at least one clause. Messages that are only a bag of key-value
+//! pairs (resource reports, counter dumps) are not natural language and are
+//! handled by pattern matching instead of NLP (paper §5).
+
+use crate::depparse;
+use crate::pos;
+use crate::token::{tokenize, Token};
+
+/// `true` if the message consists mostly of `key=value` / `key: value`
+/// fields rather than words.
+pub fn is_key_value_only(tokens: &[Token]) -> bool {
+    if tokens.is_empty() {
+        return false;
+    }
+    let kv = tokens
+        .iter()
+        .filter(|t| t.text == "=" || t.text.ends_with(':'))
+        .count();
+    kv >= 2 || kv * 3 >= tokens.len()
+}
+
+/// `true` if the message contains at least one clause (a predicate is
+/// recoverable), i.e. it is written in natural language per the paper's
+/// definition.
+pub fn is_natural_language(message: &str) -> bool {
+    let tokens = tokenize(message);
+    if tokens.is_empty() || is_key_value_only(&tokens) {
+        return false;
+    }
+    let tagged = pos::tag(&tokens);
+    depparse::parse(&tagged).predicate.is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clauses_are_natural_language() {
+        assert!(is_natural_language("Starting MapTask metrics system"));
+        assert!(is_natural_language("fetcher # 1 about to shuffle output of map attempt_01"));
+        assert!(is_natural_language("host1:13562 freed by fetcher # 1 in 4ms"));
+        assert!(is_natural_language("Registered signal handlers for TERM HUP INT"));
+    }
+
+    #[test]
+    fn key_value_dumps_are_not() {
+        assert!(!is_natural_language("memory=1024 vcores=4 disk=2"));
+        assert!(!is_natural_language("FILE_BYTES_READ=2264 FILE_BYTES_WRITTEN=0"));
+    }
+
+    #[test]
+    fn verbless_fragments_are_not() {
+        assert!(!is_natural_language("Down to the last merge-pass"));
+        assert!(!is_natural_language(""));
+    }
+
+    #[test]
+    fn nova_style_resource_report_is_not() {
+        assert!(!is_natural_language("free_ram_mb=1024 free_disk_gb=20 running_vms=3"));
+    }
+}

@@ -1,0 +1,431 @@
+//! Rule-based dependency parsing for log keys.
+//!
+//! The paper uses the Stanford neural dependency parser to obtain universal
+//! dependency (UD) relations and keeps only the 7 relations of Table 3:
+//! `ROOT`, `xcomp`, `nsubj`, `nsubjpass`, `dobj`, `iobj` and `nmod`. Log
+//! keys are overwhelmingly single-clause simple sentences (§7), so a
+//! deterministic grammar over the POS sequence recovers exactly these arcs:
+//!
+//! * the **predicate** is the first finite verb, else the first participle
+//!   or base verb; an `(about|…) to VB` or `V to VB` chain shifts the
+//!   effective predicate to the embedded verb via `xcomp`;
+//! * a nominal left of the predicate is `nsubj` (or `nsubjpass` when the
+//!   predicate is a passive participle);
+//! * the first nominal right of the predicate with no preposition in between
+//!   is `dobj` (two adjacent nominals give `iobj` + `dobj`);
+//! * every `IN + NP` to the right attaches as `nmod`.
+//!
+//! Complex sentences degrade gracefully: dependent-clause operations are
+//! missed, independent-clause operations are kept — matching the failure
+//! mode the paper reports (§7).
+
+use crate::pos::TaggedToken;
+use crate::tags::PosTag;
+use serde::{Deserialize, Serialize};
+
+/// The subset of universal dependency relations used by IntelLog (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UdRel {
+    /// Root of the sentence (the predicate).
+    Root,
+    /// Open clausal complement of a verb or adjective.
+    Xcomp,
+    /// Nominal subject of a clause.
+    Nsubj,
+    /// Passive nominal subject.
+    NsubjPass,
+    /// Direct object of a verb.
+    Dobj,
+    /// Indirect object of a verb.
+    Iobj,
+    /// Nominal modifier of a clausal predicate.
+    Nmod,
+}
+
+impl UdRel {
+    /// Canonical UD label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UdRel::Root => "ROOT",
+            UdRel::Xcomp => "xcomp",
+            UdRel::Nsubj => "nsubj",
+            UdRel::NsubjPass => "nsubjpass",
+            UdRel::Dobj => "dobj",
+            UdRel::Iobj => "iobj",
+            UdRel::Nmod => "nmod",
+        }
+    }
+}
+
+/// A dependency arc `head --rel--> dependent`, both ends being token indices.
+/// For [`UdRel::Root`], `head == dep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arc {
+    /// Token index of the governor.
+    pub head: usize,
+    /// Token index of the dependent.
+    pub dep: usize,
+    /// Relation label.
+    pub rel: UdRel,
+}
+
+/// The result of parsing one log key / message.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parse {
+    /// All recovered arcs.
+    pub arcs: Vec<Arc>,
+    /// Index of the effective predicate (after `xcomp` chaining), if any.
+    pub predicate: Option<usize>,
+    /// `true` if the predicate is passive (`nsubjpass` applies).
+    pub passive: bool,
+}
+
+impl Parse {
+    /// The dependent index of the first arc with the given relation.
+    pub fn dep_of(&self, rel: UdRel) -> Option<usize> {
+        self.arcs.iter().find(|a| a.rel == rel).map(|a| a.dep)
+    }
+}
+
+/// `true` for tokens that can head a noun phrase (nominals). Variable
+/// placeholders and numbers act as nominals in log keys: "`*` freed by …".
+fn is_nominal(tag: PosTag) -> bool {
+    tag.is_noun() || matches!(tag, PosTag::Var | PosTag::CD | PosTag::PRP)
+}
+
+/// Words that take `to VB` complements as adjectives/markers ("about to …").
+fn takes_to_infinitive(lower: &str) -> bool {
+    matches!(
+        lower,
+        "about" | "ready" | "unable" | "able" | "trying" | "going" | "scheduled" | "set" | "failed" | "waiting"
+    )
+}
+
+/// Find the head of the maximal noun phrase *ending* at or before `end`
+/// (scanning left from `end` inclusive), returning the index of the last
+/// nominal of that phrase.
+fn np_head_left(tags: &[TaggedToken], end: usize) -> Option<usize> {
+    let mut i = end as isize;
+    while i >= 0 {
+        let t = tags[i as usize].tag;
+        if is_nominal(t) {
+            return Some(i as usize);
+        }
+        if matches!(t, PosTag::Punct | PosTag::SYM | PosTag::DT | PosTag::RB) || t.is_adjective() {
+            i -= 1;
+            continue;
+        }
+        return None;
+    }
+    None
+}
+
+/// Scan right from `start`, returning the head (last nominal) of the first
+/// noun phrase together with the index one past that phrase.
+fn np_head_right(tags: &[TaggedToken], start: usize) -> Option<(usize, usize)> {
+    let n = tags.len();
+    let mut i = start;
+    // skip leading determiners/adjectives/adverbs/symbols
+    while i < n {
+        let t = tags[i].tag;
+        if matches!(t, PosTag::DT | PosTag::PDT | PosTag::RB | PosTag::Punct | PosTag::SYM) || t.is_adjective() {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    if i >= n || !is_nominal(tags[i].tag) {
+        return None;
+    }
+    // extend over the nominal run, allowing internal # symbols ("fetcher # 1")
+    let mut head = i;
+    let mut j = i;
+    while j < n {
+        let t = tags[j].tag;
+        if is_nominal(t) {
+            head = j;
+            j += 1;
+        } else if t == PosTag::SYM && j + 1 < n && is_nominal(tags[j + 1].tag) {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    Some((head, j))
+}
+
+/// Parse a tagged log key / message into dependency arcs.
+pub fn parse(tags: &[TaggedToken]) -> Parse {
+    let n = tags.len();
+    let mut out = Parse::default();
+    if n == 0 {
+        return out;
+    }
+
+    // 1. Locate the syntactic predicate. A sentence-initial verb is the
+    //    predicate of the log-style main clause ("Removed task set 1 whose
+    //    tasks have all completed" — the relative clause's finite verb must
+    //    not win; the paper accepts losing dependent-clause operations, §7).
+    let finite = (0..n).find(|&i| tags[i].tag.is_finite_verb());
+    let any_verb = (0..n).find(|&i| tags[i].tag.is_verb());
+    let initial = tags[0].tag.is_verb().then_some(0);
+    let Some(mut pred) = initial.or(finite).or(any_verb) else {
+        return out; // no clause — e.g. "Down to the last merge-pass"
+    };
+    // The leftmost element of the verb chain (auxiliary or xcomp governor);
+    // the subject sits to its left.
+    let mut chain_start = pred;
+    let mut xcomp_of: Option<usize> = None;
+
+    // 2. `X to VB` chains: "about to shuffle", "failed to connect",
+    //    "is trying to fetch". The embedded verb becomes the effective
+    //    predicate via xcomp.
+    for i in 0..n.saturating_sub(1) {
+        if tags[i].tag == PosTag::TO && i + 1 < n && tags[i + 1].tag.is_verb() {
+            let gov_ok = i > 0
+                && (tags[i - 1].tag.is_verb()
+                    || tags[i - 1].tag.is_adjective()
+                    || takes_to_infinitive(&tags[i - 1].lower()));
+            if gov_ok {
+                let governor = i - 1;
+                xcomp_of = Some(governor);
+                chain_start = chain_start.min(governor);
+                pred = i + 1;
+                break;
+            }
+        }
+    }
+
+    // Auxiliary + participle: "is starting", "was killed" — shift the
+    // predicate to the participle.
+    if tags[pred].tag.is_finite_verb()
+        && matches!(tags[pred].lower().as_str(), "is" | "are" | "was" | "were" | "has" | "have" | "had" | "be" | "been")
+    {
+        if let Some(next_verb) = (pred + 1..n.min(pred + 3)).find(|&i| matches!(tags[i].tag, PosTag::VBG | PosTag::VBN)) {
+            pred = next_verb;
+        }
+    }
+
+    // Catenative verb + gerund: "Started reading X", "keeps running Y" —
+    // the gerund is an open clausal complement and becomes the effective
+    // predicate.
+    if xcomp_of.is_none()
+        && tags[pred].tag.is_verb()
+        && tags[pred].tag != PosTag::VBG
+        && pred + 1 < n
+        && tags[pred + 1].tag == PosTag::VBG
+    {
+        xcomp_of = Some(pred);
+        chain_start = chain_start.min(pred);
+        pred += 1;
+    }
+
+    // 3. Passivity: VBN predicate with a "by"-agent or a be-auxiliary.
+    let followed_by_by = tags.get(pred + 1).is_some_and(|t| t.lower() == "by");
+    let aux_be_before = (0..pred).any(|j| {
+        matches!(tags[j].lower().as_str(), "is" | "are" | "was" | "were" | "been" | "being" | "be")
+    });
+    let passive = tags[pred].tag == PosTag::VBN && (followed_by_by || aux_be_before);
+    out.passive = passive;
+    out.predicate = Some(pred);
+    out.arcs.push(Arc { head: pred, dep: pred, rel: UdRel::Root });
+    if let Some(gov) = xcomp_of {
+        out.arcs.push(Arc { head: gov, dep: pred, rel: UdRel::Xcomp });
+    }
+
+    // 4. Subject: nearest NP head left of the (first) verb of the chain.
+    let subj_anchor = chain_start;
+    if subj_anchor > 0 {
+        if let Some(s) = np_head_left(tags, subj_anchor - 1) {
+            out.arcs.push(Arc {
+                head: pred,
+                dep: s,
+                rel: if passive { UdRel::NsubjPass } else { UdRel::Nsubj },
+            });
+        }
+    }
+
+    // 5. Right side: objects and nominal modifiers.
+    let mut i = pred + 1;
+    let mut saw_dobj = false;
+    let mut pending_iobj: Option<usize> = None;
+    while i < n {
+        let t = tags[i].tag;
+        if t == PosTag::IN || t == PosTag::TO {
+            // preposition → nmod
+            if let Some((head, next)) = np_head_right(tags, i + 1) {
+                out.arcs.push(Arc { head: pred, dep: head, rel: UdRel::Nmod });
+                i = next;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if is_nominal(t) && !saw_dobj {
+            if let Some((head, next)) = np_head_right(tags, i) {
+                if pending_iobj.is_none() && next < n && is_nominal_phrase_start(tags, next) {
+                    // "V NP NP" → first NP is iobj, second dobj
+                    pending_iobj = Some(head);
+                    i = next;
+                    continue;
+                }
+                if let Some(io) = pending_iobj.take() {
+                    out.arcs.push(Arc { head: pred, dep: io, rel: UdRel::Iobj });
+                }
+                out.arcs.push(Arc { head: pred, dep: head, rel: UdRel::Dobj });
+                saw_dobj = true;
+                i = next;
+                continue;
+            }
+        }
+        if t.is_verb() && i != pred {
+            // A second clause (coordination): stop — we only extract the
+            // independent clause's operation (paper §7).
+            break;
+        }
+        i += 1;
+    }
+    if let Some(io) = pending_iobj {
+        // Trailing "iobj" with no following dobj was actually a dobj.
+        out.arcs.push(Arc { head: pred, dep: io, rel: UdRel::Dobj });
+    }
+    out
+}
+
+fn is_nominal_phrase_start(tags: &[TaggedToken], i: usize) -> bool {
+    let n = tags.len();
+    let mut j = i;
+    while j < n {
+        let t = tags[j].tag;
+        if matches!(t, PosTag::DT | PosTag::PDT | PosTag::RB) || t.is_adjective() {
+            j += 1;
+        } else {
+            return is_nominal(t);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::tag;
+    use crate::token::tokenize;
+
+    fn parse_text(text: &str) -> (Vec<String>, Parse) {
+        let toks = tokenize(text);
+        let tagged = tag(&toks);
+        let parse = parse(&tagged);
+        (toks.into_iter().map(|t| t.text).collect(), parse)
+    }
+
+    #[test]
+    fn figure1_line1_xcomp_chain() {
+        // 'fetcher # 1 about to shuffle output of map attempt_01'
+        // → predicate shuffle, nsubj fetcher, dobj output, nmod attempt_01/map
+        let (words, p) = parse_text("fetcher # 1 about to shuffle output of map attempt_01");
+        let pred = p.predicate.unwrap();
+        assert_eq!(words[pred], "shuffle");
+        assert!(!p.passive);
+        let subj = p.dep_of(UdRel::Nsubj).unwrap();
+        // the NP "fetcher # 1" heads at "1" (a nominal CD); either fetcher or
+        // the trailing number is acceptable as the subject head — the
+        // extraction layer maps the index back to the covering entity phrase.
+        assert!(words[subj] == "fetcher" || words[subj] == "1", "{words:?} {subj}");
+        let dobj = p.dep_of(UdRel::Dobj).unwrap();
+        assert_eq!(words[dobj], "output");
+        assert!(p.arcs.iter().any(|a| a.rel == UdRel::Xcomp));
+        assert!(p.arcs.iter().any(|a| a.rel == UdRel::Nmod));
+    }
+
+    #[test]
+    fn figure1_line3_passive() {
+        // 'host1:13562 freed by fetcher # 1 in 4ms'
+        let (words, p) = parse_text("host1:13562 freed by fetcher # 1 in 4ms");
+        let pred = p.predicate.unwrap();
+        assert_eq!(words[pred], "freed");
+        assert!(p.passive);
+        let subj = p.dep_of(UdRel::NsubjPass).unwrap();
+        assert_eq!(words[subj], "host1:13562");
+        // the agent "fetcher # 1" arrives as nmod
+        let nmods: Vec<&str> = p
+            .arcs
+            .iter()
+            .filter(|a| a.rel == UdRel::Nmod)
+            .map(|a| words[a.dep].as_str())
+            .collect();
+        assert!(nmods.contains(&"fetcher") || nmods.contains(&"1"), "{nmods:?}");
+    }
+
+    #[test]
+    fn simple_transitive() {
+        let (words, p) = parse_text("fetcher read 2264 bytes from map-output for attempt_01");
+        let pred = p.predicate.unwrap();
+        assert_eq!(words[pred], "read");
+        assert_eq!(words[p.dep_of(UdRel::Nsubj).unwrap()], "fetcher");
+        let dobj = p.dep_of(UdRel::Dobj).unwrap();
+        assert!(words[dobj] == "2264" || words[dobj] == "bytes");
+    }
+
+    #[test]
+    fn sentence_initial_gerund_has_no_subject() {
+        let (words, p) = parse_text("Starting MapTask metrics system");
+        let pred = p.predicate.unwrap();
+        assert_eq!(words[pred], "Starting");
+        assert!(p.dep_of(UdRel::Nsubj).is_none());
+        let dobj = p.dep_of(UdRel::Dobj).unwrap();
+        assert_eq!(words[dobj], "system");
+    }
+
+    #[test]
+    fn no_predicate_no_arcs() {
+        // §6.2: 'Down to the last merge-pass' — no operation extractable.
+        let (_, p) = parse_text("Down to the last merge-pass");
+        assert!(p.predicate.is_none());
+        assert!(p.arcs.is_empty());
+    }
+
+    #[test]
+    fn auxiliary_participle_chain() {
+        let (words, p) = parse_text("executor is starting task 4");
+        let pred = p.predicate.unwrap();
+        assert_eq!(words[pred], "starting");
+        assert_eq!(words[p.dep_of(UdRel::Nsubj).unwrap()], "executor");
+    }
+
+    #[test]
+    fn passive_with_auxiliary() {
+        let (words, p) = parse_text("container was killed by the scheduler");
+        assert!(p.passive);
+        assert_eq!(words[p.dep_of(UdRel::NsubjPass).unwrap()], "container");
+    }
+
+    #[test]
+    fn nmod_only_after_intransitive() {
+        let (words, p) = parse_text("task finished in 42 seconds");
+        let pred = p.predicate.unwrap();
+        assert_eq!(words[pred], "finished");
+        assert!(p.dep_of(UdRel::Dobj).is_none());
+        assert!(p.dep_of(UdRel::Nmod).is_some());
+    }
+
+    #[test]
+    fn root_arc_always_present_with_predicate() {
+        let (_, p) = parse_text("Registered BlockManager");
+        assert_eq!(p.arcs[0].rel, UdRel::Root);
+        assert_eq!(p.arcs[0].head, p.arcs[0].dep);
+    }
+
+    #[test]
+    fn second_clause_is_ignored() {
+        let (words, p) = parse_text("driver sent shutdown command and workers stopped");
+        let pred = p.predicate.unwrap();
+        assert_eq!(words[pred], "sent");
+        // "workers" should not appear as an object of "sent"
+        for a in &p.arcs {
+            if a.rel == UdRel::Dobj {
+                assert_ne!(words[a.dep], "workers");
+            }
+        }
+    }
+}

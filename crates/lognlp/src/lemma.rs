@@ -1,0 +1,188 @@
+//! Lemmatisation.
+//!
+//! The paper lemmatises extracted entity phrases to their singular forms
+//! (§3.1). We additionally provide verb-base lemmatisation, used when
+//! rendering operations (`registering`/`registered` → `register`) — the
+//! Fig. 8 subroutine labels keep the surface form, so operation rendering
+//! uses the surface by default and the base form only for matching.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Irregular plural → singular pairs seen in system logs.
+const IRREGULAR_NOUNS: &[(&str, &str)] = &[
+    ("children", "child"),
+    ("indices", "index"),
+    ("vertices", "vertex"),
+    ("matrices", "matrix"),
+    ("statuses", "status"),
+    ("classes", "class"),
+    ("processes", "process"),
+    ("addresses", "address"),
+    ("caches", "cache"),
+    ("leaves", "leaf"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("feet", "foot"),
+    ("data", "data"),
+    ("metadata", "metadata"),
+    ("media", "media"),
+    ("bytes", "byte"),
+];
+
+/// Words ending in `s` that are *not* plurals and must not be stemmed.
+const S_FINAL_SINGULARS: &[&str] = &[
+    "status", "process", "address", "class", "progress", "access", "hdfs", "dfs",
+    "metrics", "news", "always", // metrics kept: "metrics system" is a name
+];
+
+fn irregulars() -> &'static HashMap<&'static str, &'static str> {
+    static MAP: OnceLock<HashMap<&'static str, &'static str>> = OnceLock::new();
+    MAP.get_or_init(|| IRREGULAR_NOUNS.iter().copied().collect())
+}
+
+/// Reduce a (lowercase) noun to its singular form.
+///
+/// `tasks` → `task`, `entries` → `entry`, `indices` → `index`; words that
+/// merely end in `s` (`status`, `metrics`) are preserved.
+pub fn singularize(lower: &str) -> String {
+    if let Some(s) = irregulars().get(lower) {
+        return (*s).to_string();
+    }
+    if S_FINAL_SINGULARS.contains(&lower) {
+        return lower.to_string();
+    }
+    if let Some(stem) = lower.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    for es in ["ches", "shes", "xes", "zes", "sses", "oes"] {
+        if let Some(stem) = lower.strip_suffix("es") {
+            if lower.ends_with(es) {
+                return stem.to_string();
+            }
+        }
+    }
+    if let Some(stem) = lower.strip_suffix('s') {
+        if !lower.ends_with("ss") && !lower.ends_with("us") && !lower.ends_with("is") && stem.len() >= 2 {
+            return stem.to_string();
+        }
+    }
+    lower.to_string()
+}
+
+/// Reduce a (lowercase) verb surface form to a base form.
+///
+/// Purely suffix-driven: `registering` → `register`, `freed` → `free`,
+/// `reads` → `read`, `stopped` → `stop`. Unknown shapes are returned as-is.
+pub fn verb_base(lower: &str) -> String {
+    // free → freed/freeing: the base already ends in 'e(e)'.
+    if let Some(stem) = lower.strip_suffix("eed").map(|s| format!("{s}ee")) {
+        return stem;
+    }
+    if let Some(stem) = lower.strip_suffix("eeing").map(|s| format!("{s}ee")) {
+        return stem;
+    }
+    for (suffix, min_stem) in [("ing", 3), ("ed", 2)] {
+        if let Some(stem) = lower.strip_suffix(suffix) {
+            if stem.len() >= min_stem {
+                let b = stem.as_bytes();
+                // undouble final consonant: stopped → stop, spilling → spill
+                // is already fine (spill ends in double-l naturally), so only
+                // undouble when the doubled letter is not part of the base —
+                // we approximate: undouble p/t/g/n/m/b/d/r.
+                if b.len() >= 2
+                    && b[b.len() - 1] == b[b.len() - 2]
+                    && matches!(b[b.len() - 1], b'p' | b't' | b'g' | b'n' | b'm' | b'b' | b'd' | b'r')
+                {
+                    return stem[..stem.len() - 1].to_string();
+                }
+                // restore silent e: initializ+ing → initialize, stor+ed → store
+                if stem.ends_with("at")
+                    || stem.ends_with("iz")
+                    || stem.ends_with("is")
+                    || stem.ends_with("us")
+                    || stem.ends_with("ceiv")
+                    || stem.ends_with("or")
+                    || stem.ends_with("ar")
+                    || stem.ends_with("ir")
+                {
+                    return format!("{stem}e");
+                }
+                return stem.to_string();
+            }
+        }
+    }
+    if let Some(stem) = lower.strip_suffix("ies") {
+        return format!("{stem}y");
+    }
+    if let Some(stem) = lower.strip_suffix('s') {
+        if !lower.ends_with("ss") && stem.len() >= 2 {
+            return stem.to_string();
+        }
+    }
+    lower.to_string()
+}
+
+/// Singularise every word of a multi-word phrase.
+pub fn singularize_phrase(phrase: &str) -> String {
+    phrase
+        .split_whitespace()
+        .map(singularize)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_plurals() {
+        assert_eq!(singularize("tasks"), "task");
+        assert_eq!(singularize("containers"), "container");
+        assert_eq!(singularize("entries"), "entry");
+        assert_eq!(singularize("fetchers"), "fetcher");
+    }
+
+    #[test]
+    fn es_plurals() {
+        assert_eq!(singularize("batches"), "batch");
+        assert_eq!(singularize("boxes"), "box");
+        assert_eq!(singularize("classes"), "class");
+    }
+
+    #[test]
+    fn irregulars_and_invariants() {
+        assert_eq!(singularize("indices"), "index");
+        assert_eq!(singularize("vertices"), "vertex");
+        assert_eq!(singularize("status"), "status");
+        assert_eq!(singularize("metrics"), "metrics");
+        assert_eq!(singularize("data"), "data");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(singularize("is"), "is");
+        assert_eq!(singularize("as"), "as");
+    }
+
+    #[test]
+    fn verb_bases() {
+        assert_eq!(verb_base("registering"), "register");
+        assert_eq!(verb_base("registered"), "register");
+        assert_eq!(verb_base("freed"), "free");
+        assert_eq!(verb_base("reads"), "read");
+        assert_eq!(verb_base("stopped"), "stop");
+        assert_eq!(verb_base("initialized"), "initialize");
+        assert_eq!(verb_base("stored"), "store");
+        assert_eq!(verb_base("shuffle"), "shuffle");
+    }
+
+    #[test]
+    fn phrase_singularisation() {
+        assert_eq!(singularize_phrase("map completion events"), "map completion event");
+        assert_eq!(singularize_phrase("cleanup temporary folders"), "cleanup temporary folder");
+    }
+}

@@ -1,0 +1,381 @@
+//! Part-of-speech tagging for log messages and log keys.
+//!
+//! The tagger is deterministic and built for log text: a lexicon lookup
+//! (closed-class + log-domain vocabulary), orthographic evidence from the
+//! tokenizer ([`TokenShape`]), suffix rules for unknown words, and a small
+//! set of Brill-style contextual transformations.
+//!
+//! Log keys contain `*` placeholders that would mislead any tagger trained
+//! on prose, so — exactly as the paper prescribes (§3, Fig. 3) — a log key is
+//! tagged *through a sample log message*: the concrete message is tagged and
+//! its tags are transferred to the key's positions. See
+//! [`tag_key_with_sample`].
+
+use crate::lexicon::Lexicon;
+use crate::tags::PosTag;
+use crate::token::{Token, TokenShape};
+use serde::{Deserialize, Serialize};
+
+/// A token together with its assigned Penn Treebank tag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaggedToken {
+    /// The underlying token.
+    pub token: Token,
+    /// The assigned POS tag.
+    pub tag: PosTag,
+}
+
+impl TaggedToken {
+    /// Lowercased token text.
+    pub fn lower(&self) -> String {
+        self.token.lower()
+    }
+}
+
+/// Tag a token sequence.
+///
+/// This is the entry point for tagging concrete log *messages*. For log
+/// *keys* (which contain `*`), use [`tag_key_with_sample`].
+pub fn tag(tokens: &[Token]) -> Vec<TaggedToken> {
+    let lex = Lexicon::global();
+    let mut tags: Vec<PosTag> = tokens.iter().map(|t| initial_tag(lex, t)).collect();
+    apply_context_rules(lex, tokens, &mut tags);
+    tokens
+        .iter()
+        .zip(tags)
+        .map(|(t, tag)| TaggedToken { token: t.clone(), tag })
+        .collect()
+}
+
+/// Tag a log key using a sample log message (Fig. 3 of the paper).
+///
+/// The sample message is tagged, and each key position receives the tag of
+/// the corresponding sample position. Variable positions (`*`) therefore get
+/// the tag of the *concrete* value observed in the sample — which is what the
+/// identifier/value heuristics need (e.g. heuristic 1 filters out variable
+/// fields whose sample carries a verb tag).
+///
+/// If the key and the sample do not align position-for-position (which can
+/// happen when Spell merged keys of different lengths), the key is tagged
+/// directly as a fallback.
+pub fn tag_key_with_sample(key_tokens: &[Token], sample_tokens: &[Token]) -> Vec<TaggedToken> {
+    if key_tokens.len() == sample_tokens.len() {
+        let sample_tagged = tag(sample_tokens);
+        return key_tokens
+            .iter()
+            .zip(sample_tagged)
+            .map(|(kt, st)| TaggedToken { token: kt.clone(), tag: st.tag })
+            .collect();
+    }
+    tag(key_tokens)
+}
+
+/// Initial (context-free) tag from lexicon, shape and suffix evidence.
+fn initial_tag(lex: &Lexicon, token: &Token) -> PosTag {
+    match token.shape {
+        TokenShape::Star => return PosTag::Var,
+        TokenShape::Number => return PosTag::CD,
+        TokenShape::Symbol => {
+            return if matches!(token.text.as_str(), "[" | "]" | "(" | ")" | "{" | "}" | "\"" | "'") {
+                PosTag::Punct
+            } else {
+                PosTag::SYM
+            }
+        }
+        TokenShape::Path | TokenShape::HostPort | TokenShape::Ip => return PosTag::NNP,
+        TokenShape::AlphaNum => {
+            // "4ms", "12MB": number fused with a unit is a cardinal value.
+            let lower = token.lower();
+            let digits_end = lower.find(|c: char| !c.is_ascii_digit()).unwrap_or(lower.len());
+            if digits_end > 0 && lex.is_unit(&lower[digits_end..]) {
+                return PosTag::CD;
+            }
+            // Other letter+digit mixes are identifier-like nouns.
+            return PosTag::NN;
+        }
+        TokenShape::Other => return PosTag::SYM,
+        TokenShape::Lower | TokenShape::Capitalized | TokenShape::Upper | TokenShape::Camel => {}
+    }
+    let lower = token.lower();
+    if let Some(t) = lex.tag(&lower) {
+        return t;
+    }
+    // ALL-CAPS tokens are state/constant names (RUNNING, SUCCEEDED, TERM) —
+    // proper nouns even when they spell a verb form.
+    if token.shape == TokenShape::Upper && token.text.len() > 1 {
+        return PosTag::NNP;
+    }
+    if lex.is_verb_form(&lower) {
+        return verb_tag_from_suffix(&lower);
+    }
+    // Unknown word: orthography, then suffix.
+    match token.shape {
+        TokenShape::Camel | TokenShape::Upper => return PosTag::NNP,
+        TokenShape::Capitalized => {
+            // Sentence-position is unknown here; suffix evidence first, then
+            // proper noun.
+            if let Some(t) = suffix_tag(&lower) {
+                return t;
+            }
+            return PosTag::NNP;
+        }
+        _ => {}
+    }
+    suffix_tag(&lower).unwrap_or(PosTag::NN)
+}
+
+/// Tag a recognised verb form by its suffix.
+fn verb_tag_from_suffix(lower: &str) -> PosTag {
+    if lower.ends_with("ing") {
+        PosTag::VBG
+    } else if lower.ends_with("ed") {
+        PosTag::VBN
+    } else if lower.ends_with('s') && !lower.ends_with("ss") {
+        PosTag::VBZ
+    } else {
+        PosTag::VB
+    }
+}
+
+/// Suffix heuristics for unknown open-class words.
+fn suffix_tag(lower: &str) -> Option<PosTag> {
+    const NOUN_SUFFIXES: &[&str] = &[
+        "tion", "sion", "ment", "ness", "ance", "ence", "ship", "ism", "ity", "age", "ure",
+    ];
+    const ADJ_SUFFIXES: &[&str] = &[
+        "ous", "ful", "able", "ible", "ive", "ic", "ary", "less", "ish",
+    ];
+    if lower.len() < 4 {
+        return None;
+    }
+    if lower.ends_with("ly") {
+        return Some(PosTag::RB);
+    }
+    if lower.ends_with("ing") {
+        return Some(PosTag::VBG);
+    }
+    if lower.ends_with("ed") {
+        return Some(PosTag::VBN);
+    }
+    for s in NOUN_SUFFIXES {
+        if lower.ends_with(s) {
+            return Some(PosTag::NN);
+        }
+    }
+    for s in ADJ_SUFFIXES {
+        if lower.ends_with(s) {
+            return Some(PosTag::JJ);
+        }
+    }
+    if lower.ends_with('s') && !lower.ends_with("ss") && !lower.ends_with("us") && !lower.ends_with("is") {
+        return Some(PosTag::NNS);
+    }
+    if lower.ends_with("er") || lower.ends_with("or") {
+        return Some(PosTag::NN);
+    }
+    None
+}
+
+/// Brill-style contextual transformations, applied left to right.
+fn apply_context_rules(lex: &Lexicon, tokens: &[Token], tags: &mut [PosTag]) {
+    let n = tags.len();
+    for i in 0..n {
+        let lower = tokens[i].lower();
+
+        // Rule 1: after TO or a modal, a known verb base is VB.
+        if i > 0 && matches!(tags[i - 1], PosTag::TO | PosTag::MD) && lex.is_verb_base(&lower) {
+            tags[i] = PosTag::VB;
+            continue;
+        }
+
+        // Rule 2: noun tagged -s form directly after a nominal subject is a
+        // 3rd-person verb if its stem is a known verb base and something
+        // follows ("fetcher reads 4 bytes").
+        if tags[i] == PosTag::NNS && i > 0 && i + 1 < n {
+            let prev_nominal = tags[i - 1].is_noun() || tags[i - 1] == PosTag::PRP || tags[i - 1] == PosTag::Var || tags[i - 1] == PosTag::CD;
+            if prev_nominal && lex.is_verb_form(&lower) {
+                tags[i] = PosTag::VBZ;
+                continue;
+            }
+        }
+
+        // Rule 3: a VBN directly after a nominal, not followed by "by" and
+        // not preceded by a be/have auxiliary, is a simple past (VBD):
+        // "task finished" vs "host freed by fetcher" (stays VBN).
+        if tags[i] == PosTag::VBN && i > 0 {
+            let prev_nominal = tags[i - 1].is_noun() || tags[i - 1] == PosTag::PRP || tags[i - 1] == PosTag::Var || tags[i - 1] == PosTag::CD;
+            let followed_by_by = tokens.get(i + 1).is_some_and(|t| t.lower() == "by");
+            let aux_before = (0..i).any(|j| {
+                matches!(tags[j], PosTag::VBZ | PosTag::VBP | PosTag::VBD)
+                    && matches!(tokens[j].lower().as_str(), "is" | "are" | "was" | "were" | "has" | "have" | "had" | "be" | "been" | "being")
+            });
+            if prev_nominal && !followed_by_by && !aux_before {
+                tags[i] = PosTag::VBD;
+                continue;
+            }
+        }
+
+        // Rule 4: a determiner or adjective is followed by a nominal; if the
+        // next word was guessed as a base verb but a DT precedes it, it is a
+        // noun ("the shuffle").
+        if i > 0 && tags[i - 1] == PosTag::DT && matches!(tags[i], PosTag::VB | PosTag::VBP) {
+            tags[i] = PosTag::NN;
+            continue;
+        }
+
+        // Rule 5: "up"/"out" after a verb are particles (RP), otherwise IN.
+        if matches!(lower.as_str(), "up" | "out") {
+            if i > 0 && tags[i - 1].is_verb() {
+                tags[i] = PosTag::RP;
+            } else {
+                tags[i] = PosTag::IN;
+            }
+            continue;
+        }
+
+        // Rule 6: capitalized unknown word at sentence start that looks like
+        // a verb form gets a verb tag ("Starting", "Registered").
+        if i == 0 && tokens[i].shape == TokenShape::Capitalized && lex.is_verb_form(&lower) {
+            tags[i] = verb_tag_from_suffix(&lower);
+            continue;
+        }
+
+        // Rule 7: a base-form verb directly after another verb is the
+        // verb's nominal object, not a second predicate ("Starting flush",
+        // "requested shutdown") — except in "to VB"/"MD VB" chains, which
+        // rule 1 already claimed.
+        if tags[i] == PosTag::VB
+            && i > 0
+            && tags[i - 1].is_verb()
+            && !matches!(tags[i - 1], PosTag::VB)
+        {
+            tags[i] = PosTag::NN;
+            continue;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn tags_of(text: &str) -> Vec<(String, PosTag)> {
+        tag(&tokenize(text))
+            .into_iter()
+            .map(|t| (t.token.text.clone(), t.tag))
+            .collect()
+    }
+
+    #[test]
+    fn figure3_starting_maptask_metrics_system() {
+        // Paper Fig. 3: 'Starting MapTask metrics system'
+        // → Starting/VBG MapTask/NNP metrics/NNS system/NN
+        let t = tags_of("Starting MapTask metrics system");
+        assert_eq!(t[0].1, PosTag::VBG, "{t:?}");
+        assert_eq!(t[1].1, PosTag::NNP);
+        assert!(t[2].1.is_noun());
+        assert_eq!(t[3].1, PosTag::NN);
+    }
+
+    #[test]
+    fn figure1_line1_about_to_shuffle() {
+        let t = tags_of("fetcher # 1 about to shuffle output of map attempt_01");
+        assert_eq!(t[0].1, PosTag::NN); // fetcher
+        assert_eq!(t[1].1, PosTag::SYM); // #
+        assert_eq!(t[2].1, PosTag::CD); // 1
+        assert_eq!(t[3].1, PosTag::IN); // about
+        assert_eq!(t[4].1, PosTag::TO); // to
+        assert_eq!(t[5].1, PosTag::VB, "{t:?}"); // shuffle flipped to VB after TO
+        assert_eq!(t[6].1, PosTag::NN); // output
+        assert_eq!(t[7].1, PosTag::IN); // of
+        assert_eq!(t[8].1, PosTag::NN); // map
+        assert_eq!(t[9].1, PosTag::NN); // attempt_01 (identifier)
+    }
+
+    #[test]
+    fn figure1_line3_passive_freed_by() {
+        let t = tags_of("host1:13562 freed by fetcher # 1 in 4ms");
+        assert_eq!(t[0].1, PosTag::NNP); // host:port locality
+        assert_eq!(t[1].1, PosTag::VBN); // freed stays VBN (followed by "by")
+        assert_eq!(t[2].1, PosTag::IN);
+        assert_eq!(t[3].1, PosTag::NN);
+        assert_eq!(t[6].1, PosTag::IN); // in
+        assert_eq!(t[7].1, PosTag::CD); // 4ms is a value
+    }
+
+    #[test]
+    fn third_person_verb_after_subject() {
+        let t = tags_of("fetcher reads 2264 bytes");
+        assert_eq!(t[1].1, PosTag::VBZ, "{t:?}");
+    }
+
+    #[test]
+    fn simple_past_after_subject() {
+        let t = tags_of("task finished in 4 seconds");
+        assert_eq!(t[1].1, PosTag::VBD, "{t:?}");
+    }
+
+    #[test]
+    fn determiner_blocks_verb_reading() {
+        let t = tags_of("waiting for the merge");
+        assert_eq!(t[3].1, PosTag::NN, "{t:?}");
+    }
+
+    #[test]
+    fn star_positions_get_var() {
+        let t = tags_of("* freed by fetcher # * in *");
+        assert_eq!(t[0].1, PosTag::Var);
+        assert_eq!(t[5].1, PosTag::Var);
+        assert_eq!(t[7].1, PosTag::Var);
+    }
+
+    #[test]
+    fn key_tagged_through_sample() {
+        let key = tokenize("* MapTask metrics system");
+        let sample = tokenize("Starting MapTask metrics system");
+        let tagged = tag_key_with_sample(&key, &sample);
+        // The * position inherits the VBG of "Starting".
+        assert_eq!(tagged[0].tag, PosTag::VBG);
+        assert_eq!(tagged[0].token.text, "*");
+        assert_eq!(tagged[1].tag, PosTag::NNP);
+    }
+
+    #[test]
+    fn key_sample_length_mismatch_falls_back() {
+        let key = tokenize("* metrics system");
+        let sample = tokenize("Starting MapTask metrics system");
+        let tagged = tag_key_with_sample(&key, &sample);
+        assert_eq!(tagged.len(), 3);
+        assert_eq!(tagged[0].tag, PosTag::Var);
+    }
+
+    #[test]
+    fn fused_value_unit_is_cardinal() {
+        let t = tags_of("freed in 4ms and 12MB used");
+        assert_eq!(t[2].1, PosTag::CD);
+        assert_eq!(t[4].1, PosTag::CD);
+    }
+
+    #[test]
+    fn camel_case_is_proper_noun() {
+        let t = tags_of("Registered BlockManagerEndpoint successfully");
+        assert_eq!(t[1].1, PosTag::NNP);
+        assert_eq!(t[2].1, PosTag::RB);
+    }
+
+    #[test]
+    fn down_to_the_last_merge_pass_has_no_verb() {
+        // §6.2: 'Down to the last merge-pass' has no predicate.
+        let t = tags_of("Down to the last merge-pass");
+        assert!(t.iter().all(|(_, tag)| !tag.is_verb()), "{t:?}");
+    }
+
+    #[test]
+    fn suffix_rules_for_unknown_words() {
+        let t = tags_of("finalization of speculable computations");
+        assert_eq!(t[0].1, PosTag::NN);
+        assert_eq!(t[2].1, PosTag::JJ);
+        assert_eq!(t[3].1, PosTag::NNS);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the NLP substrate invariants.
+
+use lognlp::{
+    classify, parse, singularize, split_camel, tag, tokenize, verb_base, PosTag, TokenShape, UdRel,
+};
+use proptest::prelude::*;
+
+/// Arbitrary "wordish" token material.
+fn word_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{1,12}",
+        "[A-Z][a-z]{1,8}",
+        "[A-Z][a-z]{1,5}[A-Z][a-z]{1,5}",
+        "[0-9]{1,6}",
+        "[a-z]{1,5}_[0-9]{1,4}",
+        Just("*".to_string()),
+        Just("#".to_string()),
+    ]
+}
+
+fn sentence_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(word_strategy(), 0..14).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    /// Tagging never panics and yields one tag per token.
+    #[test]
+    fn tag_is_total(s in sentence_strategy()) {
+        let toks = tokenize(&s);
+        let tagged = tag(&toks);
+        prop_assert_eq!(tagged.len(), toks.len());
+    }
+
+    /// Every parse has at most one ROOT, and ROOT is self-headed.
+    #[test]
+    fn parse_root_invariants(s in sentence_strategy()) {
+        let tagged = tag(&tokenize(&s));
+        let p = parse(&tagged);
+        let roots: Vec<_> = p.arcs.iter().filter(|a| a.rel == UdRel::Root).collect();
+        prop_assert!(roots.len() <= 1);
+        if let Some(r) = roots.first() {
+            prop_assert_eq!(r.head, r.dep);
+            prop_assert_eq!(Some(r.dep), p.predicate);
+        }
+        // arcs reference valid token indices
+        for a in &p.arcs {
+            prop_assert!(a.head < tagged.len());
+            prop_assert!(a.dep < tagged.len());
+        }
+    }
+
+    /// A parse without predicate has no arcs at all.
+    #[test]
+    fn no_predicate_no_arcs(s in sentence_strategy()) {
+        let tagged = tag(&tokenize(&s));
+        let p = parse(&tagged);
+        if p.predicate.is_none() {
+            prop_assert!(p.arcs.is_empty());
+        }
+    }
+
+    /// Singularisation is idempotent.
+    #[test]
+    fn singularize_idempotent(w in "[a-z]{1,15}") {
+        let once = singularize(&w);
+        prop_assert_eq!(singularize(&once), once.clone());
+    }
+
+    /// Verb-base reduction never grows a word by more than the restored 'e'.
+    #[test]
+    fn verb_base_bounded(w in "[a-z]{1,15}") {
+        let b = verb_base(&w);
+        prop_assert!(b.len() <= w.len() + 1);
+        prop_assert!(!b.is_empty());
+    }
+
+    /// Camel splitting loses no alphanumeric characters (case-insensitively).
+    #[test]
+    fn camel_split_preserves_letters(w in "[A-Za-z0-9_]{1,20}") {
+        let parts = split_camel(&w);
+        let rebuilt: String = parts.concat();
+        let orig: String = w.chars().filter(|c| c.is_ascii_alphanumeric()).map(|c| c.to_ascii_lowercase()).collect();
+        prop_assert_eq!(rebuilt.replace(' ', ""), orig);
+    }
+
+    /// Tokenisation never produces empty tokens, and every star stays a star.
+    #[test]
+    fn tokenize_invariants(s in sentence_strategy()) {
+        for t in tokenize(&s) {
+            prop_assert!(!t.text.is_empty());
+            if t.text == "*" {
+                prop_assert_eq!(t.shape, TokenShape::Star);
+            }
+        }
+    }
+
+    /// Numeric tokens always tag CD; star tokens always tag Var.
+    #[test]
+    fn shape_driven_tags(n in 0u64..1_000_000) {
+        let s = format!("value {n} observed in * place");
+        let tagged = tag(&tokenize(&s));
+        let num = tagged.iter().find(|t| t.token.text == n.to_string()).unwrap();
+        prop_assert_eq!(num.tag, PosTag::CD);
+        let star = tagged.iter().find(|t| t.token.text == "*").unwrap();
+        prop_assert_eq!(star.tag, PosTag::Var);
+    }
+}
+
+#[test]
+fn classify_total_on_ascii() {
+    for c in 0u8..=127 {
+        let s = (c as char).to_string();
+        let _ = classify(&s); // must not panic
+    }
+}

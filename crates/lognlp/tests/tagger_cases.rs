@@ -1,0 +1,129 @@
+//! Regression corpus for the POS tagger and dependency parser: real-world
+//! log statements from the five targeted systems, beyond what the unit
+//! tests in `src/` cover.
+
+use lognlp::{is_natural_language, parse, tag, tokenize, PosTag, UdRel};
+
+fn tags(text: &str) -> Vec<(String, PosTag)> {
+    tag(&tokenize(text)).into_iter().map(|t| (t.token.text.clone(), t.tag)).collect()
+}
+
+fn predicate_of(text: &str) -> Option<String> {
+    let tagged = tag(&tokenize(text));
+    let p = parse(&tagged);
+    p.predicate.map(|i| tagged[i].lower())
+}
+
+#[test]
+fn hadoop_statements() {
+    assert_eq!(predicate_of("Executing with tokens for job_1529021").as_deref(), Some("executing"));
+    assert_eq!(
+        predicate_of("TaskAttempt attempt_01 transitioned from state RUNNING to SUCCEEDED").as_deref(),
+        Some("transitioned")
+    );
+    assert_eq!(predicate_of("Committing output of job_1 to the final location").as_deref(), Some("committing"));
+    assert_eq!(predicate_of("Penalizing worker3 for 30 seconds because of fetch failure").as_deref(), Some("penalizing"));
+}
+
+#[test]
+fn spark_statements() {
+    assert_eq!(predicate_of("Got assigned task 42").as_deref(), Some("got"));
+    assert_eq!(
+        predicate_of("block broadcast_2 stored as values in memory with estimated size 48 KB").as_deref(),
+        Some("stored")
+    );
+    assert_eq!(predicate_of("Removed task set 1 whose tasks have all completed").as_deref(), Some("removed"));
+    assert_eq!(predicate_of("Driver commanded a shutdown").as_deref(), Some("commanded"));
+}
+
+#[test]
+fn tensorflow_statements() {
+    assert_eq!(
+        predicate_of("worker 2 finished step 1400 with loss 0.3517 in 212 ms").as_deref(),
+        Some("finished")
+    );
+    assert_eq!(
+        predicate_of("Saving checkpoint for step 1400 to /ckpt/model.ckpt-1400").as_deref(),
+        Some("saving")
+    );
+}
+
+#[test]
+fn passive_voice_variants() {
+    for (text, pred) in [
+        ("worker4:13562 freed by fetcher # 1 in 4ms", "freed"),
+        ("container was killed by the scheduler", "killed"),
+        ("resource is localized by the node manager", "localized"),
+    ] {
+        let tagged = tag(&tokenize(text));
+        let p = parse(&tagged);
+        assert!(p.passive, "{text} should parse passive");
+        assert_eq!(tagged[p.predicate.unwrap()].lower(), pred);
+        assert!(p.dep_of(UdRel::NsubjPass).is_some(), "{text}");
+    }
+}
+
+#[test]
+fn units_tag_as_cardinals_when_fused() {
+    for (text, fused) in [
+        ("freed in 4ms", "4ms"),
+        ("wrote 12MB to disk", "12MB"),
+        ("waited 30s for the lock", "30s"),
+    ] {
+        let t = tags(text);
+        let (_, tag) = t.iter().find(|(w, _)| w == fused).unwrap();
+        assert_eq!(*tag, PosTag::CD, "{text}");
+    }
+}
+
+#[test]
+fn identifiers_tag_as_nouns() {
+    for ident in ["attempt_1529021_m_000000_0", "container_1529021_01_000002", "appattempt_1_000001", "broadcast_0", "rdd_4_2"] {
+        let t = tags(&format!("processing {ident} now"));
+        let (_, tag) = t.iter().find(|(w, _)| w == ident).unwrap();
+        assert!(tag.is_noun(), "{ident} tagged {tag}");
+    }
+}
+
+#[test]
+fn nl_census_on_representative_lines() {
+    // natural language
+    for line in [
+        "Registered signal handlers for TERM HUP INT",
+        "Initializing vertex vertex_01 with 8 tasks",
+        "Instance claim succeeded on node compute3",
+        "Authentication succeeded for appattempt_1529021_000001",
+    ] {
+        assert!(is_natural_language(line), "{line}");
+    }
+    // not natural language
+    for line in [
+        "bufstart = 0 bufvoid = 104857600 kvstart = 26214396",
+        "FILE_BYTES_READ=2264 RECORDS_OUT=15000 SPILLED_RECORDS=0",
+        "memory=2048MB vcores=2 utilization=0.45",
+        "Down to the last merge-pass with 5 segments left of total size 2264 bytes",
+    ] {
+        assert!(!is_natural_language(line), "{line}");
+    }
+}
+
+#[test]
+fn multiclause_keys_split_on_periods() {
+    let tagged = tag(&tokenize("Finished task 0.0 in stage 1.0. 2264 bytes result sent to driver"));
+    // the period is its own token so operation extraction can split clauses
+    assert!(tagged.iter().any(|t| t.token.text == "."));
+}
+
+#[test]
+fn prepositional_objects_attach_as_nmod() {
+    let tagged = tag(&tokenize("spill 3 written to /tmp/spill3.out on host4"));
+    let p = parse(&tagged);
+    assert_eq!(tagged[p.predicate.unwrap()].lower(), "written");
+    let nmods: Vec<String> = p
+        .arcs
+        .iter()
+        .filter(|a| a.rel == UdRel::Nmod)
+        .map(|a| tagged[a.dep].lower())
+        .collect();
+    assert!(nmods.iter().any(|w| w.contains("/tmp/")), "{nmods:?}");
+}

@@ -1,0 +1,250 @@
+//! The streaming Spell parser.
+//!
+//! Consumes raw log messages one at a time and maintains the set of log
+//! keys. A message either refines an existing key (variable positions are
+//! discovered by disagreement) or founds a new key. The paper's IntelLog
+//! embeds a ~400-line Spell with a matching threshold `t` set empirically to
+//! 1.7 (§5); we follow both the algorithm and the default.
+
+use crate::key::{KeyId, LogKey, STAR};
+use crate::lcs::{lcs_len_wild, positional_matches_wild};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tokenise a log message body for Spell.
+///
+/// Delegates to [`lognlp::tokenize`] so that key-token positions stay
+/// aligned with the positions the NLP layer sees when it tags a key through
+/// its sample message.
+pub fn tokenize_message(message: &str) -> Vec<String> {
+    lognlp::tokenize(message).into_iter().map(|t| t.text).collect()
+}
+
+/// Result of feeding one message to the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOutcome {
+    /// The key this message belongs to.
+    pub key_id: KeyId,
+    /// Whether the message founded a brand-new key.
+    pub is_new_key: bool,
+    /// The message tokens (as used for matching).
+    pub tokens: Vec<String>,
+}
+
+/// Streaming Spell log-key extractor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpellParser {
+    /// Matching threshold `t`: a message of `n` tokens matches a key iff
+    /// their LCS length is at least `n / t`. The paper sets 1.7.
+    threshold: f64,
+    keys: Vec<LogKey>,
+    /// Length → key indices, the fast candidate index.
+    by_len: HashMap<usize, Vec<usize>>,
+}
+
+impl Default for SpellParser {
+    fn default() -> Self {
+        SpellParser::new(1.7)
+    }
+}
+
+impl SpellParser {
+    /// Create a parser with the given matching threshold (paper default 1.7).
+    ///
+    /// # Panics
+    /// Panics if `threshold < 1.0` (a threshold below 1 would require an LCS
+    /// longer than the message).
+    pub fn new(threshold: f64) -> SpellParser {
+        assert!(threshold >= 1.0, "Spell threshold must be >= 1.0");
+        SpellParser { threshold, keys: Vec::new(), by_len: HashMap::new() }
+    }
+
+    /// The matching threshold `t`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// All keys discovered so far.
+    pub fn keys(&self) -> &[LogKey] {
+        &self.keys
+    }
+
+    /// Look up a key by id.
+    pub fn key(&self, id: KeyId) -> &LogKey {
+        &self.keys[id.0 as usize]
+    }
+
+    /// Number of keys discovered.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if no key has been discovered yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Minimum LCS length required for a message of `n` tokens to match.
+    fn required_lcs(&self, n: usize) -> usize {
+        (n as f64 / self.threshold).ceil() as usize
+    }
+
+    /// Find the best-matching existing key for `tokens` without mutating
+    /// anything. Used in the detection phase, where an unmatched message is
+    /// an *unexpected log message* anomaly rather than a new key.
+    pub fn match_message(&self, tokens: &[String]) -> Option<KeyId> {
+        let required = self.required_lcs(tokens.len());
+        let mut best: Option<(usize, usize)> = None; // (score, key idx)
+        if let Some(cands) = self.by_len.get(&tokens.len()) {
+            for &ki in cands {
+                let key = &self.keys[ki];
+                // Positional equality counting stars as wildcards: exact
+                // instance check first (the overwhelmingly common case).
+                if key.matches(tokens) {
+                    return Some(key.id);
+                }
+                // `*` positions of a refined key match any token (Spell's
+                // key semantics), both positionally and in the LCS fallback.
+                let pos = positional_matches_wild(&key.tokens, tokens);
+                let score = if pos >= required { pos } else { lcs_len_wild(&key.tokens, tokens) };
+                if score >= required && best.is_none_or(|(s, _)| score > s) {
+                    best = Some((score, ki));
+                }
+            }
+        }
+        best.map(|(_, ki)| self.keys[ki].id)
+    }
+
+    /// Feed one pre-tokenised message; returns the key it was assigned to.
+    pub fn parse_tokens(&mut self, tokens: Vec<String>) -> ParseOutcome {
+        if let Some(id) = self.match_message(&tokens) {
+            let ki = id.0 as usize;
+            // Refine the key: any position where the key's constant token
+            // disagrees with the message becomes a variable position.
+            {
+                let key = &mut self.keys[ki];
+                for (kt, mt) in key.tokens.iter_mut().zip(&tokens) {
+                    if kt != STAR && kt != mt {
+                        *kt = STAR.to_string();
+                    }
+                }
+                key.count += 1;
+            }
+            return ParseOutcome { key_id: id, is_new_key: false, tokens };
+        }
+        let id = KeyId(self.keys.len() as u32);
+        self.by_len.entry(tokens.len()).or_default().push(self.keys.len());
+        self.keys.push(LogKey { id, tokens: tokens.clone(), sample: tokens.clone(), count: 1 });
+        ParseOutcome { key_id: id, is_new_key: true, tokens }
+    }
+
+    /// Feed one raw message string.
+    pub fn parse_message(&mut self, message: &str) -> ParseOutcome {
+        self.parse_tokens(tokenize_message(message))
+    }
+
+    /// Match a raw message without mutating the key set.
+    pub fn match_raw(&self, message: &str) -> Option<KeyId> {
+        self.match_message(&tokenize_message(message))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_keys_emerge() {
+        // The three Fig. 1 message families each converge onto one key with
+        // the right variable positions.
+        let mut p = SpellParser::default();
+        let a1 = p.parse_message("fetcher # 1 about to shuffle output of map attempt_01");
+        let a2 = p.parse_message("fetcher # 2 about to shuffle output of map attempt_07");
+        assert_eq!(a1.key_id, a2.key_id);
+        assert!(a1.is_new_key && !a2.is_new_key);
+        assert_eq!(p.key(a1.key_id).render(), "fetcher # * about to shuffle output of map *");
+
+        let b1 = p.parse_message("[fetcher # 1] read 2264 bytes from map-output for attempt_01");
+        let b2 = p.parse_message("[fetcher # 3] read 999 bytes from map-output for attempt_02");
+        assert_eq!(b1.key_id, b2.key_id);
+        assert_eq!(
+            p.key(b1.key_id).render(),
+            "[ fetcher # * read * bytes from map-output for *"
+        );
+
+        let c1 = p.parse_message("host1:13562 freed by fetcher # 1 in 4ms");
+        let c2 = p.parse_message("host9:13562 freed by fetcher # 2 in 18ms");
+        assert_eq!(c1.key_id, c2.key_id);
+        assert_eq!(p.key(c1.key_id).render(), "* freed by fetcher # * in *");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn sample_is_first_message() {
+        let mut p = SpellParser::default();
+        let a = p.parse_message("Starting MapTask metrics system");
+        p.parse_message("Stopping MapTask metrics system");
+        assert_eq!(p.key(a.key_id).render(), "* MapTask metrics system");
+        assert_eq!(p.key(a.key_id).render_sample(), "Starting MapTask metrics system");
+        assert_eq!(p.key(a.key_id).count, 2);
+    }
+
+    #[test]
+    fn dissimilar_messages_found_new_keys() {
+        let mut p = SpellParser::default();
+        let a = p.parse_message("Registered BlockManager on host1");
+        let b = p.parse_message("Removing block broadcast_0 from memory");
+        assert_ne!(a.key_id, b.key_id);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn threshold_controls_merging() {
+        // With a permissive threshold (2.0 → LCS ≥ n/2) these merge; with a
+        // strict threshold (1.0 → exact) they do not.
+        let m1 = "task 1 finished on host1 cleanly today";
+        let m2 = "task 2 crashed on host2 cleanly today";
+        let mut strict = SpellParser::new(1.0);
+        let s1 = strict.parse_message(m1);
+        let s2 = strict.parse_message(m2);
+        assert_ne!(s1.key_id, s2.key_id);
+        let mut loose = SpellParser::new(2.0);
+        let l1 = loose.parse_message(m1);
+        let l2 = loose.parse_message(m2);
+        assert_eq!(l1.key_id, l2.key_id);
+    }
+
+    #[test]
+    fn match_message_is_pure() {
+        let mut p = SpellParser::default();
+        p.parse_message("container launched on host1");
+        let before = p.len();
+        assert!(p.match_raw("container launched on host9").is_some());
+        assert!(p.match_raw("utterly different words entirely").is_none());
+        assert_eq!(p.len(), before);
+    }
+
+    #[test]
+    fn different_lengths_never_match() {
+        let mut p = SpellParser::default();
+        let a = p.parse_message("task finished");
+        let b = p.parse_message("task finished in 4 seconds");
+        assert_ne!(a.key_id, b.key_id);
+    }
+
+    #[test]
+    fn best_match_wins_over_first_match() {
+        let mut p = SpellParser::new(1.7);
+        p.parse_message("alpha beta gamma delta epsilon zeta eta");
+        p.parse_message("alpha beta gamma delta epsilon yot eta");
+        // second merged into first: key now has one star
+        let probe = p.match_raw("alpha beta gamma delta epsilon zeta eta").unwrap();
+        assert_eq!(probe, KeyId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_panics() {
+        let _ = SpellParser::new(0.5);
+    }
+}

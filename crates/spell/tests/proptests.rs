@@ -1,0 +1,92 @@
+//! Property-based tests for Spell invariants.
+
+use proptest::prelude::*;
+use spell::{lcs::lcs_len, SpellParser, STAR};
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}"
+}
+
+fn message() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(word(), 1..12)
+}
+
+proptest! {
+    /// Feeding the same message twice always lands on the same key and
+    /// never creates a second key.
+    #[test]
+    fn deterministic_assignment(msg in message()) {
+        let mut p = SpellParser::default();
+        let a = p.parse_tokens(msg.clone());
+        let b = p.parse_tokens(msg);
+        prop_assert_eq!(a.key_id, b.key_id);
+        prop_assert!(a.is_new_key);
+        prop_assert!(!b.is_new_key);
+        prop_assert_eq!(p.len(), 1);
+    }
+
+    /// Every parsed message matches the key it was assigned to afterwards.
+    #[test]
+    fn assigned_key_matches_message(msgs in prop::collection::vec(message(), 1..30)) {
+        let mut p = SpellParser::default();
+        for m in msgs {
+            let out = p.parse_tokens(m.clone());
+            prop_assert!(p.key(out.key_id).matches(&m),
+                "key {:?} should match {:?}", p.key(out.key_id).tokens, m);
+        }
+    }
+
+    /// Keys only ever gain stars: the constant length is non-increasing for
+    /// a given key as more messages arrive.
+    #[test]
+    fn constant_length_monotone(msgs in prop::collection::vec(message(), 1..30)) {
+        let mut p = SpellParser::default();
+        let mut consts: std::collections::HashMap<spell::KeyId, usize> = Default::default();
+        for m in msgs {
+            let out = p.parse_tokens(m);
+            let c = p.key(out.key_id).constant_len();
+            if let Some(prev) = consts.insert(out.key_id, c) {
+                prop_assert!(c <= prev);
+            }
+        }
+    }
+
+    /// The key count never exceeds the number of distinct messages fed.
+    #[test]
+    fn key_count_bounded(msgs in prop::collection::vec(message(), 1..40)) {
+        let mut p = SpellParser::default();
+        let distinct: std::collections::HashSet<_> = msgs.iter().cloned().collect();
+        for m in msgs.clone() {
+            p.parse_tokens(m);
+        }
+        prop_assert!(p.len() <= distinct.len());
+        let total: u64 = p.keys().iter().map(|k| k.count).sum();
+        prop_assert_eq!(total as usize, msgs.len());
+    }
+
+    /// A key's sample message is an instance of the key, and the key has a
+    /// star wherever the sample and key disagree — never elsewhere.
+    #[test]
+    fn sample_instance_invariant(msgs in prop::collection::vec(message(), 1..30)) {
+        let mut p = SpellParser::default();
+        for m in msgs {
+            p.parse_tokens(m);
+        }
+        for k in p.keys() {
+            prop_assert!(k.matches(&k.sample));
+            for (kt, st) in k.tokens.iter().zip(&k.sample) {
+                if kt != STAR {
+                    prop_assert_eq!(kt, st);
+                }
+            }
+        }
+    }
+
+    /// LCS length is symmetric and bounded by both lengths.
+    #[test]
+    fn lcs_props(a in message(), b in message()) {
+        let l = lcs_len(&a, &b);
+        prop_assert_eq!(l, lcs_len(&b, &a));
+        prop_assert!(l <= a.len().min(b.len()));
+    }
+}

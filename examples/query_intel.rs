@@ -1,0 +1,63 @@
+//! Querying formatted semantic knowledge (paper §3.3, §6.4).
+//!
+//! Intel Messages are key-value structured and "naturally fit in the
+//! storage structure of time series databases". This example lifts a
+//! simulated Tez job into an IntelStore and runs the query operators the
+//! paper demonstrates: GroupBy identifier, GroupBy locality, entity
+//! filters, and JSON export for external tools (JSONQuery).
+//!
+//! Run with: `cargo run --example query_intel`
+
+use intellog::extract::{IntelExtractor, IntelMessage, IntelStore};
+use intellog::dlasim::{self, JobConfig, SystemKind};
+use intellog::spell::SpellParser;
+
+fn main() {
+    let cfg = JobConfig {
+        system: SystemKind::Tez,
+        workload: "query8".into(),
+        input_gb: 5,
+        mem_mb: 1024,
+        cores: 1,
+        executors: 2,
+        hosts: 4,
+        seed: 55,
+    };
+    let job = dlasim::generate(&cfg, None);
+
+    // Pipeline stages 1–2: keys, then Intel Messages into the store.
+    let mut parser = SpellParser::default();
+    let mut parsed = Vec::new();
+    for s in &job.sessions {
+        for l in &s.lines {
+            let out = parser.parse_message(&l.message);
+            parsed.push((s.id.clone(), l.ts_ms, out));
+        }
+    }
+    let extractor = IntelExtractor::new();
+    let keys: Vec<_> = parser.keys().iter().map(|k| extractor.build(k)).collect();
+    let mut store = IntelStore::new();
+    for (sess, ts, out) in parsed {
+        store.push(IntelMessage::instantiate(&keys[out.key_id.0 as usize], &out.tokens, sess, ts));
+    }
+    println!("store holds {} Intel Messages over {} keys", store.len(), keys.len());
+
+    println!("\n=== GroupBy identifier (first 8 groups) ===");
+    for (id, msgs) in store.group_by_identifier().into_iter().take(8) {
+        println!("  {id}: {} messages", msgs.len());
+    }
+
+    println!("\n=== filter: entity 'vertex' ===");
+    for m in store.filter_entity("vertex").into_iter().take(5) {
+        println!("  [{}] {}", m.session, m.text);
+    }
+
+    println!("\n=== GroupBy session ===");
+    for (sess, msgs) in store.group_by_session().into_iter().take(5) {
+        println!("  {sess}: {} messages", msgs.len());
+    }
+
+    // JSON export: queryable with external JSON tools (paper §5).
+    let json = store.to_json();
+    println!("\nJSON export: {} bytes (first 200: {}…)", json.len(), &json[..200.min(json.len())]);
+}

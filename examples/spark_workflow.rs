@@ -1,0 +1,41 @@
+//! Reconstruct the Spark workflow as a HW-graph (paper Fig. 8).
+//!
+//! Generates a training corpus of Spark jobs on the simulated cluster,
+//! trains IntelLog, and prints the hierarchical workflow: entity groups
+//! (critical ones starred), their subroutines keyed by identifier-type
+//! signatures, and the critical Intel Keys inside each subroutine.
+//!
+//! Run with: `cargo run --example spark_workflow`
+
+use intellog::core::{sessions_from_job, IntelLog};
+use intellog::dlasim::{self, SystemKind, WorkloadGen};
+use intellog::spell::Session;
+
+fn main() {
+    // Train on a mix of HiBench-style Spark jobs (paper §6.1 submits 100;
+    // a handful suffices for the workflow structure).
+    let mut gen = WorkloadGen::new(2024, 8);
+    let mut sessions: Vec<Session> = Vec::new();
+    for j in 0..8 {
+        let cfg = gen.training_config(SystemKind::Spark);
+        let job = dlasim::generate(&cfg, None);
+        for (i, mut s) in sessions_from_job(&job).into_iter().enumerate() {
+            s.id = format!("job{j}_{i}_{}", s.id);
+            sessions.push(s);
+        }
+    }
+    println!("training on {} sessions…", sessions.len());
+    let il = IntelLog::train(&sessions);
+
+    let stats = &il.graph().stats;
+    println!("\n=== HW-graph statistics (cf. paper Table 5) ===");
+    println!("avg session length:    {:.1}", stats.avg_session_len);
+    println!("entity groups:         {} (critical: {})", stats.groups_all, stats.groups_critical);
+    println!(
+        "subroutine length:     max {} / avg {:.1} / avg critical {:.1}",
+        stats.sub_len_max, stats.sub_len_avg_all, stats.sub_len_avg_crit
+    );
+
+    println!("\n=== Spark HW-graph (cf. paper Fig. 8; * = critical group, ! = critical key) ===");
+    print!("{}", il.render_graph());
+}

@@ -1,0 +1,193 @@
+//! `intellog` — command-line interface to the IntelLog pipeline.
+//!
+//! Treats each log file as one session (= one YARN container, paper §5).
+//!
+//! ```text
+//! intellog train  --format spark|hadoop --model model.json LOGFILE...
+//! intellog detect --model model.json --format spark|hadoop LOGFILE...
+//! intellog graph  --model model.json
+//! intellog demo
+//! ```
+
+use intellog::anomaly::{Detector, JobReport, Trainer};
+use intellog::core::IntelLog;
+use intellog::spell::{LogFormat, Session};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "train" => cmd_train(rest),
+        "detect" => cmd_detect(rest),
+        "graph" => cmd_graph(rest),
+        "demo" => cmd_demo(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  intellog train  --format spark|hadoop --model MODEL.json LOGFILE...
+  intellog detect --model MODEL.json --format spark|hadoop LOGFILE...
+  intellog graph  --model MODEL.json
+  intellog demo
+
+Each LOGFILE is one session (one YARN container's log). 'demo' trains on
+simulated Spark jobs and diagnoses an injected network failure.";
+
+/// Pull `--flag value` out of an argument list; returns (value, remaining).
+fn take_flag(args: &[String], flag: &str) -> (Option<String>, Vec<String>) {
+    let mut value = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            value = it.next().cloned();
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (value, rest)
+}
+
+fn parse_format(s: Option<String>) -> Result<LogFormat, String> {
+    match s.as_deref() {
+        Some("spark") => Ok(LogFormat::Spark),
+        Some("hadoop") | None => Ok(LogFormat::Hadoop),
+        Some(other) => Err(format!("unknown --format '{other}' (use spark or hadoop)")),
+    }
+}
+
+/// Read one log file as a session; lines the formatter rejects (stack-trace
+/// continuations) are skipped.
+fn read_session(path: &Path, format: LogFormat) -> Result<Session, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let lines = text.lines().filter_map(|l| format.parse(l)).collect::<Vec<_>>();
+    if lines.is_empty() {
+        return Err(format!("{}: no parseable log lines (wrong --format?)", path.display()));
+    }
+    let id = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    Ok(Session::new(id, lines))
+}
+
+fn read_sessions(files: &[String], format: LogFormat) -> Result<Vec<Session>, String> {
+    if files.is_empty() {
+        return Err("no log files given".into());
+    }
+    files.iter().map(|f| read_session(Path::new(f), format)).collect()
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let (model, rest) = take_flag(args, "--model");
+    let (format, files) = take_flag(&rest, "--format");
+    let model = PathBuf::from(model.ok_or("--model is required")?);
+    let sessions = read_sessions(&files, parse_format(format)?)?;
+    let detector = Trainer::default().train(&sessions);
+    let json = serde_json::to_string(&detector).map_err(|e| e.to_string())?;
+    std::fs::write(&model, &json).map_err(|e| e.to_string())?;
+    println!(
+        "trained on {} sessions: {} log keys, {} entity groups ({} critical), {} ignored non-NL keys",
+        sessions.len(),
+        detector.keys.len(),
+        detector.graph.groups.len(),
+        detector.graph.groups.iter().filter(|g| g.critical).count(),
+        detector.ignored_keys.len(),
+    );
+    println!("model written to {} ({} bytes)", model.display(), json.len());
+    Ok(())
+}
+
+fn load_model(args: &[String]) -> Result<(Detector, Vec<String>), String> {
+    let (model, rest) = take_flag(args, "--model");
+    let model = model.ok_or("--model is required")?;
+    let json = std::fs::read_to_string(&model).map_err(|e| format!("{model}: {e}"))?;
+    let detector: Detector = serde_json::from_str(&json).map_err(|e| format!("{model}: {e}"))?;
+    Ok((detector, rest))
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let (detector, rest) = load_model(args)?;
+    let (format, files) = take_flag(&rest, "--format");
+    let sessions = read_sessions(&files, parse_format(format)?)?;
+    let report: JobReport = detector.detect_job(&sessions);
+    for s in &report.sessions {
+        if s.is_problematic() {
+            println!("session {}: {} anomalies", s.session, s.anomalies.len());
+            for a in s.anomalies.iter().take(5) {
+                match a {
+                    intellog::anomaly::Anomaly::UnexpectedMessage { text, groups, .. } => {
+                        println!("  unexpected message (groups {groups:?}): {text}")
+                    }
+                    other => println!("  {other:?}"),
+                }
+            }
+        }
+    }
+    println!(
+        "{} of {} sessions problematic",
+        report.problematic_count(),
+        report.total_count()
+    );
+    let entities: Vec<String> = detector
+        .graph
+        .groups
+        .iter()
+        .flat_map(|g| g.entities.iter().cloned())
+        .collect();
+    let diag = intellog::anomaly::diagnose(&report, &entities);
+    print!("{}", diag.render());
+    Ok(())
+}
+
+fn cmd_graph(args: &[String]) -> Result<(), String> {
+    let (detector, _) = load_model(args)?;
+    print!("{}", detector.graph.render_text(&detector.keys));
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    use intellog::core::sessions_from_job;
+    use intellog::dlasim::{self, FaultKind, FaultPlan, SystemKind, WorkloadGen};
+    println!("training on simulated Spark jobs…");
+    let mut gen = WorkloadGen::new(7, 8);
+    let mut train = Vec::new();
+    for j in 0..6 {
+        let cfg = gen.training_config(SystemKind::Spark);
+        for (i, mut s) in sessions_from_job(&dlasim::generate(&cfg, None)).into_iter().enumerate() {
+            s.id = format!("t{j}_{i}_{}", s.id);
+            train.push(s);
+        }
+    }
+    let il = IntelLog::train(&train);
+    println!("{} keys, {} groups\n", il.detector().keys.len(), il.graph().groups.len());
+    let cfg = gen.detection_config(SystemKind::Spark, 3);
+    let plan = FaultPlan::new(FaultKind::NetworkFailure, 0.3, 2, 0);
+    let job = dlasim::generate(&cfg, Some(&plan));
+    let report = il.detect_job(&sessions_from_job(&job));
+    println!(
+        "injected a network failure: {} of {} sessions flagged",
+        report.problematic_count(),
+        report.total_count()
+    );
+    print!("{}", il.diagnose(&report).render());
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! End-to-end CLI test: write raw log files to disk, train a model file,
+//! detect anomalies in a faulty job — the full non-intrusive deployment
+//! story (IntelLog consumes only log files).
+
+use intellog::dlasim::{self, FaultKind, FaultPlan, JobConfig, RawFormat, SystemKind};
+use std::path::Path;
+use std::process::Command;
+
+fn write_job_logs(dir: &Path, job: &dlasim::GenJob, prefix: &str) -> Vec<String> {
+    let fmt = RawFormat::for_system(job.system);
+    let mut files = Vec::new();
+    for s in &job.sessions {
+        let path = dir.join(format!("{prefix}_{}.log", s.id));
+        std::fs::write(&path, s.raw_lines(fmt).join("\n")).unwrap();
+        files.push(path.to_string_lossy().into_owned());
+    }
+    files
+}
+
+fn cfg(seed: u64) -> JobConfig {
+    JobConfig {
+        system: SystemKind::Spark,
+        workload: "wordcount".into(),
+        input_gb: 4,
+        mem_mb: 4096,
+        cores: 4,
+        executors: 3,
+        hosts: 6,
+        seed,
+    }
+}
+
+#[test]
+fn cli_train_graph_detect_roundtrip() {
+    let bin = env!("CARGO_BIN_EXE_intellog");
+    let dir = std::env::temp_dir().join(format!("intellog-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("model.json");
+
+    // Training corpus: three clean jobs as raw Spark-syntax log files.
+    let mut train_files = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let job = dlasim::generate(&cfg(seed), None);
+        train_files.extend(write_job_logs(&dir, &job, &format!("train{seed}")));
+    }
+    let out = Command::new(bin)
+        .args(["train", "--format", "spark", "--model", model.to_str().unwrap()])
+        .args(&train_files)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trained on"), "{stdout}");
+    assert!(model.exists());
+
+    // Graph rendering from the model file.
+    let out = Command::new(bin)
+        .args(["graph", "--model", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let graph = String::from_utf8_lossy(&out.stdout);
+    assert!(graph.contains("task"), "{graph}");
+
+    // Detection on a faulty job.
+    let plan = FaultPlan::new(FaultKind::NetworkFailure, 0.3, 1, 0);
+    let faulty = dlasim::generate(&cfg(9), Some(&plan));
+    let detect_files = write_job_logs(&dir, &faulty, "eval");
+    let out = Command::new(bin)
+        .args(["detect", "--format", "spark", "--model", model.to_str().unwrap()])
+        .args(&detect_files)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "detect failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sessions problematic"), "{stdout}");
+    assert!(!stdout.contains("0 of"), "fault should be detected: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let bin = env!("CARGO_BIN_EXE_intellog");
+    let out = Command::new(bin).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(bin).args(["train", "--model"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(bin)
+        .args(["detect", "--model", "/nonexistent/model.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,73 @@
+//! Future-work validation (paper §9): IntelLog extends to distributed
+//! machine-learning systems. The simulator's TensorFlow model (chief +
+//! parameter servers + workers) runs through the unmodified pipeline.
+
+use intellog::core::{sessions_from_job, IntelLog};
+use intellog::dlasim::{self, FaultKind, FaultPlan, JobConfig, SystemKind};
+use intellog::spell::Session;
+
+fn cfg(seed: u64, input_gb: u32) -> JobConfig {
+    JobConfig {
+        system: SystemKind::TensorFlow,
+        workload: "resnet".into(),
+        input_gb,
+        mem_mb: 8192,
+        cores: 8,
+        executors: 4,
+        hosts: 6,
+        seed,
+    }
+}
+
+fn training_corpus() -> Vec<Session> {
+    let mut out = Vec::new();
+    for seed in 1..=5u64 {
+        let job = dlasim::generate(&cfg(seed, 2 + seed as u32), None);
+        for (i, mut s) in sessions_from_job(&job).into_iter().enumerate() {
+            s.id = format!("t{seed}_{i}_{}", s.id);
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[test]
+fn tensorflow_workflow_reconstructs() {
+    let il = IntelLog::train(&training_corpus());
+    let groups: Vec<&str> = il.graph().groups.iter().map(|g| g.name.as_str()).collect();
+    // ML-specific entity families come out of the nomenclature grouping
+    assert!(groups.iter().any(|g| g.contains("session")), "{groups:?}");
+    assert!(groups.iter().any(|g| g.contains("checkpoint")), "{groups:?}");
+    assert!(groups.iter().any(|g| g.contains("worker") || g.contains("step")), "{groups:?}");
+    // clean job detection stays clean
+    let job = dlasim::generate(&cfg(99, 4), None);
+    let report = il.detect_job(&sessions_from_job(&job));
+    let frac = report.problematic_count() as f64 / report.total_count() as f64;
+    assert!(frac < 0.3, "clean TF job flagged at {frac}");
+}
+
+#[test]
+fn tensorflow_faults_are_detected() {
+    let il = IntelLog::train(&training_corpus());
+    for (kind, victim) in [
+        (FaultKind::NetworkFailure, 2),
+        (FaultKind::SessionKill, 0),
+        (FaultKind::NodeFailure, 1),
+    ] {
+        let plan = FaultPlan::new(kind, 0.4, victim, 1);
+        let job = dlasim::generate(&cfg(7, 4), Some(&plan));
+        let report = il.detect_job(&sessions_from_job(&job));
+        assert!(report.is_problematic(), "TF fault {kind:?} not detected");
+    }
+}
+
+#[test]
+fn tensorflow_network_fault_diagnosed_to_host() {
+    let il = IntelLog::train(&training_corpus());
+    let plan = FaultPlan::new(FaultKind::NetworkFailure, 0.3, 2, 0);
+    let job = dlasim::generate(&cfg(11, 4), Some(&plan));
+    let report = il.detect_job(&sessions_from_job(&job));
+    let diag = il.diagnose(&report);
+    assert!(!diag.hosts.is_empty(), "{diag:?}");
+    assert_eq!(diag.hosts[0].0, "worker3", "{:?}", diag.hosts);
+}
