@@ -44,7 +44,12 @@ impl Detector {
         graph: HwGraph,
         ignored_keys: BTreeSet<KeyId>,
     ) -> Detector {
-        Detector { parser, keys, graph, ignored_keys }
+        Detector {
+            parser,
+            keys,
+            graph,
+            ignored_keys,
+        }
     }
 
     /// Detect anomalies in one session.
@@ -64,14 +69,24 @@ impl Detector {
         };
 
         // 1. Match lines to keys; collect Intel Messages, flag unexpected.
+        // The parser is frozen during detection, so repeated token
+        // sequences (retries, per-task message families with recurring
+        // variable values) are memoised per session.
+        let mut memo = spell::MatchMemo::new();
         let mut messages: Vec<IntelMessage> = Vec::with_capacity(session.lines.len());
         for line in &session.lines {
             let tokens = spell::tokenize_message(&line.message);
-            match self.parser.match_message(&tokens) {
+            let ids = self.parser.lookup_ids(&tokens);
+            match self.parser.match_ids_memo(&ids, &mut memo) {
                 Some(kid) if self.ignored_keys.contains(&kid) => {}
                 Some(kid) => {
                     let ik = &self.keys[kid.0 as usize];
-                    messages.push(IntelMessage::instantiate(ik, &tokens, &session.id, line.ts_ms));
+                    messages.push(IntelMessage::instantiate(
+                        ik,
+                        &tokens,
+                        &session.id,
+                        line.ts_ms,
+                    ));
                 }
                 None => {
                     let adhoc_key = extractor.extract_adhoc(&line.message);
@@ -89,7 +104,13 @@ impl Detector {
         }
 
         let instance = self.structural_checks(&messages, &mut report);
-        (report, HwInstance { session: session.id.clone(), groups: instance })
+        (
+            report,
+            HwInstance {
+                session: session.id.clone(),
+                groups: instance,
+            },
+        )
     }
 
     /// The end-of-session structural checks (§4.2 steps 2–5): subroutine
@@ -101,8 +122,11 @@ impl Detector {
         messages: &[IntelMessage],
         report: &mut SessionReport,
     ) -> std::collections::BTreeMap<usize, GroupInstance> {
-        // 2. Route matched messages into groups; track lifespans.
-        let mut per_group: HashMap<usize, Vec<&IntelMessage>> = HashMap::new();
+        // 2. Route matched messages into groups; track lifespans. BTreeMap
+        //    so downstream anomaly ordering is deterministic (HashMap
+        //    iteration order varies per instance).
+        let mut per_group: std::collections::BTreeMap<usize, Vec<&IntelMessage>> =
+            Default::default();
         let mut spans: HashMap<usize, Lifespan> = HashMap::new();
         for m in messages {
             for &g in self.graph.groups_of_key(m.key_id) {
@@ -195,9 +219,9 @@ impl Detector {
                     // absence flags a session; single-key probabilistic
                     // groups (an occasional GC line) are not.
                     if self.graph.groups[g].critical && !per_group.contains_key(&g) {
-                        report
-                            .anomalies
-                            .push(Anomaly::MissingGroup { group: self.graph.groups[g].name.clone() });
+                        report.anomalies.push(Anomaly::MissingGroup {
+                            group: self.graph.groups[g].name.clone(),
+                        });
                     }
                 }
             }
@@ -232,7 +256,9 @@ impl Detector {
 
     /// Detect anomalies across a whole job.
     pub fn detect_job(&self, sessions: &[Session]) -> JobReport {
-        JobReport { sessions: sessions.iter().map(|s| self.detect_session(s)).collect() }
+        JobReport {
+            sessions: sessions.iter().map(|s| self.detect_session(s)).collect(),
+        }
     }
 
     /// Map entity phrases to group names via the trained grouping.
@@ -240,8 +266,7 @@ impl Detector {
         let mut out: Vec<String> = Vec::new();
         for e in entities {
             for (gi, gm) in self.graph.groups.iter().enumerate() {
-                if gm.entities.contains(e)
-                    || hwgraph::longest_common_phrase(&gm.name, e).is_some()
+                if gm.entities.contains(e) || hwgraph::longest_common_phrase(&gm.name, e).is_some()
                 {
                     let name = self.graph.groups[gi].name.clone();
                     if !out.contains(&name) {
@@ -261,13 +286,21 @@ mod tests {
     use spell::{Level, LogLine};
 
     fn line(ts: u64, msg: &str) -> LogLine {
-        LogLine { ts_ms: ts, level: Level::Info, source: "X".into(), message: msg.into() }
+        LogLine {
+            ts_ms: ts,
+            level: Level::Info,
+            source: "X".into(),
+            message: msg.into(),
+        }
     }
 
     fn normal_session(id: &str, hosts: &str, tasks: &[u32]) -> Session {
         let mut lines = vec![
             line(0, "Changing view acls to root"),
-            line(10, &format!("Registering block manager endpoint on {hosts}")),
+            line(
+                10,
+                &format!("Registering block manager endpoint on {hosts}"),
+            ),
             line(20, "block manager registered with 2 GB memory"),
         ];
         let mut t = 30;
@@ -276,7 +309,10 @@ mod tests {
             t += 10;
         }
         for &k in tasks {
-            lines.push(line(t, &format!("Finished task {k} in stage 0 and sent 2264 bytes to driver")));
+            lines.push(line(
+                t,
+                &format!("Finished task {k} in stage 0 and sent 2264 bytes to driver"),
+            ));
             t += 10;
         }
         lines.push(line(t, "Stopped block manager cleanly"));
@@ -306,14 +342,23 @@ mod tests {
         let mut s = normal_session("c9", "host1", &[7]);
         s.lines.insert(
             4,
-            line(33, "spill 1 written to /tmp/spill1.out due to memory pressure"),
+            line(
+                33,
+                "spill 1 written to /tmp/spill1.out due to memory pressure",
+            ),
         );
         let r = d.detect_session(&s);
         assert!(r.is_problematic());
         let unexpected = r.unexpected_messages();
         assert_eq!(unexpected.len(), 1);
-        assert!(unexpected[0].entities.contains(&"spill".to_string()), "{unexpected:?}");
-        assert!(unexpected[0].localities.iter().any(|l| l.starts_with("/tmp/")));
+        assert!(
+            unexpected[0].entities.contains(&"spill".to_string()),
+            "{unexpected:?}"
+        );
+        assert!(unexpected[0]
+            .localities
+            .iter()
+            .any(|l| l.starts_with("/tmp/")));
     }
 
     #[test]
@@ -324,7 +369,9 @@ mod tests {
         let r = d.detect_session(&s);
         assert!(r.is_problematic());
         assert!(
-            r.anomalies.iter().any(|a| matches!(a, Anomaly::MissingCriticalKey { .. })),
+            r.anomalies
+                .iter()
+                .any(|a| matches!(a, Anomaly::MissingCriticalKey { .. })),
             "{:?}",
             r.anomalies
         );
@@ -364,16 +411,24 @@ mod tests {
                 line(0, "Changing view acls to root"),
                 line(10, "Registering block manager endpoint on host1"),
                 line(20, "block manager registered with 2 GB memory"),
-                line(30, "Finished task 7 in stage 0 and sent 2264 bytes to driver"),
+                line(
+                    30,
+                    "Finished task 7 in stage 0 and sent 2264 bytes to driver",
+                ),
                 line(40, "Starting task 7 in stage 0"),
-                line(50, "Finished task 7 in stage 0 and sent 2264 bytes to driver"),
+                line(
+                    50,
+                    "Finished task 7 in stage 0 and sent 2264 bytes to driver",
+                ),
                 line(90, "Stopped block manager cleanly"),
                 line(100, "Shutdown hook called"),
             ],
         );
         let r = d.detect_session(&s);
         assert!(
-            r.anomalies.iter().any(|a| matches!(a, Anomaly::BrokenOrder { .. })),
+            r.anomalies
+                .iter()
+                .any(|a| matches!(a, Anomaly::BrokenOrder { .. })),
             "{:?}",
             r.anomalies
         );

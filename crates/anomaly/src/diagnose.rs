@@ -103,7 +103,10 @@ impl Diagnosis {
             }
         }
         if !self.new_entities.is_empty() {
-            s.push_str(&format!("new entities in unexpected messages: {}\n", self.new_entities.join(", ")));
+            s.push_str(&format!(
+                "new entities in unexpected messages: {}\n",
+                self.new_entities.join(", ")
+            ));
         }
         s
     }
@@ -121,7 +124,12 @@ mod tests {
         let tokens = spell::tokenize_message(text);
         let intel = extract::IntelMessage::instantiate(&key, &tokens, session, 0);
         let entities = intel.entities.clone();
-        Anomaly::UnexpectedMessage { ts_ms: 0, text: text.into(), intel, groups: entities }
+        Anomaly::UnexpectedMessage {
+            ts_ms: 0,
+            text: text.into(),
+            intel,
+            groups: entities,
+        }
     }
 
     #[test]
@@ -135,7 +143,10 @@ mod tests {
             };
             for f in 0..3 {
                 sr.anomalies.push(unexpected(
-                    &format!("fetcher # {} failed to connect to hostA:13562", s * 3 + f + 1),
+                    &format!(
+                        "fetcher # {} failed to connect to hostA:13562",
+                        s * 3 + f + 1
+                    ),
                     &format!("c{s}"),
                 ));
             }
@@ -143,7 +154,11 @@ mod tests {
         }
         // plus clean sessions
         for s in 4..259 {
-            job.sessions.push(SessionReport { session: format!("c{s}"), lines: 40, anomalies: vec![] });
+            job.sessions.push(SessionReport {
+                session: format!("c{s}"),
+                lines: 40,
+                anomalies: vec![],
+            });
         }
         let d = diagnose(&job, &["fetcher".to_string()]);
         assert_eq!(d.problematic_sessions, 4);

@@ -58,7 +58,12 @@ mod tests {
     use spell::{Level, LogLine, Session};
 
     fn line(ts: u64, msg: &str) -> LogLine {
-        LogLine { ts_ms: ts, level: Level::Info, source: "X".into(), message: msg.into() }
+        LogLine {
+            ts_ms: ts,
+            level: Level::Info,
+            source: "X".into(),
+            message: msg.into(),
+        }
     }
 
     fn session(id: &str, tasks: &[u32]) -> Session {
@@ -66,7 +71,10 @@ mod tests {
         let mut t = 10;
         for &k in tasks {
             lines.push(line(t, &format!("Starting task {k} in stage 0")));
-            lines.push(line(t + 5, &format!("Finished task {k} in stage 0 and sent 9 bytes to driver")));
+            lines.push(line(
+                t + 5,
+                &format!("Finished task {k} in stage 0 and sent 9 bytes to driver"),
+            ));
             t += 10;
         }
         lines.push(line(t, "Shutdown hook called"));
@@ -85,7 +93,10 @@ mod tests {
         // three task ids → three TASK-signature subroutine instances plus
         // possibly a NONE bucket
         let n = inst.subroutine_instance_count("task");
-        assert!(n >= 3, "expected >=3 task subroutine instances, got {n}\n{inst:?}");
+        assert!(
+            n >= 3,
+            "expected >=3 task subroutine instances, got {n}\n{inst:?}"
+        );
         let g = inst.group("task").expect("task group present");
         assert!(g.lifespan.is_some());
         assert!(g.messages >= 6);

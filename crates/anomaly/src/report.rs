@@ -84,7 +84,9 @@ impl Anomaly {
     /// The entity group(s) this anomaly points at (diagnosis target).
     pub fn groups(&self) -> Vec<&str> {
         match self {
-            Anomaly::UnexpectedMessage { groups, .. } => groups.iter().map(String::as_str).collect(),
+            Anomaly::UnexpectedMessage { groups, .. } => {
+                groups.iter().map(String::as_str).collect()
+            }
             Anomaly::MissingCriticalKey { group, .. }
             | Anomaly::BrokenOrder { group, .. }
             | Anomaly::UnknownSignature { group, .. }
@@ -177,26 +179,45 @@ mod tests {
                 key: KeyId(1),
                 instance: BTreeSet::new(),
             },
-            Anomaly::BrokenOrder { group: "task".into(), signature: sig.clone(), first: KeyId(0), second: KeyId(1) },
-            Anomaly::UnknownSignature { group: "task".into(), signature: sig },
-            Anomaly::MissingGroup { group: "task".into() },
+            Anomaly::BrokenOrder {
+                group: "task".into(),
+                signature: sig.clone(),
+                first: KeyId(0),
+                second: KeyId(1),
+            },
+            Anomaly::UnknownSignature {
+                group: "task".into(),
+                signature: sig,
+            },
+            Anomaly::MissingGroup {
+                group: "task".into(),
+            },
         ];
         for c in &cases {
             assert_eq!(c.groups(), ["task"]);
             assert!(!c.is_unexpected_message());
         }
-        let h = Anomaly::HierarchyViolation { parent: "memory".into(), child: "task".into() };
+        let h = Anomaly::HierarchyViolation {
+            parent: "memory".into(),
+            child: "task".into(),
+        };
         assert_eq!(h.groups(), ["memory", "task"]);
     }
 
     #[test]
     fn job_report_counts() {
         let mut job = JobReport::default();
-        job.sessions.push(SessionReport { session: "a".into(), lines: 5, anomalies: vec![] });
+        job.sessions.push(SessionReport {
+            session: "a".into(),
+            lines: 5,
+            anomalies: vec![],
+        });
         job.sessions.push(SessionReport {
             session: "b".into(),
             lines: 9,
-            anomalies: vec![Anomaly::MissingGroup { group: "task".into() }],
+            anomalies: vec![Anomaly::MissingGroup {
+                group: "task".into(),
+            }],
         });
         assert_eq!(job.total_count(), 2);
         assert_eq!(job.problematic_count(), 1);

@@ -19,6 +19,8 @@ pub struct StreamDetector<'a> {
     lines: usize,
     messages: Vec<IntelMessage>,
     online_anomalies: Vec<Anomaly>,
+    /// Sound for the stream's lifetime: the detector's parser is frozen.
+    memo: spell::MatchMemo,
 }
 
 impl<'a> StreamDetector<'a> {
@@ -31,6 +33,7 @@ impl<'a> StreamDetector<'a> {
             lines: 0,
             messages: Vec::new(),
             online_anomalies: Vec::new(),
+            memo: spell::MatchMemo::new(),
         }
     }
 
@@ -39,17 +42,23 @@ impl<'a> StreamDetector<'a> {
     pub fn feed(&mut self, line: &LogLine) -> Option<Anomaly> {
         self.lines += 1;
         let tokens = spell::tokenize_message(&line.message);
-        match self.detector.parser.match_message(&tokens) {
+        let ids = self.detector.parser.lookup_ids(&tokens);
+        match self.detector.parser.match_ids_memo(&ids, &mut self.memo) {
             Some(kid) if self.detector.ignored_keys.contains(&kid) => None,
             Some(kid) => {
                 let ik = &self.detector.keys[kid.0 as usize];
-                self.messages
-                    .push(IntelMessage::instantiate(ik, &tokens, &self.session_id, line.ts_ms));
+                self.messages.push(IntelMessage::instantiate(
+                    ik,
+                    &tokens,
+                    &self.session_id,
+                    line.ts_ms,
+                ));
                 None
             }
             None => {
                 let adhoc = self.extractor.extract_adhoc(&line.message);
-                let intel = IntelMessage::instantiate(&adhoc, &tokens, &self.session_id, line.ts_ms);
+                let intel =
+                    IntelMessage::instantiate(&adhoc, &tokens, &self.session_id, line.ts_ms);
                 let groups = self.detector.groups_of_entities(&intel.entities);
                 let a = Anomaly::UnexpectedMessage {
                     ts_ms: line.ts_ms,
@@ -88,7 +97,12 @@ mod tests {
     use spell::{Level, LogLine, Session};
 
     fn line(ts: u64, msg: &str) -> LogLine {
-        LogLine { ts_ms: ts, level: Level::Info, source: "X".into(), message: msg.into() }
+        LogLine {
+            ts_ms: ts,
+            level: Level::Info,
+            source: "X".into(),
+            message: msg.into(),
+        }
     }
 
     fn trained() -> Detector {
@@ -98,19 +112,28 @@ mod tests {
                 vec![
                     line(0, &format!("Registering block manager endpoint on {host}")),
                     line(10, &format!("Starting task {k} in stage 0")),
-                    line(20, &format!("Finished task {k} in stage 0 and sent 9 bytes to driver")),
+                    line(
+                        20,
+                        &format!("Finished task {k} in stage 0 and sent 9 bytes to driver"),
+                    ),
                     line(30, "Shutdown hook called"),
                 ],
             )
         };
-        Trainer::default().train(&[mk("c0", "host1", 1), mk("c1", "host2", 2), mk("c2", "host1", 3)])
+        Trainer::default().train(&[
+            mk("c0", "host1", 1),
+            mk("c1", "host2", 2),
+            mk("c2", "host1", 3),
+        ])
     }
 
     #[test]
     fn unexpected_message_surfaces_immediately() {
         let d = trained();
         let mut s = StreamDetector::begin(&d, "c9");
-        assert!(s.feed(&line(0, "Registering block manager endpoint on host1")).is_none());
+        assert!(s
+            .feed(&line(0, "Registering block manager endpoint on host1"))
+            .is_none());
         let a = s.feed(&line(5, "spill 1 written to /tmp/x.out"));
         assert!(matches!(a, Some(Anomaly::UnexpectedMessage { .. })));
         assert_eq!(s.lines_seen(), 2);
@@ -136,7 +159,13 @@ mod tests {
         }
         let streamed = s.finish();
         assert_eq!(batch.lines, streamed.lines);
-        assert_eq!(batch.anomalies.len(), streamed.anomalies.len(), "\nbatch: {:?}\nstream: {:?}", batch.anomalies, streamed.anomalies);
+        assert_eq!(
+            batch.anomalies.len(),
+            streamed.anomalies.len(),
+            "\nbatch: {:?}\nstream: {:?}",
+            batch.anomalies,
+            streamed.anomalies
+        );
         assert!(streamed
             .anomalies
             .iter()

@@ -4,12 +4,43 @@
 //! sessions, builds Intel Keys, filters out non-natural-language keys into
 //! the ignored list (paper §5), instantiates Intel Messages and trains the
 //! HW-graph.
+//!
+//! # Parallelism
+//!
+//! [`Trainer::train`] parallelises every stage that is independent per line
+//! or per key, on rayon's current thread pool (wrap the call in
+//! [`rayon::ThreadPool::install`] to pin the pool):
+//!
+//! * tokenisation of every log line is embarrassingly parallel;
+//! * Spell itself is an order-dependent stream, so it is parallelised
+//!   *speculatively*: a batch of messages is matched read-only against a
+//!   snapshot of the parser in parallel, then applied sequentially. Each
+//!   precomputed match is used only while the parser's structural-mutation
+//!   counter still equals the snapshot value — after any refinement or new
+//!   key the rest of the batch falls back to matching inline. Matching
+//!   dominates the cost and batches rarely mutate once the key set
+//!   stabilises, so most of the work runs in parallel while the result is
+//!   **bit-identical** to the sequential stream;
+//! * Intel-Key extraction (POS tagging through the sample message) and the
+//!   natural-language check are pure per-key functions;
+//! * Intel-Message instantiation is pure per-session.
+//!
+//! The HW-graph merge is inherently order-sensitive and stays sequential.
+//! [`Trainer::train_sequential`] is the reference implementation; property
+//! tests assert `train` produces a byte-identical detector.
 
 use crate::detector::Detector;
 use extract::{IntelExtractor, IntelKey, IntelMessage, LocalityMatcher};
 use hwgraph::HwGraph;
-use spell::{KeyId, Session, SpellParser};
+use rayon::prelude::*;
+use spell::{tokenize_message, KeyId, Session, SpellParser};
 use std::collections::BTreeSet;
+
+/// Messages matched speculatively per parallel Spell round.
+const SPELL_BATCH: usize = 512;
+
+/// One parsed log line: its Spell key, tokens and timestamp.
+type ParsedLine = (KeyId, Vec<String>, u64);
 
 /// Configurable trainer for the IntelLog pipeline.
 #[derive(Debug, Clone)]
@@ -18,21 +49,126 @@ pub struct Trainer {
     pub spell_threshold: f64,
     /// Locality matcher (user-extensible patterns).
     pub matcher: LocalityMatcher,
+    /// Benchmark ablation: force the linear reference matcher instead of
+    /// the candidate index. The trained detector is identical (the two
+    /// matchers are equivalent); only the cost changes.
+    pub use_linear_matcher: bool,
 }
 
 impl Default for Trainer {
     fn default() -> Trainer {
-        Trainer { spell_threshold: 1.7, matcher: LocalityMatcher::new() }
+        Trainer {
+            spell_threshold: 1.7,
+            matcher: LocalityMatcher::new(),
+            use_linear_matcher: false,
+        }
     }
 }
 
 impl Trainer {
     /// Train on normal-execution sessions and return a detector.
+    ///
+    /// Runs on rayon's current thread pool and produces a detector
+    /// bit-identical to [`Trainer::train_sequential`].
     pub fn train(&self, sessions: &[Session]) -> Detector {
         let mut parser = SpellParser::new(self.spell_threshold);
+        parser.set_use_index(!self.use_linear_matcher);
+
+        // Stage 1a: tokenise every line (parallel, pure).
+        let tokenized: Vec<Vec<Vec<String>>> = sessions
+            .par_iter()
+            .map(|s| {
+                s.lines
+                    .iter()
+                    .map(|l| tokenize_message(&l.message))
+                    .collect()
+            })
+            .collect();
+
+        // Stage 1b: Spell over the ordered message stream, with speculative
+        // batch matching (see module docs).
+        let flat: Vec<&Vec<String>> = tokenized.iter().flatten().collect();
+        let mut keys_per_line: Vec<KeyId> = Vec::with_capacity(flat.len());
+        let mut start = 0;
+        while start < flat.len() {
+            let end = (start + SPELL_BATCH).min(flat.len());
+            let batch = &flat[start..end];
+            let snapshot = parser.mutations();
+            let hints: Vec<Option<KeyId>> = batch
+                .par_iter()
+                .map(|tokens| parser.match_message(tokens))
+                .collect();
+            for (tokens, hint) in batch.iter().zip(hints) {
+                let hint = (parser.mutations() == snapshot).then_some(hint);
+                keys_per_line.push(
+                    parser
+                        .parse_tokens_with_hint((*tokens).clone(), hint)
+                        .key_id,
+                );
+            }
+            start = end;
+        }
+        // Reassemble per-session (key, tokens, ts) triples.
+        let mut parsed: Vec<Vec<ParsedLine>> = Vec::with_capacity(sessions.len());
+        let mut cursor = 0;
+        for (session, toks) in sessions.iter().zip(tokenized) {
+            let v = session
+                .lines
+                .iter()
+                .zip(toks)
+                .map(|(line, tokens)| {
+                    let kid = keys_per_line[cursor];
+                    cursor += 1;
+                    (kid, tokens, line.ts_ms)
+                })
+                .collect();
+            parsed.push(v);
+        }
+
+        // Stage 2: Intel Keys (parallel, pure per key); non-NL keys go to
+        // the ignored list (§5).
+        let extractor = IntelExtractor::with_matcher(self.matcher.clone());
+        let keys: Vec<IntelKey> = parser
+            .keys()
+            .par_iter()
+            .map(|k| extractor.build(k))
+            .collect();
+        let ignored_keys: BTreeSet<KeyId> = parser
+            .keys()
+            .par_iter()
+            .map(|k| (!lognlp::is_natural_language(&k.render_sample())).then_some(k.id))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+
+        // Stage 3: Intel Messages per session (parallel, pure) → HW-graph.
+        let work: Vec<(&Session, &Vec<ParsedLine>)> = sessions.iter().zip(&parsed).collect();
+        let msg_sessions: Vec<Vec<IntelMessage>> = work
+            .par_iter()
+            .map(|(session, lines)| {
+                lines
+                    .iter()
+                    .filter(|(kid, _, _)| !ignored_keys.contains(kid))
+                    .map(|(kid, tokens, ts)| {
+                        IntelMessage::instantiate(&keys[kid.0 as usize], tokens, &session.id, *ts)
+                    })
+                    .collect()
+            })
+            .collect();
+        self.finish(parser, keys, ignored_keys, msg_sessions)
+    }
+
+    /// Reference sequential trainer: one thread, plain loops, no
+    /// speculation. [`Trainer::train`] must produce a bit-identical
+    /// detector; scaling benchmarks use this as their single-thread
+    /// baseline.
+    pub fn train_sequential(&self, sessions: &[Session]) -> Detector {
+        let mut parser = SpellParser::new(self.spell_threshold);
+        parser.set_use_index(!self.use_linear_matcher);
 
         // Stage 1: log keys. Remember each line's key and tokens.
-        let mut parsed: Vec<Vec<(KeyId, Vec<String>, u64)>> = Vec::with_capacity(sessions.len());
+        let mut parsed: Vec<Vec<ParsedLine>> = Vec::with_capacity(sessions.len());
         for session in sessions {
             let mut v = Vec::with_capacity(session.lines.len());
             for line in &session.lines {
@@ -64,6 +200,17 @@ impl Trainer {
                 .collect();
             msg_sessions.push(msgs);
         }
+        self.finish(parser, keys, ignored_keys, msg_sessions)
+    }
+
+    /// Shared tail of both trainers: HW-graph training + assembly.
+    fn finish(
+        &self,
+        parser: SpellParser,
+        keys: Vec<IntelKey>,
+        ignored_keys: BTreeSet<KeyId>,
+        msg_sessions: Vec<Vec<IntelMessage>>,
+    ) -> Detector {
         // Ignored keys contribute neither entities nor lifespans to the
         // HW-graph (paper §5: they are captured by pattern matching only).
         let graph_keys: Vec<IntelKey> = keys
@@ -72,7 +219,6 @@ impl Trainer {
             .cloned()
             .collect();
         let graph = HwGraph::build(&graph_keys, &msg_sessions);
-
         Detector::new(parser, keys, graph, ignored_keys)
     }
 }
@@ -83,7 +229,12 @@ mod tests {
     use spell::{Level, LogLine};
 
     fn line(ts: u64, msg: &str) -> LogLine {
-        LogLine { ts_ms: ts, level: Level::Info, source: "X".into(), message: msg.into() }
+        LogLine {
+            ts_ms: ts,
+            level: Level::Info,
+            source: "X".into(),
+            message: msg.into(),
+        }
     }
 
     #[test]
@@ -136,9 +287,65 @@ mod tests {
 
     #[test]
     fn custom_spell_threshold_respected() {
-        let t = Trainer { spell_threshold: 1.0, ..Default::default() };
+        let t = Trainer {
+            spell_threshold: 1.0,
+            ..Default::default()
+        };
         let d = t.train(&[Session::new("c0", vec![line(0, "a b c"), line(1, "a b d")])]);
         assert_eq!(d.parser.threshold(), 1.0);
         assert_eq!(d.parser.len(), 2); // exact matching: two keys
+    }
+
+    #[test]
+    fn parallel_training_equals_sequential() {
+        // Enough sessions and message variety that the key set keeps
+        // evolving (refinements mid-stream), exercising the speculative
+        // fallback path. The two detectors must serialise identically.
+        let mut sessions = Vec::new();
+        for c in 0..12 {
+            let mut lines = vec![
+                line(
+                    0,
+                    &format!("Registering block manager endpoint on host{}", c % 4),
+                ),
+                line(
+                    5,
+                    &format!("block manager registered with {} GB memory", c + 1),
+                ),
+            ];
+            for t in 0..8 {
+                lines.push(line(
+                    10 + t,
+                    &format!("Starting task {t} in stage {}", c % 2),
+                ));
+                lines.push(line(
+                    40 + t,
+                    &format!(
+                        "Finished task {t} in stage {} and sent {} bytes to driver",
+                        c % 2,
+                        t * 13
+                    ),
+                ));
+            }
+            lines.push(line(90, "Stopped block manager cleanly"));
+            lines.push(line(95, "Shutdown hook called"));
+            sessions.push(Session::new(format!("c{c}"), lines));
+        }
+        let trainer = Trainer::default();
+        let par = trainer.train(&sessions);
+        let seq = trainer.train_sequential(&sessions);
+        assert_eq!(
+            serde_json::to_string(&par).unwrap(),
+            serde_json::to_string(&seq).unwrap()
+        );
+        // and they report identically on a held-out anomalous session
+        let mut bad = sessions[0].clone();
+        bad.lines.truncate(6);
+        let rp = par.detect_session(&bad);
+        let rs = seq.detect_session(&bad);
+        assert_eq!(
+            serde_json::to_string(&rp).unwrap(),
+            serde_json::to_string(&rs).unwrap()
+        );
     }
 }

@@ -6,7 +6,12 @@ use proptest::prelude::*;
 use spell::{Level, LogLine, Session};
 
 fn line(ts: u64, msg: &str) -> LogLine {
-    LogLine { ts_ms: ts, level: Level::Info, source: "X".into(), message: msg.into() }
+    LogLine {
+        ts_ms: ts,
+        level: Level::Info,
+        source: "X".into(),
+        message: msg.into(),
+    }
 }
 
 fn word() -> impl Strategy<Value = String> {
@@ -28,7 +33,10 @@ fn session_strategy(id: &'static str) -> impl Strategy<Value = Session> {
     prop::collection::vec(message(), 1..25).prop_map(move |msgs| {
         Session::new(
             id,
-            msgs.iter().enumerate().map(|(i, m)| line(i as u64 * 10, m)).collect(),
+            msgs.iter()
+                .enumerate()
+                .map(|(i, m)| line(i as u64 * 10, m))
+                .collect(),
         )
     })
 }

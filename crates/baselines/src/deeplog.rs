@@ -25,7 +25,10 @@ pub struct DeepLogConfig {
 
 impl Default for DeepLogConfig {
     fn default() -> DeepLogConfig {
-        DeepLogConfig { history: 10, top_g: 9 }
+        DeepLogConfig {
+            history: 10,
+            top_g: 9,
+        }
     }
 }
 
@@ -51,7 +54,10 @@ fn hist_key(window: &[KeyId]) -> String {
 impl DeepLog {
     /// New model with the given configuration.
     pub fn new(config: DeepLogConfig) -> DeepLog {
-        DeepLog { config, counts: HashMap::new() }
+        DeepLog {
+            config,
+            counts: HashMap::new(),
+        }
     }
 
     /// Train on one normal session (a sequence of log keys).
@@ -79,7 +85,11 @@ impl DeepLog {
             if let Some(m) = self.counts.get(&hist_key(&window[start..])) {
                 let mut v: Vec<(u32, u64)> = m.iter().map(|(k, c)| (*k, *c)).collect();
                 v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                return v.into_iter().take(self.config.top_g).map(|(k, _)| k).collect();
+                return v
+                    .into_iter()
+                    .take(self.config.top_g)
+                    .map(|(k, _)| k)
+                    .collect();
             }
         }
         Vec::new()
@@ -117,7 +127,10 @@ mod tests {
     #[test]
     fn fixed_order_sequences_are_learned_perfectly() {
         // Infrastructure-style logs: same short sequence every time.
-        let mut m = DeepLog::new(DeepLogConfig { history: 3, top_g: 2 });
+        let mut m = DeepLog::new(DeepLogConfig {
+            history: 3,
+            top_g: 2,
+        });
         for _ in 0..5 {
             m.train_session(&ks(&[1, 2, 3, 4, 5]));
         }
@@ -131,7 +144,10 @@ mod tests {
         // Analytics-style logs: two concurrent actors interleave at random,
         // so a tight top-g model flags clean sessions too (the paper's 8.81%
         // precision collapse).
-        let mut m = DeepLog::new(DeepLogConfig { history: 4, top_g: 1 });
+        let mut m = DeepLog::new(DeepLogConfig {
+            history: 4,
+            top_g: 1,
+        });
         m.train_session(&ks(&[1, 10, 2, 20, 3, 30]));
         m.train_session(&ks(&[1, 2, 10, 20, 30, 3]));
         // a third benign interleaving still trips the predictor
@@ -140,7 +156,10 @@ mod tests {
 
     #[test]
     fn larger_g_restores_recall_on_seen_variation() {
-        let mut m = DeepLog::new(DeepLogConfig { history: 2, top_g: 9 });
+        let mut m = DeepLog::new(DeepLogConfig {
+            history: 2,
+            top_g: 9,
+        });
         m.train_session(&ks(&[1, 2, 3]));
         m.train_session(&ks(&[1, 3, 2]));
         assert!(!m.is_anomalous(&ks(&[1, 2, 3])));
@@ -156,7 +175,10 @@ mod tests {
 
     #[test]
     fn miss_counts_are_monotone_in_corruption() {
-        let mut m = DeepLog::new(DeepLogConfig { history: 3, top_g: 3 });
+        let mut m = DeepLog::new(DeepLogConfig {
+            history: 3,
+            top_g: 3,
+        });
         for _ in 0..3 {
             m.train_session(&ks(&[1, 2, 3, 4, 5, 6]));
         }

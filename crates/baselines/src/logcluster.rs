@@ -28,7 +28,10 @@ impl Default for LogClusterConfig {
 type Vector = HashMap<u32, f64>;
 
 fn cosine(a: &Vector, b: &Vector) -> f64 {
-    let dot: f64 = a.iter().filter_map(|(k, va)| b.get(k).map(|vb| va * vb)).sum();
+    let dot: f64 = a
+        .iter()
+        .filter_map(|(k, va)| b.get(k).map(|vb| va * vb))
+        .sum();
     let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {
@@ -62,9 +65,15 @@ impl LogCluster {
                 *df.entry(k).or_insert(0) += 1;
             }
         }
-        let idf: HashMap<u32, f64> =
-            df.into_iter().map(|(k, d)| (k, (n / d as f64).ln() + 1.0)).collect();
-        let mut kb = LogCluster { config, idf, representatives: Vec::new() };
+        let idf: HashMap<u32, f64> = df
+            .into_iter()
+            .map(|(k, d)| (k, (n / d as f64).ln() + 1.0))
+            .collect();
+        let mut kb = LogCluster {
+            config,
+            idf,
+            representatives: Vec::new(),
+        };
         for s in sessions {
             let v = kb.vectorize(s);
             match kb.nearest(&v) {
@@ -111,7 +120,9 @@ impl LogCluster {
 
     /// Similarity of a session to its closest known cluster.
     pub fn best_similarity(&self, keys: &[KeyId]) -> f64 {
-        self.nearest(&self.vectorize(keys)).map(|(_, s)| s).unwrap_or(0.0)
+        self.nearest(&self.vectorize(keys))
+            .map(|(_, s)| s)
+            .unwrap_or(0.0)
     }
 
     /// Verdict: a session in no known cluster is surfaced for examination.
@@ -166,8 +177,8 @@ mod tests {
         let train: Vec<Vec<KeyId>> = vec![ks(&[1, 2, 2, 2, 3, 4]); 4];
         let kb = LogCluster::train(LogClusterConfig::default(), &train);
         let truncated = ks(&[1, 2, 2, 2]); // lost tail keys 3,4
-        // not asserting a specific verdict is the point: similarity stays
-        // high even though the session is anomalous
+                                           // not asserting a specific verdict is the point: similarity stays
+                                           // high even though the session is anomalous
         assert!(kb.best_similarity(&truncated) > 0.5);
     }
 

@@ -51,7 +51,8 @@ impl S3Graph {
         // mappings in both directions.
         let mut types: BTreeSet<String> = BTreeSet::new();
         // (a_type, b_type) -> a_value -> set of b_values
-        let mut maps: BTreeMap<(String, String), BTreeMap<String, BTreeSet<String>>> = BTreeMap::new();
+        let mut maps: BTreeMap<(String, String), BTreeMap<String, BTreeSet<String>>> =
+            BTreeMap::new();
         for (j, sessions) in jobs.iter().enumerate() {
             for session in sessions {
                 for m in session {
@@ -108,7 +109,10 @@ impl S3Graph {
                 edges.push((a.clone(), b.clone(), rel));
             }
         }
-        S3Graph { types: type_list, edges }
+        S3Graph {
+            types: type_list,
+            edges,
+        }
     }
 
     /// Render the graph in the Fig. 9 style: 1:1 types merged into one box,
@@ -136,7 +140,10 @@ impl S3Graph {
             }
         }
         let label = |i: usize| -> String {
-            format!("{{{}}}", boxes[i].iter().copied().collect::<Vec<_>>().join(" / "))
+            format!(
+                "{{{}}}",
+                boxes[i].iter().copied().collect::<Vec<_>>().join(" / ")
+            )
         };
         let mut out = String::new();
         let mut seen: BTreeSet<(usize, usize, &str)> = BTreeSet::new();
@@ -181,7 +188,10 @@ mod tests {
             key_id: KeyId(0),
             session: "s".into(),
             ts_ms: 0,
-            identifiers: ids.iter().map(|(t, v)| (t.to_string(), v.to_string())).collect(),
+            identifiers: ids
+                .iter()
+                .map(|(t, v)| (t.to_string(), v.to_string()))
+                .collect(),
             values: vec![],
             localities: vec![],
             entities: vec![],
@@ -198,7 +208,10 @@ mod tests {
             msg(&[("HOST", "h2"), ("EXECUTOR", "e2")]),
         ]];
         let g = S3Graph::build(&sessions);
-        assert_eq!(g.edges, vec![("EXECUTOR".into(), "HOST".into(), S3Rel::OneToOne)]);
+        assert_eq!(
+            g.edges,
+            vec![("EXECUTOR".into(), "HOST".into(), S3Rel::OneToOne)]
+        );
     }
 
     #[test]
@@ -210,7 +223,10 @@ mod tests {
             msg(&[("STAGE", "s2"), ("TID", "t3")]),
         ]];
         let g = S3Graph::build(&sessions);
-        assert_eq!(g.edges, vec![("STAGE".into(), "TID".into(), S3Rel::OneToMany)]);
+        assert_eq!(
+            g.edges,
+            vec![("STAGE".into(), "TID".into(), S3Rel::OneToMany)]
+        );
         let r = g.render();
         assert!(r.contains("{STAGE} -> {TID}"), "{r}");
     }
@@ -223,7 +239,10 @@ mod tests {
             msg(&[("STAGE", "s2"), ("TASK", "0")]),
         ]];
         let g = S3Graph::build(&sessions);
-        assert_eq!(g.edges, vec![("STAGE".into(), "TASK".into(), S3Rel::ManyToMany)]);
+        assert_eq!(
+            g.edges,
+            vec![("STAGE".into(), "TASK".into(), S3Rel::ManyToMany)]
+        );
     }
 
     #[test]

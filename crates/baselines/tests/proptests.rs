@@ -100,6 +100,51 @@ proptest! {
     }
 }
 
+/// Historical regression case for `deeplog_unseen_keys_always_miss`
+/// (recorded in `proptests.proptest-regressions`), pinned as a plain unit
+/// test so it always runs: corrupting position 2 of a trained sequence
+/// with a never-trained key must count as a miss.
+#[test]
+fn deeplog_unseen_key_regression_case() {
+    let ss: Vec<Vec<KeyId>> = vec![
+        vec![KeyId(5), KeyId(6)],
+        vec![
+            KeyId(7),
+            KeyId(7),
+            KeyId(3),
+            KeyId(7),
+            KeyId(6),
+            KeyId(3),
+            KeyId(7),
+            KeyId(5),
+            KeyId(3),
+        ],
+        vec![
+            KeyId(3),
+            KeyId(6),
+            KeyId(7),
+            KeyId(5),
+            KeyId(0),
+            KeyId(6),
+            KeyId(6),
+            KeyId(5),
+            KeyId(1),
+        ],
+    ];
+    let mut dl = DeepLog::new(DeepLogConfig {
+        history: 3,
+        top_g: 3,
+    });
+    for s in &ss {
+        dl.train_session(s);
+    }
+    let mut corrupted = ss[0].clone();
+    let p = 2 % corrupted.len();
+    corrupted[p] = KeyId(999);
+    assert!(dl.count_misses(&corrupted) >= 1);
+    assert!(dl.is_anomalous(&corrupted));
+}
+
 #[test]
 fn s3_rel_is_directional_for_one_to_many() {
     // sanity: the OneToMany edge always stores the parent first
@@ -123,6 +168,10 @@ fn s3_rel_is_directional_for_one_to_many() {
     let g = S3Graph::build(&[msgs]);
     assert_eq!(
         g.edges,
-        vec![("ZZZ_PARENT".to_string(), "AAA_CHILD".to_string(), S3Rel::OneToMany)]
+        vec![(
+            "ZZZ_PARENT".to_string(),
+            "AAA_CHILD".to_string(),
+            S3Rel::OneToMany
+        )]
     );
 }

@@ -62,7 +62,9 @@ fn ablate_grouping_rule(c: &mut Criterion) {
         b.iter(|| {
             hwgraph::group_entities_with(
                 entities.iter().cloned(),
-                hwgraph::GroupingOptions { last_words_rule: false },
+                hwgraph::GroupingOptions {
+                    last_words_rule: false,
+                },
             )
             .len()
         })
@@ -90,7 +92,10 @@ fn ablate_deeplog_history(c: &mut Criterion) {
     for h in [2usize, 5, 10] {
         g.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
             b.iter(|| {
-                let mut dl = DeepLog::new(DeepLogConfig { history: h, top_g: 9 });
+                let mut dl = DeepLog::new(DeepLogConfig {
+                    history: h,
+                    top_g: 9,
+                });
                 for s in &seqs {
                     dl.train_session(s);
                 }
@@ -102,5 +107,10 @@ fn ablate_deeplog_history(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablate_spell_threshold, ablate_grouping_rule, ablate_deeplog_history);
+criterion_group!(
+    benches,
+    ablate_spell_threshold,
+    ablate_grouping_rule,
+    ablate_deeplog_history
+);
 criterion_main!(benches);

@@ -31,7 +31,44 @@ fn bench_spell(c: &mut Criterion) {
         trained.parse_message(m);
     }
     g.bench_function("match_stream", |b| {
-        b.iter(|| messages.iter().filter(|m| trained.match_raw(m).is_some()).count())
+        b.iter(|| {
+            messages
+                .iter()
+                .filter(|m| trained.match_raw(m).is_some())
+                .count()
+        })
+    });
+    g.finish();
+}
+
+/// Regression guard for the indexed matcher: indexed vs reference linear
+/// scan against a large (≥1k) key set. The acceptance bar for the index is
+/// ≥3× the linear scan; `cargo run --bin bench_pipeline` records the ratio
+/// in BENCH_pipeline.json.
+fn bench_spell_throughput(c: &mut Criterion) {
+    let (parser, probes) = intellog_bench::synthetic_keyset(1200, 4000);
+    assert!(
+        parser.len() >= 1000,
+        "need >=1k distinct keys, got {}",
+        parser.len()
+    );
+    let mut g = c.benchmark_group("spell_throughput");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("indexed", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|m| parser.match_message(m).is_some())
+                .count()
+        })
+    });
+    g.bench_function("linear", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|m| parser.match_message_linear(m).is_some())
+                .count()
+        })
     });
     g.finish();
 }
@@ -49,7 +86,11 @@ fn bench_extraction(c: &mut Criterion) {
     g.throughput(Throughput::Elements(keys.len() as u64));
     g.bench_function("intel_keys", |b| {
         let ex = extract::IntelExtractor::new();
-        b.iter(|| keys.iter().map(|k| ex.build(k).entities.len()).sum::<usize>())
+        b.iter(|| {
+            keys.iter()
+                .map(|k| ex.build(k).entities.len())
+                .sum::<usize>()
+        })
     });
     g.bench_function("pos_tagging", |b| {
         b.iter(|| {
@@ -70,6 +111,22 @@ fn bench_training(c: &mut Criterion) {
             b.iter(|| IntelLog::train(sessions).graph().groups.len())
         });
     }
+    // parallel-vs-sequential training scaling
+    let sessions = training_sessions(SystemKind::Spark, 6, 3);
+    g.bench_function("train_sequential", |b| {
+        b.iter(|| IntelLog::train_sequential(&sessions).graph().groups.len())
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("train_threads", threads),
+            &threads,
+            |b, _| b.iter(|| pool.install(|| IntelLog::train(&sessions).graph().groups.len())),
+        );
+    }
     g.finish();
 }
 
@@ -77,6 +134,17 @@ fn bench_detection(c: &mut Criterion) {
     let train = training_sessions(SystemKind::MapReduce, 8, 4);
     let il = IntelLog::train(&train);
     let eval = training_sessions(SystemKind::MapReduce, 4, 99);
+    // Contract check before timing anything: `detect_job` under a 1-thread
+    // pool must equal the genuinely sequential loop.
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    assert_eq!(
+        one.install(|| il.detect_job(&eval)),
+        il.detect_job_sequential(&eval),
+        "1-thread parallel detection must match the sequential baseline"
+    );
     let mut g = c.benchmark_group("detection");
     g.throughput(Throughput::Elements(eval.len() as u64));
     g.sample_size(10);
@@ -87,7 +155,10 @@ fn bench_detection(c: &mut Criterion) {
         b.iter(|| il.detect_job(&eval).problematic_count())
     });
     for threads in [1usize, 2, 4, 8] {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
         g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
             b.iter(|| pool.install(|| il.detect_job(&eval).problematic_count()))
         });
@@ -95,5 +166,12 @@ fn bench_detection(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_spell, bench_extraction, bench_training, bench_detection);
+criterion_group!(
+    benches,
+    bench_spell,
+    bench_spell_throughput,
+    bench_extraction,
+    bench_training,
+    bench_detection
+);
 criterion_main!(benches);

@@ -57,14 +57,22 @@ pub fn evaluate(system: SystemKind, jobs: &[GenJob]) -> AccuracyRow {
         for session in &job.sessions {
             for line in &session.lines {
                 let out = parser.parse_message(&line.message);
-                *attribution.entry(out.key_id).or_default().entry(line.template_id).or_insert(0) += 1;
+                *attribution
+                    .entry(out.key_id)
+                    .or_default()
+                    .entry(line.template_id)
+                    .or_insert(0) += 1;
                 consumed += 1;
             }
         }
     }
 
     let extractor = IntelExtractor::new();
-    let mut row = AccuracyRow { system: system.name().to_string(), consumed, ..Default::default() };
+    let mut row = AccuracyRow {
+        system: system.name().to_string(),
+        consumed,
+        ..Default::default()
+    };
 
     for key in parser.keys() {
         // Non-natural-language keys are handled by pattern matching and
@@ -79,13 +87,25 @@ pub fn evaluate(system: SystemKind, jobs: &[GenJob]) -> AccuracyRow {
         else {
             continue;
         };
-        let Some(truth) = truth_of(system, template) else { continue };
+        let Some(truth) = truth_of(system, template) else {
+            continue;
+        };
         let ik = extractor.build(key);
         row.keys += 1;
         score_entities(&ik, truth.entities, &mut row.entities);
-        score_fields(&ik, FieldCategory::Identifier, truth.identifiers, &mut row.identifiers);
+        score_fields(
+            &ik,
+            FieldCategory::Identifier,
+            truth.identifiers,
+            &mut row.identifiers,
+        );
         score_fields(&ik, FieldCategory::Value, truth.values, &mut row.values);
-        score_fields(&ik, FieldCategory::Locality, truth.localities, &mut row.localities);
+        score_fields(
+            &ik,
+            FieldCategory::Locality,
+            truth.localities,
+            &mut row.localities,
+        );
         row.operations_total += truth.operations;
         row.operations_missed += truth.operations.saturating_sub(ik.operations.len());
     }

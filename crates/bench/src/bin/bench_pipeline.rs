@@ -1,0 +1,352 @@
+//! Benchmark regression harness: times every pipeline stage and emits a
+//! machine-readable `BENCH_pipeline.json`.
+//!
+//! Stages and metrics (all throughputs in units/second, medians of
+//! `--reps` repetitions):
+//!
+//! * `spell.parse_msgs_per_s` — streaming Spell over a MapReduce corpus;
+//! * `spell.match_indexed_msgs_per_s` / `spell.match_linear_msgs_per_s` —
+//!   the indexed matcher vs the linear-scan reference against a ≥1k-key
+//!   set, plus their ratio `spell.index_speedup` (regression bar: ≥3×);
+//! * `extraction.keys_per_s` — Intel-Key construction (POS tagging +
+//!   n-grams) per log key;
+//! * `hwgraph.sessions_per_s` — full training (Spell + extraction + graph);
+//! * `detection.sequential_sessions_per_s` and
+//!   `detection.threads{1,2,4,8}_sessions_per_s` — per-session detection,
+//!   genuinely sequential baseline vs rayon pools;
+//! * `training.sequential_sessions_per_s` and
+//!   `training.threads{N}_sessions_per_s` — parallel training scaling;
+//! * `end_to_end.{sequential,parallel}_s` — train + detect wall-clock on
+//!   the Table 6-style corpus, plus `end_to_end.speedup`.
+//!
+//! Usage: `cargo run --release -p intellog-bench --bin bench_pipeline --
+//! [--smoke] [--out PATH] [--reps N]`. `--smoke` shrinks the corpora so CI
+//! can validate the emitter in seconds; its numbers are not meaningful.
+
+use dlasim::SystemKind;
+use intellog_bench::{synthetic_keyset, training_sessions};
+use intellog_core::IntelLog;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct SpellStats {
+    corpus_msgs: usize,
+    parse_msgs_per_s: f64,
+    keyset_size: usize,
+    probe_msgs: usize,
+    match_indexed_msgs_per_s: f64,
+    match_linear_msgs_per_s: f64,
+    index_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ExtractionStats {
+    keys: usize,
+    keys_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct HwGraphStats {
+    sessions: usize,
+    sessions_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingStats {
+    sessions: usize,
+    sequential_sessions_per_s: f64,
+    threads1_sessions_per_s: f64,
+    threads2_sessions_per_s: f64,
+    threads4_sessions_per_s: f64,
+    threads8_sessions_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct EndToEndStats {
+    train_sessions: usize,
+    eval_sessions: usize,
+    /// Seed-style baseline: sequential training + detection with the
+    /// linear-scan matcher (the pre-index implementation).
+    seed_baseline_s: f64,
+    sequential_s: f64,
+    parallel_s: f64,
+    /// parallel (indexed) vs seed baseline — the headline number.
+    speedup_vs_seed: f64,
+    /// parallel vs sequential, both indexed — pure thread scaling.
+    speedup_vs_sequential: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    smoke: bool,
+    reps: usize,
+    spell: SpellStats,
+    extraction: ExtractionStats,
+    hwgraph: HwGraphStats,
+    detection: ScalingStats,
+    training: ScalingStats,
+    end_to_end: EndToEndStats,
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut reps: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("bench_pipeline: --out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            "--reps" => {
+                reps = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bench_pipeline: --reps requires a positive integer");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!(
+                    "bench_pipeline: unknown argument {other}\n\
+                     usage: bench_pipeline [--smoke] [--out PATH] [--reps N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = reps.unwrap_or(if smoke { 1 } else { 5 });
+
+    // corpora: shrink everything drastically under --smoke
+    let (spell_jobs, keyset, probes, train_jobs, eval_jobs) = if smoke {
+        (1, 1000, 500, 1, 1)
+    } else {
+        (4, 1200, 4000, 8, 6)
+    };
+
+    eprintln!("bench_pipeline: smoke={smoke} reps={reps}");
+
+    // --- spell: streaming parse ------------------------------------------
+    let sessions = training_sessions(SystemKind::MapReduce, spell_jobs, 1);
+    let messages: Vec<String> = sessions
+        .iter()
+        .flat_map(|s| s.lines.iter().map(|l| l.message.clone()))
+        .collect();
+    let parse_s = time_median(reps, || {
+        let mut p = spell::SpellParser::default();
+        for m in &messages {
+            p.parse_message(m);
+        }
+        p.len()
+    });
+
+    // --- spell: indexed vs linear matching at >=1k keys ------------------
+    let (parser, probe_msgs) = synthetic_keyset(keyset, probes);
+    assert!(
+        parser.len() >= keyset,
+        "keyset under-filled: {}",
+        parser.len()
+    );
+    // equivalence before timing: the two matchers must agree on every probe
+    for m in &probe_msgs {
+        assert_eq!(parser.match_message(m), parser.match_message_linear(m));
+    }
+    let indexed_s = time_median(reps, || {
+        probe_msgs
+            .iter()
+            .filter(|m| parser.match_message(m).is_some())
+            .count()
+    });
+    let linear_s = time_median(reps.min(3), || {
+        probe_msgs
+            .iter()
+            .filter(|m| parser.match_message_linear(m).is_some())
+            .count()
+    });
+    let spell_stats = SpellStats {
+        corpus_msgs: messages.len(),
+        parse_msgs_per_s: messages.len() as f64 / parse_s,
+        keyset_size: parser.len(),
+        probe_msgs: probe_msgs.len(),
+        match_indexed_msgs_per_s: probe_msgs.len() as f64 / indexed_s,
+        match_linear_msgs_per_s: probe_msgs.len() as f64 / linear_s,
+        index_speedup: linear_s / indexed_s,
+    };
+    eprintln!(
+        "spell: parse {:.0} msgs/s, match indexed {:.0} vs linear {:.0} msgs/s ({:.1}x)",
+        spell_stats.parse_msgs_per_s,
+        spell_stats.match_indexed_msgs_per_s,
+        spell_stats.match_linear_msgs_per_s,
+        spell_stats.index_speedup
+    );
+
+    // --- extraction -------------------------------------------------------
+    let mut key_parser = spell::SpellParser::default();
+    for m in &messages {
+        key_parser.parse_message(m);
+    }
+    let keys = key_parser.keys().to_vec();
+    let extract_s = time_median(reps, || {
+        let ex = extract::IntelExtractor::new();
+        keys.iter()
+            .map(|k| ex.build(k).entities.len())
+            .sum::<usize>()
+    });
+    let extraction = ExtractionStats {
+        keys: keys.len(),
+        keys_per_s: keys.len() as f64 / extract_s,
+    };
+    eprintln!(
+        "extraction: {:.0} keys/s over {} keys",
+        extraction.keys_per_s, extraction.keys
+    );
+
+    // --- hwgraph build (full training) ------------------------------------
+    let train = training_sessions(SystemKind::MapReduce, train_jobs, 4);
+    let hw_s = time_median(reps, || IntelLog::train(&train).graph().groups.len());
+    let hwgraph = HwGraphStats {
+        sessions: train.len(),
+        sessions_per_s: train.len() as f64 / hw_s,
+    };
+    eprintln!(
+        "hwgraph: {:.1} sessions/s over {} sessions",
+        hwgraph.sessions_per_s, hwgraph.sessions
+    );
+
+    // --- detection scaling -------------------------------------------------
+    let il = IntelLog::train(&train);
+    let eval = training_sessions(SystemKind::MapReduce, eval_jobs, 99);
+    let seq_report = il.detect_job_sequential(&eval);
+    assert_eq!(
+        pool(1).install(|| il.detect_job(&eval)),
+        seq_report,
+        "1-thread parallel detection must equal the sequential baseline"
+    );
+    let det_seq = time_median(reps, || il.detect_job_sequential(&eval).problematic_count());
+    let det_at = |threads: usize| {
+        let p = pool(threads);
+        time_median(reps, || {
+            p.install(|| il.detect_job(&eval).problematic_count())
+        })
+    };
+    let detection = ScalingStats {
+        sessions: eval.len(),
+        sequential_sessions_per_s: eval.len() as f64 / det_seq,
+        threads1_sessions_per_s: eval.len() as f64 / det_at(1),
+        threads2_sessions_per_s: eval.len() as f64 / det_at(2),
+        threads4_sessions_per_s: eval.len() as f64 / det_at(4),
+        threads8_sessions_per_s: eval.len() as f64 / det_at(8),
+    };
+    eprintln!(
+        "detection: seq {:.1}, 1t {:.1}, 2t {:.1}, 4t {:.1}, 8t {:.1} sessions/s",
+        detection.sequential_sessions_per_s,
+        detection.threads1_sessions_per_s,
+        detection.threads2_sessions_per_s,
+        detection.threads4_sessions_per_s,
+        detection.threads8_sessions_per_s
+    );
+
+    // --- training scaling ---------------------------------------------------
+    let tr_seq = time_median(reps, || {
+        IntelLog::train_sequential(&train).graph().groups.len()
+    });
+    let tr_at = |threads: usize| {
+        let p = pool(threads);
+        time_median(reps, || {
+            p.install(|| IntelLog::train(&train).graph().groups.len())
+        })
+    };
+    let training = ScalingStats {
+        sessions: train.len(),
+        sequential_sessions_per_s: train.len() as f64 / tr_seq,
+        threads1_sessions_per_s: train.len() as f64 / tr_at(1),
+        threads2_sessions_per_s: train.len() as f64 / tr_at(2),
+        threads4_sessions_per_s: train.len() as f64 / tr_at(4),
+        threads8_sessions_per_s: train.len() as f64 / tr_at(8),
+    };
+    eprintln!(
+        "training: seq {:.1}, 1t {:.1}, 2t {:.1}, 4t {:.1}, 8t {:.1} sessions/s",
+        training.sequential_sessions_per_s,
+        training.threads1_sessions_per_s,
+        training.threads2_sessions_per_s,
+        training.threads4_sessions_per_s,
+        training.threads8_sessions_per_s
+    );
+
+    // --- end-to-end train + detect -----------------------------------------
+    // Seed-style baseline: what the pipeline cost before this PR — one
+    // thread, linear-scan Spell matching everywhere.
+    let seed_trainer = anomaly::Trainer {
+        use_linear_matcher: true,
+        ..anomaly::Trainer::default()
+    };
+    let e2e_seed = time_median(reps, || {
+        let d = seed_trainer.train_sequential(&train);
+        d.detect_job(&eval).problematic_count()
+    });
+    let e2e_seq = time_median(reps, || {
+        let il = IntelLog::train_sequential(&train);
+        il.detect_job_sequential(&eval).problematic_count()
+    });
+    let e2e_par = time_median(reps, || {
+        let il = IntelLog::train(&train);
+        il.detect_job(&eval).problematic_count()
+    });
+    let end_to_end = EndToEndStats {
+        train_sessions: train.len(),
+        eval_sessions: eval.len(),
+        seed_baseline_s: e2e_seed,
+        sequential_s: e2e_seq,
+        parallel_s: e2e_par,
+        speedup_vs_seed: e2e_seed / e2e_par,
+        speedup_vs_sequential: e2e_seq / e2e_par,
+    };
+    eprintln!(
+        "end-to-end: seed baseline {:.2}s, sequential {:.2}s, parallel {:.2}s ({:.1}x vs seed)",
+        end_to_end.seed_baseline_s,
+        end_to_end.sequential_s,
+        end_to_end.parallel_s,
+        end_to_end.speedup_vs_seed
+    );
+
+    let report = BenchReport {
+        smoke,
+        reps,
+        spell: spell_stats,
+        extraction,
+        hwgraph,
+        detection,
+        training,
+        end_to_end,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("bench_pipeline: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

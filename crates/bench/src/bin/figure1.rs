@@ -53,8 +53,16 @@ fn main() {
         let mut locs = Vec::new();
         for f in &ik.fields {
             match f.category {
-                FieldCategory::Identifier => ids.push(format!("pos {} [{}]", f.pos, f.id_type.clone().unwrap_or_default())),
-                FieldCategory::Value => vals.push(format!("pos {} [{}]", f.pos, f.name.clone().unwrap_or_default())),
+                FieldCategory::Identifier => ids.push(format!(
+                    "pos {} [{}]",
+                    f.pos,
+                    f.id_type.clone().unwrap_or_default()
+                )),
+                FieldCategory::Value => vals.push(format!(
+                    "pos {} [{}]",
+                    f.pos,
+                    f.name.clone().unwrap_or_default()
+                )),
                 FieldCategory::Locality => locs.push(format!("pos {}", f.pos)),
                 FieldCategory::Skipped => {}
             }

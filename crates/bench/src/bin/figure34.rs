@@ -42,7 +42,10 @@ fn main() {
 
     let ik = IntelExtractor::new().build(key);
     println!("Intel Key:");
-    println!("  entities:   {:?}  (unit word 'bytes' omitted)", ik.entity_phrases());
+    println!(
+        "  entities:   {:?}  (unit word 'bytes' omitted)",
+        ik.entity_phrases()
+    );
     for f in &ik.fields {
         match f.category {
             FieldCategory::Identifier => println!(

@@ -9,7 +9,10 @@ use intellog_bench::training_sessions;
 use intellog_core::IntelLog;
 
 fn main() {
-    let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
     let sessions = training_sessions(SystemKind::Spark, jobs, 88);
     let total_msgs: usize = sessions.iter().map(|s| s.len()).sum();
     let il = IntelLog::train(&sessions);
@@ -19,5 +22,8 @@ fn main() {
         total_msgs
     );
     print!("{}", il.render_graph());
-    println!("\nJSON export: {} bytes (paper §5: HW-graphs are output as JSON)", il.graph_json().len());
+    println!(
+        "\nJSON export: {} bytes (paper §5: HW-graphs are output as JSON)",
+        il.graph_json().len()
+    );
 }

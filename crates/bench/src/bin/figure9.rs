@@ -10,7 +10,10 @@ use intellog_bench::{intel_messages, train_keyseqs, training_jobs, training_sess
 use intellog_core::sessions_from_job;
 
 fn main() {
-    let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
     // keys learned over the whole corpus, S3 relations scoped per job
     let all_sessions = training_sessions(SystemKind::Spark, jobs, 88);
     let (parser, _) = train_keyseqs(&all_sessions);
@@ -23,5 +26,7 @@ fn main() {
     println!("identifier types: {:?}\n", g.types);
     print!("{}", g.render());
     println!("\npaper shape: {{HOST/IP}} -> {{EXECUTOR/CONTAINER}} -> {{STAGE, TASK}} -> {{TID}}; {{BROADCAST}} isolated");
-    println!("note: no operations, no entities — identifier names only (the paper's §6.3 critique)");
+    println!(
+        "note: no operations, no entities — identifier names only (the paper's §6.3 critique)"
+    );
 }

@@ -9,10 +9,16 @@ use dlasim::{SystemKind, WorkloadGen};
 use lognlp::is_natural_language;
 
 fn main() {
-    let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(60);
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
     println!("Table 1: lines and percentages of natural language logs");
     println!("({jobs} generated jobs per analytics system)\n");
-    println!("{:<14} {:>10} {:>12} {:>10}", "System", "NL logs", "total logs", "% NL");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "System", "NL logs", "total logs", "% NL"
+    );
 
     let systems = [
         SystemKind::Spark,

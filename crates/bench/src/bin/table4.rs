@@ -10,11 +10,21 @@ use dlasim::SystemKind;
 use intellog_bench::{evaluate, training_jobs};
 
 fn main() {
-    let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30);
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
     println!("Table 4: accuracy of information extraction ({jobs} jobs per system)\n");
     println!(
         "{:<11} {:>9} {:>6}  {:>13} {:>13} {:>13} {:>13} {:>13}",
-        "Framework", "consumed", "keys", "Entities", "Identifiers", "Values", "Locations", "Operations"
+        "Framework",
+        "consumed",
+        "keys",
+        "Entities",
+        "Identifiers",
+        "Values",
+        "Locations",
+        "Operations"
     );
     println!(
         "{:<11} {:>9} {:>6}  {:>13} {:>13} {:>13} {:>13} {:>13}",
@@ -30,10 +40,19 @@ fn main() {
             row.system,
             row.consumed,
             row.keys,
-            format!("{}/{}/{}", row.entities.total, row.entities.fp, row.entities.fn_),
-            format!("{}/{}/{}", row.identifiers.total, row.identifiers.fp, row.identifiers.fn_),
+            format!(
+                "{}/{}/{}",
+                row.entities.total, row.entities.fp, row.entities.fn_
+            ),
+            format!(
+                "{}/{}/{}",
+                row.identifiers.total, row.identifiers.fp, row.identifiers.fn_
+            ),
             format!("{}/{}/{}", row.values.total, row.values.fp, row.values.fn_),
-            format!("{}/{}/{}", row.localities.total, row.localities.fp, row.localities.fn_),
+            format!(
+                "{}/{}/{}",
+                row.localities.total, row.localities.fp, row.localities.fn_
+            ),
             format!("{}/{}", row.operations_total, row.operations_missed),
         );
         totals.0 += row.entities.total;

@@ -11,7 +11,10 @@ use intellog_bench::training_sessions;
 use intellog_core::IntelLog;
 
 fn main() {
-    let jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
     println!("Table 5: log and HW-graph statistics ({jobs} training jobs per system)\n");
     println!(
         "{:<11} {:>12} {:>16} {:>30}",
@@ -26,7 +29,10 @@ fn main() {
             system.name(),
             s.avg_session_len,
             format!("{} / {}", s.groups_all, s.groups_critical),
-            format!("{} / {:.1} / {:.1}", s.sub_len_max, s.sub_len_avg_all, s.sub_len_avg_crit),
+            format!(
+                "{} / {:.1} / {:.1}",
+                s.sub_len_max, s.sub_len_avg_all, s.sub_len_avg_crit
+            ),
         );
     }
     println!("\npaper: Spark 347, 45/10, 10/1.2/2.3 | MapReduce 137, 35/13, 19/1.7/2.8 | Tez 304, 59/27, 14/2.7/4.6");

@@ -12,7 +12,10 @@ use intellog_bench::{score_jobs, table6_jobs, training_sessions, EvalJob};
 use intellog_core::IntelLog;
 
 fn main() {
-    let train_jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let train_jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
     println!("Table 6: anomaly detection accuracy ({train_jobs} training jobs per system)\n");
     println!(
         "{:<11} {:>12} {:>16} {:>20}",

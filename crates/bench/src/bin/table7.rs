@@ -14,7 +14,14 @@ use dlasim::{FaultKind, FaultPlan, JobConfig, SystemKind};
 use intellog_bench::training_sessions;
 use intellog_core::{sessions_from_job, IntelLog};
 
-fn cfg(system: SystemKind, workload: &str, input_gb: u32, mem_mb: u32, cores: u32, seed: u64) -> JobConfig {
+fn cfg(
+    system: SystemKind,
+    workload: &str,
+    input_gb: u32,
+    mem_mb: u32,
+    cores: u32,
+    seed: u64,
+) -> JobConfig {
     JobConfig {
         system,
         workload: workload.into(),
@@ -38,8 +45,15 @@ fn main() {
     let sessions = sessions_from_job(&job);
     let report = il_mr.detect_job(&sessions);
     let diag = il_mr.diagnose(&report);
-    println!("case 1  MapReduce/WordCount 30GB 8-core: sessions D/T = {}/{}", report.problematic_count(), report.total_count());
-    println!("        GroupBy identifiers: {} groups; GroupBy locality:", diag.identifier_groups);
+    println!(
+        "case 1  MapReduce/WordCount 30GB 8-core: sessions D/T = {}/{}",
+        report.problematic_count(),
+        report.total_count()
+    );
+    println!(
+        "        GroupBy identifiers: {} groups; GroupBy locality:",
+        diag.identifier_groups
+    );
     for (h, n) in diag.hosts.iter().take(3) {
         println!("          {h}: {n} failing messages");
     }
@@ -52,8 +66,15 @@ fn main() {
     let job = dlasim::generate(&c21, Some(&plan));
     let report = il_sp.detect_job(&sessions_from_job(&job));
     let diag = il_sp.diagnose(&report);
-    println!("case 2.1 Spark/KMeans 30GB 2GB-mem: sessions D/T = {}/{}", report.problematic_count(), report.total_count());
-    println!("        new entities in unexpected messages: {:?}", diag.new_entities);
+    println!(
+        "case 2.1 Spark/KMeans 30GB 2GB-mem: sessions D/T = {}/{}",
+        report.problematic_count(),
+        report.total_count()
+    );
+    println!(
+        "        new entities in unexpected messages: {:?}",
+        diag.new_entities
+    );
 
     // ---------- Case 2.2: Tez Query 8 performance issue (3 jobs) ----------
     let il_tz = IntelLog::train(&training_sessions(SystemKind::Tez, 20, 303));
@@ -72,9 +93,13 @@ fn main() {
         spill_paths += report
             .anomalies()
             .filter_map(|a| match a {
-                anomaly::Anomaly::UnexpectedMessage { intel, .. } => {
-                    Some(intel.localities.iter().filter(|l| l.starts_with('/')).count())
-                }
+                anomaly::Anomaly::UnexpectedMessage { intel, .. } => Some(
+                    intel
+                        .localities
+                        .iter()
+                        .filter(|l| l.starts_with('/'))
+                        .count(),
+                ),
                 _ => None,
             })
             .sum::<usize>();
@@ -82,7 +107,9 @@ fn main() {
     new_entities.sort();
     new_entities.dedup();
     println!("case 2.2 Tez/Query8 5GB 1GB-mem x3: sessions D/T = {d}/{t}");
-    println!("        new entities: {new_entities:?}; disk paths recorded in {spill_paths} messages");
+    println!(
+        "        new entities: {new_entities:?}; disk paths recorded in {spill_paths} messages"
+    );
 
     // Verification run: same jobs with a larger memory limit are clean.
     let c_verify = cfg(SystemKind::Spark, "kmeans", 30, 8192, 8, 778);
@@ -113,7 +140,11 @@ fn main() {
             })
         })
         .count();
-    println!("case 3  Spark/WordCount starvation bug: sessions D/T = {}/{}", report.problematic_count(), report.total_count());
+    println!(
+        "case 3  Spark/WordCount starvation bug: sessions D/T = {}/{}",
+        report.problematic_count(),
+        report.total_count()
+    );
     println!(
         "        {missing_task} sessions contain no message of the 'task' entity group (paper: 4 of 8)"
     );
@@ -121,7 +152,13 @@ fn main() {
     // counts at most 8 task subroutine instances per container).
     let max_task_instances = sessions
         .iter()
-        .map(|s| il_sp.detector().detect_session_detailed(s).1.subroutine_instance_count("task"))
+        .map(|s| {
+            il_sp
+                .detector()
+                .detect_session_detailed(s)
+                .1
+                .subroutine_instance_count("task")
+        })
         .max()
         .unwrap_or(0);
     println!(

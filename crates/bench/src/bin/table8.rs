@@ -32,7 +32,10 @@ impl Counts {
 }
 
 fn main() {
-    let train_jobs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let train_jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
     let mut intellog = Counts::default();
     let mut deeplog = Counts::default();
     let mut logcluster = Counts::default();
@@ -63,7 +66,10 @@ fn main() {
     }
 
     println!("Table 8: anomaly detection accuracy comparison (per-session)\n");
-    println!("{:<12} {:>10} {:>10} {:>10}", "tool", "precision", "recall", "F-measure");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "tool", "precision", "recall", "F-measure"
+    );
     let rows = [
         ("IntelLog", &intellog, true),
         ("DeepLog", &deeplog, true),
@@ -72,17 +78,36 @@ fn main() {
     for (name, c, full) in rows {
         let (p, r, f) = prf(c.tp, c.fp, c.fn_);
         if full {
-            println!("{:<12} {:>9.2}% {:>9.2}% {:>9.2}%", name, 100.0 * p, 100.0 * r, 100.0 * f);
+            println!(
+                "{:<12} {:>9.2}% {:>9.2}% {:>9.2}%",
+                name,
+                100.0 * p,
+                100.0 * r,
+                100.0 * f
+            );
         } else {
             // LogCluster surfaces representative logs for examination; the
             // paper reports recall as N/A.
-            println!("{:<12} {:>9.2}% {:>10} {:>10}", name, 100.0 * p, "N/A", "N/A");
+            println!(
+                "{:<12} {:>9.2}% {:>10} {:>10}",
+                name,
+                100.0 * p,
+                "N/A",
+                "N/A"
+            );
         }
     }
     println!("\npaper: IntelLog 87.23/91.11/89.13 | DeepLog 8.81/100.00/16.19 | LogCluster 73.08/N-A/N-A");
     println!(
         "(raw counts — IntelLog tp/fp/fn {}/{}/{}; DeepLog {}/{}/{}; LogCluster {}/{}/{})",
-        intellog.tp, intellog.fp, intellog.fn_, deeplog.tp, deeplog.fp, deeplog.fn_,
-        logcluster.tp, logcluster.fp, logcluster.fn_
+        intellog.tp,
+        intellog.fp,
+        intellog.fn_,
+        deeplog.tp,
+        deeplog.fp,
+        deeplog.fn_,
+        logcluster.tp,
+        logcluster.fp,
+        logcluster.fn_
     );
 }

@@ -69,7 +69,12 @@ pub fn table6_jobs(system: SystemKind, seed: u64) -> Vec<EvalJob> {
             let plan = gen.fault_plan(kind);
             let job = dlasim::generate(&cfg, Some(&plan));
             let sessions = sessions_from_job(&job);
-            out.push(EvalJob { job, sessions, injected: Some(kind), latent: false });
+            out.push(EvalJob {
+                job,
+                sessions,
+                injected: Some(kind),
+                latent: false,
+            });
         }
         // three jobs without injected problems; one per corpus carries a
         // latent issue in sets 0 and 3 (spill under tight memory,
@@ -90,7 +95,12 @@ pub fn table6_jobs(system: SystemKind, seed: u64) -> Vec<EvalJob> {
             // latent issues are NOT "injected problems" in the Table 6 sense
             job.injected = None;
             let sessions = sessions_from_job(&job);
-            out.push(EvalJob { job, sessions, injected: None, latent: latent_kind.is_some() });
+            out.push(EvalJob {
+                job,
+                sessions,
+                injected: None,
+                latent: latent_kind.is_some(),
+            });
         }
     }
     out
@@ -129,11 +139,75 @@ pub fn score_jobs(results: &[(bool, &EvalJob)]) -> JobScore {
     s
 }
 
+/// Workload for the `spell_throughput` regression bench: a parser holding
+/// `n_keys` distinct refined keys (each with two variable positions), plus
+/// `n_probes` probe messages mixing the three matcher paths — exact key
+/// instances (trie fast path), near-misses with one constant changed
+/// (scored/LCS path) and fully unknown messages (pruned to no match).
+pub fn synthetic_keyset(n_keys: usize, n_probes: usize) -> (spell::SpellParser, Vec<Vec<String>>) {
+    let base = |i: usize| -> Vec<String> {
+        // 6 key-unique tokens + 3 shared: max cross-key LCS is 3, well
+        // below the required ceil(9/1.7) = 6, so keys never merge.
+        vec![
+            format!("svc{i}"),
+            format!("op{i}"),
+            "processing".into(),
+            "request".into(),
+            format!("stage{i}"),
+            format!("unit{i}"),
+            "for".into(),
+            format!("id{}", i * 13),
+            format!("{i}ms"),
+        ]
+    };
+    let mut p = spell::SpellParser::default();
+    for i in 0..n_keys {
+        p.parse_tokens(base(i));
+        // second instance differing in the trailing id/latency → two stars
+        let mut v = base(i);
+        v[7] = format!("id{}", i * 13 + 1);
+        v[8] = format!("{}ms", i + 1);
+        p.parse_tokens(v);
+    }
+    let probes = (0..n_probes)
+        .map(|j| {
+            let mut m = base(j % n_keys);
+            m[7] = format!("id{}", j * 7);
+            m[8] = format!("{j}ms");
+            match j % 10 {
+                // near-miss: one constant token changed → LCS path
+                8 => m[2] = "handling".into(),
+                // unknown message: nothing matches
+                9 => {
+                    for (pos, t) in m.iter_mut().enumerate() {
+                        *t = format!("junk{j}_{pos}");
+                    }
+                }
+                _ => {}
+            }
+            m
+        })
+        .collect();
+    (p, probes)
+}
+
 /// Precision / recall / F1 from flat counts.
 pub fn prf(tp: usize, fp: usize, fn_: usize) -> (f64, f64, f64) {
-    let p = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let r = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    let p = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let r = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f = if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    };
     (p, r, f)
 }
 
@@ -148,7 +222,10 @@ mod tests {
         assert_eq!(jobs.iter().filter(|j| j.injected.is_some()).count(), 15);
         assert_eq!(jobs.iter().filter(|j| j.latent).count(), 2);
         // latent jobs are not counted as injected
-        assert!(jobs.iter().filter(|j| j.latent).all(|j| j.injected.is_none()));
+        assert!(jobs
+            .iter()
+            .filter(|j| j.latent)
+            .all(|j| j.injected.is_none()));
     }
 
     #[test]

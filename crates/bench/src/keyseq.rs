@@ -13,7 +13,12 @@ pub fn train_keyseqs(sessions: &[Session]) -> (SpellParser, Vec<Vec<KeyId>>) {
     let mut parser = SpellParser::default();
     let seqs = sessions
         .iter()
-        .map(|s| s.lines.iter().map(|l| parser.parse_message(&l.message).key_id).collect())
+        .map(|s| {
+            s.lines
+                .iter()
+                .map(|l| parser.parse_message(&l.message).key_id)
+                .collect()
+        })
         .collect();
     (parser, seqs)
 }

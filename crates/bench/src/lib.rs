@@ -15,7 +15,8 @@ pub mod corpus;
 pub mod keyseq;
 
 pub use accuracy::{evaluate, AccuracyRow, FieldCounts};
-pub use keyseq::{intel_messages, match_keyseq, train_keyseqs, UNKNOWN_KEY};
 pub use corpus::{
-    prf, score_jobs, table6_jobs, training_jobs, training_sessions, EvalJob, JobScore,
+    prf, score_jobs, synthetic_keyset, table6_jobs, training_jobs, training_sessions, EvalJob,
+    JobScore,
 };
+pub use keyseq::{intel_messages, match_keyseq, train_keyseqs, UNKNOWN_KEY};

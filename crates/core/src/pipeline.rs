@@ -38,12 +38,31 @@ impl IntelLogBuilder {
     }
 
     /// Train on normal-execution sessions.
+    ///
+    /// Training runs on rayon's current thread pool (tokenisation,
+    /// speculative Spell batching, Intel-Key extraction and Intel-Message
+    /// instantiation are parallel; see [`anomaly::Trainer::train`]) and is
+    /// bit-identical to [`IntelLogBuilder::train_sequential`].
     pub fn train(self, sessions: &[Session]) -> IntelLog {
-        let trainer = Trainer {
+        IntelLog {
+            detector: self.trainer().train(sessions),
+        }
+    }
+
+    /// Single-threaded reference training — the baseline the scaling
+    /// benchmarks compare [`IntelLogBuilder::train`] against.
+    pub fn train_sequential(self, sessions: &[Session]) -> IntelLog {
+        IntelLog {
+            detector: self.trainer().train_sequential(sessions),
+        }
+    }
+
+    fn trainer(&self) -> Trainer {
+        Trainer {
             spell_threshold: self.spell_threshold.unwrap_or(1.7),
-            matcher: self.matcher.unwrap_or_default(),
-        };
-        IntelLog { detector: trainer.train(sessions) }
+            matcher: self.matcher.clone().unwrap_or_default(),
+            ..Default::default()
+        }
     }
 }
 
@@ -53,9 +72,14 @@ impl IntelLog {
         IntelLogBuilder::default()
     }
 
-    /// Train with defaults.
+    /// Train with defaults (parallel; see [`IntelLogBuilder::train`]).
     pub fn train(sessions: &[Session]) -> IntelLog {
         IntelLog::builder().train(sessions)
+    }
+
+    /// Train with defaults on a single thread (reference baseline).
+    pub fn train_sequential(sessions: &[Session]) -> IntelLog {
+        IntelLog::builder().train_sequential(sessions)
     }
 
     /// The trained detector (Spell keys, Intel Keys, HW-graph).
@@ -85,9 +109,14 @@ impl IntelLog {
         }
     }
 
-    /// Sequential detection (used by the scaling benchmark as the
-    /// single-thread baseline).
+    /// Genuinely sequential detection: a plain in-order loop over the
+    /// sessions on the calling thread, spawning no threads and ignoring any
+    /// installed rayon pool. This is the single-thread baseline the scaling
+    /// benchmarks compare [`IntelLog::detect_job`] against; `detect_job`
+    /// under a 1-thread pool must produce the identical [`JobReport`]
+    /// (asserted in `crates/bench`).
     pub fn detect_job_sequential(&self, sessions: &[Session]) -> JobReport {
+        // `Detector::detect_job` is the sequential implementation.
         self.detector.detect_job(sessions)
     }
 

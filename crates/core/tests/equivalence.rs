@@ -1,0 +1,127 @@
+//! End-to-end equivalence properties for the interned/indexed hot path.
+//!
+//! Two contracts guard the perf work:
+//!
+//! 1. the indexed Spell matcher is observationally identical to the
+//!    linear-scan reference matcher over realistic corpora from every
+//!    simulated system (Spark, MapReduce, Tez, YARN, Nova);
+//! 2. parallel training produces a byte-identical detector (and therefore
+//!    byte-identical reports) to the sequential reference trainer.
+
+use anomaly::Trainer;
+use dlasim::{FaultKind, SystemKind, WorkloadGen};
+use intellog_core::{sessions_from_job, IntelLog};
+use proptest::prelude::*;
+use spell::Session;
+
+const SYSTEMS: [SystemKind; 5] = [
+    SystemKind::Spark,
+    SystemKind::MapReduce,
+    SystemKind::Tez,
+    SystemKind::Yarn,
+    SystemKind::Nova,
+];
+
+fn corpus(system: SystemKind, seed: u64, jobs: usize) -> Vec<Session> {
+    let mut gen = WorkloadGen::new(seed, 6);
+    let mut out = Vec::new();
+    for j in 0..jobs {
+        let cfg = gen.training_config(system);
+        let job = dlasim::generate(&cfg, None);
+        for (i, mut s) in sessions_from_job(&job).into_iter().enumerate() {
+            s.id = format!("train{j}_{i}_{}", s.id);
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Train a parser over the corpus and check indexed == linear on every
+/// line of `probes` (typically a different corpus, so unknown tokens and
+/// unmatched messages are exercised too).
+fn assert_matcher_equivalence(train: &[Session], probes: &[Session]) {
+    let il = IntelLog::train(train);
+    let parser = &il.detector().parser;
+    for session in train.iter().chain(probes) {
+        for line in &session.lines {
+            let tokens = spell::tokenize_message(&line.message);
+            assert_eq!(
+                parser.match_message(&tokens),
+                parser.match_message_linear(&tokens),
+                "matcher divergence on {:?} (session {})",
+                line.message,
+                session.id
+            );
+        }
+    }
+}
+
+#[test]
+fn indexed_matcher_equals_linear_on_all_systems() {
+    for system in SYSTEMS {
+        let train = corpus(system, 42, 2);
+        let probes = corpus(system, 1337, 1);
+        assert_matcher_equivalence(&train, &probes);
+    }
+}
+
+#[test]
+fn parallel_training_equals_sequential_on_all_systems() {
+    for system in SYSTEMS {
+        let sessions = corpus(system, 7, 2);
+        let trainer = Trainer::default();
+        let par = trainer.train(&sessions);
+        let seq = trainer.train_sequential(&sessions);
+        assert_eq!(
+            serde_json::to_string(&par).unwrap(),
+            serde_json::to_string(&seq).unwrap(),
+            "detector divergence for {system:?}"
+        );
+    }
+}
+
+#[test]
+fn parallel_and_sequential_reports_agree_on_faulted_job() {
+    let train = corpus(SystemKind::MapReduce, 11, 2);
+    let par = IntelLog::train(&train);
+    let seq = IntelLog::train_sequential(&train);
+    let mut gen = WorkloadGen::new(23, 6);
+    let cfg = gen.detection_config(SystemKind::MapReduce, 1);
+    let plan = gen.fault_plan(FaultKind::NetworkFailure);
+    let job = dlasim::generate(&cfg, Some(&plan));
+    let sessions = sessions_from_job(&job);
+    let rp = par.detect_job(&sessions);
+    let rs = seq.detect_job_sequential(&sessions);
+    assert_eq!(rp, rs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random seeds and system choice: the trained parser's indexed matcher
+    /// agrees with the reference matcher on a held-out corpus.
+    #[test]
+    fn matcher_equivalence_random_corpora(
+        seed in 0u64..10_000,
+        probe_seed in 0u64..10_000,
+        sys in 0usize..5,
+    ) {
+        let system = SYSTEMS[sys];
+        let train = corpus(system, seed, 1);
+        let probes = corpus(system, probe_seed, 1);
+        assert_matcher_equivalence(&train, &probes);
+    }
+
+    /// Random seeds: parallel training is byte-identical to sequential.
+    #[test]
+    fn parallel_training_equivalence_random(seed in 0u64..10_000, sys in 0usize..5) {
+        let sessions = corpus(SYSTEMS[sys], seed, 1);
+        let trainer = Trainer::default();
+        let par = trainer.train(&sessions);
+        let seq = trainer.train_sequential(&sessions);
+        prop_assert_eq!(
+            serde_json::to_string(&par).unwrap(),
+            serde_json::to_string(&seq).unwrap()
+        );
+    }
+}

@@ -51,7 +51,16 @@ impl Truth {
         operations: usize,
         nl: bool,
     ) -> Truth {
-        Truth { id, example, entities, identifiers, values, localities, operations, nl }
+        Truth {
+            id,
+            example,
+            entities,
+            identifiers,
+            values,
+            localities,
+            operations,
+            nl,
+        }
     }
 }
 

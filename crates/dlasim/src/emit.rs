@@ -21,7 +21,11 @@ pub struct Emitter {
 impl Emitter {
     /// New emitter seeded deterministically, starting at `start_ms`.
     pub fn new(seed: u64, start_ms: u64) -> Emitter {
-        Emitter { rng: ChaCha8Rng::seed_from_u64(seed), clock_ms: start_ms, lines: Vec::new() }
+        Emitter {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            clock_ms: start_ms,
+            lines: Vec::new(),
+        }
     }
 
     /// Current clock value.
@@ -31,7 +35,11 @@ impl Emitter {
 
     /// Advance the clock by a jittered amount in `[min, max]` ms.
     pub fn tick(&mut self, min: u64, max: u64) {
-        let d = if max > min { self.rng.gen_range(min..=max) } else { min };
+        let d = if max > min {
+            self.rng.gen_range(min..=max)
+        } else {
+            min
+        };
         self.clock_ms += d;
     }
 
@@ -68,7 +76,13 @@ impl Emitter {
     }
 
     fn push(&mut self, level: SimLevel, source: &str, template_id: &'static str, message: String) {
-        self.lines.push(SimLine { ts_ms: self.clock_ms, level, source: source.to_string(), message, template_id });
+        self.lines.push(SimLine {
+            ts_ms: self.clock_ms,
+            level,
+            source: source.to_string(),
+            message,
+            template_id,
+        });
     }
 
     /// Fork a concurrent child emitter starting at the current clock; its

@@ -28,8 +28,11 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// The three injected problems of Table 6.
-    pub const INJECTED: [FaultKind; 3] =
-        [FaultKind::SessionKill, FaultKind::NetworkFailure, FaultKind::NodeFailure];
+    pub const INJECTED: [FaultKind; 3] = [
+        FaultKind::SessionKill,
+        FaultKind::NetworkFailure,
+        FaultKind::NodeFailure,
+    ];
 
     /// Short label.
     pub fn name(self) -> &'static str {
@@ -59,8 +62,18 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// A plan with the given kind and a mid-job trigger point.
-    pub fn new(kind: FaultKind, at_frac: f64, victim_host: usize, victim_session: usize) -> FaultPlan {
-        FaultPlan { kind, at_frac: at_frac.clamp(0.05, 0.95), victim_host, victim_session }
+    pub fn new(
+        kind: FaultKind,
+        at_frac: f64,
+        victim_host: usize,
+        victim_session: usize,
+    ) -> FaultPlan {
+        FaultPlan {
+            kind,
+            at_frac: at_frac.clamp(0.05, 0.95),
+            victim_host,
+            victim_session,
+        }
     }
 }
 
@@ -70,8 +83,14 @@ mod tests {
 
     #[test]
     fn trigger_point_clamped() {
-        assert_eq!(FaultPlan::new(FaultKind::SessionKill, 1.5, 0, 0).at_frac, 0.95);
-        assert_eq!(FaultPlan::new(FaultKind::SessionKill, -0.2, 0, 0).at_frac, 0.05);
+        assert_eq!(
+            FaultPlan::new(FaultKind::SessionKill, 1.5, 0, 0).at_frac,
+            0.95
+        );
+        assert_eq!(
+            FaultPlan::new(FaultKind::SessionKill, -0.2, 0, 0).at_frac,
+            0.05
+        );
     }
 
     #[test]

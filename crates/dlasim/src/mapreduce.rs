@@ -13,85 +13,389 @@ use crate::workload::JobConfig;
 
 /// Ground truth for the MapReduce templates.
 pub const TRUTHS: &[Truth] = &[
-    Truth::new("mr.tokens", "Executing with tokens for job_1529021",
-        &["token", "job"], 1, 0, 0, 1, true),
-    Truth::new("mr.task.start", "Starting task attempt_1529021_m_000000_0 in container",
-        &["task", "container"], 1, 0, 0, 1, true),
-    Truth::new("mr.map.progress", "attempt_1529021_m_000000_0 reported progress 0.45 with 120000 records processed",
-        &["progress", "record"], 2, 1, 0, 1, true),
-    Truth::new("mr.map.sort", "Sorting map output buffer with 26214396 records",
-        &["map output buffer", "record"], 0, 1, 0, 1, true),
-    Truth::new("mr.map.metrics", "Starting MapTask metrics system",
-        &["map task metrics system"], 0, 0, 0, 1, true),
-    Truth::new("mr.map.split", "Processing split hdfs://namenode:8020/user/root/input/part-0 with length 134217728",
-        &["split", "length"], 0, 1, 1, 1, true),
-    Truth::new("mr.map.collector", "Using map output collector class MapOutputBuffer",
-        &["map output collector"], 0, 0, 0, 1, true),
-    Truth::new("mr.map.kv", "bufstart = 0 bufvoid = 104857600 kvstart = 26214396",
-        &[], 0, 3, 0, 0, false),
-    Truth::new("mr.map.flush", "Starting flush of map output",
-        &["flush", "map output"], 0, 0, 0, 1, true),
-    Truth::new("mr.map.spill.done", "Finished spill 0",
-        &["spill"], 1, 0, 0, 1, true),
-    Truth::new("mr.task.commit", "Task attempt_1529021_m_000000_0 is done and in the process of committing",
-        &["task", "process"], 1, 0, 0, 1, true),
-    Truth::new("mr.task.done", "Task attempt_1529021_m_000000_0 done",
-        &["task"], 1, 0, 0, 1, true),
-    Truth::new("mr.counters", "FILE_BYTES_READ=2264 FILE_BYTES_WRITTEN=0 HDFS_BYTES_READ=134217728",
-        &[], 0, 3, 0, 0, false),
-    Truth::new("mr.red.shuffle.init", "Initializing shuffle with memory limit 668309914 bytes",
-        &["shuffle", "memory limit"], 0, 1, 0, 1, true),
-    Truth::new("mr.red.eventfetcher", "Thread started for fetching map completion events",
-        &["thread", "map completion event"], 0, 0, 0, 1, true),
+    Truth::new(
+        "mr.tokens",
+        "Executing with tokens for job_1529021",
+        &["token", "job"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.task.start",
+        "Starting task attempt_1529021_m_000000_0 in container",
+        &["task", "container"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.map.progress",
+        "attempt_1529021_m_000000_0 reported progress 0.45 with 120000 records processed",
+        &["progress", "record"],
+        2,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.map.sort",
+        "Sorting map output buffer with 26214396 records",
+        &["map output buffer", "record"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.map.metrics",
+        "Starting MapTask metrics system",
+        &["map task metrics system"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.map.split",
+        "Processing split hdfs://namenode:8020/user/root/input/part-0 with length 134217728",
+        &["split", "length"],
+        0,
+        1,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.map.collector",
+        "Using map output collector class MapOutputBuffer",
+        &["map output collector"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.map.kv",
+        "bufstart = 0 bufvoid = 104857600 kvstart = 26214396",
+        &[],
+        0,
+        3,
+        0,
+        0,
+        false,
+    ),
+    Truth::new(
+        "mr.map.flush",
+        "Starting flush of map output",
+        &["flush", "map output"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.map.spill.done",
+        "Finished spill 0",
+        &["spill"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.task.commit",
+        "Task attempt_1529021_m_000000_0 is done and in the process of committing",
+        &["task", "process"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.task.done",
+        "Task attempt_1529021_m_000000_0 done",
+        &["task"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.counters",
+        "FILE_BYTES_READ=2264 FILE_BYTES_WRITTEN=0 HDFS_BYTES_READ=134217728",
+        &[],
+        0,
+        3,
+        0,
+        0,
+        false,
+    ),
+    Truth::new(
+        "mr.red.shuffle.init",
+        "Initializing shuffle with memory limit 668309914 bytes",
+        &["shuffle", "memory limit"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.red.eventfetcher",
+        "Thread started for fetching map completion events",
+        &["thread", "map completion event"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
     // Fig. 1 subroutine
-    Truth::new("mr.fetch.about", "fetcher # 1 about to shuffle output of map attempt_1529021_m_000000_0",
-        &["fetcher", "output of map"], 2, 0, 0, 1, true),
-    Truth::new("mr.fetch.read", "[fetcher # 1] read 2264 bytes from map-output for attempt_1529021_m_000000_0",
-        &["fetcher", "map output"], 2, 1, 0, 1, true),
-    Truth::new("mr.fetch.freed", "worker3:13562 freed by fetcher # 1 in 4ms",
-        &["fetcher"], 1, 1, 1, 1, true),
-    Truth::new("mr.red.merge", "Merging 5 sorted segments",
-        &["segment"], 0, 1, 0, 1, true),
-    Truth::new("mr.red.lastpass", "Down to the last merge-pass with 5 segments left of total size 2264 bytes",
-        &["merge pass", "segment", "size"], 0, 2, 0, 0, false),
+    Truth::new(
+        "mr.fetch.about",
+        "fetcher # 1 about to shuffle output of map attempt_1529021_m_000000_0",
+        &["fetcher", "output of map"],
+        2,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.fetch.read",
+        "[fetcher # 1] read 2264 bytes from map-output for attempt_1529021_m_000000_0",
+        &["fetcher", "map output"],
+        2,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.fetch.freed",
+        "worker3:13562 freed by fetcher # 1 in 4ms",
+        &["fetcher"],
+        1,
+        1,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.red.merge",
+        "Merging 5 sorted segments",
+        &["segment"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.red.lastpass",
+        "Down to the last merge-pass with 5 segments left of total size 2264 bytes",
+        &["merge pass", "segment", "size"],
+        0,
+        2,
+        0,
+        0,
+        false,
+    ),
     // AM templates
-    Truth::new("mr.am.created", "Created MRAppMaster for application appattempt_1529021_000001",
-        &["mr app master", "application"], 1, 0, 0, 1, true),
-    Truth::new("mr.am.launch", "Launching container container_1529021_01_000002 on host worker3",
-        &["container", "host"], 1, 0, 1, 1, true),
-    Truth::new("mr.am.transition", "TaskAttempt attempt_1529021_m_000000_0 transitioned from state RUNNING to SUCCEEDED",
-        &["task attempt", "state"], 1, 0, 0, 1, true),
-    Truth::new("mr.am.job.done", "Job job_1529021 completed successfully",
-        &["job"], 1, 0, 0, 1, true),
-    Truth::new("mr.am.resource", "Assigned container with 2048 MB memory and 4 vcores",
-        &["container", "memory"], 0, 2, 0, 1, true),
-    Truth::new("mr.am.job.progress", "Progress of job job_1529021 is 0.65",
-        &["progress of job"], 1, 1, 0, 1, true),
-    Truth::new("mr.am.token.renew", "Renewing delegation token for job job_1529021",
-        &["delegation token", "job"], 1, 0, 0, 1, true),
-    Truth::new("mr.map.reader", "Initialized record reader for split part-4",
-        &["record reader", "split"], 1, 0, 0, 1, true),
-    Truth::new("mr.map.output.size", "Map output size for attempt_1529021_m_000000_0 is 400 bytes",
-        &["map output size"], 1, 1, 0, 1, true),
-    Truth::new("mr.jvm.reuse", "Reusing JVM for task attempt_1529021_m_000000_0",
-        &["jvm", "task"], 1, 0, 0, 1, true),
-    Truth::new("mr.red.phase", "Reduce phase started for attempt_1529021_r_000000_0 after shuffle completion",
-        &["reduce phase", "shuffle completion"], 1, 0, 0, 1, true),
-    Truth::new("mr.red.write", "Writing final output to hdfs://namenode:8020/user/root/output/part-r-00000",
-        &["final output"], 0, 0, 1, 1, true),
-    Truth::new("mr.commit.job", "Committing output of job job_1529021 to the final location",
-        &["output of job", "final location"], 1, 0, 0, 1, true),
-    Truth::new("mr.rare.interrupt", "EventFetcher interrupted while waiting for shutdown",
-        &["event fetcher", "shutdown"], 0, 0, 0, 1, true),
+    Truth::new(
+        "mr.am.created",
+        "Created MRAppMaster for application appattempt_1529021_000001",
+        &["mr app master", "application"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.am.launch",
+        "Launching container container_1529021_01_000002 on host worker3",
+        &["container", "host"],
+        1,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.am.transition",
+        "TaskAttempt attempt_1529021_m_000000_0 transitioned from state RUNNING to SUCCEEDED",
+        &["task attempt", "state"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.am.job.done",
+        "Job job_1529021 completed successfully",
+        &["job"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.am.resource",
+        "Assigned container with 2048 MB memory and 4 vcores",
+        &["container", "memory"],
+        0,
+        2,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.am.job.progress",
+        "Progress of job job_1529021 is 0.65",
+        &["progress of job"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.am.token.renew",
+        "Renewing delegation token for job job_1529021",
+        &["delegation token", "job"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.map.reader",
+        "Initialized record reader for split part-4",
+        &["record reader", "split"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.map.output.size",
+        "Map output size for attempt_1529021_m_000000_0 is 400 bytes",
+        &["map output size"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.jvm.reuse",
+        "Reusing JVM for task attempt_1529021_m_000000_0",
+        &["jvm", "task"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.red.phase",
+        "Reduce phase started for attempt_1529021_r_000000_0 after shuffle completion",
+        &["reduce phase", "shuffle completion"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.red.write",
+        "Writing final output to hdfs://namenode:8020/user/root/output/part-r-00000",
+        &["final output"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.commit.job",
+        "Committing output of job job_1529021 to the final location",
+        &["output of job", "final location"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.rare.interrupt",
+        "EventFetcher interrupted while waiting for shutdown",
+        &["event fetcher", "shutdown"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
     // fault-only templates
-    Truth::new("mr.fault.connect", "fetcher # 1 failed to connect to worker3:13562 with 4 map outputs",
-        &["fetcher", "map output"], 1, 1, 1, 1, true),
-    Truth::new("mr.fault.penalize", "Penalizing worker3 for 30 seconds because of fetch failure",
-        &["fetch failure"], 0, 1, 1, 1, true),
-    Truth::new("mr.fault.lost", "Lost node worker3 with 2 running containers",
-        &["node", "running container"], 0, 1, 1, 1, true),
-    Truth::new("mr.fault.spill", "spill 2 written to /data/mapred/spill2.out because memory limit exceeded",
-        &["spill", "memory limit"], 1, 0, 1, 1, true),
+    Truth::new(
+        "mr.fault.connect",
+        "fetcher # 1 failed to connect to worker3:13562 with 4 map outputs",
+        &["fetcher", "map output"],
+        1,
+        1,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.fault.penalize",
+        "Penalizing worker3 for 30 seconds because of fetch failure",
+        &["fetch failure"],
+        0,
+        1,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.fault.lost",
+        "Lost node worker3 with 2 running containers",
+        &["node", "running container"],
+        0,
+        1,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "mr.fault.spill",
+        "spill 2 written to /data/mapred/spill2.out because memory limit exceeded",
+        &["spill", "memory limit"],
+        1,
+        0,
+        1,
+        1,
+        true,
+    ),
 ];
 
 fn attempt_id(job: u64, kind: char, task: u64) -> String {
@@ -104,52 +408,119 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
     let job_id = 1_529_000 + (cfg.seed % 1000);
     let maps = (cfg.input_gb as u64 * 4).clamp(2, 256);
     let reducers = cfg.executors.max(1) as u64;
-    let hosts: Vec<String> = (0..cfg.hosts.max(2)).map(|h| format!("worker{}", h + 1)).collect();
+    let hosts: Vec<String> = (0..cfg.hosts.max(2))
+        .map(|h| format!("worker{}", h + 1))
+        .collect();
     let mut am = Emitter::new(cfg.seed, 0);
     let mut sessions: Vec<GenSession> = Vec::new();
 
-    am.info("MRAppMaster", "mr.am.created", format!("Created MRAppMaster for application appattempt_{job_id}_000001"));
-    am.info("RMContainerAllocator", "mr.am.resource", format!("Assigned container with {} MB memory and {} vcores", cfg.mem_mb, cfg.cores));
-    am.info("DelegationTokenRenewer", "mr.am.token.renew", format!("Renewing delegation token for job_{job_id}"));
+    am.info(
+        "MRAppMaster",
+        "mr.am.created",
+        format!("Created MRAppMaster for application appattempt_{job_id}_000001"),
+    );
+    am.info(
+        "RMContainerAllocator",
+        "mr.am.resource",
+        format!(
+            "Assigned container with {} MB memory and {} vcores",
+            cfg.mem_mb, cfg.cores
+        ),
+    );
+    am.info(
+        "DelegationTokenRenewer",
+        "mr.am.token.renew",
+        format!("Renewing delegation token for job_{job_id}"),
+    );
 
     // Map containers.
     for m in 0..maps {
         let host = hosts[(m as usize + 1) % hosts.len()].clone();
         let cid = format!("container_{job_id}_01_{:06}", m + 2);
-        am.info("ContainerLauncher", "mr.am.launch", format!("Launching container {cid} on host {host}"));
+        am.info(
+            "ContainerLauncher",
+            "mr.am.launch",
+            format!("Launching container {cid} on host {host}"),
+        );
         let att = attempt_id(job_id, 'm', m);
         let mut e = am.fork(m + 1);
-        e.info("YarnChild", "mr.tokens", format!("Executing with tokens for job_{job_id}"));
-        e.info("Task", "mr.task.start", format!("Starting task {att} in container"));
-        e.info("MetricsSystemImpl", "mr.map.metrics", "Starting MapTask metrics system".into());
+        e.info(
+            "YarnChild",
+            "mr.tokens",
+            format!("Executing with tokens for job_{job_id}"),
+        );
+        e.info(
+            "Task",
+            "mr.task.start",
+            format!("Starting task {att} in container"),
+        );
+        e.info(
+            "MetricsSystemImpl",
+            "mr.map.metrics",
+            "Starting MapTask metrics system".into(),
+        );
         let len = e.range(60_000_000, 134_217_728);
         e.info(
             "MapTask",
             "mr.map.split",
-            format!("Processing split hdfs://namenode:8020/user/root/input/part-{m} with length {len}"),
+            format!(
+                "Processing split hdfs://namenode:8020/user/root/input/part-{m} with length {len}"
+            ),
         );
-        e.info("MapTask", "mr.map.reader", format!("Initialized record reader for split part-{m}"));
+        e.info(
+            "MapTask",
+            "mr.map.reader",
+            format!("Initialized record reader for split part-{m}"),
+        );
         if cfg.cores >= 4 && e.chance(0.3) {
-            e.info("YarnChild", "mr.jvm.reuse", format!("Reusing JVM for task {att}"));
+            e.info(
+                "YarnChild",
+                "mr.jvm.reuse",
+                format!("Reusing JVM for task {att}"),
+            );
         }
-        e.info("MapTask", "mr.map.collector", "Using map output collector class MapOutputBuffer".into());
+        e.info(
+            "MapTask",
+            "mr.map.collector",
+            "Using map output collector class MapOutputBuffer".into(),
+        );
         let bs = e.range(0, 1000);
-        e.info("MapTask", "mr.map.kv", format!("bufstart = {bs} bufvoid = 104857600 kvstart = 26214396"));
+        e.info(
+            "MapTask",
+            "mr.map.kv",
+            format!("bufstart = {bs} bufvoid = 104857600 kvstart = 26214396"),
+        );
         // progress heartbeats scale with the split size
         let beats = 2 + (cfg.input_gb as u64 / 4).min(10);
         for _ in 0..beats {
             e.tick(50, 400);
             let prog = e.range(5, 99);
             let recs = e.range(10_000, 900_000);
-            e.info("Task", "mr.map.progress", format!("{att} reported progress 0.{prog} with {recs} records processed"));
+            e.info(
+                "Task",
+                "mr.map.progress",
+                format!("{att} reported progress 0.{prog} with {recs} records processed"),
+            );
         }
         e.tick(100, 800);
-        e.info("MapTask", "mr.map.flush", "Starting flush of map output".into());
+        e.info(
+            "MapTask",
+            "mr.map.flush",
+            "Starting flush of map output".into(),
+        );
         let spills = 1 + (cfg.input_gb as u64 / 8).min(6);
         for s in 0..spills {
             let recs = e.range(100_000, 26_214_396);
-            e.info("MapTask", "mr.map.sort", format!("Sorting map output buffer with {recs} records"));
-            e.info("MapTask", "mr.map.spill.done", format!("Finished spill {s}"));
+            e.info(
+                "MapTask",
+                "mr.map.sort",
+                format!("Sorting map output buffer with {recs} records"),
+            );
+            e.info(
+                "MapTask",
+                "mr.map.spill.done",
+                format!("Finished spill {s}"),
+            );
         }
         if let Some(p) = fault {
             if p.kind == FaultKind::MemorySpill {
@@ -162,30 +533,71 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
             }
         }
         let osz = e.range(100, 9_000);
-        e.info("MapTask", "mr.map.output.size", format!("Map output size for {att} is {osz} bytes"));
-        e.info("Task", "mr.task.commit", format!("Task {att} is done and in the process of committing"));
+        e.info(
+            "MapTask",
+            "mr.map.output.size",
+            format!("Map output size for {att} is {osz} bytes"),
+        );
+        e.info(
+            "Task",
+            "mr.task.commit",
+            format!("Task {att} is done and in the process of committing"),
+        );
         e.info("Task", "mr.task.done", format!("Task {att} done"));
         let b = e.range(1000, 9_000_000);
-        e.info("Counters", "mr.counters", format!("FILE_BYTES_READ={b} FILE_BYTES_WRITTEN=0 HDFS_BYTES_READ={len}"));
-        am.info("TaskAttemptImpl", "mr.am.transition", format!("TaskAttempt {att} transitioned from state RUNNING to SUCCEEDED"));
+        e.info(
+            "Counters",
+            "mr.counters",
+            format!("FILE_BYTES_READ={b} FILE_BYTES_WRITTEN=0 HDFS_BYTES_READ={len}"),
+        );
+        am.info(
+            "TaskAttemptImpl",
+            "mr.am.transition",
+            format!("TaskAttempt {att} transitioned from state RUNNING to SUCCEEDED"),
+        );
         if m % 8 == 0 {
             let prog = am.range(1, 99);
-            am.info("JobImpl", "mr.am.job.progress", format!("Progress of job_{job_id} is 0.{prog:02}"));
+            am.info(
+                "JobImpl",
+                "mr.am.job.progress",
+                format!("Progress of job_{job_id} is 0.{prog:02}"),
+            );
         }
-        sessions.push(GenSession { id: cid, host, lines: e.finish(), affected: false });
+        sessions.push(GenSession {
+            id: cid,
+            host,
+            lines: e.finish(),
+            affected: false,
+        });
     }
 
     // Reduce containers: fetchers shuffle from every map host concurrently.
     for r in 0..reducers {
         let host = hosts[(r as usize + 3) % hosts.len()].clone();
         let cid = format!("container_{job_id}_01_{:06}", maps + r + 2);
-        am.info("ContainerLauncher", "mr.am.launch", format!("Launching container {cid} on host {host}"));
+        am.info(
+            "ContainerLauncher",
+            "mr.am.launch",
+            format!("Launching container {cid} on host {host}"),
+        );
         let att = attempt_id(job_id, 'r', r);
         let mut e = am.fork(maps + r + 1);
-        e.info("YarnChild", "mr.tokens", format!("Executing with tokens for job_{job_id}"));
+        e.info(
+            "YarnChild",
+            "mr.tokens",
+            format!("Executing with tokens for job_{job_id}"),
+        );
         let lim = e.range(300_000_000, 700_000_000);
-        e.info("MergeManagerImpl", "mr.red.shuffle.init", format!("Initializing shuffle with memory limit {lim} bytes"));
-        e.info("EventFetcher", "mr.red.eventfetcher", "Thread started for fetching map completion events".into());
+        e.info(
+            "MergeManagerImpl",
+            "mr.red.shuffle.init",
+            format!("Initializing shuffle with memory limit {lim} bytes"),
+        );
+        e.info(
+            "EventFetcher",
+            "mr.red.eventfetcher",
+            "Thread started for fetching map completion events".into(),
+        );
         let n_fetchers = (cfg.cores as u64).clamp(1, 8);
         let mut children = Vec::new();
         for f in 0..n_fetchers {
@@ -209,11 +621,17 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
                     fe.warn(
                         "Fetcher",
                         "mr.fault.penalize",
-                        format!("Penalizing {src_host} for {secs} seconds because of fetch failure"),
+                        format!(
+                            "Penalizing {src_host} for {secs} seconds because of fetch failure"
+                        ),
                     );
                     continue;
                 }
-                fe.info("Fetcher", "mr.fetch.about", format!("fetcher # {fid} about to shuffle output of map {map_att}"));
+                fe.info(
+                    "Fetcher",
+                    "mr.fetch.about",
+                    format!("fetcher # {fid} about to shuffle output of map {map_att}"),
+                );
                 let bytes = fe.range(800, 9000);
                 fe.info(
                     "Fetcher",
@@ -221,7 +639,11 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
                     format!("[fetcher # {fid}] read {bytes} bytes from map-output for {map_att}"),
                 );
                 let ms = fe.range(1, 40);
-                fe.info("ShuffleSchedulerImpl", "mr.fetch.freed", format!("{src_host}:{port} freed by fetcher # {fid} in {ms}ms"));
+                fe.info(
+                    "ShuffleSchedulerImpl",
+                    "mr.fetch.freed",
+                    format!("{src_host}:{port} freed by fetcher # {fid} in {ms}ms"),
+                );
             }
             children.push(fe);
         }
@@ -231,26 +653,65 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
         // Slow shutdown under tight memory: the event fetcher interrupt is
         // benign but unseen in tuned training runs (false-positive class).
         if cfg.mem_mb <= 1024 && e.chance(0.12) {
-            e.info("EventFetcher", "mr.rare.interrupt", "EventFetcher interrupted while waiting for shutdown".into());
+            e.info(
+                "EventFetcher",
+                "mr.rare.interrupt",
+                "EventFetcher interrupted while waiting for shutdown".into(),
+            );
         }
-        e.info("ReduceTask", "mr.red.phase", format!("Reduce phase started for {att} after shuffle completion"));
+        e.info(
+            "ReduceTask",
+            "mr.red.phase",
+            format!("Reduce phase started for {att} after shuffle completion"),
+        );
         let segs = e.range(2, 12);
-        e.info("Merger", "mr.red.merge", format!("Merging {segs} sorted segments"));
+        e.info(
+            "Merger",
+            "mr.red.merge",
+            format!("Merging {segs} sorted segments"),
+        );
         let total = e.range(10_000, 80_000_000);
         e.info(
             "Merger",
             "mr.red.lastpass",
-            format!("Down to the last merge-pass with {segs} segments left of total size {total} bytes"),
+            format!(
+                "Down to the last merge-pass with {segs} segments left of total size {total} bytes"
+            ),
         );
-        e.info("ReduceTask", "mr.red.write", format!("Writing final output to hdfs://namenode:8020/user/root/output/part-r-{r:05}"));
-        e.info("Task", "mr.task.commit", format!("Task {att} is done and in the process of committing"));
+        e.info(
+            "ReduceTask",
+            "mr.red.write",
+            format!("Writing final output to hdfs://namenode:8020/user/root/output/part-r-{r:05}"),
+        );
+        e.info(
+            "Task",
+            "mr.task.commit",
+            format!("Task {att} is done and in the process of committing"),
+        );
         e.info("Task", "mr.task.done", format!("Task {att} done"));
-        am.info("TaskAttemptImpl", "mr.am.transition", format!("TaskAttempt {att} transitioned from state RUNNING to SUCCEEDED"));
-        sessions.push(GenSession { id: cid, host, lines: e.finish(), affected: false });
+        am.info(
+            "TaskAttemptImpl",
+            "mr.am.transition",
+            format!("TaskAttempt {att} transitioned from state RUNNING to SUCCEEDED"),
+        );
+        sessions.push(GenSession {
+            id: cid,
+            host,
+            lines: e.finish(),
+            affected: false,
+        });
     }
 
-    am.info("OutputCommitter", "mr.commit.job", format!("Committing output of job_{job_id} to the final location"));
-    am.info("JobImpl", "mr.am.job.done", format!("Job job_{job_id} completed successfully"));
+    am.info(
+        "OutputCommitter",
+        "mr.commit.job",
+        format!("Committing output of job_{job_id} to the final location"),
+    );
+    am.info(
+        "JobImpl",
+        "mr.am.job.done",
+        format!("Job job_{job_id} completed successfully"),
+    );
     sessions.insert(
         0,
         GenSession {
@@ -261,9 +722,14 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
         },
     );
 
-    crate::spark::apply_truncating_faults(&mut sessions, fault, &hosts, "mr.fault.lost", "RMCommunicator", |i, victim| {
-        format!("Lost node {victim} with {i} running containers")
-    });
+    crate::spark::apply_truncating_faults(
+        &mut sessions,
+        fault,
+        &hosts,
+        "mr.fault.lost",
+        "RMCommunicator",
+        |i, victim| format!("Lost node {victim} with {i} running containers"),
+    );
     crate::spark::mark_fault_affected(&mut sessions);
 
     GenJob {
@@ -320,9 +786,20 @@ mod tests {
 
     #[test]
     fn fetchers_interleave_in_time() {
-        let job = generate(&JobConfig { input_gb: 16, cores: 4, ..cfg(3) }, None);
+        let job = generate(
+            &JobConfig {
+                input_gb: 16,
+                cores: 4,
+                ..cfg(3)
+            },
+            None,
+        );
         let red = job.sessions.iter().find(|s| {
-            s.lines.iter().filter(|l| l.template_id == "mr.fetch.about").count() > 4
+            s.lines
+                .iter()
+                .filter(|l| l.template_id == "mr.fetch.about")
+                .count()
+                > 4
         });
         let red = red.expect("a busy reducer");
         // extract fetcher ids in order of appearance of 'about' lines
@@ -336,13 +813,22 @@ mod tests {
         assert!(distinct.len() > 1, "need multiple fetchers: {seq:?}");
         // interleaved: not all of fetcher 1's lines come before fetcher 2's
         let first = &seq[0];
-        assert!(seq.iter().skip(1).any(|x| x == first), "fetcher lines should interleave");
+        assert!(
+            seq.iter().skip(1).any(|x| x == first),
+            "fetcher lines should interleave"
+        );
     }
 
     #[test]
     fn network_fault_produces_failed_connects_to_one_host() {
         let plan = FaultPlan::new(FaultKind::NetworkFailure, 0.2, 2, 0);
-        let job = generate(&JobConfig { input_gb: 16, ..cfg(4) }, Some(&plan));
+        let job = generate(
+            &JobConfig {
+                input_gb: 16,
+                ..cfg(4)
+            },
+            Some(&plan),
+        );
         let fails: Vec<&str> = job
             .sessions
             .iter()
@@ -362,7 +848,9 @@ mod tests {
             .iter()
             .flat_map(|s| &s.lines)
             .filter(|l| {
-                !crate::catalog::truth_of(SystemKind::MapReduce, l.template_id).unwrap().nl
+                !crate::catalog::truth_of(SystemKind::MapReduce, l.template_id)
+                    .unwrap()
+                    .nl
             })
             .count();
         let total = job.total_lines();

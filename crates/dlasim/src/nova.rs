@@ -11,14 +11,66 @@ use crate::workload::JobConfig;
 
 /// Ground truth for the nova-compute templates.
 pub const TRUTHS: &[Truth] = &[
-    Truth::new("nv.claim", "Instance claim succeeded on node compute3",
-        &["instance claim", "node"], 0, 0, 1, 1, true),
-    Truth::new("nv.image", "Creating image for instance inst-77a2f", &["image", "instance"], 1, 0, 0, 1, true),
-    Truth::new("nv.started", "VM started for instance inst-77a2f", &["vm", "instance"], 1, 0, 0, 1, true),
-    Truth::new("nv.spawned", "Took 19 seconds to spawn instance inst-77a2f on the hypervisor",
-        &["instance", "hypervisor"], 1, 1, 0, 1, true),
-    Truth::new("nv.terminating", "Terminating instance inst-77a2f", &["instance"], 1, 0, 0, 1, true),
-    Truth::new("nv.destroyed", "Instance inst-77a2f destroyed successfully", &["instance"], 1, 0, 0, 1, true),
+    Truth::new(
+        "nv.claim",
+        "Instance claim succeeded on node compute3",
+        &["instance claim", "node"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "nv.image",
+        "Creating image for instance inst-77a2f",
+        &["image", "instance"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "nv.started",
+        "VM started for instance inst-77a2f",
+        &["vm", "instance"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "nv.spawned",
+        "Took 19 seconds to spawn instance inst-77a2f on the hypervisor",
+        &["instance", "hypervisor"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "nv.terminating",
+        "Terminating instance inst-77a2f",
+        &["instance"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "nv.destroyed",
+        "Instance inst-77a2f destroyed successfully",
+        &["instance"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
 ];
 
 /// Generate a nova-compute log stream handling several VM requests.
@@ -26,24 +78,56 @@ pub fn generate(cfg: &JobConfig) -> GenJob {
     let mut e = Emitter::new(cfg.seed, 0);
     let vms = cfg.executors.max(1) as u64;
     for v in 0..vms {
-        let uuid = format!("inst-{:05x}", (cfg.seed.wrapping_mul(31).wrapping_add(v * 7919)) & 0xfffff);
+        let uuid = format!(
+            "inst-{:05x}",
+            (cfg.seed.wrapping_mul(31).wrapping_add(v * 7919)) & 0xfffff
+        );
         let node = format!("compute{}", (v % cfg.hosts.max(1) as u64) + 1);
-        e.info("nova.compute.claims", "nv.claim", format!("Instance claim succeeded on node {node}"));
-        e.info("nova.virt.libvirt.driver", "nv.image", format!("Creating image for instance {uuid}"));
+        e.info(
+            "nova.compute.claims",
+            "nv.claim",
+            format!("Instance claim succeeded on node {node}"),
+        );
+        e.info(
+            "nova.virt.libvirt.driver",
+            "nv.image",
+            format!("Creating image for instance {uuid}"),
+        );
         e.tick(500, 4000);
-        e.info("nova.compute.manager", "nv.started", format!("VM started for instance {uuid}"));
+        e.info(
+            "nova.compute.manager",
+            "nv.started",
+            format!("VM started for instance {uuid}"),
+        );
         let secs = e.range(5, 40);
-        e.info("nova.compute.manager", "nv.spawned", format!("Took {secs} seconds to spawn instance {uuid} on the hypervisor"));
+        e.info(
+            "nova.compute.manager",
+            "nv.spawned",
+            format!("Took {secs} seconds to spawn instance {uuid} on the hypervisor"),
+        );
         if e.chance(0.5) {
             e.tick(1000, 8000);
-            e.info("nova.compute.manager", "nv.terminating", format!("Terminating instance {uuid}"));
-            e.info("nova.virt.libvirt.driver", "nv.destroyed", format!("Instance {uuid} destroyed successfully"));
+            e.info(
+                "nova.compute.manager",
+                "nv.terminating",
+                format!("Terminating instance {uuid}"),
+            );
+            e.info(
+                "nova.virt.libvirt.driver",
+                "nv.destroyed",
+                format!("Instance {uuid} destroyed successfully"),
+            );
         }
     }
     GenJob {
         system: SystemKind::Nova,
         workload: cfg.workload.clone(),
-        sessions: vec![GenSession { id: "nova-compute".into(), host: "compute1".into(), lines: e.finish(), affected: false }],
+        sessions: vec![GenSession {
+            id: "nova-compute".into(),
+            host: "compute1".into(),
+            lines: e.finish(),
+            affected: false,
+        }],
         injected: None,
     }
 }
@@ -66,7 +150,11 @@ mod tests {
         };
         let job = generate(&cfg);
         for l in &job.sessions[0].lines {
-            assert!(crate::catalog::truth_of(SystemKind::Nova, l.template_id).unwrap().nl);
+            assert!(
+                crate::catalog::truth_of(SystemKind::Nova, l.template_id)
+                    .unwrap()
+                    .nl
+            );
         }
         assert!(job.total_lines() >= 40);
     }

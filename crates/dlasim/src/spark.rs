@@ -15,74 +15,518 @@ use crate::workload::JobConfig;
 /// Ground truth for the Spark templates (see module docs of
 /// [`crate::catalog`] for the annotation rules).
 pub const TRUTHS: &[Truth] = &[
-    Truth::new("sp.acl.view", "Changing view acls to root", &["view acl"], 0, 0, 0, 1, true),
-    Truth::new("sp.acl.modify", "Changing modify acls to root", &["modify acl"], 0, 0, 0, 1, true),
-    Truth::new("sp.sec.auth", "authentication disabled for SecurityManager", &["authentication", "security manager"], 0, 0, 0, 1, true),
-    Truth::new("sp.exec.start", "Starting executor ID 3 on host worker4", &["executor", "host"], 1, 0, 1, 1, true),
-    Truth::new("sp.exec.reg", "Successfully registered with driver", &["driver"], 0, 0, 0, 1, true),
-    Truth::new("sp.mem.start", "MemoryStore started with capacity 2048 MB", &["memory store", "capacity"], 0, 1, 0, 1, true),
-    Truth::new("sp.dir.create", "Created local directory at /tmp/spark-4f2a/executor-12", &["local directory"], 0, 0, 1, 1, true),
-    Truth::new("sp.bm.registering", "Registering BlockManager worker4:41111 with 2048 MB RAM", &["block manager", "ram"], 0, 1, 1, 1, true),
-    Truth::new("sp.bm.registered", "Registered BlockManager worker4:41111 successfully", &["block manager"], 0, 0, 1, 1, true),
-    Truth::new("sp.bm.init", "Initialized BlockManager on worker4:41111 for executor 3", &["block manager", "executor"], 1, 0, 1, 1, true),
-    Truth::new("sp.task.got", "Got assigned task 42", &["task"], 1, 0, 0, 1, true),
-    Truth::new("sp.task.deser", "Task 42 deserialized in 6 ms on executor 3", &["task", "executor"], 2, 1, 0, 1, true),
-    Truth::new("sp.task.input", "task 42 reading 2 input partitions from parent rdd 7", &["task", "input partition", "parent rdd"], 2, 1, 0, 1, true),
-    Truth::new("sp.task.mem", "task 42 acquired 5242880 bytes of execution memory", &["task", "execution memory"], 1, 1, 0, 1, true),
-    Truth::new("sp.task.run", "Running task 4 in stage 1 TID 42", &["task", "stage"], 3, 0, 0, 1, true),
-    Truth::new("sp.bc.start", "Started reading broadcast variable 2", &["broadcast variable"], 1, 0, 0, 1, true),
-    Truth::new("sp.bc.took", "Reading broadcast variable 2 took 14 ms", &["broadcast variable"], 1, 1, 0, 1, true),
-    Truth::new("sp.block.stored", "block broadcast_2 stored as values in memory with estimated size 48 KB", &["block", "value", "memory", "size"], 1, 1, 0, 1, true),
-    Truth::new("sp.shuffle.get", "Getting 5 non-empty blocks out of 12 blocks", &["block"], 0, 2, 0, 1, true),
-    Truth::new("sp.task.finish", "Finished task 4 in stage 1 TID 42. 2264 bytes result sent to driver", &["task", "stage", "result", "driver"], 3, 1, 0, 2, true),
-    Truth::new("sp.drv.shutdown", "Driver commanded a shutdown", &["driver", "shutdown"], 0, 0, 0, 1, true),
-    Truth::new("sp.mem.cleared", "MemoryStore cleared", &["memory store"], 0, 0, 0, 1, true),
-    Truth::new("sp.bm.stopped", "BlockManager stopped", &["block manager"], 0, 0, 0, 1, true),
-    Truth::new("sp.hook", "Shutdown hook called", &["shutdown hook"], 0, 0, 0, 1, true),
-    Truth::new("sp.dir.delete", "Deleting directory /tmp/spark-4f2a/executor-12", &["directory"], 0, 0, 1, 1, true),
+    Truth::new(
+        "sp.acl.view",
+        "Changing view acls to root",
+        &["view acl"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.acl.modify",
+        "Changing modify acls to root",
+        &["modify acl"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.sec.auth",
+        "authentication disabled for SecurityManager",
+        &["authentication", "security manager"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.exec.start",
+        "Starting executor ID 3 on host worker4",
+        &["executor", "host"],
+        1,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.exec.reg",
+        "Successfully registered with driver",
+        &["driver"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.mem.start",
+        "MemoryStore started with capacity 2048 MB",
+        &["memory store", "capacity"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.dir.create",
+        "Created local directory at /tmp/spark-4f2a/executor-12",
+        &["local directory"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.bm.registering",
+        "Registering BlockManager worker4:41111 with 2048 MB RAM",
+        &["block manager", "ram"],
+        0,
+        1,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.bm.registered",
+        "Registered BlockManager worker4:41111 successfully",
+        &["block manager"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.bm.init",
+        "Initialized BlockManager on worker4:41111 for executor 3",
+        &["block manager", "executor"],
+        1,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.task.got",
+        "Got assigned task 42",
+        &["task"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.task.deser",
+        "Task 42 deserialized in 6 ms on executor 3",
+        &["task", "executor"],
+        2,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.task.input",
+        "task 42 reading 2 input partitions from parent rdd 7",
+        &["task", "input partition", "parent rdd"],
+        2,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.task.mem",
+        "task 42 acquired 5242880 bytes of execution memory",
+        &["task", "execution memory"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.task.run",
+        "Running task 4 in stage 1 TID 42",
+        &["task", "stage"],
+        3,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.bc.start",
+        "Started reading broadcast variable 2",
+        &["broadcast variable"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.bc.took",
+        "Reading broadcast variable 2 took 14 ms",
+        &["broadcast variable"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.block.stored",
+        "block broadcast_2 stored as values in memory with estimated size 48 KB",
+        &["block", "value", "memory", "size"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.shuffle.get",
+        "Getting 5 non-empty blocks out of 12 blocks",
+        &["block"],
+        0,
+        2,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.task.finish",
+        "Finished task 4 in stage 1 TID 42. 2264 bytes result sent to driver",
+        &["task", "stage", "result", "driver"],
+        3,
+        1,
+        0,
+        2,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.shutdown",
+        "Driver commanded a shutdown",
+        &["driver", "shutdown"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.mem.cleared",
+        "MemoryStore cleared",
+        &["memory store"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.bm.stopped",
+        "BlockManager stopped",
+        &["block manager"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.hook",
+        "Shutdown hook called",
+        &["shutdown hook"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.dir.delete",
+        "Deleting directory /tmp/spark-4f2a/executor-12",
+        &["directory"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
     // driver-side templates
-    Truth::new("sp.drv.job.start", "Starting job collect with 8 output partitions", &["job", "output partition"], 0, 1, 0, 1, true),
-    Truth::new("sp.drv.stage.submit", "Submitting stage 1 with 8 missing tasks", &["stage", "missing task"], 1, 1, 0, 1, true),
-    Truth::new("sp.drv.taskset.add", "Adding task set 1 with 8 tasks", &["task set"], 1, 1, 0, 1, true),
-    Truth::new("sp.drv.task.start", "Starting task 4 in stage 1 TID 42 on executor 3", &["task", "stage", "executor"], 4, 0, 0, 1, true),
-    Truth::new("sp.drv.taskset.done", "Removed task set 1 whose tasks have all completed", &["task set", "task"], 1, 0, 0, 1, true),
-    Truth::new("sp.drv.stage.done", "Stage 1 finished in 12 seconds", &["stage"], 1, 1, 0, 1, true),
-    Truth::new("sp.drv.job.done", "Job collect finished successfully", &["job"], 0, 0, 0, 1, true),
-    Truth::new("sp.exec.classpath", "Using classpath /opt/spark/jars for executor launch",
-        &["classpath", "executor launch"], 0, 0, 1, 1, true),
-    Truth::new("sp.cache.hit", "Found block rdd_4_2 locally in memory cache",
-        &["block", "memory cache"], 1, 0, 0, 1, true),
-    Truth::new("sp.cache.miss", "block rdd_4_2 not found locally and will be fetched from a remote block manager",
-        &["block", "remote block manager"], 1, 0, 0, 1, true),
-    Truth::new("sp.bc.cleaned", "Cleaned broadcast variable 4 from memory",
-        &["broadcast variable", "memory"], 1, 0, 0, 1, true),
-    Truth::new("sp.heartbeat.send", "Sending heartbeat to driver with 4 active tasks",
-        &["heartbeat", "driver", "active task"], 0, 1, 0, 1, true),
-    Truth::new("sp.gc", "Garbage collection took 120 ms during task execution",
-        &["garbage collection", "task execution"], 0, 1, 0, 1, true),
-    Truth::new("sp.shuffle.write", "task 42 wrote 1024 bytes of shuffle data to local disk",
-        &["task", "shuffle data", "local disk"], 1, 1, 0, 1, true),
-    Truth::new("sp.task.result", "Sending result of task 42 back to driver",
-        &["result of task", "driver"], 1, 0, 0, 1, true),
-    Truth::new("sp.drv.rdd", "Registering RDD 7 with 8 partitions",
-        &["rdd", "partition"], 1, 1, 0, 1, true),
-    Truth::new("sp.drv.job.got", "Got job 2 with 16 output partitions",
-        &["job", "output partition"], 1, 1, 0, 1, true),
-    Truth::new("sp.drv.bc", "Broadcasting variable 3 from driver with size 24 KB",
-        &["variable", "driver", "size"], 1, 1, 0, 1, true),
-    Truth::new("sp.drv.locality", "Preferred locations for task 4 are worker2 and worker5",
-        &["preferred location", "task"], 1, 0, 2, 1, true),
-    Truth::new("sp.drv.speculate", "Marking task 4 in stage 1 as speculatable because of slow progress",
-        &["task", "stage", "slow progress"], 2, 0, 0, 1, true),
-    Truth::new("sp.exec.deps", "Fetching 3 missing dependencies from driver",
-        &["missing dependency", "driver"], 0, 1, 0, 1, true),
-    Truth::new("sp.rare.heartbeat", "Received last heartbeat telling driver disconnection during shutdown",
-        &["heartbeat", "driver disconnection", "shutdown"], 0, 0, 0, 1, true),
+    Truth::new(
+        "sp.drv.job.start",
+        "Starting job collect with 8 output partitions",
+        &["job", "output partition"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.stage.submit",
+        "Submitting stage 1 with 8 missing tasks",
+        &["stage", "missing task"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.taskset.add",
+        "Adding task set 1 with 8 tasks",
+        &["task set"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.task.start",
+        "Starting task 4 in stage 1 TID 42 on executor 3",
+        &["task", "stage", "executor"],
+        4,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.taskset.done",
+        "Removed task set 1 whose tasks have all completed",
+        &["task set", "task"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.stage.done",
+        "Stage 1 finished in 12 seconds",
+        &["stage"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.job.done",
+        "Job collect finished successfully",
+        &["job"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.exec.classpath",
+        "Using classpath /opt/spark/jars for executor launch",
+        &["classpath", "executor launch"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.cache.hit",
+        "Found block rdd_4_2 locally in memory cache",
+        &["block", "memory cache"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.cache.miss",
+        "block rdd_4_2 not found locally and will be fetched from a remote block manager",
+        &["block", "remote block manager"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.bc.cleaned",
+        "Cleaned broadcast variable 4 from memory",
+        &["broadcast variable", "memory"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.heartbeat.send",
+        "Sending heartbeat to driver with 4 active tasks",
+        &["heartbeat", "driver", "active task"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.gc",
+        "Garbage collection took 120 ms during task execution",
+        &["garbage collection", "task execution"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.shuffle.write",
+        "task 42 wrote 1024 bytes of shuffle data to local disk",
+        &["task", "shuffle data", "local disk"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.task.result",
+        "Sending result of task 42 back to driver",
+        &["result of task", "driver"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.rdd",
+        "Registering RDD 7 with 8 partitions",
+        &["rdd", "partition"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.job.got",
+        "Got job 2 with 16 output partitions",
+        &["job", "output partition"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.bc",
+        "Broadcasting variable 3 from driver with size 24 KB",
+        &["variable", "driver", "size"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.locality",
+        "Preferred locations for task 4 are worker2 and worker5",
+        &["preferred location", "task"],
+        1,
+        0,
+        2,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.drv.speculate",
+        "Marking task 4 in stage 1 as speculatable because of slow progress",
+        &["task", "stage", "slow progress"],
+        2,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.exec.deps",
+        "Fetching 3 missing dependencies from driver",
+        &["missing dependency", "driver"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.rare.heartbeat",
+        "Received last heartbeat telling driver disconnection during shutdown",
+        &["heartbeat", "driver disconnection", "shutdown"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
     // fault-only templates (never seen in clean training)
-    Truth::new("sp.fault.connect", "Failed to connect to worker4:41111 while fetching remote blocks", &["remote block"], 0, 0, 1, 1, true),
-    Truth::new("sp.fault.retry", "Retrying block fetch from worker4:41111 after connection failure", &["block fetch", "connection failure"], 0, 0, 1, 1, true),
-    Truth::new("sp.fault.spill", "spill 3 of 64 MB written to /tmp/spark-4f2a/spill3.out due to memory pressure", &["spill", "memory pressure"], 1, 1, 1, 1, true),
-    Truth::new("sp.fault.lost", "Lost executor 3 on worker4 because the worker was lost", &["executor", "worker"], 1, 0, 1, 1, true),
+    Truth::new(
+        "sp.fault.connect",
+        "Failed to connect to worker4:41111 while fetching remote blocks",
+        &["remote block"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.fault.retry",
+        "Retrying block fetch from worker4:41111 after connection failure",
+        &["block fetch", "connection failure"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.fault.spill",
+        "spill 3 of 64 MB written to /tmp/spark-4f2a/spill3.out due to memory pressure",
+        &["spill", "memory pressure"],
+        1,
+        1,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "sp.fault.lost",
+        "Lost executor 3 on worker4 because the worker was lost",
+        &["executor", "worker"],
+        1,
+        0,
+        1,
+        1,
+        true,
+    ),
 ];
 
 /// How many tasks the whole job runs, derived from the input size.
@@ -95,7 +539,9 @@ fn total_tasks(cfg: &JobConfig) -> u64 {
 pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
     let tasks = total_tasks(cfg);
     let n_exec = cfg.executors.max(1) as u64;
-    let hosts: Vec<String> = (0..cfg.hosts.max(2)).map(|h| format!("worker{}", h + 1)).collect();
+    let hosts: Vec<String> = (0..cfg.hosts.max(2))
+        .map(|h| format!("worker{}", h + 1))
+        .collect();
 
     // Assign tasks round-robin to executors; the starvation bug removes all
     // tasks from some executors.
@@ -107,52 +553,119 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
     let mut driver = Emitter::new(cfg.seed, 0);
     let driver_host = hosts[0].clone();
 
-    driver.info("SparkContext", "sp.acl.view", "Changing view acls to root".into());
-    driver.info("SparkContext", "sp.acl.modify", "Changing modify acls to root".into());
-    driver.info("SecurityManager", "sp.sec.auth", "authentication disabled for SecurityManager".into());
+    driver.info(
+        "SparkContext",
+        "sp.acl.view",
+        "Changing view acls to root".into(),
+    );
+    driver.info(
+        "SparkContext",
+        "sp.acl.modify",
+        "Changing modify acls to root".into(),
+    );
+    driver.info(
+        "SecurityManager",
+        "sp.sec.auth",
+        "authentication disabled for SecurityManager".into(),
+    );
     driver.info(
         "DAGScheduler",
         "sp.drv.job.start",
-        format!("Starting job {} with {} output partitions", cfg.workload, tasks.min(64)),
+        format!(
+            "Starting job {} with {} output partitions",
+            cfg.workload,
+            tasks.min(64)
+        ),
     );
     let stages = (2 + cfg.input_gb / 16).min(5) as u64;
     let tasks_per_stage = (tasks / stages).max(1);
-    driver.info("SparkContext", "sp.drv.rdd", format!("Registering RDD {} with {} partitions", stages + 5, tasks_per_stage));
-    driver.info("DAGScheduler", "sp.drv.job.got", format!("Got job 0 with {} output partitions", tasks.min(64)));
+    driver.info(
+        "SparkContext",
+        "sp.drv.rdd",
+        format!(
+            "Registering RDD {} with {} partitions",
+            stages + 5,
+            tasks_per_stage
+        ),
+    );
+    driver.info(
+        "DAGScheduler",
+        "sp.drv.job.got",
+        format!("Got job 0 with {} output partitions", tasks.min(64)),
+    );
     let bkb = driver.range(4, 256);
-    driver.info("TorrentBroadcast", "sp.drv.bc", format!("Broadcasting variable 0 from driver with size {bkb} KB"));
+    driver.info(
+        "TorrentBroadcast",
+        "sp.drv.bc",
+        format!("Broadcasting variable 0 from driver with size {bkb} KB"),
+    );
 
     // Executor sessions run concurrently with the driver's scheduling.
     for e in 0..n_exec {
         let host = hosts[(1 + e as usize) % hosts.len()].clone();
         let mut ex = driver.fork(e + 1);
         let exec_id = e + 1;
-        ex.info("SparkContext", "sp.acl.view", "Changing view acls to root".into());
-        ex.info("SecurityManager", "sp.sec.auth", "authentication disabled for SecurityManager".into());
+        ex.info(
+            "SparkContext",
+            "sp.acl.view",
+            "Changing view acls to root".into(),
+        );
+        ex.info(
+            "SecurityManager",
+            "sp.sec.auth",
+            "authentication disabled for SecurityManager".into(),
+        );
         ex.info(
             "CoarseGrainedExecutorBackend",
             "sp.exec.start",
             format!("Starting executor ID {exec_id} on host {host}"),
         );
-        ex.info("Executor", "sp.exec.reg", "Successfully registered with driver".into());
-        ex.info("Executor", "sp.exec.classpath", "Using classpath /opt/spark/jars for executor launch".into());
+        ex.info(
+            "Executor",
+            "sp.exec.reg",
+            "Successfully registered with driver".into(),
+        );
+        ex.info(
+            "Executor",
+            "sp.exec.classpath",
+            "Using classpath /opt/spark/jars for executor launch".into(),
+        );
         let deps = ex.range(1, 6);
-        ex.info("Executor", "sp.exec.deps", format!("Fetching {deps} missing dependencies from driver"));
+        ex.info(
+            "Executor",
+            "sp.exec.deps",
+            format!("Fetching {deps} missing dependencies from driver"),
+        );
         ex.info(
             "MemoryStore",
             "sp.mem.start",
             format!("MemoryStore started with capacity {} MB", cfg.mem_mb),
         );
         let dir = format!("/tmp/spark-{:04x}/executor-{exec_id}", cfg.seed & 0xffff);
-        ex.info("DiskBlockManager", "sp.dir.create", format!("Created local directory at {dir}"));
+        ex.info(
+            "DiskBlockManager",
+            "sp.dir.create",
+            format!("Created local directory at {dir}"),
+        );
         let port = 41100 + exec_id;
         ex.info(
             "BlockManager",
             "sp.bm.registering",
-            format!("Registering BlockManager {host}:{port} with {} MB RAM", cfg.mem_mb),
+            format!(
+                "Registering BlockManager {host}:{port} with {} MB RAM",
+                cfg.mem_mb
+            ),
         );
-        ex.info("BlockManager", "sp.bm.registered", format!("Registered BlockManager {host}:{port} successfully"));
-        ex.info("BlockManager", "sp.bm.init", format!("Initialized BlockManager on {host}:{port} for executor {exec_id}"));
+        ex.info(
+            "BlockManager",
+            "sp.bm.registered",
+            format!("Registered BlockManager {host}:{port} successfully"),
+        );
+        ex.info(
+            "BlockManager",
+            "sp.bm.init",
+            format!("Initialized BlockManager on {host}:{port} for executor {exec_id}"),
+        );
         sessions.push((format!("container_{:08}", e + 2), host, ex, exec_id));
     }
 
@@ -189,7 +702,9 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
                 driver.info(
                     "TaskSetManager",
                     "sp.drv.speculate",
-                    format!("Marking task {t} in stage {s} as speculatable because of slow progress"),
+                    format!(
+                        "Marking task {t} in stage {s} as speculatable because of slow progress"
+                    ),
                 );
             }
             driver.info(
@@ -199,19 +714,47 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
             );
             let sess_host = sessions[e].1.clone();
             let ex = &mut sessions[e].2;
-            ex.info("CoarseGrainedExecutorBackend", "sp.task.got", format!("Got assigned task {tid}"));
+            ex.info(
+                "CoarseGrainedExecutorBackend",
+                "sp.task.got",
+                format!("Got assigned task {tid}"),
+            );
             let deser = ex.range(1, 20);
-            ex.info("Executor", "sp.task.deser", format!("Task {tid} deserialized in {deser} ms on executor {exec_id}"));
-            ex.info("Executor", "sp.task.run", format!("Running task {t} in stage {s} TID {tid}"));
+            ex.info(
+                "Executor",
+                "sp.task.deser",
+                format!("Task {tid} deserialized in {deser} ms on executor {exec_id}"),
+            );
+            ex.info(
+                "Executor",
+                "sp.task.run",
+                format!("Running task {t} in stage {s} TID {tid}"),
+            );
             let parts = ex.range(1, 4);
-            ex.info("Executor", "sp.task.input", format!("task {tid} reading {parts} input partitions from parent rdd {s}"));
+            ex.info(
+                "Executor",
+                "sp.task.input",
+                format!("task {tid} reading {parts} input partitions from parent rdd {s}"),
+            );
             let memb = ex.range(1_048_576, 16_777_216);
-            ex.info("TaskMemoryManager", "sp.task.mem", format!("task {tid} acquired {memb} bytes of execution memory"));
+            ex.info(
+                "TaskMemoryManager",
+                "sp.task.mem",
+                format!("task {tid} acquired {memb} bytes of execution memory"),
+            );
             if ex.chance(0.4) {
                 let b = s;
-                ex.info("TorrentBroadcast", "sp.bc.start", format!("Started reading broadcast variable {b}"));
+                ex.info(
+                    "TorrentBroadcast",
+                    "sp.bc.start",
+                    format!("Started reading broadcast variable {b}"),
+                );
                 let took = ex.range(2, 40);
-                ex.info("TorrentBroadcast", "sp.bc.took", format!("Reading broadcast variable {b} took {took} ms"));
+                ex.info(
+                    "TorrentBroadcast",
+                    "sp.bc.took",
+                    format!("Reading broadcast variable {b} took {took} ms"),
+                );
                 let kb = ex.range(4, 512);
                 ex.info(
                     "MemoryStore",
@@ -256,14 +799,20 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
                     ex.warn(
                         "ExternalSorter",
                         "sp.fault.spill",
-                        format!("spill {spill_no} of {mb} MB written to {dir} due to memory pressure"),
+                        format!(
+                            "spill {spill_no} of {mb} MB written to {dir} due to memory pressure"
+                        ),
                     );
                 }
             }
             if ex.chance(0.3) {
                 let rdd_block = format!("rdd_{s}_{t}");
                 if ex.chance(0.5) {
-                    ex.info("BlockManager", "sp.cache.hit", format!("Found block {rdd_block} locally in memory cache"));
+                    ex.info(
+                        "BlockManager",
+                        "sp.cache.hit",
+                        format!("Found block {rdd_block} locally in memory cache"),
+                    );
                 } else {
                     ex.info(
                         "BlockManager",
@@ -274,38 +823,76 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
             }
             if ex.chance(0.25) {
                 let gcms = ex.range(10, 300);
-                ex.info("Executor", "sp.gc", format!("Garbage collection took {gcms} ms during task execution"));
+                ex.info(
+                    "Executor",
+                    "sp.gc",
+                    format!("Garbage collection took {gcms} ms during task execution"),
+                );
             }
             if s > 0 {
                 let wbytes = ex.range(200, 8000);
-                ex.info("ShuffleWriter", "sp.shuffle.write", format!("task {tid} wrote {wbytes} bytes of shuffle data to local disk"));
+                ex.info(
+                    "ShuffleWriter",
+                    "sp.shuffle.write",
+                    format!("task {tid} wrote {wbytes} bytes of shuffle data to local disk"),
+                );
             }
-            ex.info("Executor", "sp.task.result", format!("Sending result of task {tid} back to driver"));
+            ex.info(
+                "Executor",
+                "sp.task.result",
+                format!("Sending result of task {tid} back to driver"),
+            );
             ex.tick(20, 200);
             let bytes = ex.range(900, 4200);
             ex.info(
                 "Executor",
                 "sp.task.finish",
-                format!("Finished task {t} in stage {s} TID {tid}. {bytes} bytes result sent to driver"),
+                format!(
+                    "Finished task {t} in stage {s} TID {tid}. {bytes} bytes result sent to driver"
+                ),
             );
         }
         driver.tick(50, 200);
-        driver.info("TaskSchedulerImpl", "sp.drv.taskset.done", format!("Removed task set {s} whose tasks have all completed"));
+        driver.info(
+            "TaskSchedulerImpl",
+            "sp.drv.taskset.done",
+            format!("Removed task set {s} whose tasks have all completed"),
+        );
         let secs = driver.range(2, 30);
-        driver.info("DAGScheduler", "sp.drv.stage.done", format!("Stage {s} finished in {secs} seconds"));
+        driver.info(
+            "DAGScheduler",
+            "sp.drv.stage.done",
+            format!("Stage {s} finished in {secs} seconds"),
+        );
     }
-    driver.info("DAGScheduler", "sp.drv.job.done", format!("Job {} finished successfully", cfg.workload));
+    driver.info(
+        "DAGScheduler",
+        "sp.drv.job.done",
+        format!("Job {} finished successfully", cfg.workload),
+    );
 
     // Shutdown phase per executor.
     let mut out_sessions: Vec<GenSession> = Vec::new();
     for (id, host, mut ex, exec_id) in sessions {
         let active = ex.range(0, 4);
-        ex.info("Executor", "sp.heartbeat.send", format!("Sending heartbeat to driver with {active} active tasks"));
+        ex.info(
+            "Executor",
+            "sp.heartbeat.send",
+            format!("Sending heartbeat to driver with {active} active tasks"),
+        );
         if ex.chance(0.5) {
             let bv = ex.range(0, 4);
-            ex.info("ContextCleaner", "sp.bc.cleaned", format!("Cleaned broadcast variable {bv} from memory"));
+            ex.info(
+                "ContextCleaner",
+                "sp.bc.cleaned",
+                format!("Cleaned broadcast variable {bv} from memory"),
+            );
         }
-        ex.info("CoarseGrainedExecutorBackend", "sp.drv.shutdown", "Driver commanded a shutdown".into());
+        ex.info(
+            "CoarseGrainedExecutorBackend",
+            "sp.drv.shutdown",
+            "Driver commanded a shutdown".into(),
+        );
         // Under tight memory the worker shuts down slowly enough to still
         // receive the driver-disconnect heartbeat — a benign message that
         // never shows up in (well-tuned) training runs. This reproduces the
@@ -318,23 +905,58 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
                 "Received last heartbeat telling driver disconnection during shutdown".into(),
             );
         }
-        ex.info("MemoryStore", "sp.mem.cleared", "MemoryStore cleared".into());
-        ex.info("BlockManager", "sp.bm.stopped", "BlockManager stopped".into());
-        ex.info("ShutdownHookManager", "sp.hook", "Shutdown hook called".into());
+        ex.info(
+            "MemoryStore",
+            "sp.mem.cleared",
+            "MemoryStore cleared".into(),
+        );
+        ex.info(
+            "BlockManager",
+            "sp.bm.stopped",
+            "BlockManager stopped".into(),
+        );
+        ex.info(
+            "ShutdownHookManager",
+            "sp.hook",
+            "Shutdown hook called".into(),
+        );
         let dir = format!("/tmp/spark-{:04x}/executor-{exec_id}", cfg.seed & 0xffff);
-        ex.info("ShutdownHookManager", "sp.dir.delete", format!("Deleting directory {dir}"));
-        out_sessions.push(GenSession { id, host, lines: ex.finish(), affected: false });
+        ex.info(
+            "ShutdownHookManager",
+            "sp.dir.delete",
+            format!("Deleting directory {dir}"),
+        );
+        out_sessions.push(GenSession {
+            id,
+            host,
+            lines: ex.finish(),
+            affected: false,
+        });
     }
-    driver.info("ShutdownHookManager", "sp.hook", "Shutdown hook called".into());
+    driver.info(
+        "ShutdownHookManager",
+        "sp.hook",
+        "Shutdown hook called".into(),
+    );
     out_sessions.insert(
         0,
-        GenSession { id: "container_00000001".into(), host: driver_host, lines: driver.finish(), affected: false },
+        GenSession {
+            id: "container_00000001".into(),
+            host: driver_host,
+            lines: driver.finish(),
+            affected: false,
+        },
     );
 
     // Apply truncating faults and ground-truth markers.
-    apply_truncating_faults(&mut out_sessions, fault, &hosts, "sp.fault.lost", "TaskSchedulerImpl", |i, victim| {
-        format!("Lost executor {i} on {victim} because the worker was lost")
-    });
+    apply_truncating_faults(
+        &mut out_sessions,
+        fault,
+        &hosts,
+        "sp.fault.lost",
+        "TaskSchedulerImpl",
+        |i, victim| format!("Lost executor {i} on {victim} because the worker was lost"),
+    );
     mark_fault_affected(&mut out_sessions);
     if matches!(fault, Some(p) if p.kind == FaultKind::Starvation) {
         for s in out_sessions.iter_mut().skip(1) {
@@ -467,7 +1089,13 @@ mod tests {
     #[test]
     fn input_size_scales_session_length() {
         let small = generate(&cfg(2), None);
-        let big = generate(&JobConfig { input_gb: 64, ..cfg(2) }, None);
+        let big = generate(
+            &JobConfig {
+                input_gb: 64,
+                ..cfg(2)
+            },
+            None,
+        );
         assert!(big.total_lines() > small.total_lines() * 2);
     }
 
@@ -488,7 +1116,13 @@ mod tests {
     #[test]
     fn network_failure_emits_connect_errors() {
         let plan = FaultPlan::new(FaultKind::NetworkFailure, 0.3, 1, 0);
-        let job = generate(&JobConfig { input_gb: 32, ..cfg(4) }, Some(&plan));
+        let job = generate(
+            &JobConfig {
+                input_gb: 32,
+                ..cfg(4)
+            },
+            Some(&plan),
+        );
         let n_fail = job
             .sessions
             .iter()

@@ -17,64 +17,196 @@ use crate::workload::JobConfig;
 
 /// Ground truth for the TensorFlow templates.
 pub const TRUTHS: &[Truth] = &[
-    Truth::new("tf.server.start", "Started server with target grpc://worker3:2222",
-        &["server", "target"], 0, 0, 1, 1, true),
-    Truth::new("tf.session.create", "Creating distributed session with 2 parameter servers and 4 workers",
-        &["distributed session", "parameter server", "worker"], 0, 2, 0, 1, true),
-    Truth::new("tf.graph.init", "Initializing computation graph with 512 operations",
-        &["computation graph", "operation"], 0, 1, 0, 1, true),
-    Truth::new("tf.vars.init", "Running local init op for 64 variables",
-        &["local init op", "variable"], 0, 1, 0, 1, true),
-    Truth::new("tf.step", "worker 2 finished step 1400 with loss 0.3517 in 212 ms",
-        &["worker", "step", "loss"], 2, 2, 0, 1, true),
-    Truth::new("tf.ckpt.save", "Saving checkpoint for step 1400 to /ckpt/model.ckpt-1400",
-        &["checkpoint", "step"], 1, 0, 1, 1, true),
-    Truth::new("tf.ckpt.done", "checkpoint saved in 918 ms",
-        &["checkpoint"], 0, 1, 0, 1, true),
-    Truth::new("tf.ps.update", "parameter server 1 applied 128 gradient updates",
-        &["parameter server", "gradient update"], 1, 1, 0, 1, true),
-    Truth::new("tf.ps.close", "parameter server 1 shutting down after session close",
-        &["parameter server", "session close"], 1, 0, 0, 1, true),
-    Truth::new("tf.worker.close", "worker 2 stopped after final step",
-        &["worker", "final step"], 1, 0, 0, 1, true),
-    Truth::new("tf.train.done", "Training finished after 2000 steps with final loss 0.0891",
-        &["training", "step", "final loss"], 0, 2, 0, 1, true),
-    Truth::new("tf.session.close", "Closing distributed session cleanly",
-        &["distributed session"], 0, 0, 0, 1, true),
+    Truth::new(
+        "tf.server.start",
+        "Started server with target grpc://worker3:2222",
+        &["server", "target"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.session.create",
+        "Creating distributed session with 2 parameter servers and 4 workers",
+        &["distributed session", "parameter server", "worker"],
+        0,
+        2,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.graph.init",
+        "Initializing computation graph with 512 operations",
+        &["computation graph", "operation"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.vars.init",
+        "Running local init op for 64 variables",
+        &["local init op", "variable"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.step",
+        "worker 2 finished step 1400 with loss 0.3517 in 212 ms",
+        &["worker", "step", "loss"],
+        2,
+        2,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.ckpt.save",
+        "Saving checkpoint for step 1400 to /ckpt/model.ckpt-1400",
+        &["checkpoint", "step"],
+        1,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.ckpt.done",
+        "checkpoint saved in 918 ms",
+        &["checkpoint"],
+        0,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.ps.update",
+        "parameter server 1 applied 128 gradient updates",
+        &["parameter server", "gradient update"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.ps.close",
+        "parameter server 1 shutting down after session close",
+        &["parameter server", "session close"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.worker.close",
+        "worker 2 stopped after final step",
+        &["worker", "final step"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.train.done",
+        "Training finished after 2000 steps with final loss 0.0891",
+        &["training", "step", "final loss"],
+        0,
+        2,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.session.close",
+        "Closing distributed session cleanly",
+        &["distributed session"],
+        0,
+        0,
+        0,
+        1,
+        true,
+    ),
     // fault-only
-    Truth::new("tf.fault.stale", "worker 2 rejected stale gradient for step 1400 after restart",
-        &["worker", "stale gradient", "step"], 2, 0, 0, 1, true),
-    Truth::new("tf.fault.unavailable", "grpc channel to worker3:2222 unavailable while pushing gradients",
-        &["grpc channel", "gradient"], 0, 0, 1, 1, true),
+    Truth::new(
+        "tf.fault.stale",
+        "worker 2 rejected stale gradient for step 1400 after restart",
+        &["worker", "stale gradient", "step"],
+        2,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "tf.fault.unavailable",
+        "grpc channel to worker3:2222 unavailable while pushing gradients",
+        &["grpc channel", "gradient"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
 ];
 
 /// Generate a distributed TensorFlow training job: chief + parameter
 /// servers + workers.
 pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
-    let hosts: Vec<String> = (0..cfg.hosts.max(2)).map(|h| format!("worker{}", h + 1)).collect();
+    let hosts: Vec<String> = (0..cfg.hosts.max(2))
+        .map(|h| format!("worker{}", h + 1))
+        .collect();
     let n_workers = cfg.executors.max(1) as u64;
     let n_ps = (n_workers / 2).max(1);
     let steps = (cfg.input_gb as u64 * 50).clamp(20, 400);
     let mut chief = Emitter::new(cfg.seed, 0);
     let mut sessions: Vec<GenSession> = Vec::new();
 
-    chief.info("distributed_runtime", "tf.server.start", format!("Started server with target grpc://{}:2222", hosts[0]));
+    chief.info(
+        "distributed_runtime",
+        "tf.server.start",
+        format!("Started server with target grpc://{}:2222", hosts[0]),
+    );
     chief.info(
         "MonitoredTrainingSession",
         "tf.session.create",
-        format!("Creating distributed session with {n_ps} parameter servers and {n_workers} workers"),
+        format!(
+            "Creating distributed session with {n_ps} parameter servers and {n_workers} workers"
+        ),
     );
     let ops = chief.range(128, 4096);
-    chief.info("GraphMgr", "tf.graph.init", format!("Initializing computation graph with {ops} operations"));
+    chief.info(
+        "GraphMgr",
+        "tf.graph.init",
+        format!("Initializing computation graph with {ops} operations"),
+    );
     let vars = chief.range(16, 256);
-    chief.info("SessionManager", "tf.vars.init", format!("Running local init op for {vars} variables"));
+    chief.info(
+        "SessionManager",
+        "tf.vars.init",
+        format!("Running local init op for {vars} variables"),
+    );
 
     // Parameter servers.
     let mut ps_emitters: Vec<(String, String, Emitter)> = (0..n_ps)
         .map(|p| {
             let host = hosts[(p as usize + 1) % hosts.len()].clone();
             let mut e = chief.fork(p + 1);
-            e.info("distributed_runtime", "tf.server.start", format!("Started server with target grpc://{host}:2222"));
+            e.info(
+                "distributed_runtime",
+                "tf.server.start",
+                format!("Started server with target grpc://{host}:2222"),
+            );
             (format!("ps_{p}"), host, e)
         })
         .collect();
@@ -84,7 +216,11 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
         .map(|w| {
             let host = hosts[(w as usize + 1 + n_ps as usize) % hosts.len()].clone();
             let mut e = chief.fork(100 + w);
-            e.info("distributed_runtime", "tf.server.start", format!("Started server with target grpc://{host}:2222"));
+            e.info(
+                "distributed_runtime",
+                "tf.server.start",
+                format!("Started server with target grpc://{host}:2222"),
+            );
             (format!("worker_{w}"), host, e)
         })
         .collect();
@@ -120,33 +256,81 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
         }
         for (pi, (_, _, e)) in ps_emitters.iter_mut().enumerate() {
             let grads = e.range(32, 256);
-            e.info("ps", "tf.ps.update", format!("parameter server {pi} applied {grads} gradient updates"));
+            e.info(
+                "ps",
+                "tf.ps.update",
+                format!("parameter server {pi} applied {grads} gradient updates"),
+            );
         }
         if step % 100 == 0 {
             chief.tick(200, 900);
-            chief.info("Saver", "tf.ckpt.save", format!("Saving checkpoint for step {step} to /ckpt/model.ckpt-{step}"));
+            chief.info(
+                "Saver",
+                "tf.ckpt.save",
+                format!("Saving checkpoint for step {step} to /ckpt/model.ckpt-{step}"),
+            );
             let ms = chief.range(300, 1500);
-            chief.info("Saver", "tf.ckpt.done", format!("checkpoint saved in {ms} ms"));
+            chief.info(
+                "Saver",
+                "tf.ckpt.done",
+                format!("checkpoint saved in {ms} ms"),
+            );
         }
     }
-    chief.info("learner", "tf.train.done", format!("Training finished after {steps} steps with final loss 0.0891"));
-    chief.info("MonitoredTrainingSession", "tf.session.close", "Closing distributed session cleanly".into());
+    chief.info(
+        "learner",
+        "tf.train.done",
+        format!("Training finished after {steps} steps with final loss 0.0891"),
+    );
+    chief.info(
+        "MonitoredTrainingSession",
+        "tf.session.close",
+        "Closing distributed session cleanly".into(),
+    );
 
-    sessions.push(GenSession { id: "chief".into(), host: hosts[0].clone(), lines: chief.finish(), affected: false });
+    sessions.push(GenSession {
+        id: "chief".into(),
+        host: hosts[0].clone(),
+        lines: chief.finish(),
+        affected: false,
+    });
     for (pi, (id, host, mut e)) in ps_emitters.into_iter().enumerate() {
         e.tick(50, 300);
-        e.info("ps", "tf.ps.close", format!("parameter server {pi} shutting down after session close"));
-        sessions.push(GenSession { id, host, lines: e.finish(), affected: false });
+        e.info(
+            "ps",
+            "tf.ps.close",
+            format!("parameter server {pi} shutting down after session close"),
+        );
+        sessions.push(GenSession {
+            id,
+            host,
+            lines: e.finish(),
+            affected: false,
+        });
     }
     for (wi, (id, host, mut e)) in worker_emitters.into_iter().enumerate() {
         e.tick(50, 300);
-        e.info("learner", "tf.worker.close", format!("worker {wi} stopped after final step"));
-        sessions.push(GenSession { id, host, lines: e.finish(), affected: false });
+        e.info(
+            "learner",
+            "tf.worker.close",
+            format!("worker {wi} stopped after final step"),
+        );
+        sessions.push(GenSession {
+            id,
+            host,
+            lines: e.finish(),
+            affected: false,
+        });
     }
 
-    crate::spark::apply_truncating_faults(&mut sessions, fault, &hosts, "tf.fault.unavailable", "distributed_runtime", |_, victim| {
-        format!("grpc channel to {victim}:2222 unavailable while pushing gradients")
-    });
+    crate::spark::apply_truncating_faults(
+        &mut sessions,
+        fault,
+        &hosts,
+        "tf.fault.unavailable",
+        "distributed_runtime",
+        |_, victim| format!("grpc channel to {victim}:2222 unavailable while pushing gradients"),
+    );
     crate::spark::mark_fault_affected(&mut sessions);
 
     GenJob {
@@ -193,7 +377,13 @@ mod tests {
     #[test]
     fn steps_scale_with_input() {
         let small = generate(&cfg(2), None);
-        let big = generate(&JobConfig { input_gb: 8, ..cfg(2) }, None);
+        let big = generate(
+            &JobConfig {
+                input_gb: 8,
+                ..cfg(2)
+            },
+            None,
+        );
         assert!(big.total_lines() > small.total_lines());
     }
 

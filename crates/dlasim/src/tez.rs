@@ -69,20 +69,44 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
     let job_id = 1_529_000 + (cfg.seed % 1000);
     let vertices = (2 + cfg.input_gb / 4).clamp(2, 6) as u64;
     let tasks_per_vertex = (cfg.input_gb as u64 * 2).clamp(2, 24);
-    let hosts: Vec<String> = (0..cfg.hosts.max(2)).map(|h| format!("worker{}", h + 1)).collect();
+    let hosts: Vec<String> = (0..cfg.hosts.max(2))
+        .map(|h| format!("worker{}", h + 1))
+        .collect();
     let mut am = Emitter::new(cfg.seed, 0);
     let mut sessions: Vec<GenSession> = Vec::new();
 
-    am.info("HiveSessionImpl", "tz.session.ref", format!("session ref r_{} opened for user root", 4000 + job_id % 1000));
-    am.info("TezClient", "tz.am.dag.submit", format!("Submitting DAG dag_{job_id}_1 to session"));
-    am.info("DAGAppMaster", "tz.am.dag.run", format!("Running DAG {} with {vertices} vertices", cfg.workload));
+    am.info(
+        "HiveSessionImpl",
+        "tz.session.ref",
+        format!(
+            "session ref r_{} opened for user root",
+            4000 + job_id % 1000
+        ),
+    );
+    am.info(
+        "TezClient",
+        "tz.am.dag.submit",
+        format!("Submitting DAG dag_{job_id}_1 to session"),
+    );
+    am.info(
+        "DAGAppMaster",
+        "tz.am.dag.run",
+        format!("Running DAG {} with {vertices} vertices", cfg.workload),
+    );
     let joins = am.range(1, 4);
-    am.info("SemanticAnalyzer", "tz.hive.plan", format!("Query plan has {vertices} stages with {joins} map joins"));
+    am.info(
+        "SemanticAnalyzer",
+        "tz.hive.plan",
+        format!("Query plan has {vertices} stages with {joins} map joins"),
+    );
     for v in 1..vertices {
         am.info(
             "Edge",
             "tz.edge.setup",
-            format!("Connecting vertex vertex_{:02} to vertex vertex_{v:02} with scatter gather edge", v - 1),
+            format!(
+                "Connecting vertex vertex_{:02} to vertex vertex_{v:02} with scatter gather edge",
+                v - 1
+            ),
         );
     }
 
@@ -99,14 +123,26 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
         .collect();
 
     for v in 0..vertices {
-        am.info("VertexImpl", "tz.am.vertex.init", format!("Initializing vertex vertex_{v:02} with {tasks_per_vertex} tasks"));
+        am.info(
+            "VertexImpl",
+            "tz.am.vertex.init",
+            format!("Initializing vertex vertex_{v:02} with {tasks_per_vertex} tasks"),
+        );
         for t in 0..tasks_per_vertex {
             let c = ((v * tasks_per_vertex + t) % n_children) as usize;
             let att = format!("attempt_{job_id}_t_{:06}_0", v * tasks_per_vertex + t);
             let e = &mut children[c].2;
-            e.info("TezChild", "tz.child.init", format!("Initializing task {att} for vertex vertex_{v:02}"));
+            e.info(
+                "TezChild",
+                "tz.child.init",
+                format!("Initializing task {att} for vertex vertex_{v:02}"),
+            );
             let mb = e.range(64, cfg.mem_mb as u64);
-            e.info("TezTaskRunner", "tz.mem.alloc", format!("Allocated {mb} MB of scoped memory for {att}"));
+            e.info(
+                "TezTaskRunner",
+                "tz.mem.alloc",
+                format!("Allocated {mb} MB of scoped memory for {att}"),
+            );
             if v == 0 {
                 e.info(
                     "MRInput",
@@ -131,7 +167,9 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
                     e.info(
                         "ShuffleManager",
                         "tz.shuffle.fetch",
-                        format!("fetched {n} shuffle inputs for vertex vertex_{v:02} from {src}:13563"),
+                        format!(
+                            "fetched {n} shuffle inputs for vertex vertex_{v:02} from {src}:13563"
+                        ),
                     );
                 }
             }
@@ -146,9 +184,17 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
                         format!("Applying predicate pushdown optimization to operator {op_kind}_{op_id}"),
                     );
                 }
-                e.info("MapOperator", "tz.op.init", format!("Initializing operator {op_kind}_{op_id}"));
+                e.info(
+                    "MapOperator",
+                    "tz.op.init",
+                    format!("Initializing operator {op_kind}_{op_id}"),
+                );
                 let rows = e.range(1000, 90_000);
-                e.info("MapOperator", "tz.op.rows", format!("operator {op_kind}_{op_id} finished processing {rows} rows"));
+                e.info(
+                    "MapOperator",
+                    "tz.op.rows",
+                    format!("operator {op_kind}_{op_id} finished processing {rows} rows"),
+                );
             }
             if let Some(p) = fault {
                 if p.kind == FaultKind::MemorySpill && e.chance(0.7) {
@@ -161,34 +207,84 @@ pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
                 }
             }
             if cfg.mem_mb <= 1024 && e.chance(0.04) {
-                e.info("TezChild", "tz.rare.reuse", "container reused for the next task attempt after close".into());
+                e.info(
+                    "TezChild",
+                    "tz.rare.reuse",
+                    "container reused for the next task attempt after close".into(),
+                );
             }
             let cl = e.range(2, 9);
-            e.info("ReduceRecordProcessor", "tz.op.close1", format!("{cl} Close done"));
-            e.info("ReduceRecordProcessor", "tz.op.close2", format!("{} finished. Closing", cl / 2));
+            e.info(
+                "ReduceRecordProcessor",
+                "tz.op.close1",
+                format!("{cl} Close done"),
+            );
+            e.info(
+                "ReduceRecordProcessor",
+                "tz.op.close2",
+                format!("{} finished. Closing", cl / 2),
+            );
             if v == vertices - 1 {
-                e.info("FileSinkOperator", "tz.output.commit", format!("Committing output of vertex vertex_{v:02} to the warehouse table"));
+                e.info(
+                    "FileSinkOperator",
+                    "tz.output.commit",
+                    format!("Committing output of vertex vertex_{v:02} to the warehouse table"),
+                );
             }
-            e.info("TaskAttemptImpl", "tz.child.transition", format!("task {att} transitioned from RUNNING to SUCCEEDED"));
+            e.info(
+                "TaskAttemptImpl",
+                "tz.child.transition",
+                format!("task {att} transitioned from RUNNING to SUCCEEDED"),
+            );
             let b = e.range(500, 90_000);
-            e.info("Counters", "tz.counters", format!("FILE_BYTES_READ={b} RECORDS_OUT={} SPILLED_RECORDS=0", b / 3));
+            e.info(
+                "Counters",
+                "tz.counters",
+                format!(
+                    "FILE_BYTES_READ={b} RECORDS_OUT={} SPILLED_RECORDS=0",
+                    b / 3
+                ),
+            );
         }
         am.tick(50, 300);
-        am.info("VertexImpl", "tz.am.vertex.done", format!("vertex vertex_{v:02} completed with {tasks_per_vertex} successful tasks"));
+        am.info(
+            "VertexImpl",
+            "tz.am.vertex.done",
+            format!("vertex vertex_{v:02} completed with {tasks_per_vertex} successful tasks"),
+        );
     }
     for (id, host, e) in children {
-        sessions.push(GenSession { id, host, lines: e.finish(), affected: false });
+        sessions.push(GenSession {
+            id,
+            host,
+            lines: e.finish(),
+            affected: false,
+        });
     }
     let secs = am.range(10, 120);
-    am.info("DAGAppMaster", "tz.am.dag.done", format!("DAG dag_{job_id}_1 finished successfully in {secs} seconds"));
+    am.info(
+        "DAGAppMaster",
+        "tz.am.dag.done",
+        format!("DAG dag_{job_id}_1 finished successfully in {secs} seconds"),
+    );
     sessions.insert(
         0,
-        GenSession { id: format!("container_{job_id}_01_000001"), host: hosts[0].clone(), lines: am.finish(), affected: false },
+        GenSession {
+            id: format!("container_{job_id}_01_000001"),
+            host: hosts[0].clone(),
+            lines: am.finish(),
+            affected: false,
+        },
     );
 
-    crate::spark::apply_truncating_faults(&mut sessions, fault, &hosts, "tz.fault.lost", "TaskSchedulerEventHandler", |i, victim| {
-        format!("Lost container on node {victim} holding {i} task attempts")
-    });
+    crate::spark::apply_truncating_faults(
+        &mut sessions,
+        fault,
+        &hosts,
+        "tz.fault.lost",
+        "TaskSchedulerEventHandler",
+        |i, victim| format!("Lost container on node {victim} holding {i} task attempts"),
+    );
     crate::spark::mark_fault_affected(&mut sessions);
 
     GenJob {
@@ -230,7 +326,12 @@ mod tests {
             }
         }
         // vague operator keys present (paper §6.2)
-        let all: Vec<&str> = job.sessions.iter().flat_map(|s| &s.lines).map(|l| l.template_id).collect();
+        let all: Vec<&str> = job
+            .sessions
+            .iter()
+            .flat_map(|s| &s.lines)
+            .map(|l| l.template_id)
+            .collect();
         assert!(all.contains(&"tz.op.close1"));
         assert!(all.contains(&"tz.op.close2"));
     }
@@ -257,8 +358,15 @@ mod tests {
         let job = generate(&cfg(3), None);
         assert_eq!(job.sessions.len(), 1 + 2); // AM + executors children
         for s in &job.sessions[1..] {
-            let attempts = s.lines.iter().filter(|l| l.template_id == "tz.child.init").count();
-            assert!(attempts > 1, "container should run several attempts: {attempts}");
+            let attempts = s
+                .lines
+                .iter()
+                .filter(|l| l.template_id == "tz.child.init")
+                .count();
+            assert!(
+                attempts > 1,
+                "container should run several attempts: {attempts}"
+            );
         }
     }
 }

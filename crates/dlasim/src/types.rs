@@ -196,7 +196,9 @@ mod tests {
             message: "m".into(),
             template_id: "t",
         };
-        assert!(RawFormat::Hadoop.render(&l).starts_with("2019-06-23 00:00:01"));
+        assert!(RawFormat::Hadoop
+            .render(&l)
+            .starts_with("2019-06-23 00:00:01"));
     }
 
     #[test]

@@ -36,7 +36,14 @@ pub struct JobConfig {
 /// HiBench-style job names used for Spark and MapReduce (paper: text
 /// processing, machine learning and graph processing).
 pub const HIBENCH_JOBS: &[&str] = &[
-    "wordcount", "sort", "terasort", "kmeans", "pagerank", "bayes", "nutchindexing", "scan",
+    "wordcount",
+    "sort",
+    "terasort",
+    "kmeans",
+    "pagerank",
+    "bayes",
+    "nutchindexing",
+    "scan",
 ];
 
 /// TPC-H query names used for Tez via Hive.
@@ -66,7 +73,10 @@ impl WorkloadGen {
     /// A generator over a cluster with `hosts` worker nodes (the paper uses
     /// 26 workers).
     pub fn new(seed: u64, hosts: u32) -> WorkloadGen {
-        WorkloadGen { rng: ChaCha8Rng::seed_from_u64(seed), hosts: hosts.max(2) }
+        WorkloadGen {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            hosts: hosts.max(2),
+        }
     }
 
     /// Draw a random training configuration for `system` (resources tuned
@@ -139,8 +149,12 @@ mod tests {
     fn training_configs_are_varied_and_deterministic() {
         let mut a = WorkloadGen::new(1, 26);
         let mut b = WorkloadGen::new(1, 26);
-        let ca: Vec<JobConfig> = (0..10).map(|_| a.training_config(SystemKind::Spark)).collect();
-        let cb: Vec<JobConfig> = (0..10).map(|_| b.training_config(SystemKind::Spark)).collect();
+        let ca: Vec<JobConfig> = (0..10)
+            .map(|_| a.training_config(SystemKind::Spark))
+            .collect();
+        let cb: Vec<JobConfig> = (0..10)
+            .map(|_| b.training_config(SystemKind::Spark))
+            .collect();
         assert_eq!(ca, cb);
         let sizes: std::collections::HashSet<u32> = ca.iter().map(|c| c.input_gb).collect();
         assert!(sizes.len() > 2, "input sizes should vary: {sizes:?}");

@@ -12,50 +12,148 @@ use crate::workload::JobConfig;
 
 /// Ground truth for the YARN templates.
 pub const TRUTHS: &[Truth] = &[
-    Truth::new("yn.app.accepted", "Accepted application application_1529021_0001 from user root",
-        &["application", "user"], 1, 0, 0, 1, true),
-    Truth::new("yn.auth", "Authentication succeeded for appattempt_1529021_000001",
-        &["authentication"], 1, 0, 0, 1, true),
-    Truth::new("yn.start.request", "Start request received for container_1529021_01_000002 by user root",
-        &["start request", "user"], 1, 0, 0, 1, true),
-    Truth::new("yn.localizing", "Downloading resource hdfs://namenode:8020/user/root/job.jar to local cache",
-        &["resource", "local cache"], 0, 0, 1, 1, true),
-    Truth::new("yn.transition", "Container container_1529021_01_000002 transitioned from LOCALIZING to RUNNING",
-        &["container"], 1, 0, 0, 1, true),
-    Truth::new("yn.monitor.kv", "memory=2048MB vcores=2 utilization=0.45",
-        &[], 0, 3, 0, 0, false),
-    Truth::new("yn.container.done", "Container container_1529021_01_000002 completed with exit code 0",
-        &["container", "exit code"], 1, 1, 0, 1, true),
+    Truth::new(
+        "yn.app.accepted",
+        "Accepted application application_1529021_0001 from user root",
+        &["application", "user"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "yn.auth",
+        "Authentication succeeded for appattempt_1529021_000001",
+        &["authentication"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "yn.start.request",
+        "Start request received for container_1529021_01_000002 by user root",
+        &["start request", "user"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "yn.localizing",
+        "Downloading resource hdfs://namenode:8020/user/root/job.jar to local cache",
+        &["resource", "local cache"],
+        0,
+        0,
+        1,
+        1,
+        true,
+    ),
+    Truth::new(
+        "yn.transition",
+        "Container container_1529021_01_000002 transitioned from LOCALIZING to RUNNING",
+        &["container"],
+        1,
+        0,
+        0,
+        1,
+        true,
+    ),
+    Truth::new(
+        "yn.monitor.kv",
+        "memory=2048MB vcores=2 utilization=0.45",
+        &[],
+        0,
+        3,
+        0,
+        0,
+        false,
+    ),
+    Truth::new(
+        "yn.container.done",
+        "Container container_1529021_01_000002 completed with exit code 0",
+        &["container", "exit code"],
+        1,
+        1,
+        0,
+        1,
+        true,
+    ),
 ];
 
 /// Generate a YARN NodeManager log stream for one application.
 pub fn generate(cfg: &JobConfig) -> GenJob {
     let app = 1_529_000 + (cfg.seed % 1000);
     let containers = (cfg.executors as u64 + 1).max(2);
-    let hosts: Vec<String> = (0..cfg.hosts.max(2)).map(|h| format!("worker{}", h + 1)).collect();
+    let hosts: Vec<String> = (0..cfg.hosts.max(2))
+        .map(|h| format!("worker{}", h + 1))
+        .collect();
     let mut e = Emitter::new(cfg.seed, 0);
-    e.info("CapacityScheduler", "yn.app.accepted", format!("Accepted application application_{app}_0001 from user root"));
-    e.info("AMLauncher", "yn.auth", format!("Authentication succeeded for appattempt_{app}_000001"));
+    e.info(
+        "CapacityScheduler",
+        "yn.app.accepted",
+        format!("Accepted application application_{app}_0001 from user root"),
+    );
+    e.info(
+        "AMLauncher",
+        "yn.auth",
+        format!("Authentication succeeded for appattempt_{app}_000001"),
+    );
     for c in 0..containers {
         let cid = format!("container_{app}_01_{:06}", c + 1);
-        e.info("ContainerManagerImpl", "yn.start.request", format!("Start request received for {cid} by user root"));
-        e.info("ResourceLocalizationService", "yn.localizing", "Downloading resource hdfs://namenode:8020/user/root/job.jar to local cache".into());
+        e.info(
+            "ContainerManagerImpl",
+            "yn.start.request",
+            format!("Start request received for {cid} by user root"),
+        );
+        e.info(
+            "ResourceLocalizationService",
+            "yn.localizing",
+            "Downloading resource hdfs://namenode:8020/user/root/job.jar to local cache".into(),
+        );
         for (from, to) in [("NEW", "LOCALIZING"), ("LOCALIZING", "RUNNING")] {
-            e.info("ContainerImpl", "yn.transition", format!("Container {cid} transitioned from {from} to {to}"));
+            e.info(
+                "ContainerImpl",
+                "yn.transition",
+                format!("Container {cid} transitioned from {from} to {to}"),
+            );
         }
         if e.chance(0.3) {
             let util = e.range(10, 95);
-            e.info("ContainersMonitorImpl", "yn.monitor.kv", format!("memory={}MB vcores={} utilization=0.{util}", cfg.mem_mb, cfg.cores));
+            e.info(
+                "ContainersMonitorImpl",
+                "yn.monitor.kv",
+                format!(
+                    "memory={}MB vcores={} utilization=0.{util}",
+                    cfg.mem_mb, cfg.cores
+                ),
+            );
         }
         e.tick(200, 2000);
-        e.info("ContainerImpl", "yn.transition", format!("Container {cid} transitioned from RUNNING to EXITED_WITH_SUCCESS"));
-        e.info("ContainerManagerImpl", "yn.container.done", format!("Container {cid} completed with exit code 0"));
+        e.info(
+            "ContainerImpl",
+            "yn.transition",
+            format!("Container {cid} transitioned from RUNNING to EXITED_WITH_SUCCESS"),
+        );
+        e.info(
+            "ContainerManagerImpl",
+            "yn.container.done",
+            format!("Container {cid} completed with exit code 0"),
+        );
     }
     let host = hosts[0].clone();
     GenJob {
         system: SystemKind::Yarn,
         workload: cfg.workload.clone(),
-        sessions: vec![GenSession { id: format!("nm_{app}"), host, lines: e.finish(), affected: false }],
+        sessions: vec![GenSession {
+            id: format!("nm_{app}"),
+            host,
+            lines: e.finish(),
+            affected: false,
+        }],
         injected: None,
     }
 }
@@ -81,7 +179,11 @@ mod tests {
         assert!(lines.len() > 20);
         let non_nl = lines
             .iter()
-            .filter(|l| !crate::catalog::truth_of(SystemKind::Yarn, l.template_id).unwrap().nl)
+            .filter(|l| {
+                !crate::catalog::truth_of(SystemKind::Yarn, l.template_id)
+                    .unwrap()
+                    .nl
+            })
             .count();
         let frac = non_nl as f64 / lines.len() as f64;
         assert!(frac < 0.15, "{frac}");

@@ -18,16 +18,18 @@ fn config_strategy() -> impl Strategy<Value = JobConfig> {
         2u32..10,
         any::<u64>(),
     )
-        .prop_map(|(system, input_gb, mem_mb, cores, executors, hosts, seed)| JobConfig {
-            system,
-            workload: "wordcount".into(),
-            input_gb,
-            mem_mb,
-            cores,
-            executors,
-            hosts,
-            seed,
-        })
+        .prop_map(
+            |(system, input_gb, mem_mb, cores, executors, hosts, seed)| JobConfig {
+                system,
+                workload: "wordcount".into(),
+                input_gb,
+                mem_mb,
+                cores,
+                executors,
+                hosts,
+                seed,
+            },
+        )
 }
 
 fn fault_strategy() -> impl Strategy<Value = Option<FaultPlan>> {

@@ -139,7 +139,11 @@ pub fn extract_entities(tagged: &[TaggedToken]) -> Vec<Entity> {
             })
             .collect();
         if !words.is_empty() {
-            out.push(Entity { phrase: words.join(" "), start: i, end: i + matched });
+            out.push(Entity {
+                phrase: words.join(" "),
+                start: i,
+                end: i + matched,
+            });
         }
         i += matched;
     }
@@ -168,7 +172,10 @@ mod tests {
         assert_eq!(entities("task"), ["task"]);
         assert_eq!(entities("remote process"), ["remote process"]);
         assert_eq!(entities("event fetcher"), ["event fetcher"]);
-        assert_eq!(entities("cleanup temporary folders"), ["cleanup temporary folder"]);
+        assert_eq!(
+            entities("cleanup temporary folders"),
+            ["cleanup temporary folder"]
+        );
         assert_eq!(entities("map completion events"), ["map completion event"]);
         assert_eq!(entities("output of map"), ["output of map"]);
     }
@@ -176,7 +183,10 @@ mod tests {
     #[test]
     fn camel_case_expansion() {
         // §3.1: 'MapTask' → 'map task'
-        assert_eq!(entities("Starting MapTask metrics system"), ["map task metrics system"]);
+        assert_eq!(
+            entities("Starting MapTask metrics system"),
+            ["map task metrics system"]
+        );
         assert_eq!(entities("Registered BlockManager"), ["block manager"]);
     }
 

@@ -91,7 +91,13 @@ pub fn classify_field(
 ) -> VarField {
     let lex = Lexicon::global();
     let tag = tagged[pos].tag;
-    let mut field = VarField { pos, category: FieldCategory::Skipped, id_type: None, name: None, locality: None };
+    let mut field = VarField {
+        pos,
+        category: FieldCategory::Skipped,
+        id_type: None,
+        name: None,
+        locality: None,
+    };
 
     // Heuristic 1a: verb-tagged fields are filtered out.
     if tag.is_verb() {
@@ -117,7 +123,9 @@ pub fn classify_field(
     }
     if shape == TokenShape::AlphaNum {
         let lower = sample_text.to_ascii_lowercase();
-        let digits_end = lower.find(|c: char| !c.is_ascii_digit()).unwrap_or(lower.len());
+        let digits_end = lower
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(lower.len());
         if digits_end > 0 && lex.is_unit(&lower[digits_end..]) {
             field.category = FieldCategory::Value;
             field.name = Some(lower[digits_end..].to_string());
@@ -220,7 +228,10 @@ mod tests {
     #[test]
     fn verb_variable_is_skipped() {
         // "* MapTask metrics system" ← "Starting MapTask metrics system"
-        let f = fields_for("* MapTask metrics system", "Starting MapTask metrics system");
+        let f = fields_for(
+            "* MapTask metrics system",
+            "Starting MapTask metrics system",
+        );
         assert_eq!(f[0].1.category, FieldCategory::Skipped);
     }
 
@@ -249,6 +260,9 @@ mod tests {
     fn identifier_type_from_prefix_beats_context() {
         let toks = tokenize("launched container container_01_0001 on host1");
         let tagged = tag(&toks);
-        assert_eq!(identifier_type("container_01_0001", 2, &tagged), "CONTAINER");
+        assert_eq!(
+            identifier_type("container_01_0001", 2, &tagged),
+            "CONTAINER"
+        );
     }
 }

@@ -57,7 +57,9 @@ impl IntelKey {
 
     /// `true` if the key has at least one identifier field.
     pub fn has_identifiers(&self) -> bool {
-        self.fields.iter().any(|f| f.category == FieldCategory::Identifier)
+        self.fields
+            .iter()
+            .any(|f| f.category == FieldCategory::Identifier)
     }
 
     /// Render the key as its log-key string.
@@ -152,7 +154,10 @@ impl IntelExtractor {
         let tagged: Vec<TaggedToken> = key_tokens
             .iter()
             .zip(&ik.tags)
-            .map(|(t, &tag)| TaggedToken { token: t.clone(), tag })
+            .map(|(t, &tag)| TaggedToken {
+                token: t.clone(),
+                tag,
+            })
             .collect();
         ik.fields = key_tokens
             .iter()
@@ -219,15 +224,21 @@ impl IntelMessage {
             text: msg_tokens.join(" "),
         };
         for f in &key.fields {
-            let Some(value) = msg_tokens.get(f.pos) else { continue };
+            let Some(value) = msg_tokens.get(f.pos) else {
+                continue;
+            };
             match f.category {
                 FieldCategory::Identifier => {
-                    m.identifiers
-                        .push((f.id_type.clone().unwrap_or_else(|| "ID".into()), value.clone()));
+                    m.identifiers.push((
+                        f.id_type.clone().unwrap_or_else(|| "ID".into()),
+                        value.clone(),
+                    ));
                 }
                 FieldCategory::Value => {
-                    m.values
-                        .push((f.name.clone().unwrap_or_else(|| "value".into()), value.clone()));
+                    m.values.push((
+                        f.name.clone().unwrap_or_else(|| "value".into()),
+                        value.clone(),
+                    ));
                 }
                 FieldCategory::Locality => m.localities.push(value.clone()),
                 FieldCategory::Skipped => {}
@@ -285,8 +296,10 @@ mod tests {
         // two operations from the two clauses
         assert_eq!(ik.operations.len(), 2, "{:?}", ik.operations);
         // identifiers: task id and maybe stage id; value: bytes
-        assert!(ik.fields.iter().any(|f| f.category == FieldCategory::Value
-            && f.name.as_deref() == Some("bytes")));
+        assert!(ik
+            .fields
+            .iter()
+            .any(|f| f.category == FieldCategory::Value && f.name.as_deref() == Some("bytes")));
         assert!(ik.has_identifiers());
     }
 
@@ -311,7 +324,11 @@ mod tests {
         let ex = IntelExtractor::new();
         let ik = ex.extract_adhoc("spill 3 written to /tmp/spill3.out on host4");
         // 'spill' entity discovered, path locality, spill number identifier
-        assert!(ik.entity_phrases().contains(&"spill"), "{:?}", ik.entity_phrases());
+        assert!(
+            ik.entity_phrases().contains(&"spill"),
+            "{:?}",
+            ik.entity_phrases()
+        );
         assert!(ik
             .fields
             .iter()

@@ -54,11 +54,13 @@ impl LocalityMatcher {
             TokenShape::HostPort => return Some(LocalityKind::HostPort),
             TokenShape::Ip => return Some(LocalityKind::IpAddr),
             TokenShape::Path => {
-                return Some(if text.starts_with("hdfs://") || text.starts_with("s3://") {
-                    LocalityKind::DfsPath
-                } else {
-                    LocalityKind::LocalPath
-                });
+                return Some(
+                    if text.starts_with("hdfs://") || text.starts_with("s3://") {
+                        LocalityKind::DfsPath
+                    } else {
+                        LocalityKind::LocalPath
+                    },
+                );
             }
             _ => {}
         }
@@ -117,11 +119,20 @@ mod tests {
         assert_eq!(m.classify("host1:13562"), Some(LocalityKind::HostPort));
         assert_eq!(m.classify("10.0.0.3"), Some(LocalityKind::IpAddr));
         assert_eq!(m.classify("10.0.0.3:50010"), Some(LocalityKind::HostPort));
-        assert_eq!(m.classify("/tmp/hadoop/spill0.out"), Some(LocalityKind::LocalPath));
-        assert_eq!(m.classify("hdfs://nn:8020/user/x"), Some(LocalityKind::DfsPath));
+        assert_eq!(
+            m.classify("/tmp/hadoop/spill0.out"),
+            Some(LocalityKind::LocalPath)
+        );
+        assert_eq!(
+            m.classify("hdfs://nn:8020/user/x"),
+            Some(LocalityKind::DfsPath)
+        );
         assert_eq!(m.classify("host7"), Some(LocalityKind::HostName));
         assert_eq!(m.classify("worker12"), Some(LocalityKind::HostName));
-        assert_eq!(m.classify("node3.dc1.example.com"), Some(LocalityKind::HostName));
+        assert_eq!(
+            m.classify("node3.dc1.example.com"),
+            Some(LocalityKind::HostName)
+        );
     }
 
     #[test]

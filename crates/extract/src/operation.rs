@@ -42,7 +42,12 @@ impl std::fmt::Display for Operation {
 
 /// Resolve a token index to its entity phrase, the token text for variables
 /// and identifiers, or `None` for anything unusable.
-fn phrase_at(idx: usize, tagged: &[TaggedToken], entities: &[Entity], offset: usize) -> Option<String> {
+fn phrase_at(
+    idx: usize,
+    tagged: &[TaggedToken],
+    entities: &[Entity],
+    offset: usize,
+) -> Option<String> {
     let global = idx + offset;
     if let Some(e) = entity_at(entities, global) {
         return Some(e.phrase.clone());
@@ -86,8 +91,16 @@ pub fn extract_operations(tagged: &[TaggedToken], entities: &[Entity]) -> Vec<Op
                     .or_else(|| p.arcs.iter().find(|a| a.rel == UdRel::Nmod));
                 let subj = subj_arc.and_then(|a| phrase_at(a.dep, clause, entities, start));
                 let obj = obj_arc.and_then(|a| phrase_at(a.dep, clause, entities, start));
-                let subj_pos = if subj.is_some() { subj_arc.map(|a| a.dep + start) } else { None };
-                let obj_pos = if obj.is_some() { obj_arc.map(|a| a.dep + start) } else { None };
+                let subj_pos = if subj.is_some() {
+                    subj_arc.map(|a| a.dep + start)
+                } else {
+                    None
+                };
+                let obj_pos = if obj.is_some() {
+                    obj_arc.map(|a| a.dep + start)
+                } else {
+                    None
+                };
                 out.push(Operation {
                     subj,
                     predicate: clause[pred].lower(),

@@ -86,7 +86,10 @@ impl IntelStore {
 
     /// Filter: messages whose text contains the given word.
     pub fn filter_text(&self, needle: &str) -> Vec<&IntelMessage> {
-        self.messages.iter().filter(|m| m.text.contains(needle)).collect()
+        self.messages
+            .iter()
+            .filter(|m| m.text.contains(needle))
+            .collect()
     }
 
     /// Filter: messages within a time range `[from_ms, to_ms]` (Intel
@@ -116,7 +119,11 @@ impl IntelStore {
             .iter()
             .flat_map(|m| m.values.iter())
             .filter(|(n, _)| n == name)
-            .filter_map(|(_, v)| v.trim_end_matches(|c: char| c.is_ascii_alphabetic()).parse::<f64>().ok())
+            .filter_map(|(_, v)| {
+                v.trim_end_matches(|c: char| c.is_ascii_alphabetic())
+                    .parse::<f64>()
+                    .ok()
+            })
             .sum()
     }
 
@@ -179,7 +186,11 @@ mod tests {
         assert_eq!(by_id.len(), 11, "{:?}", by_id.keys().collect::<Vec<_>>());
         let by_host = st.group_by_locality();
         assert_eq!(by_host.len(), 1);
-        assert!(by_host.contains_key("host4"), "{:?}", by_host.keys().collect::<Vec<_>>());
+        assert!(
+            by_host.contains_key("host4"),
+            "{:?}",
+            by_host.keys().collect::<Vec<_>>()
+        );
         assert_eq!(by_host["host4"].len(), 11);
     }
 

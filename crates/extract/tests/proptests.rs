@@ -11,7 +11,11 @@ fn word() -> impl Strategy<Value = String> {
 fn message_text() -> impl Strategy<Value = String> {
     (
         word(),
-        prop_oneof!["[a-z]{3,6}_[0-9]{1,3}", "[0-9]{1,5}", "[a-z]{3,6}[0-9]{1,2}:[0-9]{4,5}"],
+        prop_oneof![
+            "[a-z]{3,6}_[0-9]{1,3}",
+            "[0-9]{1,5}",
+            "[a-z]{3,6}[0-9]{1,2}:[0-9]{4,5}"
+        ],
         word(),
         0u32..10_000,
     )

@@ -113,18 +113,25 @@ impl HwGraph {
 
         // 3. Per-session lifespans and subroutine training; track per-key
         //    per-session repetition for the critical-group criterion.
-        let mut session_lifespans: Vec<HashMap<usize, Lifespan>> = Vec::with_capacity(sessions.len());
+        let mut session_lifespans: Vec<HashMap<usize, Lifespan>> =
+            Vec::with_capacity(sessions.len());
         let mut key_repeats_in_session: BTreeSet<KeyId> = BTreeSet::new();
         let mut profiles = ProfileSet::new();
         for session in sessions {
             let mut spans: HashMap<usize, Lifespan> = HashMap::new();
-            let mut per_group: std::collections::BTreeMap<usize, Vec<&IntelMessage>> = Default::default();
+            let mut per_group: std::collections::BTreeMap<usize, Vec<&IntelMessage>> =
+                Default::default();
             let mut key_counts: HashMap<KeyId, u32> = HashMap::new();
             for m in session {
                 *key_counts.entry(m.key_id).or_insert(0) += 1;
-                let Some(gs) = key_groups.get(&m.key_id) else { continue };
+                let Some(gs) = key_groups.get(&m.key_id) else {
+                    continue;
+                };
                 for &g in gs {
-                    spans.entry(g).and_modify(|l| l.extend(m.ts_ms)).or_insert_with(|| Lifespan::at(m.ts_ms));
+                    spans
+                        .entry(g)
+                        .and_modify(|l| l.extend(m.ts_ms))
+                        .or_insert_with(|| Lifespan::at(m.ts_ms));
                     per_group.entry(g).or_default().push(m);
                 }
             }
@@ -145,7 +152,8 @@ impl HwGraph {
 
         // 4. Critical and mandatory flags (§6.3 / §6.4 case 3).
         for g in groups.iter_mut() {
-            g.critical = g.keys.len() > 1 || g.keys.iter().any(|k| key_repeats_in_session.contains(k));
+            g.critical =
+                g.keys.len() > 1 || g.keys.iter().any(|k| key_repeats_in_session.contains(k));
             g.mandatory = !sessions.is_empty() && g.sessions_seen == sessions.len() as u64;
         }
 
@@ -172,7 +180,11 @@ impl HwGraph {
             }
         };
         let stats = GraphStats {
-            avg_session_len: if sessions.is_empty() { 0.0 } else { total_msgs as f64 / sessions.len() as f64 },
+            avg_session_len: if sessions.is_empty() {
+                0.0
+            } else {
+                total_msgs as f64 / sessions.len() as f64
+            },
             groups_all: n,
             groups_critical: groups.iter().filter(|g| g.critical).count(),
             sub_len_max: sub_lens_all.iter().copied().max().unwrap_or(0),
@@ -180,7 +192,13 @@ impl HwGraph {
             sub_len_avg_crit: avg(&sub_lens_crit),
         };
 
-        HwGraph { groups, hierarchy, key_groups, profiles, stats }
+        HwGraph {
+            groups,
+            hierarchy,
+            key_groups,
+            profiles,
+            stats,
+        }
     }
 
     /// The groups a key belongs to.
@@ -219,7 +237,9 @@ impl HwGraph {
         }
         for (g, node) in self.hierarchy.nodes.iter().enumerate() {
             if let Some(p) = node.parent {
-                out.push_str(&format!("  g{p} -> g{g} [style=dashed,arrowhead=odiamond];\n"));
+                out.push_str(&format!(
+                    "  g{p} -> g{g} [style=dashed,arrowhead=odiamond];\n"
+                ));
             }
             for &b in &node.before {
                 out.push_str(&format!("  g{g} -> g{b};\n"));
@@ -246,12 +266,20 @@ impl HwGraph {
             let gm = &self.groups[g];
             let indent = "  ".repeat(node.depth);
             let mark = if gm.critical { "*" } else { "" };
-            let before: Vec<&str> = node.before.iter().map(|&b| self.groups[b].name.as_str()).collect();
+            let before: Vec<&str> = node
+                .before
+                .iter()
+                .map(|&b| self.groups[b].name.as_str())
+                .collect();
             out.push_str(&format!(
                 "{indent}[{}{mark}] entities={{{}}}{}\n",
                 gm.name,
                 gm.entities.iter().cloned().collect::<Vec<_>>().join(", "),
-                if before.is_empty() { String::new() } else { format!(" before: {}", before.join(", ")) },
+                if before.is_empty() {
+                    String::new()
+                } else {
+                    format!(" before: {}", before.join(", "))
+                },
             ));
             for (si, sub) in gm.subroutines.subroutines().enumerate() {
                 let sig = if sub.signature.is_empty() {
@@ -336,8 +364,15 @@ mod tests {
         let g = HwGraph::build(&keys, &sessions);
         assert!(!g.groups.is_empty());
         // the block-manager family lands in one group
-        let bm = g.groups.iter().find(|gr| gr.entities.contains("block manager"));
-        assert!(bm.is_some(), "{:?}", g.groups.iter().map(|x| &x.name).collect::<Vec<_>>());
+        let bm = g
+            .groups
+            .iter()
+            .find(|gr| gr.entities.contains("block manager"));
+        assert!(
+            bm.is_some(),
+            "{:?}",
+            g.groups.iter().map(|x| &x.name).collect::<Vec<_>>()
+        );
         // task group exists and is critical (repeats within a session)
         let tg = g.group_by_name("task").expect("task group");
         assert!(g.groups[tg].critical);

@@ -59,7 +59,9 @@ pub struct GroupingOptions {
 
 impl Default for GroupingOptions {
     fn default() -> GroupingOptions {
-        GroupingOptions { last_words_rule: true }
+        GroupingOptions {
+            last_words_rule: true,
+        }
     }
 }
 
@@ -81,9 +83,17 @@ pub fn longest_common_phrase_with(g: &str, e: &str, opts: GroupingOptions) -> Op
     let gw: Vec<&str> = g.split(' ').collect();
     let ew: Vec<&str> = e.split(' ').collect();
     if gw.len() == 1 || ew.len() == 1 {
-        let (single, other) = if gw.len() == 1 { (&gw, &ew) } else { (&ew, &gw) };
+        let (single, other) = if gw.len() == 1 {
+            (&gw, &ew)
+        } else {
+            (&ew, &gw)
+        };
         let w = single[0];
-        return if other.contains(&w) { Some(w.to_string()) } else { None };
+        return if other.contains(&w) {
+            Some(w.to_string())
+        } else {
+            None
+        };
     }
     let common = longest_common_word_substring(&gw, &ew)?;
     // "common last few words only" rule: the common phrase is a proper
@@ -114,7 +124,9 @@ fn longest_common_word_substring<'a>(a: &[&'a str], b: &[&'a str]) -> Option<Vec
                 let start = i + 1 - len;
                 let better = match best {
                     None => true,
-                    Some((bs, bl)) => len > bl || (len == bl && a[start..start + len] < a[bs..bs + bl]),
+                    Some((bs, bl)) => {
+                        len > bl || (len == bl && a[start..start + len] < a[bs..bs + bl])
+                    }
                 };
                 if better {
                     best = Some((start, len));
@@ -163,7 +175,10 @@ where
             }
         }
         if !grouped {
-            groups.push(EntityGroup { name: e.clone(), entities: BTreeSet::from([e.clone()]) });
+            groups.push(EntityGroup {
+                name: e.clone(),
+                entities: BTreeSet::from([e.clone()]),
+            });
         }
     }
 
@@ -182,8 +197,14 @@ mod tests {
 
     #[test]
     fn lcp_single_word_containment() {
-        assert_eq!(longest_common_phrase("block", "block manager"), Some("block".into()));
-        assert_eq!(longest_common_phrase("block manager", "block"), Some("block".into()));
+        assert_eq!(
+            longest_common_phrase("block", "block manager"),
+            Some("block".into())
+        );
+        assert_eq!(
+            longest_common_phrase("block manager", "block"),
+            Some("block".into())
+        );
         assert_eq!(longest_common_phrase("task", "task"), Some("task".into()));
         assert_eq!(longest_common_phrase("block", "task"), None);
         // substring of a word is NOT a common phrase
@@ -194,14 +215,20 @@ mod tests {
     fn lcp_last_words_rule() {
         // §4.1: 'block manager' and 'security manager' share only the
         // general-meaning last word → not correlated.
-        assert_eq!(longest_common_phrase("block manager", "security manager"), None);
+        assert_eq!(
+            longest_common_phrase("block manager", "security manager"),
+            None
+        );
         assert_eq!(longest_common_phrase("map output", "shuffle output"), None);
         // common prefix phrases ARE correlated
         assert_eq!(
             longest_common_phrase("block manager", "block manager endpoint"),
             Some("block manager".into())
         );
-        assert_eq!(longest_common_phrase("map output", "map task"), Some("map".into()));
+        assert_eq!(
+            longest_common_phrase("map output", "map task"),
+            Some("map".into())
+        );
     }
 
     #[test]
@@ -228,8 +255,17 @@ mod tests {
     #[test]
     fn mapreduce_map_family_from_paper() {
         // §6.3: group 'map' captures 'map metrics system' and 'map output'.
-        let g = group_entities(["map task", "map metrics system", "map output", "reduce task"]);
-        let map_group = g.groups.iter().find(|gr| gr.name == "map").expect("map group");
+        let g = group_entities([
+            "map task",
+            "map metrics system",
+            "map output",
+            "reduce task",
+        ]);
+        let map_group = g
+            .groups
+            .iter()
+            .find(|gr| gr.name == "map")
+            .expect("map group");
         assert!(map_group.entities.contains("map metrics system"));
         assert!(map_group.entities.contains("map output"));
         assert!(!map_group.entities.contains("reduce task"));
@@ -249,7 +285,10 @@ mod tests {
         let g = group_entities(["block", "block manager", "security manager"]);
         assert_eq!(g.groups_of("block manager").len(), 1);
         assert_eq!(g.groups_of("security manager").len(), 1);
-        assert_ne!(g.groups_of("block manager"), g.groups_of("security manager"));
+        assert_ne!(
+            g.groups_of("block manager"),
+            g.groups_of("security manager")
+        );
         assert!(g.groups_of("ghost").is_empty());
     }
 
@@ -278,7 +317,9 @@ mod tests {
         assert_eq!(with_rule.len(), 2);
         let without = group_entities_with(
             ["block manager", "security manager"],
-            GroupingOptions { last_words_rule: false },
+            GroupingOptions {
+                last_words_rule: false,
+            },
         );
         assert_eq!(without.len(), 1);
         assert_eq!(without.groups[0].name, "manager");

@@ -74,7 +74,10 @@ impl Hierarchy {
         // (sibling ordering); cross-level edges are implied by the parents.
         for a in 0..n {
             for b in 0..n {
-                if a != b && rel.get(a, b) == Some(GroupRel::Before) && nodes[a].parent == nodes[b].parent {
+                if a != b
+                    && rel.get(a, b) == Some(GroupRel::Before)
+                    && nodes[a].parent == nodes[b].parent
+                {
                     nodes[a].before.push(b);
                 }
             }
@@ -95,7 +98,8 @@ impl Hierarchy {
                 let preds_ok = (0..n).all(|h| {
                     h == g
                         || placed[h]
-                        || !(rel.get(h, g) == Some(GroupRel::Before) && nodes[h].parent == nodes[g].parent)
+                        || !(rel.get(h, g) == Some(GroupRel::Before)
+                            && nodes[h].parent == nodes[g].parent)
                 });
                 if parent_ok && preds_ok {
                     placed[g] = true;
@@ -153,8 +157,10 @@ mod tests {
     }
 
     fn relations(sessions: Vec<Vec<(usize, Lifespan)>>, n: usize) -> GroupRelations {
-        let sessions: Vec<HashMap<usize, Lifespan>> =
-            sessions.into_iter().map(|s| s.into_iter().collect()).collect();
+        let sessions: Vec<HashMap<usize, Lifespan>> = sessions
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
         GroupRelations::compute(n, &sessions)
     }
 
@@ -163,10 +169,10 @@ mod tests {
         // a contains b and d; c runs parallel to a; within a, b before d.
         let rel = relations(
             vec![vec![
-                (0, span(0, 100)),  // a
-                (1, span(10, 40)),  // b
-                (2, span(5, 105)),  // c (overlaps a both ways → parallel)
-                (3, span(50, 90)),  // d
+                (0, span(0, 100)), // a
+                (1, span(10, 40)), // b
+                (2, span(5, 105)), // c (overlaps a both ways → parallel)
+                (3, span(50, 90)), // d
             ]],
             4,
         );
@@ -184,7 +190,11 @@ mod tests {
     fn immediate_parent_is_deepest() {
         // a ⊃ b ⊃ c: c's immediate parent must be b, not a.
         let rel = relations(
-            vec![vec![(0, span(0, 100)), (1, span(10, 90)), (2, span(20, 80))]],
+            vec![vec![
+                (0, span(0, 100)),
+                (1, span(10, 90)),
+                (2, span(20, 80)),
+            ]],
             3,
         );
         let h = Hierarchy::build(&rel);

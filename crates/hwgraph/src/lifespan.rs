@@ -24,7 +24,10 @@ pub struct Lifespan {
 impl Lifespan {
     /// A degenerate lifespan at one instant.
     pub fn at(ts: u64) -> Lifespan {
-        Lifespan { first: ts, last: ts }
+        Lifespan {
+            first: ts,
+            last: ts,
+        }
     }
 
     /// Extend to cover `ts`.
@@ -86,7 +89,9 @@ impl GroupRelations {
                 let mut always_parent = true; // b within a, strictly smaller
                 let mut always_before = true; // a before b
                 for s in sessions {
-                    let (Some(la), Some(lb)) = (s.get(&a), s.get(&b)) else { continue };
+                    let (Some(la), Some(lb)) = (s.get(&a), s.get(&b)) else {
+                        continue;
+                    };
                     co_occurred = true;
                     let strictly_contains = lb.within(la) && !(la.within(lb));
                     if !strictly_contains {

@@ -55,7 +55,10 @@ pub struct ProfileSet {
 impl ProfileSet {
     /// A profile set with the default clustering threshold.
     pub fn new() -> ProfileSet {
-        ProfileSet { profiles: Vec::new(), threshold: 0.6 }
+        ProfileSet {
+            profiles: Vec::new(),
+            threshold: 0.6,
+        }
     }
 
     /// Number of profiles.
@@ -101,7 +104,10 @@ impl ProfileSet {
 
     /// Best-matching profile for a fingerprint (detection time), with the
     /// similarity score.
-    pub fn best_match_scored(&self, fingerprint: &BTreeSet<usize>) -> Option<(usize, &SessionProfile, f64)> {
+    pub fn best_match_scored(
+        &self,
+        fingerprint: &BTreeSet<usize>,
+    ) -> Option<(usize, &SessionProfile, f64)> {
         self.profiles
             .iter()
             .enumerate()
@@ -125,7 +131,10 @@ mod tests {
             key_id: KeyId(key),
             session: "s".into(),
             ts_ms: 0,
-            identifiers: ids.iter().map(|(t, v)| (t.to_string(), v.to_string())).collect(),
+            identifiers: ids
+                .iter()
+                .map(|(t, v)| (t.to_string(), v.to_string()))
+                .collect(),
             values: vec![],
             localities: vec![],
             entities: vec![],
@@ -170,14 +179,21 @@ mod tests {
     #[test]
     fn mandatory_shrinks_to_intersection() {
         let mut ps = ProfileSet::new();
-        let with_opt = session(&[(0, vec![msg(1, &[])]), (1, vec![msg(2, &[])]), (2, vec![msg(3, &[])])]);
+        let with_opt = session(&[
+            (0, vec![msg(1, &[])]),
+            (1, vec![msg(2, &[])]),
+            (2, vec![msg(3, &[])]),
+        ]);
         let without = session(&[(0, vec![msg(1, &[])]), (1, vec![msg(2, &[])])]);
         train(&mut ps, &with_opt);
         train(&mut ps, &without);
         assert_eq!(ps.len(), 1);
         let mandatory = &ps.profiles[0].mandatory;
         assert!(mandatory.contains(&0) && mandatory.contains(&1));
-        assert!(!mandatory.contains(&2), "optional group must not be mandatory");
+        assert!(
+            !mandatory.contains(&2),
+            "optional group must not be mandatory"
+        );
     }
 
     #[test]
@@ -186,7 +202,10 @@ mod tests {
         // map-type sessions: group 0 always sees keys 1 then 2
         let map_s = session(&[(0, vec![msg(1, &[("A", "x")]), msg(2, &[("A", "x")])])]);
         // unrelated AM-type sessions touch other groups with key 9
-        let am_s = session(&[(3, vec![msg(9, &[("A", "y")])]), (4, vec![msg(9, &[("A", "y")])])]);
+        let am_s = session(&[
+            (3, vec![msg(9, &[("A", "y")])]),
+            (4, vec![msg(9, &[("A", "y")])]),
+        ]);
         for _ in 0..3 {
             train(&mut ps, &map_s);
             train(&mut ps, &am_s);

@@ -68,10 +68,11 @@ impl Subroutine {
             }
             // Break BEFORE pairs contradicted by this instance. Pairs whose
             // keys do not co-occur here are left untouched.
-            self.before.retain(|&(a, b)| match (first.get(&a), first.get(&b)) {
-                (Some(&ia), Some(&ib)) => ia < ib,
-                _ => true,
-            });
+            self.before
+                .retain(|&(a, b)| match (first.get(&a), first.get(&b)) {
+                    (Some(&ia), Some(&ib)) => ia < ib,
+                    _ => true,
+                });
             // A key missed by this instance stops being critical (Fig. 5).
             self.critical.retain(|k| first.contains_key(k));
         }
@@ -169,7 +170,10 @@ impl SubroutineSet {
         if let Some(i) = self.subs.iter().position(|s| &s.signature == signature) {
             &mut self.subs[i]
         } else {
-            self.subs.push(Subroutine { signature: signature.clone(), ..Default::default() });
+            self.subs.push(Subroutine {
+                signature: signature.clone(),
+                ..Default::default()
+            });
             self.subs.last_mut().expect("just pushed")
         }
     }
@@ -211,7 +215,10 @@ mod tests {
             key_id: KeyId(key),
             session: "s".into(),
             ts_ms: 0,
-            identifiers: ids.iter().map(|(t, v)| (t.to_string(), v.to_string())).collect(),
+            identifiers: ids
+                .iter()
+                .map(|(t, v)| (t.to_string(), v.to_string()))
+                .collect(),
             values: vec![],
             localities: vec![],
             entities: vec![],

@@ -10,8 +10,16 @@ use std::collections::HashMap;
 fn phrase() -> impl Strategy<Value = String> {
     prop::collection::vec(
         prop_oneof![
-            Just("block"), Just("manager"), Just("task"), Just("map"), Just("output"),
-            Just("security"), Just("shuffle"), Just("memory"), Just("store"), Just("driver"),
+            Just("block"),
+            Just("manager"),
+            Just("task"),
+            Just("map"),
+            Just("output"),
+            Just("security"),
+            Just("shuffle"),
+            Just("memory"),
+            Just("store"),
+            Just("driver"),
         ],
         1..4,
     )
@@ -127,6 +135,30 @@ proptest! {
             } else {
                 prop_assert_eq!(node.depth, 0);
             }
+        }
+    }
+}
+
+/// Historical regression case for `lcp_symmetric_and_contained` (recorded
+/// in `proptests.proptest-regressions`), pinned as a plain unit test:
+/// "output task" vs "task output" share the words but no common *phrase*
+/// longer than one word in the same order.
+#[test]
+fn lcp_regression_output_task() {
+    let a = "output task";
+    let b = "task output";
+    let ab = longest_common_phrase(a, b);
+    let ba = longest_common_phrase(b, a);
+    assert_eq!(ab, ba);
+    if let Some(c) = ab {
+        assert!(!c.is_empty());
+        let cw: Vec<&str> = c.split(' ').collect();
+        for p in [a, b] {
+            let pw: Vec<&str> = p.split(' ').collect();
+            assert!(
+                pw.windows(cw.len()).any(|w| w == cw.as_slice()),
+                "common {c:?} not contiguous in {p:?}"
+            );
         }
     }
 }

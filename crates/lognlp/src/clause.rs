@@ -41,15 +41,23 @@ mod tests {
     #[test]
     fn clauses_are_natural_language() {
         assert!(is_natural_language("Starting MapTask metrics system"));
-        assert!(is_natural_language("fetcher # 1 about to shuffle output of map attempt_01"));
-        assert!(is_natural_language("host1:13562 freed by fetcher # 1 in 4ms"));
-        assert!(is_natural_language("Registered signal handlers for TERM HUP INT"));
+        assert!(is_natural_language(
+            "fetcher # 1 about to shuffle output of map attempt_01"
+        ));
+        assert!(is_natural_language(
+            "host1:13562 freed by fetcher # 1 in 4ms"
+        ));
+        assert!(is_natural_language(
+            "Registered signal handlers for TERM HUP INT"
+        ));
     }
 
     #[test]
     fn key_value_dumps_are_not() {
         assert!(!is_natural_language("memory=1024 vcores=4 disk=2"));
-        assert!(!is_natural_language("FILE_BYTES_READ=2264 FILE_BYTES_WRITTEN=0"));
+        assert!(!is_natural_language(
+            "FILE_BYTES_READ=2264 FILE_BYTES_WRITTEN=0"
+        ));
     }
 
     #[test]
@@ -60,6 +68,8 @@ mod tests {
 
     #[test]
     fn nova_style_resource_report_is_not() {
-        assert!(!is_natural_language("free_ram_mb=1024 free_disk_gb=20 running_vms=3"));
+        assert!(!is_natural_language(
+            "free_ram_mb=1024 free_disk_gb=20 running_vms=3"
+        ));
     }
 }

@@ -97,7 +97,16 @@ fn is_nominal(tag: PosTag) -> bool {
 fn takes_to_infinitive(lower: &str) -> bool {
     matches!(
         lower,
-        "about" | "ready" | "unable" | "able" | "trying" | "going" | "scheduled" | "set" | "failed" | "waiting"
+        "about"
+            | "ready"
+            | "unable"
+            | "able"
+            | "trying"
+            | "going"
+            | "scheduled"
+            | "set"
+            | "failed"
+            | "waiting"
     )
 }
 
@@ -128,7 +137,11 @@ fn np_head_right(tags: &[TaggedToken], start: usize) -> Option<(usize, usize)> {
     // skip leading determiners/adjectives/adverbs/symbols
     while i < n {
         let t = tags[i].tag;
-        if matches!(t, PosTag::DT | PosTag::PDT | PosTag::RB | PosTag::Punct | PosTag::SYM) || t.is_adjective() {
+        if matches!(
+            t,
+            PosTag::DT | PosTag::PDT | PosTag::RB | PosTag::Punct | PosTag::SYM
+        ) || t.is_adjective()
+        {
             i += 1;
         } else {
             break;
@@ -199,9 +212,14 @@ pub fn parse(tags: &[TaggedToken]) -> Parse {
     // Auxiliary + participle: "is starting", "was killed" — shift the
     // predicate to the participle.
     if tags[pred].tag.is_finite_verb()
-        && matches!(tags[pred].lower().as_str(), "is" | "are" | "was" | "were" | "has" | "have" | "had" | "be" | "been")
+        && matches!(
+            tags[pred].lower().as_str(),
+            "is" | "are" | "was" | "were" | "has" | "have" | "had" | "be" | "been"
+        )
     {
-        if let Some(next_verb) = (pred + 1..n.min(pred + 3)).find(|&i| matches!(tags[i].tag, PosTag::VBG | PosTag::VBN)) {
+        if let Some(next_verb) =
+            (pred + 1..n.min(pred + 3)).find(|&i| matches!(tags[i].tag, PosTag::VBG | PosTag::VBN))
+        {
             pred = next_verb;
         }
     }
@@ -223,14 +241,25 @@ pub fn parse(tags: &[TaggedToken]) -> Parse {
     // 3. Passivity: VBN predicate with a "by"-agent or a be-auxiliary.
     let followed_by_by = tags.get(pred + 1).is_some_and(|t| t.lower() == "by");
     let aux_be_before = (0..pred).any(|j| {
-        matches!(tags[j].lower().as_str(), "is" | "are" | "was" | "were" | "been" | "being" | "be")
+        matches!(
+            tags[j].lower().as_str(),
+            "is" | "are" | "was" | "were" | "been" | "being" | "be"
+        )
     });
     let passive = tags[pred].tag == PosTag::VBN && (followed_by_by || aux_be_before);
     out.passive = passive;
     out.predicate = Some(pred);
-    out.arcs.push(Arc { head: pred, dep: pred, rel: UdRel::Root });
+    out.arcs.push(Arc {
+        head: pred,
+        dep: pred,
+        rel: UdRel::Root,
+    });
     if let Some(gov) = xcomp_of {
-        out.arcs.push(Arc { head: gov, dep: pred, rel: UdRel::Xcomp });
+        out.arcs.push(Arc {
+            head: gov,
+            dep: pred,
+            rel: UdRel::Xcomp,
+        });
     }
 
     // 4. Subject: nearest NP head left of the (first) verb of the chain.
@@ -240,7 +269,11 @@ pub fn parse(tags: &[TaggedToken]) -> Parse {
             out.arcs.push(Arc {
                 head: pred,
                 dep: s,
-                rel: if passive { UdRel::NsubjPass } else { UdRel::Nsubj },
+                rel: if passive {
+                    UdRel::NsubjPass
+                } else {
+                    UdRel::Nsubj
+                },
             });
         }
     }
@@ -254,7 +287,11 @@ pub fn parse(tags: &[TaggedToken]) -> Parse {
         if t == PosTag::IN || t == PosTag::TO {
             // preposition → nmod
             if let Some((head, next)) = np_head_right(tags, i + 1) {
-                out.arcs.push(Arc { head: pred, dep: head, rel: UdRel::Nmod });
+                out.arcs.push(Arc {
+                    head: pred,
+                    dep: head,
+                    rel: UdRel::Nmod,
+                });
                 i = next;
                 continue;
             }
@@ -270,9 +307,17 @@ pub fn parse(tags: &[TaggedToken]) -> Parse {
                     continue;
                 }
                 if let Some(io) = pending_iobj.take() {
-                    out.arcs.push(Arc { head: pred, dep: io, rel: UdRel::Iobj });
+                    out.arcs.push(Arc {
+                        head: pred,
+                        dep: io,
+                        rel: UdRel::Iobj,
+                    });
                 }
-                out.arcs.push(Arc { head: pred, dep: head, rel: UdRel::Dobj });
+                out.arcs.push(Arc {
+                    head: pred,
+                    dep: head,
+                    rel: UdRel::Dobj,
+                });
                 saw_dobj = true;
                 i = next;
                 continue;
@@ -287,7 +332,11 @@ pub fn parse(tags: &[TaggedToken]) -> Parse {
     }
     if let Some(io) = pending_iobj {
         // Trailing "iobj" with no following dobj was actually a dobj.
-        out.arcs.push(Arc { head: pred, dep: io, rel: UdRel::Dobj });
+        out.arcs.push(Arc {
+            head: pred,
+            dep: io,
+            rel: UdRel::Dobj,
+        });
     }
     out
 }
@@ -331,7 +380,10 @@ mod tests {
         // the NP "fetcher # 1" heads at "1" (a nominal CD); either fetcher or
         // the trailing number is acceptable as the subject head — the
         // extraction layer maps the index back to the covering entity phrase.
-        assert!(words[subj] == "fetcher" || words[subj] == "1", "{words:?} {subj}");
+        assert!(
+            words[subj] == "fetcher" || words[subj] == "1",
+            "{words:?} {subj}"
+        );
         let dobj = p.dep_of(UdRel::Dobj).unwrap();
         assert_eq!(words[dobj], "output");
         assert!(p.arcs.iter().any(|a| a.rel == UdRel::Xcomp));
@@ -354,7 +406,10 @@ mod tests {
             .filter(|a| a.rel == UdRel::Nmod)
             .map(|a| words[a.dep].as_str())
             .collect();
-        assert!(nmods.contains(&"fetcher") || nmods.contains(&"1"), "{nmods:?}");
+        assert!(
+            nmods.contains(&"fetcher") || nmods.contains(&"1"),
+            "{nmods:?}"
+        );
     }
 
     #[test]

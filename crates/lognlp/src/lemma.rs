@@ -32,8 +32,8 @@ const IRREGULAR_NOUNS: &[(&str, &str)] = &[
 
 /// Words ending in `s` that are *not* plurals and must not be stemmed.
 const S_FINAL_SINGULARS: &[&str] = &[
-    "status", "process", "address", "class", "progress", "access", "hdfs", "dfs",
-    "metrics", "news", "always", // metrics kept: "metrics system" is a name
+    "status", "process", "address", "class", "progress", "access", "hdfs", "dfs", "metrics",
+    "news", "always", // metrics kept: "metrics system" is a name
 ];
 
 fn irregulars() -> &'static HashMap<&'static str, &'static str> {
@@ -65,7 +65,11 @@ pub fn singularize(lower: &str) -> String {
         }
     }
     if let Some(stem) = lower.strip_suffix('s') {
-        if !lower.ends_with("ss") && !lower.ends_with("us") && !lower.ends_with("is") && stem.len() >= 2 {
+        if !lower.ends_with("ss")
+            && !lower.ends_with("us")
+            && !lower.ends_with("is")
+            && stem.len() >= 2
+        {
             return stem.to_string();
         }
     }
@@ -94,7 +98,10 @@ pub fn verb_base(lower: &str) -> String {
                 // we approximate: undouble p/t/g/n/m/b/d/r.
                 if b.len() >= 2
                     && b[b.len() - 1] == b[b.len() - 2]
-                    && matches!(b[b.len() - 1], b'p' | b't' | b'g' | b'n' | b'm' | b'b' | b'd' | b'r')
+                    && matches!(
+                        b[b.len() - 1],
+                        b'p' | b't' | b'g' | b'n' | b'm' | b'b' | b'd' | b'r'
+                    )
                 {
                     return stem[..stem.len() - 1].to_string();
                 }
@@ -182,7 +189,13 @@ mod tests {
 
     #[test]
     fn phrase_singularisation() {
-        assert_eq!(singularize_phrase("map completion events"), "map completion event");
-        assert_eq!(singularize_phrase("cleanup temporary folders"), "cleanup temporary folder");
+        assert_eq!(
+            singularize_phrase("map completion events"),
+            "map completion event"
+        );
+        assert_eq!(
+            singularize_phrase("cleanup temporary folders"),
+            "cleanup temporary folder"
+        );
     }
 }

@@ -145,19 +145,121 @@ const CLOSED: &[(&str, PosTag)] = &[
 /// - recognising `-s` forms as `VBZ` rather than plural nouns,
 /// - recognising `-ed`/`-ing` forms built from these bases.
 const VERB_BASES: &[&str] = &[
-    "start", "stop", "starting", "restart", "run", "launch", "initialize", "initialise", "init",
-    "register", "unregister", "deregister", "allocate", "deallocate", "release", "free",
-    "read", "write", "send", "receive", "fetch", "shuffle", "merge", "sort", "spill", "flush",
-    "commit", "abort", "finish", "complete", "fail", "succeed", "retry", "exit", "kill",
-    "create", "delete", "remove", "add", "update", "store", "load", "save", "open", "close",
-    "connect", "disconnect", "bind", "listen", "accept", "reject", "refuse", "transition",
-    "submit", "schedule", "assign", "preempt", "report", "notify", "request", "respond",
-    "process", "execute", "compute", "map", "reduce", "broadcast", "cache", "evict", "clean",
-    "cleanup", "shutdown", "wait", "block", "try", "use", "set", "get", "put", "take",
-    "find", "found", "serve", "download", "upload", "copy", "move", "rename", "verify",
-    "validate", "check", "skip", "ignore", "enable", "disable", "configure", "recover",
-    "resolve", "expire", "renew", "heartbeat", "contact", "lose", "drop", "keep", "give",
-    "need", "change", "stage", "track", "mark", "got", "told", "sent", "saved",
+    "start",
+    "stop",
+    "starting",
+    "restart",
+    "run",
+    "launch",
+    "initialize",
+    "initialise",
+    "init",
+    "register",
+    "unregister",
+    "deregister",
+    "allocate",
+    "deallocate",
+    "release",
+    "free",
+    "read",
+    "write",
+    "send",
+    "receive",
+    "fetch",
+    "shuffle",
+    "merge",
+    "sort",
+    "spill",
+    "flush",
+    "commit",
+    "abort",
+    "finish",
+    "complete",
+    "fail",
+    "succeed",
+    "retry",
+    "exit",
+    "kill",
+    "create",
+    "delete",
+    "remove",
+    "add",
+    "update",
+    "store",
+    "load",
+    "save",
+    "open",
+    "close",
+    "connect",
+    "disconnect",
+    "bind",
+    "listen",
+    "accept",
+    "reject",
+    "refuse",
+    "transition",
+    "submit",
+    "schedule",
+    "assign",
+    "preempt",
+    "report",
+    "notify",
+    "request",
+    "respond",
+    "process",
+    "execute",
+    "compute",
+    "map",
+    "reduce",
+    "broadcast",
+    "cache",
+    "evict",
+    "clean",
+    "cleanup",
+    "shutdown",
+    "wait",
+    "block",
+    "try",
+    "use",
+    "set",
+    "get",
+    "put",
+    "take",
+    "find",
+    "found",
+    "serve",
+    "download",
+    "upload",
+    "copy",
+    "move",
+    "rename",
+    "verify",
+    "validate",
+    "check",
+    "skip",
+    "ignore",
+    "enable",
+    "disable",
+    "configure",
+    "recover",
+    "resolve",
+    "expire",
+    "renew",
+    "heartbeat",
+    "contact",
+    "lose",
+    "drop",
+    "keep",
+    "give",
+    "need",
+    "change",
+    "stage",
+    "track",
+    "mark",
+    "got",
+    "told",
+    "sent",
+    "saved",
 ];
 
 /// Irregular verb forms: surface → (tag). Bases covered separately.
@@ -185,46 +287,277 @@ const IRREGULAR_VERBS: &[(&str, PosTag)] = &[
 /// are also verb bases (`map`, `block`, `output`) default to NN when the
 /// context rules do not fire.
 const NOUNS: &[&str] = &[
-    "task", "job", "stage", "attempt", "container", "executor", "driver", "worker", "master",
-    "node", "host", "block", "manager", "endpoint", "memory", "disk", "store", "output",
-    "input", "map", "reducer", "mapper", "fetcher", "shuffle", "merger", "partition", "split",
-    "record", "byte", "file", "folder", "directory", "path", "system", "metric", "metrics",
-    "event", "listener", "handler", "service", "server", "client", "connection", "port",
-    "address", "broadcast", "variable", "result", "response", "request", "token", "key",
-    "value", "size", "time", "timeout", "interval", "heartbeat", "signal", "status", "state",
-    "error", "exception", "failure", "progress", "resource", "vcore", "core", "application",
-    "am", "rm", "nm", "queue", "user", "group", "acl", "permission", "session", "query",
-    "operator", "vertex", "dag", "edge", "plan", "table", "row", "column", "data", "dataset",
-    "rdd", "cache", "level", "replication", "id", "identifier", "name", "version", "config",
-    "configuration", "property", "limit", "threshold", "buffer", "pool", "thread", "process",
-    "instance", "machine", "cluster", "spill", "segment", "index", "offset", "checkpoint",
-    "snapshot", "shutdown", "cleanup", "hook", "phase", "step", "round", "iteration", "epoch", "batch",
-    "scheduler", "allocator", "tracker", "monitor", "reporter", "committer", "localizer",
-    "deletion", "registration", "initialization", "completion", "execution", "allocation",
-    "localization", "authentication", "environment", "classpath", "jar", "library", "module",
-    "component", "entity", "message", "line", "word", "count", "sample", "point", "center",
-    "centroid", "model", "feature", "label", "score", "rank", "page", "graph", "pass",
+    "task",
+    "job",
+    "stage",
+    "attempt",
+    "container",
+    "executor",
+    "driver",
+    "worker",
+    "master",
+    "node",
+    "host",
+    "block",
+    "manager",
+    "endpoint",
+    "memory",
+    "disk",
+    "store",
+    "output",
+    "input",
+    "map",
+    "reducer",
+    "mapper",
+    "fetcher",
+    "shuffle",
+    "merger",
+    "partition",
+    "split",
+    "record",
+    "byte",
+    "file",
+    "folder",
+    "directory",
+    "path",
+    "system",
+    "metric",
+    "metrics",
+    "event",
+    "listener",
+    "handler",
+    "service",
+    "server",
+    "client",
+    "connection",
+    "port",
+    "address",
+    "broadcast",
+    "variable",
+    "result",
+    "response",
+    "request",
+    "token",
+    "key",
+    "value",
+    "size",
+    "time",
+    "timeout",
+    "interval",
+    "heartbeat",
+    "signal",
+    "status",
+    "state",
+    "error",
+    "exception",
+    "failure",
+    "progress",
+    "resource",
+    "vcore",
+    "core",
+    "application",
+    "am",
+    "rm",
+    "nm",
+    "queue",
+    "user",
+    "group",
+    "acl",
+    "permission",
+    "session",
+    "query",
+    "operator",
+    "vertex",
+    "dag",
+    "edge",
+    "plan",
+    "table",
+    "row",
+    "column",
+    "data",
+    "dataset",
+    "rdd",
+    "cache",
+    "level",
+    "replication",
+    "id",
+    "identifier",
+    "name",
+    "version",
+    "config",
+    "configuration",
+    "property",
+    "limit",
+    "threshold",
+    "buffer",
+    "pool",
+    "thread",
+    "process",
+    "instance",
+    "machine",
+    "cluster",
+    "spill",
+    "segment",
+    "index",
+    "offset",
+    "checkpoint",
+    "snapshot",
+    "shutdown",
+    "cleanup",
+    "hook",
+    "phase",
+    "step",
+    "round",
+    "iteration",
+    "epoch",
+    "batch",
+    "scheduler",
+    "allocator",
+    "tracker",
+    "monitor",
+    "reporter",
+    "committer",
+    "localizer",
+    "deletion",
+    "registration",
+    "initialization",
+    "completion",
+    "execution",
+    "allocation",
+    "localization",
+    "authentication",
+    "environment",
+    "classpath",
+    "jar",
+    "library",
+    "module",
+    "component",
+    "entity",
+    "message",
+    "line",
+    "word",
+    "count",
+    "sample",
+    "point",
+    "center",
+    "centroid",
+    "model",
+    "feature",
+    "label",
+    "score",
+    "rank",
+    "page",
+    "graph",
+    "pass",
 ];
 
 /// Log-domain adjectives.
 const ADJECTIVES: &[&str] = &[
-    "remote", "local", "temporary", "final", "new", "old", "current", "previous", "next",
-    "last", "first", "total", "available", "unavailable", "active", "inactive", "idle",
-    "busy", "pending", "running", "successful", "failed", "unsuccessful", "empty", "full",
-    "maximum", "minimum", "max", "min", "default", "invalid", "valid", "unknown", "null",
-    "slow", "fast", "large", "small", "high", "low", "long", "short", "ready", "unable",
-    "missing", "duplicate", "stale", "corrupt", "bad", "good", "safe", "unsafe", "internal",
-    "external", "physical", "virtual", "secondary", "primary", "speculative",
+    "remote",
+    "local",
+    "temporary",
+    "final",
+    "new",
+    "old",
+    "current",
+    "previous",
+    "next",
+    "last",
+    "first",
+    "total",
+    "available",
+    "unavailable",
+    "active",
+    "inactive",
+    "idle",
+    "busy",
+    "pending",
+    "running",
+    "successful",
+    "failed",
+    "unsuccessful",
+    "empty",
+    "full",
+    "maximum",
+    "minimum",
+    "max",
+    "min",
+    "default",
+    "invalid",
+    "valid",
+    "unknown",
+    "null",
+    "slow",
+    "fast",
+    "large",
+    "small",
+    "high",
+    "low",
+    "long",
+    "short",
+    "ready",
+    "unable",
+    "missing",
+    "duplicate",
+    "stale",
+    "corrupt",
+    "bad",
+    "good",
+    "safe",
+    "unsafe",
+    "internal",
+    "external",
+    "physical",
+    "virtual",
+    "secondary",
+    "primary",
+    "speculative",
 ];
 
 /// Measurement-unit words: a numeric field followed by one of these is a
 /// *value* (paper §3.1 heuristic 2), and unit words are excluded from
 /// extracted entity phrases (Fig. 4 omits 'bytes').
 const UNITS: &[&str] = &[
-    "b", "kb", "mb", "gb", "tb", "kib", "mib", "gib", "byte", "bytes", "bit", "bits",
-    "ms", "milliseconds", "millisecond", "s", "sec", "secs", "second", "seconds", "us",
-    "ns", "minute", "minutes", "min", "mins", "hour", "hours", "hr", "hrs", "day", "days",
-    "records", "rows", "times", "retries", "percent", "%", "vcores", "cores",
+    "b",
+    "kb",
+    "mb",
+    "gb",
+    "tb",
+    "kib",
+    "mib",
+    "gib",
+    "byte",
+    "bytes",
+    "bit",
+    "bits",
+    "ms",
+    "milliseconds",
+    "millisecond",
+    "s",
+    "sec",
+    "secs",
+    "second",
+    "seconds",
+    "us",
+    "ns",
+    "minute",
+    "minutes",
+    "min",
+    "mins",
+    "hour",
+    "hours",
+    "hr",
+    "hrs",
+    "day",
+    "days",
+    "records",
+    "rows",
+    "times",
+    "retries",
+    "percent",
+    "%",
+    "vcores",
+    "cores",
 ];
 
 /// The assembled lexicon, built once on first use.
@@ -254,7 +587,11 @@ impl Lexicon {
         }
         let verb_bases: HashSet<&'static str> = VERB_BASES.iter().copied().collect();
         let units: HashSet<&'static str> = UNITS.iter().copied().collect();
-        Lexicon { words, verb_bases, units }
+        Lexicon {
+            words,
+            verb_bases,
+            units,
+        }
     }
 
     /// The process-wide lexicon instance.

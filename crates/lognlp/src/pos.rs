@@ -43,7 +43,10 @@ pub fn tag(tokens: &[Token]) -> Vec<TaggedToken> {
     tokens
         .iter()
         .zip(tags)
-        .map(|(t, tag)| TaggedToken { token: t.clone(), tag })
+        .map(|(t, tag)| TaggedToken {
+            token: t.clone(),
+            tag,
+        })
         .collect()
 }
 
@@ -64,7 +67,10 @@ pub fn tag_key_with_sample(key_tokens: &[Token], sample_tokens: &[Token]) -> Vec
         return key_tokens
             .iter()
             .zip(sample_tagged)
-            .map(|(kt, st)| TaggedToken { token: kt.clone(), tag: st.tag })
+            .map(|(kt, st)| TaggedToken {
+                token: kt.clone(),
+                tag: st.tag,
+            })
             .collect();
     }
     tag(key_tokens)
@@ -76,7 +82,10 @@ fn initial_tag(lex: &Lexicon, token: &Token) -> PosTag {
         TokenShape::Star => return PosTag::Var,
         TokenShape::Number => return PosTag::CD,
         TokenShape::Symbol => {
-            return if matches!(token.text.as_str(), "[" | "]" | "(" | ")" | "{" | "}" | "\"" | "'") {
+            return if matches!(
+                token.text.as_str(),
+                "[" | "]" | "(" | ")" | "{" | "}" | "\"" | "'"
+            ) {
                 PosTag::Punct
             } else {
                 PosTag::SYM
@@ -86,7 +95,9 @@ fn initial_tag(lex: &Lexicon, token: &Token) -> PosTag {
         TokenShape::AlphaNum => {
             // "4ms", "12MB": number fused with a unit is a cardinal value.
             let lower = token.lower();
-            let digits_end = lower.find(|c: char| !c.is_ascii_digit()).unwrap_or(lower.len());
+            let digits_end = lower
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(lower.len());
             if digits_end > 0 && lex.is_unit(&lower[digits_end..]) {
                 return PosTag::CD;
             }
@@ -167,7 +178,11 @@ fn suffix_tag(lower: &str) -> Option<PosTag> {
             return Some(PosTag::JJ);
         }
     }
-    if lower.ends_with('s') && !lower.ends_with("ss") && !lower.ends_with("us") && !lower.ends_with("is") {
+    if lower.ends_with('s')
+        && !lower.ends_with("ss")
+        && !lower.ends_with("us")
+        && !lower.ends_with("is")
+    {
         return Some(PosTag::NNS);
     }
     if lower.ends_with("er") || lower.ends_with("or") {
@@ -192,7 +207,10 @@ fn apply_context_rules(lex: &Lexicon, tokens: &[Token], tags: &mut [PosTag]) {
         // 3rd-person verb if its stem is a known verb base and something
         // follows ("fetcher reads 4 bytes").
         if tags[i] == PosTag::NNS && i > 0 && i + 1 < n {
-            let prev_nominal = tags[i - 1].is_noun() || tags[i - 1] == PosTag::PRP || tags[i - 1] == PosTag::Var || tags[i - 1] == PosTag::CD;
+            let prev_nominal = tags[i - 1].is_noun()
+                || tags[i - 1] == PosTag::PRP
+                || tags[i - 1] == PosTag::Var
+                || tags[i - 1] == PosTag::CD;
             if prev_nominal && lex.is_verb_form(&lower) {
                 tags[i] = PosTag::VBZ;
                 continue;
@@ -203,11 +221,25 @@ fn apply_context_rules(lex: &Lexicon, tokens: &[Token], tags: &mut [PosTag]) {
         // not preceded by a be/have auxiliary, is a simple past (VBD):
         // "task finished" vs "host freed by fetcher" (stays VBN).
         if tags[i] == PosTag::VBN && i > 0 {
-            let prev_nominal = tags[i - 1].is_noun() || tags[i - 1] == PosTag::PRP || tags[i - 1] == PosTag::Var || tags[i - 1] == PosTag::CD;
+            let prev_nominal = tags[i - 1].is_noun()
+                || tags[i - 1] == PosTag::PRP
+                || tags[i - 1] == PosTag::Var
+                || tags[i - 1] == PosTag::CD;
             let followed_by_by = tokens.get(i + 1).is_some_and(|t| t.lower() == "by");
             let aux_before = (0..i).any(|j| {
                 matches!(tags[j], PosTag::VBZ | PosTag::VBP | PosTag::VBD)
-                    && matches!(tokens[j].lower().as_str(), "is" | "are" | "was" | "were" | "has" | "have" | "had" | "be" | "been" | "being")
+                    && matches!(
+                        tokens[j].lower().as_str(),
+                        "is" | "are"
+                            | "was"
+                            | "were"
+                            | "has"
+                            | "have"
+                            | "had"
+                            | "be"
+                            | "been"
+                            | "being"
+                    )
             });
             if prev_nominal && !followed_by_by && !aux_before {
                 tags[i] = PosTag::VBD;

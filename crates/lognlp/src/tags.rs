@@ -291,7 +291,14 @@ mod tests {
 
     #[test]
     fn verb_classes() {
-        for t in [PosTag::VB, PosTag::VBD, PosTag::VBG, PosTag::VBN, PosTag::VBP, PosTag::VBZ] {
+        for t in [
+            PosTag::VB,
+            PosTag::VBD,
+            PosTag::VBG,
+            PosTag::VBN,
+            PosTag::VBP,
+            PosTag::VBZ,
+        ] {
             assert!(t.is_verb(), "{t} should be a verb");
         }
         assert!(PosTag::VBZ.is_finite_verb());

@@ -119,7 +119,12 @@ pub fn classify(text: &str) -> TokenShape {
                 TokenShape::Lower
             } else if !has_lower {
                 TokenShape::Upper
-            } else if first_upper && text.chars().skip(1).all(|c| c.is_ascii_lowercase() || !c.is_ascii_alphabetic()) {
+            } else if first_upper
+                && text
+                    .chars()
+                    .skip(1)
+                    .all(|c| c.is_ascii_lowercase() || !c.is_ascii_alphabetic())
+            {
                 TokenShape::Capitalized
             } else {
                 TokenShape::Camel
@@ -181,13 +186,20 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         // Strip trailing closers and sentence punctuation.
         let mut sentence_period = false;
         while let Some(last) = chunk.chars().next_back() {
-            if matches!(last, ']' | ')' | '}' | '"' | '\'' | '>' | ',' | ';' | '!' | '?') {
+            if matches!(
+                last,
+                ']' | ')' | '}' | '"' | '\'' | '>' | ',' | ';' | '!' | '?'
+            ) {
                 // Dropped commas/brackets are deliberately not re-emitted as
                 // tokens: they carry no semantic payload for Intel Key
                 // extraction, and dropping them keeps log-key token positions
                 // aligned with sample-message token positions.
                 chunk = &chunk[..chunk.len() - last.len_utf8()];
-            } else if last == '.' && chunk.len() > 1 && !chunk.starts_with('/') && !chunk.starts_with("hdfs:") {
+            } else if last == '.'
+                && chunk.len() > 1
+                && !chunk.starts_with('/')
+                && !chunk.starts_with("hdfs:")
+            {
                 // A trailing period is sentence punctuation (numbers and
                 // versions never *end* in '.'; inside paths it may be a file
                 // suffix). Sentence periods ARE re-emitted as "." tokens:
@@ -249,7 +261,10 @@ mod tests {
     use super::*;
 
     fn shapes(text: &str) -> Vec<(String, TokenShape)> {
-        tokenize(text).into_iter().map(|t| (t.text, t.shape)).collect()
+        tokenize(text)
+            .into_iter()
+            .map(|t| (t.text, t.shape))
+            .collect()
     }
 
     #[test]
@@ -271,7 +286,19 @@ mod tests {
         let texts: Vec<&str> = toks.iter().map(|(t, _)| t.as_str()).collect();
         assert_eq!(
             texts,
-            ["[", "fetcher", "#", "1", "read", "2264", "bytes", "from", "map-output", "for", "attempt_01"]
+            [
+                "[",
+                "fetcher",
+                "#",
+                "1",
+                "read",
+                "2264",
+                "bytes",
+                "from",
+                "map-output",
+                "for",
+                "attempt_01"
+            ]
         );
         assert_eq!(toks[3].1, TokenShape::Number);
         assert_eq!(toks[5].1, TokenShape::Number);

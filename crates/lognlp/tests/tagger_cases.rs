@@ -5,7 +5,10 @@
 use lognlp::{is_natural_language, parse, tag, tokenize, PosTag, UdRel};
 
 fn tags(text: &str) -> Vec<(String, PosTag)> {
-    tag(&tokenize(text)).into_iter().map(|t| (t.token.text.clone(), t.tag)).collect()
+    tag(&tokenize(text))
+        .into_iter()
+        .map(|t| (t.token.text.clone(), t.tag))
+        .collect()
 }
 
 fn predicate_of(text: &str) -> Option<String> {
@@ -16,24 +19,41 @@ fn predicate_of(text: &str) -> Option<String> {
 
 #[test]
 fn hadoop_statements() {
-    assert_eq!(predicate_of("Executing with tokens for job_1529021").as_deref(), Some("executing"));
     assert_eq!(
-        predicate_of("TaskAttempt attempt_01 transitioned from state RUNNING to SUCCEEDED").as_deref(),
+        predicate_of("Executing with tokens for job_1529021").as_deref(),
+        Some("executing")
+    );
+    assert_eq!(
+        predicate_of("TaskAttempt attempt_01 transitioned from state RUNNING to SUCCEEDED")
+            .as_deref(),
         Some("transitioned")
     );
-    assert_eq!(predicate_of("Committing output of job_1 to the final location").as_deref(), Some("committing"));
-    assert_eq!(predicate_of("Penalizing worker3 for 30 seconds because of fetch failure").as_deref(), Some("penalizing"));
+    assert_eq!(
+        predicate_of("Committing output of job_1 to the final location").as_deref(),
+        Some("committing")
+    );
+    assert_eq!(
+        predicate_of("Penalizing worker3 for 30 seconds because of fetch failure").as_deref(),
+        Some("penalizing")
+    );
 }
 
 #[test]
 fn spark_statements() {
     assert_eq!(predicate_of("Got assigned task 42").as_deref(), Some("got"));
     assert_eq!(
-        predicate_of("block broadcast_2 stored as values in memory with estimated size 48 KB").as_deref(),
+        predicate_of("block broadcast_2 stored as values in memory with estimated size 48 KB")
+            .as_deref(),
         Some("stored")
     );
-    assert_eq!(predicate_of("Removed task set 1 whose tasks have all completed").as_deref(), Some("removed"));
-    assert_eq!(predicate_of("Driver commanded a shutdown").as_deref(), Some("commanded"));
+    assert_eq!(
+        predicate_of("Removed task set 1 whose tasks have all completed").as_deref(),
+        Some("removed")
+    );
+    assert_eq!(
+        predicate_of("Driver commanded a shutdown").as_deref(),
+        Some("commanded")
+    );
 }
 
 #[test]
@@ -78,7 +98,13 @@ fn units_tag_as_cardinals_when_fused() {
 
 #[test]
 fn identifiers_tag_as_nouns() {
-    for ident in ["attempt_1529021_m_000000_0", "container_1529021_01_000002", "appattempt_1_000001", "broadcast_0", "rdd_4_2"] {
+    for ident in [
+        "attempt_1529021_m_000000_0",
+        "container_1529021_01_000002",
+        "appattempt_1_000001",
+        "broadcast_0",
+        "rdd_4_2",
+    ] {
         let t = tags(&format!("processing {ident} now"));
         let (_, tag) = t.iter().find(|(w, _)| w == ident).unwrap();
         assert!(tag.is_noun(), "{ident} tagged {tag}");
@@ -109,7 +135,9 @@ fn nl_census_on_representative_lines() {
 
 #[test]
 fn multiclause_keys_split_on_periods() {
-    let tagged = tag(&tokenize("Finished task 0.0 in stage 1.0. 2264 bytes result sent to driver"));
+    let tagged = tag(&tokenize(
+        "Finished task 0.0 in stage 1.0. 2264 bytes result sent to driver",
+    ));
     // the period is its own token so operation extraction can split clauses
     assert!(tagged.iter().any(|t| t.token.text == "."));
 }

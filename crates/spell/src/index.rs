@@ -1,0 +1,254 @@
+//! Candidate index for the Spell matcher.
+//!
+//! Two structures cut the per-message matching cost from "LCS against every
+//! same-length key" to "LCS against a handful of survivors":
+//!
+//! * a **prefix tree** over the current key token sequences (with wildcard
+//!   edges for `*` positions) answers the overwhelmingly common case — the
+//!   message is an exact instance of an existing key — in O(message length)
+//!   steps per active path;
+//! * an **inverted index** `token → (key, multiplicity)` yields, per key,
+//!   an upper bound on the wildcard LCS:
+//!
+//!   `lcs_len_wild(key, msg) ≤ stars(key) + Σ_tok min(#tok in key constants, #tok in msg)`
+//!
+//!   — a `*` position can contribute at most 1 regardless of the message,
+//!   and a constant position can only pair with an equal message token.
+//!   Keys whose bound is below the matching threshold are pruned without
+//!   running the LCS dynamic program.
+//!
+//! Key refinement (constant position → `*`) leaves the old postings and
+//! trie paths in place as garbage: stale postings only *overestimate* the
+//! bound (never pruning a true match) and stale trie paths are verified
+//! against the live key before use. The index is rebuilt from scratch once
+//! garbage passes a threshold, restoring full pruning precision.
+
+use crate::intern::{TokenId, STAR_ID, UNKNOWN_ID};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+pub(crate) struct MatchIndex {
+    /// Per message-length bucket (only same-length keys can match).
+    buckets: HashMap<usize, LenBucket>,
+    /// Current `*` count per key index (grows monotonically).
+    stars: Vec<u32>,
+    /// Prefix tree over key token sequences; terminals hold key indices.
+    trie: Trie,
+    /// Stale postings entries / trie paths accumulated by refinement.
+    garbage: usize,
+}
+
+#[derive(Debug, Clone)]
+struct LenBucket {
+    /// Minimum LCS required for a message of this length to match.
+    required: usize,
+    /// Constant token → (key index, multiplicity in that key).
+    postings: HashMap<TokenId, Vec<(u32, u32)>>,
+    /// Keys whose star count alone meets `required`: always candidates,
+    /// even with zero postings overlap. Ascending, deduplicated.
+    high_star: Vec<u32>,
+}
+
+impl LenBucket {
+    fn new(required: usize) -> LenBucket {
+        LenBucket {
+            required,
+            postings: HashMap::new(),
+            high_star: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Trie {
+    nodes: Vec<TrieNode>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    edges: HashMap<TokenId, u32>,
+    terminals: Vec<u32>,
+}
+
+impl Trie {
+    fn new() -> Trie {
+        Trie {
+            nodes: vec![TrieNode::default()],
+        }
+    }
+
+    fn insert(&mut self, ki: u32, ids: &[TokenId]) {
+        let mut node = 0u32;
+        for &tok in ids {
+            node = match self.nodes[node as usize].edges.get(&tok) {
+                Some(&next) => next,
+                None => {
+                    let next = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node as usize].edges.insert(tok, next);
+                    next
+                }
+            };
+        }
+        let terms = &mut self.nodes[node as usize].terminals;
+        if !terms.contains(&ki) {
+            terms.push(ki);
+            terms.sort_unstable();
+        }
+    }
+
+    /// Key indices whose trie path matches `ids` (star edges match any
+    /// token). May contain stale entries — callers verify against the live
+    /// key. Ascending order.
+    fn walk(&self, ids: &[TokenId]) -> Vec<u32> {
+        let mut active: Vec<u32> = vec![0];
+        let mut next: Vec<u32> = Vec::new();
+        for &tok in ids {
+            next.clear();
+            for &n in &active {
+                let edges = &self.nodes[n as usize].edges;
+                if tok != STAR_ID {
+                    if let Some(&e) = edges.get(&tok) {
+                        if !next.contains(&e) {
+                            next.push(e);
+                        }
+                    }
+                }
+                if let Some(&e) = edges.get(&STAR_ID) {
+                    if !next.contains(&e) {
+                        next.push(e);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            std::mem::swap(&mut active, &mut next);
+        }
+        let mut out: Vec<u32> = Vec::new();
+        for &n in &active {
+            out.extend_from_slice(&self.nodes[n as usize].terminals);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl MatchIndex {
+    pub(crate) fn new() -> MatchIndex {
+        MatchIndex {
+            buckets: HashMap::new(),
+            stars: Vec::new(),
+            trie: Trie::new(),
+            garbage: 0,
+        }
+    }
+
+    /// Register a brand-new key (index `ki` == `stars.len()`).
+    pub(crate) fn insert_key(&mut self, ki: u32, ids: &[TokenId], required: usize) {
+        debug_assert_eq!(ki as usize, self.stars.len());
+        let bucket = self
+            .buckets
+            .entry(ids.len())
+            .or_insert_with(|| LenBucket::new(required));
+        let mut star_count = 0u32;
+        let mut counts: HashMap<TokenId, u32> = HashMap::new();
+        for &tok in ids {
+            if tok == STAR_ID {
+                star_count += 1;
+            } else {
+                *counts.entry(tok).or_default() += 1;
+            }
+        }
+        for (tok, mult) in counts {
+            bucket.postings.entry(tok).or_default().push((ki, mult));
+        }
+        self.stars.push(star_count);
+        if star_count as usize >= required {
+            bucket.high_star.push(ki);
+        }
+        self.trie.insert(ki, ids);
+    }
+
+    /// Record that key `ki` gained `flipped` new `*` positions; `ids` is its
+    /// refined token sequence. Old postings/trie paths stay as garbage.
+    pub(crate) fn note_refinement(&mut self, ki: u32, ids: &[TokenId], flipped: u32) {
+        self.stars[ki as usize] += flipped;
+        self.garbage += flipped as usize;
+        let bucket = self
+            .buckets
+            .get_mut(&ids.len())
+            .expect("refined key has a bucket");
+        if self.stars[ki as usize] as usize >= bucket.required {
+            if let Err(at) = bucket.high_star.binary_search(&ki) {
+                bucket.high_star.insert(at, ki);
+            }
+        }
+        self.trie.insert(ki, ids);
+    }
+
+    /// `true` once enough refinement garbage accumulated that a rebuild
+    /// pays for itself in pruning precision and trie size.
+    pub(crate) fn needs_rebuild(&self) -> bool {
+        self.garbage > 64 + self.stars.len() / 4
+    }
+
+    /// Rebuild from the live key set, dropping all garbage.
+    pub(crate) fn rebuild(
+        &mut self,
+        ikeys: &[Vec<TokenId>],
+        required_for: &dyn Fn(usize) -> usize,
+    ) {
+        self.buckets.clear();
+        self.stars.clear();
+        self.trie = Trie::new();
+        self.garbage = 0;
+        for (ki, ids) in ikeys.iter().enumerate() {
+            self.insert_key(ki as u32, ids, required_for(ids.len()));
+        }
+    }
+
+    /// Keys the message may be an exact instance of (trie walk; may contain
+    /// stale entries — verify against the live key). Ascending order.
+    pub(crate) fn exact_candidates(&self, ids: &[TokenId]) -> Vec<u32> {
+        self.trie.walk(ids)
+    }
+
+    /// Candidate keys for the LCS phase, with a sound upper bound on their
+    /// wildcard LCS against `ids`. Only candidates whose bound meets the
+    /// bucket's required LCS are returned. Ascending key order.
+    pub(crate) fn scored_candidates(&self, ids: &[TokenId]) -> Vec<(u32, usize)> {
+        let Some(bucket) = self.buckets.get(&ids.len()) else {
+            return Vec::new();
+        };
+        let mut msg_counts: HashMap<TokenId, u32> = HashMap::new();
+        for &tok in ids {
+            if tok != STAR_ID && tok != UNKNOWN_ID {
+                *msg_counts.entry(tok).or_default() += 1;
+            }
+        }
+        let mut overlap: HashMap<u32, usize> = HashMap::new();
+        for (&tok, &cm) in &msg_counts {
+            if let Some(list) = bucket.postings.get(&tok) {
+                for &(ki, ck) in list {
+                    *overlap.entry(ki).or_default() += ck.min(cm) as usize;
+                }
+            }
+        }
+        let mut out: Vec<(u32, usize)> = Vec::with_capacity(overlap.len() + bucket.high_star.len());
+        for (&ki, &ov) in &overlap {
+            let bound = (self.stars[ki as usize] as usize + ov).min(ids.len());
+            if bound >= bucket.required {
+                out.push((ki, bound));
+            }
+        }
+        for &ki in &bucket.high_star {
+            if !overlap.contains_key(&ki) {
+                out.push((ki, (self.stars[ki as usize] as usize).min(ids.len())));
+            }
+        }
+        out.sort_unstable_by_key(|&(ki, _)| ki);
+        out
+    }
+}

@@ -1,0 +1,128 @@
+//! Token interning — the hot-path representation of log tokens.
+//!
+//! Spell compares tokens millions of times while matching messages against
+//! keys; comparing interned `u32` ids instead of `String`s removes both the
+//! pointer chase and the byte-wise comparison from the inner LCS loops. The
+//! interner is append-only: ids are dense indices into a string table, and
+//! [`STAR_ID`] (the wildcard `*`) is always id 0.
+//!
+//! Read-only lookups (detection phase) map never-seen tokens to
+//! [`UNKNOWN_ID`], a sentinel that compares unequal to every interned key
+//! token — exactly the behaviour of a fresh string no key contains.
+
+use crate::key::STAR;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interned token identifier. Dense index into the parser's string table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TokenId(pub u32);
+
+/// The interned id of the wildcard token [`STAR`]; always 0.
+pub const STAR_ID: TokenId = TokenId(0);
+
+/// Sentinel for tokens never interned (read-only lookups during detection).
+/// Never equal to any real id, so it can never match a constant key token.
+pub const UNKNOWN_ID: TokenId = TokenId(u32::MAX);
+
+/// Append-only string interner. `*` is interned at construction as id 0.
+#[derive(Debug, Clone)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+impl Interner {
+    pub fn new() -> Interner {
+        let mut it = Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        };
+        let star = it.intern(STAR);
+        debug_assert_eq!(star, STAR_ID);
+        it
+    }
+
+    /// Intern `s`, returning its stable id.
+    pub fn intern(&mut self, s: &str) -> TokenId {
+        if let Some(&id) = self.map.get(s) {
+            return TokenId(id);
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        assert!(id != UNKNOWN_ID.0, "interner exhausted the id space");
+        self.map.insert(s.to_string(), id);
+        self.strings.push(s.to_string());
+        TokenId(id)
+    }
+
+    /// Read-only lookup; `None` for tokens never interned.
+    pub fn lookup(&self, s: &str) -> Option<TokenId> {
+        self.map.get(s).map(|&id| TokenId(id))
+    }
+
+    /// The string behind an id. Panics on [`UNKNOWN_ID`] or foreign ids.
+    pub fn resolve(&self, id: TokenId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Number of interned strings (including `*`).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        // `*` is always present, so the interner is never logically empty.
+        false
+    }
+
+    /// Intern every token of a message (training path).
+    pub fn intern_all(&mut self, tokens: &[String]) -> Vec<TokenId> {
+        tokens.iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Look up every token of a message without interning (detection path);
+    /// unseen tokens become [`UNKNOWN_ID`].
+    pub fn lookup_all(&self, tokens: &[String]) -> Vec<TokenId> {
+        tokens
+            .iter()
+            .map(|t| self.lookup(t).unwrap_or(UNKNOWN_ID))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_is_id_zero() {
+        let it = Interner::new();
+        assert_eq!(it.lookup(STAR), Some(STAR_ID));
+        assert_eq!(it.resolve(STAR_ID), STAR);
+    }
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut it = Interner::new();
+        let a = it.intern("alpha");
+        let b = it.intern("beta");
+        assert_eq!(it.intern("alpha"), a);
+        assert_eq!((a.0, b.0), (1, 2));
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.resolve(b), "beta");
+    }
+
+    #[test]
+    fn lookup_all_marks_unknown() {
+        let mut it = Interner::new();
+        it.intern("seen");
+        let ids = it.lookup_all(&["seen".into(), "unseen".into(), "*".into()]);
+        assert_eq!(ids, vec![TokenId(1), UNKNOWN_ID, STAR_ID]);
+    }
+}

@@ -96,27 +96,44 @@ mod tests {
     }
 
     fn key(tokens: &str, sample: &str) -> LogKey {
-        LogKey { id: KeyId(0), tokens: toks(tokens), sample: toks(sample), count: 1 }
+        LogKey {
+            id: KeyId(0),
+            tokens: toks(tokens),
+            sample: toks(sample),
+            count: 1,
+        }
     }
 
     #[test]
     fn matching_and_extraction() {
-        let k = key("* freed by fetcher # * in *", "host1:13562 freed by fetcher # 1 in 4ms");
+        let k = key(
+            "* freed by fetcher # * in *",
+            "host1:13562 freed by fetcher # 1 in 4ms",
+        );
         let msg = toks("host2:13562 freed by fetcher # 7 in 9ms");
         assert!(k.matches(&msg));
-        assert_eq!(k.extract_variables(&msg).unwrap(), ["host2:13562", "7", "9ms"]);
+        assert_eq!(
+            k.extract_variables(&msg).unwrap(),
+            ["host2:13562", "7", "9ms"]
+        );
     }
 
     #[test]
     fn mismatched_constant_rejected() {
-        let k = key("* freed by fetcher # * in *", "host1:13562 freed by fetcher # 1 in 4ms");
+        let k = key(
+            "* freed by fetcher # * in *",
+            "host1:13562 freed by fetcher # 1 in 4ms",
+        );
         assert!(!k.matches(&toks("host2:13562 taken by fetcher # 7 in 9ms")));
         assert!(!k.matches(&toks("host2:13562 freed by fetcher # 7")));
     }
 
     #[test]
     fn positions_and_lengths() {
-        let k = key("* freed by fetcher # * in *", "h freed by fetcher # 1 in 4ms");
+        let k = key(
+            "* freed by fetcher # * in *",
+            "h freed by fetcher # 1 in 4ms",
+        );
         assert_eq!(k.constant_len(), 5);
         assert_eq!(k.variable_positions(), [0, 5, 7]);
         assert_eq!(k.render(), "* freed by fetcher # * in *");

@@ -7,6 +7,8 @@
 //! the parser first counts positional matches and only falls back to the
 //! full O(m·n) dynamic program when the bound is inconclusive.
 
+use crate::intern::{TokenId, STAR_ID};
+
 /// Length of the longest common subsequence of `a` and `b`.
 pub fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     if a.is_empty() || b.is_empty() {
@@ -19,7 +21,11 @@ pub fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
         let mut prev_diag = 0; // row[j-1] from the previous iteration
         for (j, y) in short.iter().enumerate() {
             let cur = row[j + 1];
-            row[j + 1] = if x == y { prev_diag + 1 } else { row[j + 1].max(row[j]) };
+            row[j + 1] = if x == y {
+                prev_diag + 1
+            } else {
+                row[j + 1].max(row[j])
+            };
             prev_diag = cur;
         }
     }
@@ -41,6 +47,37 @@ pub fn positional_matches_wild(key: &[String], msg: &[String]) -> usize {
         .zip(msg)
         .filter(|(k, m)| k.as_str() == crate::key::STAR || k == m)
         .count()
+}
+
+/// Interned-token variant of [`positional_matches_wild`]: `u32` compares
+/// instead of string compares in the hot loop.
+pub fn positional_matches_wild_ids(key: &[TokenId], msg: &[TokenId]) -> usize {
+    debug_assert_eq!(key.len(), msg.len());
+    key.iter()
+        .zip(msg)
+        .filter(|&(&k, m)| k == STAR_ID || k == *m)
+        .count()
+}
+
+/// Interned-token variant of [`lcs_len_wild`].
+pub fn lcs_len_wild_ids(key: &[TokenId], msg: &[TokenId]) -> usize {
+    if key.is_empty() || msg.is_empty() {
+        return 0;
+    }
+    let mut row = vec![0usize; msg.len() + 1];
+    for &k in key {
+        let mut prev_diag = 0;
+        for (j, &m) in msg.iter().enumerate() {
+            let cur = row[j + 1];
+            row[j + 1] = if k == STAR_ID || k == m {
+                prev_diag + 1
+            } else {
+                row[j + 1].max(row[j])
+            };
+            prev_diag = cur;
+        }
+    }
+    row[msg.len()]
 }
 
 /// LCS length where a `*` in the key matches any message token.
@@ -79,6 +116,30 @@ mod tests {
     #[test]
     fn lcs_subsequence_not_substring() {
         assert_eq!(lcs_len(&[1, 2, 3, 4], &[1, 9, 3, 9, 4]), 3);
+    }
+
+    #[test]
+    fn id_variants_agree_with_string_variants() {
+        let mut it = crate::intern::Interner::new();
+        let key = ["*", "freed", "by", "fetcher", "*"].map(String::from);
+        let msg = ["host1", "freed", "by", "worker", "9"].map(String::from);
+        let key_ids: Vec<_> = key.iter().map(|t| it.intern(t)).collect();
+        let msg_ids: Vec<_> = msg.iter().map(|t| it.intern(t)).collect();
+        assert_eq!(
+            positional_matches_wild_ids(&key_ids, &msg_ids),
+            positional_matches_wild(&key, &msg)
+        );
+        assert_eq!(
+            lcs_len_wild_ids(&key_ids, &msg_ids),
+            lcs_len_wild(&key, &msg)
+        );
+        // a star in the *message* is matched only by a star in the key
+        let probe = ["*", "freed", "by", "*", "*"].map(String::from);
+        let probe_ids: Vec<_> = probe.iter().map(|t| it.intern(t)).collect();
+        assert_eq!(
+            lcs_len_wild_ids(&key_ids, &probe_ids),
+            lcs_len_wild(&key, &probe)
+        );
     }
 
     #[test]

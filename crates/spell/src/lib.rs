@@ -11,13 +11,16 @@
 //! body, plus a session container type used throughout the pipeline.
 
 pub mod format;
+mod index;
+pub mod intern;
 pub mod key;
 pub mod lcs;
 pub mod parser;
 
 pub use format::{Level, LogFormat, LogLine};
+pub use intern::{Interner, TokenId, STAR_ID, UNKNOWN_ID};
 pub use key::{KeyId, LogKey, STAR};
-pub use parser::{tokenize_message, ParseOutcome, SpellParser};
+pub use parser::{tokenize_message, MatchMemo, ParseOutcome, SpellParser};
 
 use serde::{Deserialize, Serialize};
 
@@ -39,7 +42,10 @@ impl Session {
     /// timestamps keep their emission order).
     pub fn new(id: impl Into<String>, mut lines: Vec<LogLine>) -> Session {
         lines.sort_by_key(|l| l.ts_ms);
-        Session { id: id.into(), lines }
+        Session {
+            id: id.into(),
+            lines,
+        }
     }
 
     /// Number of log messages in the session.

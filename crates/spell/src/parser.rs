@@ -5,10 +5,29 @@
 //! discovered by disagreement) or founds a new key. The paper's IntelLog
 //! embeds a ~400-line Spell with a matching threshold `t` set empirically to
 //! 1.7 (§5); we follow both the algorithm and the default.
+//!
+//! # Hot path
+//!
+//! Tokens are interned to [`TokenId`]s once per message and every
+//! comparison after that is a `u32` compare. Matching consults a
+//! [`MatchIndex`] — a prefix tree for the exact-instance fast path plus an
+//! inverted `token → key` index whose overlap bound prunes keys before the
+//! LCS dynamic program runs (see `index.rs` for the soundness argument).
+//! [`SpellParser::match_message_linear`] keeps the unindexed scan as the
+//! executable specification; property tests assert the two agree.
+//!
+//! # Matching contract
+//!
+//! For a message of `n` tokens, a key of the same length is a match when
+//! `lcs_len_wild(key, msg) ≥ ceil(n / t)`. Among matching keys the highest
+//! LCS wins; ties go to the **lowest** [`KeyId`]. (An exact instance has
+//! LCS `n`, the maximum, so exact matches always win.)
 
+use crate::index::MatchIndex;
+use crate::intern::{Interner, TokenId, STAR_ID};
 use crate::key::{KeyId, LogKey, STAR};
-use crate::lcs::{lcs_len_wild, positional_matches_wild};
-use serde::{Deserialize, Serialize};
+use crate::lcs::{lcs_len_wild_ids, positional_matches_wild_ids};
+use serde::{Content, DeError, Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Tokenise a log message body for Spell.
@@ -17,7 +36,10 @@ use std::collections::HashMap;
 /// aligned with the positions the NLP layer sees when it tags a key through
 /// its sample message.
 pub fn tokenize_message(message: &str) -> Vec<String> {
-    lognlp::tokenize(message).into_iter().map(|t| t.text).collect()
+    lognlp::tokenize(message)
+        .into_iter()
+        .map(|t| t.text)
+        .collect()
 }
 
 /// Result of feeding one message to the parser.
@@ -31,21 +53,65 @@ pub struct ParseOutcome {
     pub tokens: Vec<String>,
 }
 
+/// Per-caller memo for repeated-message matching against a *frozen* parser.
+///
+/// Detection workloads re-match the same token sequence many times (every
+/// `Starting task N` line differs only in variable positions that are often
+/// themselves repeated). The memo maps an interned token sequence to its
+/// match result. It is only sound while the parser is not being trained —
+/// refinement can change what an existing sequence matches — so the parser
+/// never owns one; detection call sites keep a memo per session or stream.
+#[derive(Debug, Clone, Default)]
+pub struct MatchMemo {
+    map: HashMap<Vec<TokenId>, Option<KeyId>>,
+}
+
+impl MatchMemo {
+    pub fn new() -> MatchMemo {
+        MatchMemo::default()
+    }
+
+    /// Number of distinct sequences memoised.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// Streaming Spell log-key extractor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpellParser {
     /// Matching threshold `t`: a message of `n` tokens matches a key iff
     /// their LCS length is at least `n / t`. The paper sets 1.7.
     threshold: f64,
     keys: Vec<LogKey>,
-    /// Length → key indices, the fast candidate index.
-    by_len: HashMap<usize, Vec<usize>>,
+    /// Token interner; key and message tokens live here.
+    interner: Interner,
+    /// Interned key tokens, parallel to `keys`.
+    ikeys: Vec<Vec<TokenId>>,
+    /// Prefix tree + inverted token index for candidate pruning.
+    index: MatchIndex,
+    /// Counts structural changes (new key, token flipped to `*`). Lets
+    /// batch callers validate speculative match results: a match computed
+    /// against a snapshot is still exact iff the counter is unchanged.
+    mutations: u64,
+    /// Ablation switch: when `false`, [`SpellParser::match_ids`] runs the
+    /// linear reference scan instead of the index (results are identical;
+    /// used by benchmarks to measure the index's contribution).
+    use_index: bool,
 }
 
 impl Default for SpellParser {
     fn default() -> Self {
         SpellParser::new(1.7)
     }
+}
+
+fn required_for(threshold: f64, n: usize) -> usize {
+    (n as f64 / threshold).ceil() as usize
 }
 
 impl SpellParser {
@@ -56,7 +122,21 @@ impl SpellParser {
     /// longer than the message).
     pub fn new(threshold: f64) -> SpellParser {
         assert!(threshold >= 1.0, "Spell threshold must be >= 1.0");
-        SpellParser { threshold, keys: Vec::new(), by_len: HashMap::new() }
+        SpellParser {
+            threshold,
+            keys: Vec::new(),
+            interner: Interner::new(),
+            ikeys: Vec::new(),
+            index: MatchIndex::new(),
+            mutations: 0,
+            use_index: true,
+        }
+    }
+
+    /// Enable/disable the candidate index (benchmark ablation; matching
+    /// results are identical either way, only the cost changes).
+    pub fn set_use_index(&mut self, on: bool) {
+        self.use_index = on;
     }
 
     /// The matching threshold `t`.
@@ -74,6 +154,11 @@ impl SpellParser {
         &self.keys[id.0 as usize]
     }
 
+    /// Interned tokens of a key, parallel to [`LogKey::tokens`].
+    pub fn key_ids(&self, id: KeyId) -> &[TokenId] {
+        &self.ikeys[id.0 as usize]
+    }
+
     /// Number of keys discovered.
     pub fn len(&self) -> usize {
         self.keys.len()
@@ -84,58 +169,173 @@ impl SpellParser {
         self.keys.is_empty()
     }
 
+    /// Structural-mutation counter: bumps when a key is founded or a key
+    /// position flips to `*`. (Pure count increments don't bump it — they
+    /// cannot change any match result.)
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
     /// Minimum LCS length required for a message of `n` tokens to match.
     fn required_lcs(&self, n: usize) -> usize {
-        (n as f64 / self.threshold).ceil() as usize
+        required_for(self.threshold, n)
+    }
+
+    /// Intern a tokenised message for read-only matching: unseen tokens map
+    /// to the unknown sentinel (they cannot equal any key constant).
+    pub fn lookup_ids(&self, tokens: &[String]) -> Vec<TokenId> {
+        self.interner.lookup_all(tokens)
     }
 
     /// Find the best-matching existing key for `tokens` without mutating
     /// anything. Used in the detection phase, where an unmatched message is
     /// an *unexpected log message* anomaly rather than a new key.
     pub fn match_message(&self, tokens: &[String]) -> Option<KeyId> {
-        let required = self.required_lcs(tokens.len());
-        let mut best: Option<(usize, usize)> = None; // (score, key idx)
-        if let Some(cands) = self.by_len.get(&tokens.len()) {
-            for &ki in cands {
-                let key = &self.keys[ki];
-                // Positional equality counting stars as wildcards: exact
-                // instance check first (the overwhelmingly common case).
-                if key.matches(tokens) {
-                    return Some(key.id);
-                }
-                // `*` positions of a refined key match any token (Spell's
-                // key semantics), both positionally and in the LCS fallback.
-                let pos = positional_matches_wild(&key.tokens, tokens);
-                let score = if pos >= required { pos } else { lcs_len_wild(&key.tokens, tokens) };
-                if score >= required && best.is_none_or(|(s, _)| score > s) {
-                    best = Some((score, ki));
-                }
+        self.match_ids(&self.lookup_ids(tokens))
+    }
+
+    /// Indexed matcher over interned tokens. See the module docs for the
+    /// matching contract; equivalent to [`SpellParser::match_ids_linear`].
+    pub fn match_ids(&self, ids: &[TokenId]) -> Option<KeyId> {
+        if !self.use_index {
+            return self.match_ids_linear(ids);
+        }
+        // Exact-instance fast path: the prefix tree yields every key this
+        // message instantiates (stale paths are filtered by verification);
+        // an exact instance has the maximal LCS `n`, so the lowest such
+        // KeyId is the final answer.
+        for ki in self.index.exact_candidates(ids) {
+            if is_instance(&self.ikeys[ki as usize], ids) {
+                return Some(self.keys[ki as usize].id);
             }
         }
-        best.map(|(_, ki)| self.keys[ki].id)
+        let required = self.required_lcs(ids.len());
+        let mut best: Option<(usize, u32)> = None;
+        for (ki, bound) in self.index.scored_candidates(ids) {
+            // Even reaching its upper bound, this key cannot strictly beat
+            // the best so far (earlier id wins ties) — skip the LCS.
+            if best.is_some_and(|(s, _)| bound <= s) {
+                continue;
+            }
+            let key = &self.ikeys[ki as usize];
+            let pos = positional_matches_wild_ids(key, ids);
+            // `pos ≤ lcs ≤ bound`, so hitting the bound positionally
+            // settles the LCS without running the dynamic program.
+            let score = if pos == bound {
+                pos
+            } else {
+                lcs_len_wild_ids(key, ids)
+            };
+            if score >= required && best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, ki));
+            }
+        }
+        best.map(|(_, ki)| self.keys[ki as usize].id)
+    }
+
+    /// Memoised [`SpellParser::match_ids`] for frozen-parser workloads.
+    /// See [`MatchMemo`] for the soundness condition.
+    pub fn match_ids_memo(&self, ids: &[TokenId], memo: &mut MatchMemo) -> Option<KeyId> {
+        if let Some(&hit) = memo.map.get(ids) {
+            return hit;
+        }
+        let result = self.match_ids(ids);
+        memo.map.insert(ids.to_vec(), result);
+        result
+    }
+
+    /// Reference matcher: a plain linear scan with one score — the wildcard
+    /// LCS — for every same-length key. This is the executable
+    /// specification of the matching contract; `match_ids` must agree with
+    /// it on every input (property-tested in `tests/proptests.rs`).
+    pub fn match_ids_linear(&self, ids: &[TokenId]) -> Option<KeyId> {
+        let required = self.required_lcs(ids.len());
+        let mut best: Option<(usize, u32)> = None;
+        for (ki, key) in self.ikeys.iter().enumerate() {
+            if key.len() != ids.len() {
+                continue;
+            }
+            let score = lcs_len_wild_ids(key, ids);
+            if score >= required && best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, ki as u32));
+            }
+        }
+        best.map(|(_, ki)| self.keys[ki as usize].id)
+    }
+
+    /// String-token form of [`SpellParser::match_ids_linear`].
+    pub fn match_message_linear(&self, tokens: &[String]) -> Option<KeyId> {
+        self.match_ids_linear(&self.lookup_ids(tokens))
     }
 
     /// Feed one pre-tokenised message; returns the key it was assigned to.
     pub fn parse_tokens(&mut self, tokens: Vec<String>) -> ParseOutcome {
-        if let Some(id) = self.match_message(&tokens) {
+        self.parse_tokens_with_hint(tokens, None)
+    }
+
+    /// Feed one pre-tokenised message, optionally supplying a precomputed
+    /// match result (`hint`). The hint must have been computed by
+    /// `match_message`/`match_ids` on this parser while its
+    /// [`SpellParser::mutations`] counter held its current value — batch
+    /// trainers compute hints in parallel against a snapshot and pass them
+    /// here only when the counter is unchanged, which makes parallel
+    /// training bit-identical to sequential.
+    pub fn parse_tokens_with_hint(
+        &mut self,
+        tokens: Vec<String>,
+        hint: Option<Option<KeyId>>,
+    ) -> ParseOutcome {
+        let ids = self.interner.intern_all(&tokens);
+        let matched = match hint {
+            Some(precomputed) => precomputed,
+            None => self.match_ids(&ids),
+        };
+        if let Some(id) = matched {
             let ki = id.0 as usize;
             // Refine the key: any position where the key's constant token
             // disagrees with the message becomes a variable position.
+            let mut flipped = 0u32;
             {
                 let key = &mut self.keys[ki];
-                for (kt, mt) in key.tokens.iter_mut().zip(&tokens) {
-                    if kt != STAR && kt != mt {
-                        *kt = STAR.to_string();
+                let ikey = &mut self.ikeys[ki];
+                for (p, &mid) in ids.iter().enumerate() {
+                    if ikey[p] != STAR_ID && ikey[p] != mid {
+                        ikey[p] = STAR_ID;
+                        key.tokens[p] = STAR.to_string();
+                        flipped += 1;
                     }
                 }
                 key.count += 1;
             }
-            return ParseOutcome { key_id: id, is_new_key: false, tokens };
+            if flipped > 0 {
+                self.mutations += 1;
+                self.index.note_refinement(id.0, &self.ikeys[ki], flipped);
+                if self.index.needs_rebuild() {
+                    self.rebuild_index();
+                }
+            }
+            return ParseOutcome {
+                key_id: id,
+                is_new_key: false,
+                tokens,
+            };
         }
         let id = KeyId(self.keys.len() as u32);
-        self.by_len.entry(tokens.len()).or_default().push(self.keys.len());
-        self.keys.push(LogKey { id, tokens: tokens.clone(), sample: tokens.clone(), count: 1 });
-        ParseOutcome { key_id: id, is_new_key: true, tokens }
+        self.mutations += 1;
+        self.index
+            .insert_key(id.0, &ids, self.required_lcs(ids.len()));
+        self.keys.push(LogKey {
+            id,
+            tokens: tokens.clone(),
+            sample: tokens.clone(),
+            count: 1,
+        });
+        self.ikeys.push(ids);
+        ParseOutcome {
+            key_id: id,
+            is_new_key: true,
+            tokens,
+        }
     }
 
     /// Feed one raw message string.
@@ -146,6 +346,61 @@ impl SpellParser {
     /// Match a raw message without mutating the key set.
     pub fn match_raw(&self, message: &str) -> Option<KeyId> {
         self.match_message(&tokenize_message(message))
+    }
+
+    fn rebuild_index(&mut self) {
+        let t = self.threshold;
+        self.index.rebuild(&self.ikeys, &|n| required_for(t, n));
+    }
+
+    /// Reassemble a parser from its serialised parts (threshold + keys).
+    /// The interner and index are derived state and are rebuilt here.
+    fn from_parts(threshold: f64, keys: Vec<LogKey>) -> SpellParser {
+        let mut p = SpellParser::new(threshold);
+        for key in keys {
+            debug_assert_eq!(
+                key.id.0 as usize,
+                p.keys.len(),
+                "keys must arrive in id order"
+            );
+            let ids = p.interner.intern_all(&key.tokens);
+            p.index
+                .insert_key(key.id.0, &ids, required_for(threshold, ids.len()));
+            p.ikeys.push(ids);
+            p.keys.push(key);
+        }
+        p
+    }
+}
+
+#[inline]
+fn is_instance(key: &[TokenId], msg: &[TokenId]) -> bool {
+    key.len() == msg.len() && key.iter().zip(msg).all(|(&k, &m)| k == STAR_ID || k == m)
+}
+
+/// Serialised form: threshold + keys only. The interner, interned key
+/// mirror and match index are derived state, rebuilt on deserialisation —
+/// this keeps the JSON format identical to the pre-index parser.
+#[derive(Serialize, Deserialize)]
+struct SpellParserState {
+    threshold: f64,
+    keys: Vec<LogKey>,
+}
+
+impl Serialize for SpellParser {
+    fn serialize_content(&self) -> Content {
+        SpellParserState {
+            threshold: self.threshold,
+            keys: self.keys.clone(),
+        }
+        .serialize_content()
+    }
+}
+
+impl Deserialize for SpellParser {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let state = SpellParserState::deserialize_content(content)?;
+        Ok(SpellParser::from_parts(state.threshold, state.keys))
     }
 }
 
@@ -162,7 +417,10 @@ mod tests {
         let a2 = p.parse_message("fetcher # 2 about to shuffle output of map attempt_07");
         assert_eq!(a1.key_id, a2.key_id);
         assert!(a1.is_new_key && !a2.is_new_key);
-        assert_eq!(p.key(a1.key_id).render(), "fetcher # * about to shuffle output of map *");
+        assert_eq!(
+            p.key(a1.key_id).render(),
+            "fetcher # * about to shuffle output of map *"
+        );
 
         let b1 = p.parse_message("[fetcher # 1] read 2264 bytes from map-output for attempt_01");
         let b2 = p.parse_message("[fetcher # 3] read 999 bytes from map-output for attempt_02");
@@ -185,7 +443,10 @@ mod tests {
         let a = p.parse_message("Starting MapTask metrics system");
         p.parse_message("Stopping MapTask metrics system");
         assert_eq!(p.key(a.key_id).render(), "* MapTask metrics system");
-        assert_eq!(p.key(a.key_id).render_sample(), "Starting MapTask metrics system");
+        assert_eq!(
+            p.key(a.key_id).render_sample(),
+            "Starting MapTask metrics system"
+        );
         assert_eq!(p.key(a.key_id).count, 2);
     }
 
@@ -238,7 +499,9 @@ mod tests {
         p.parse_message("alpha beta gamma delta epsilon zeta eta");
         p.parse_message("alpha beta gamma delta epsilon yot eta");
         // second merged into first: key now has one star
-        let probe = p.match_raw("alpha beta gamma delta epsilon zeta eta").unwrap();
+        let probe = p
+            .match_raw("alpha beta gamma delta epsilon zeta eta")
+            .unwrap();
         assert_eq!(probe, KeyId(0));
     }
 
@@ -246,5 +509,156 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn invalid_threshold_panics() {
         let _ = SpellParser::new(0.5);
+    }
+
+    #[test]
+    fn higher_lcs_beats_earlier_key() {
+        // Contract: the highest wildcard LCS wins, not the first key whose
+        // positional count clears the threshold. key0 shares 4 of 6 tokens
+        // with the probe, key1 shares 5 — key1 must win even though key0
+        // was founded first and also clears the threshold.
+        let mut p = SpellParser::new(1.7); // 6 tokens → LCS ≥ 4
+        let k0 = p.parse_tokens(toks("read block a1 from disk zero")).key_id;
+        let k1 = p.parse_tokens(toks("read block a1 from disk one")).key_id;
+        // the two founding messages merged? they share 5 of 6 → merged.
+        assert_eq!(k0, k1);
+        let k2 = p.parse_tokens(toks("send chunk a1 over wire zero")).key_id;
+        assert_ne!(k0, k2);
+        // probe: LCS 4 with key0-family, exact with neither
+        let probe = toks("read block a1 from cable zero");
+        let got = p.match_message(&probe).unwrap();
+        let linear = p.match_message_linear(&probe).unwrap();
+        assert_eq!(got, linear);
+        assert_eq!(got, k0);
+    }
+
+    #[test]
+    fn ties_go_to_lowest_key_id() {
+        // 6 tokens at t=1.7 → LCS ≥ 4. The two founding messages share only
+        // "p q" (LCS 2 < 4) so they found distinct keys; the probe reaches
+        // LCS exactly 4 with both — a genuine tie, resolved to the lowest id.
+        let mut p = SpellParser::new(1.7);
+        let a = p.parse_tokens(toks("a b c d p q")).key_id;
+        let b = p.parse_tokens(toks("w x y z p q")).key_id;
+        assert_ne!(a, b);
+        let probe = toks("a b w x p q");
+        assert_eq!(p.match_message(&probe), Some(a));
+        assert_eq!(p.match_message_linear(&probe), Some(a));
+    }
+
+    #[test]
+    fn indexed_matches_linear_on_detection_probes() {
+        // Train on message families, then probe with held-out variants
+        // (unknown tokens included) and assert indexed == linear.
+        let mut p = SpellParser::default();
+        for host in 1..8 {
+            for task in 1..6 {
+                p.parse_message(&format!("starting task {task} on host{host} now"));
+                p.parse_message(&format!("finished task {task} on host{host} ok"));
+                p.parse_message(&format!(
+                    "host{host}:13562 freed by fetcher # {task} in 4ms"
+                ));
+            }
+        }
+        let probes = [
+            "starting task 99 on host42 now",
+            "finished task 1 on host1 ok",
+            "host77:13562 freed by fetcher # 9 in 18ms",
+            "utterly unrelated words that match nothing at all",
+            "starting task on host now extra",
+        ];
+        for probe in probes {
+            let tokens = tokenize_message(probe);
+            assert_eq!(
+                p.match_message(&tokens),
+                p.match_message_linear(&tokens),
+                "divergence on {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_agrees_with_direct_matching() {
+        let mut p = SpellParser::default();
+        p.parse_message("starting task 1 on host1");
+        p.parse_message("starting task 2 on host2");
+        p.parse_message("shutdown hook called");
+        let mut memo = MatchMemo::new();
+        let msgs = [
+            "starting task 9 on host9",
+            "shutdown hook called",
+            "nothing matches this",
+        ];
+        for m in msgs.iter().chain(msgs.iter()) {
+            let ids = p.lookup_ids(&tokenize_message(m));
+            assert_eq!(p.match_ids_memo(&ids, &mut memo), p.match_ids(&ids), "{m}");
+        }
+        assert_eq!(memo.len(), 3, "distinct sequences memoised once each");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_matching() {
+        let mut p = SpellParser::default();
+        for i in 0..20 {
+            p.parse_message(&format!("starting task {i} on host{} now", i % 3));
+            p.parse_message(&format!("block manager registered with {i} GB memory"));
+        }
+        let json = serde_json::to_string(&p).unwrap();
+        let q: SpellParser = serde_json::from_str(&json).unwrap();
+        assert_eq!(q.threshold(), p.threshold());
+        assert_eq!(q.keys(), p.keys());
+        for probe in [
+            "starting task 99 on host7 now",
+            "block manager registered with 9 GB memory",
+            "no match here at all",
+        ] {
+            let tokens = tokenize_message(probe);
+            assert_eq!(
+                q.match_message(&tokens),
+                p.match_message(&tokens),
+                "{probe}"
+            );
+        }
+        // serialised form is stable: re-serialising the round-tripped
+        // parser is byte-identical
+        assert_eq!(serde_json::to_string(&q).unwrap(), json);
+    }
+
+    #[test]
+    fn hint_path_equals_unhinted_parse() {
+        let msgs: Vec<Vec<String>> = (0..40)
+            .map(|i| toks(&format!("worker {} sent {} bytes to driver", i % 4, i * 7)))
+            .collect();
+        let mut a = SpellParser::default();
+        let mut b = SpellParser::default();
+        for m in &msgs {
+            let snapshot = b.mutations();
+            let hint = b.match_message(m);
+            let oa = a.parse_tokens(m.clone());
+            let ob = if b.mutations() == snapshot {
+                b.parse_tokens_with_hint(m.clone(), Some(hint))
+            } else {
+                b.parse_tokens(m.clone())
+            };
+            assert_eq!(oa, ob);
+        }
+        assert_eq!(a.keys(), b.keys());
+    }
+
+    #[test]
+    fn index_survives_heavy_refinement_rebuilds() {
+        // Enough star-flips to trigger needs_rebuild() several times; the
+        // indexed matcher must stay equivalent to the linear scan
+        // throughout.
+        let mut p = SpellParser::default();
+        for i in 0..300 {
+            let m = toks(&format!("phase {} item {} state {} done", i % 10, i, i % 7));
+            p.parse_tokens(m.clone());
+            assert_eq!(p.match_message(&m), p.match_message_linear(&m));
+        }
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
     }
 }

@@ -89,4 +89,45 @@ proptest! {
         prop_assert_eq!(l, lcs_len(&b, &a));
         prop_assert!(l <= a.len().min(b.len()));
     }
+
+    /// The indexed matcher agrees with the linear-scan reference matcher —
+    /// both mid-training (after every parse, against the evolving key set)
+    /// and on held-out probes containing tokens the parser never interned.
+    #[test]
+    fn indexed_matcher_equals_linear(
+        msgs in prop::collection::vec(message(), 1..40),
+        probes in prop::collection::vec(message(), 1..10),
+    ) {
+        let mut p = SpellParser::default();
+        for m in msgs {
+            p.parse_tokens(m.clone());
+            prop_assert_eq!(p.match_message(&m), p.match_message_linear(&m));
+        }
+        for probe in probes {
+            prop_assert_eq!(
+                p.match_message(&probe),
+                p.match_message_linear(&probe),
+                "probe {:?} diverged", probe
+            );
+        }
+    }
+
+    /// Serialisation drops the derived index/interner state; a round-trip
+    /// must reproduce the keys and the same match results.
+    #[test]
+    fn serde_roundtrip_equivalence(
+        msgs in prop::collection::vec(message(), 1..30),
+        probes in prop::collection::vec(message(), 1..8),
+    ) {
+        let mut p = SpellParser::default();
+        for m in msgs {
+            p.parse_tokens(m);
+        }
+        let json = serde_json::to_string(&p).unwrap();
+        let q: SpellParser = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(q.keys(), p.keys());
+        for probe in probes {
+            prop_assert_eq!(q.match_message(&probe), p.match_message(&probe));
+        }
+    }
 }

@@ -17,7 +17,10 @@ fn main() {
     let mut train: Vec<Session> = Vec::new();
     for j in 0..6 {
         let cfg = gen.training_config(SystemKind::MapReduce);
-        for (i, mut s) in sessions_from_job(&dlasim::generate(&cfg, None)).into_iter().enumerate() {
+        for (i, mut s) in sessions_from_job(&dlasim::generate(&cfg, None))
+            .into_iter()
+            .enumerate()
+        {
             s.id = format!("train{j}_{i}_{}", s.id);
             train.push(s);
         }
@@ -48,7 +51,12 @@ fn main() {
         report.problematic_count(),
         report.total_count()
     );
-    for sr in report.sessions.iter().filter(|s| s.is_problematic()).take(3) {
+    for sr in report
+        .sessions
+        .iter()
+        .filter(|s| s.is_problematic())
+        .take(3)
+    {
         println!("  session {}:", sr.session);
         for a in sr.anomalies.iter().take(3) {
             match a {

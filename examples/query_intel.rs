@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --example query_intel`
 
-use intellog::extract::{IntelExtractor, IntelMessage, IntelStore};
 use intellog::dlasim::{self, JobConfig, SystemKind};
+use intellog::extract::{IntelExtractor, IntelMessage, IntelStore};
 use intellog::spell::SpellParser;
 
 fn main() {
@@ -38,9 +38,18 @@ fn main() {
     let keys: Vec<_> = parser.keys().iter().map(|k| extractor.build(k)).collect();
     let mut store = IntelStore::new();
     for (sess, ts, out) in parsed {
-        store.push(IntelMessage::instantiate(&keys[out.key_id.0 as usize], &out.tokens, sess, ts));
+        store.push(IntelMessage::instantiate(
+            &keys[out.key_id.0 as usize],
+            &out.tokens,
+            sess,
+            ts,
+        ));
     }
-    println!("store holds {} Intel Messages over {} keys", store.len(), keys.len());
+    println!(
+        "store holds {} Intel Messages over {} keys",
+        store.len(),
+        keys.len()
+    );
 
     println!("\n=== GroupBy identifier (first 8 groups) ===");
     for (id, msgs) in store.group_by_identifier().into_iter().take(8) {
@@ -59,5 +68,9 @@ fn main() {
 
     // JSON export: queryable with external JSON tools (paper §5).
     let json = store.to_json();
-    println!("\nJSON export: {} bytes (first 200: {}…)", json.len(), &json[..200.min(json.len())]);
+    println!(
+        "\nJSON export: {} bytes (first 200: {}…)",
+        json.len(),
+        &json[..200.min(json.len())]
+    );
 }

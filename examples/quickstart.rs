@@ -43,10 +43,18 @@ fn main() {
             let token = &ik.tokens[f.pos];
             match f.category {
                 FieldCategory::Identifier => {
-                    println!("  identifier: pos {} ({token}) type {}", f.pos, f.id_type.as_deref().unwrap_or("?"))
+                    println!(
+                        "  identifier: pos {} ({token}) type {}",
+                        f.pos,
+                        f.id_type.as_deref().unwrap_or("?")
+                    )
                 }
                 FieldCategory::Value => {
-                    println!("  value:      pos {} ({token}) unit/name {}", f.pos, f.name.as_deref().unwrap_or("?"))
+                    println!(
+                        "  value:      pos {} ({token}) unit/name {}",
+                        f.pos,
+                        f.name.as_deref().unwrap_or("?")
+                    )
                 }
                 FieldCategory::Locality => println!("  locality:   pos {} ({token})", f.pos),
                 FieldCategory::Skipped => {}

@@ -30,7 +30,10 @@ fn main() {
     let stats = &il.graph().stats;
     println!("\n=== HW-graph statistics (cf. paper Table 5) ===");
     println!("avg session length:    {:.1}", stats.avg_session_len);
-    println!("entity groups:         {} (critical: {})", stats.groups_all, stats.groups_critical);
+    println!(
+        "entity groups:         {} (critical: {})",
+        stats.groups_all, stats.groups_critical
+    );
     println!(
         "subroutine length:     max {} / avg {:.1} / avg critical {:.1}",
         stats.sub_len_max, stats.sub_len_avg_all, stats.sub_len_avg_crit

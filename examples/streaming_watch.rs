@@ -18,7 +18,10 @@ fn main() {
     let mut train = Vec::new();
     for j in 0..5 {
         let cfg = gen.training_config(SystemKind::MapReduce);
-        for (i, mut s) in sessions_from_job(&dlasim::generate(&cfg, None)).into_iter().enumerate() {
+        for (i, mut s) in sessions_from_job(&dlasim::generate(&cfg, None))
+            .into_iter()
+            .enumerate()
+        {
             s.id = format!("t{j}_{i}_{}", s.id);
             train.push(s);
         }
@@ -37,23 +40,32 @@ fn main() {
         .position(|s| s.affected)
         .expect("a session carries the fault");
     let session = &sessions[victim];
-    println!("streaming session {} ({} lines)…\n", session.id, session.len());
+    println!(
+        "streaming session {} ({} lines)…\n",
+        session.id,
+        session.len()
+    );
 
     let mut watcher = StreamDetector::begin(il.detector(), session.id.clone());
     for l in &session.lines {
-        if let Some(a) = watcher.feed(l) {
-            if let intellog::anomaly::Anomaly::UnexpectedMessage { ts_ms, text, intel, .. } = &a {
-                println!(
-                    "[t={ts_ms:>6}ms] UNEXPECTED: {text}\n            entities {:?} localities {:?}",
-                    intel.entities, intel.localities
-                );
-            }
+        if let Some(intellog::anomaly::Anomaly::UnexpectedMessage {
+            ts_ms, text, intel, ..
+        }) = watcher.feed(l)
+        {
+            println!(
+                "[t={ts_ms:>6}ms] UNEXPECTED: {text}\n            entities {:?} localities {:?}",
+                intel.entities, intel.localities
+            );
         }
     }
     let report = watcher.finish();
     println!(
         "\nsession closed: {} anomalies total ({} surfaced online)",
         report.anomalies.len(),
-        report.anomalies.iter().filter(|a| a.is_unexpected_message()).count()
+        report
+            .anomalies
+            .iter()
+            .filter(|a| a.is_unexpected_message())
+            .count()
     );
 }

@@ -78,9 +78,15 @@ fn parse_format(s: Option<String>) -> Result<LogFormat, String> {
 /// continuations) are skipped.
 fn read_session(path: &Path, format: LogFormat) -> Result<Session, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let lines = text.lines().filter_map(|l| format.parse(l)).collect::<Vec<_>>();
+    let lines = text
+        .lines()
+        .filter_map(|l| format.parse(l))
+        .collect::<Vec<_>>();
     if lines.is_empty() {
-        return Err(format!("{}: no parseable log lines (wrong --format?)", path.display()));
+        return Err(format!(
+            "{}: no parseable log lines (wrong --format?)",
+            path.display()
+        ));
     }
     let id = path
         .file_stem()
@@ -93,7 +99,10 @@ fn read_sessions(files: &[String], format: LogFormat) -> Result<Vec<Session>, St
     if files.is_empty() {
         return Err("no log files given".into());
     }
-    files.iter().map(|f| read_session(Path::new(f), format)).collect()
+    files
+        .iter()
+        .map(|f| read_session(Path::new(f), format))
+        .collect()
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
@@ -112,7 +121,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         detector.graph.groups.iter().filter(|g| g.critical).count(),
         detector.ignored_keys.len(),
     );
-    println!("model written to {} ({} bytes)", model.display(), json.len());
+    println!(
+        "model written to {} ({} bytes)",
+        model.display(),
+        json.len()
+    );
     Ok(())
 }
 
@@ -172,13 +185,20 @@ fn cmd_demo() -> Result<(), String> {
     let mut train = Vec::new();
     for j in 0..6 {
         let cfg = gen.training_config(SystemKind::Spark);
-        for (i, mut s) in sessions_from_job(&dlasim::generate(&cfg, None)).into_iter().enumerate() {
+        for (i, mut s) in sessions_from_job(&dlasim::generate(&cfg, None))
+            .into_iter()
+            .enumerate()
+        {
             s.id = format!("t{j}_{i}_{}", s.id);
             train.push(s);
         }
     }
     let il = IntelLog::train(&train);
-    println!("{} keys, {} groups\n", il.detector().keys.len(), il.graph().groups.len());
+    println!(
+        "{} keys, {} groups\n",
+        il.detector().keys.len(),
+        il.graph().groups.len()
+    );
     let cfg = gen.detection_config(SystemKind::Spark, 3);
     let plan = FaultPlan::new(FaultKind::NetworkFailure, 0.3, 2, 0);
     let job = dlasim::generate(&cfg, Some(&plan));

@@ -44,11 +44,21 @@ fn cli_train_graph_detect_roundtrip() {
         train_files.extend(write_job_logs(&dir, &job, &format!("train{seed}")));
     }
     let out = Command::new(bin)
-        .args(["train", "--format", "spark", "--model", model.to_str().unwrap()])
+        .args([
+            "train",
+            "--format",
+            "spark",
+            "--model",
+            model.to_str().unwrap(),
+        ])
         .args(&train_files)
         .output()
         .unwrap();
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("trained on"), "{stdout}");
     assert!(model.exists());
@@ -67,14 +77,27 @@ fn cli_train_graph_detect_roundtrip() {
     let faulty = dlasim::generate(&cfg(9), Some(&plan));
     let detect_files = write_job_logs(&dir, &faulty, "eval");
     let out = Command::new(bin)
-        .args(["detect", "--format", "spark", "--model", model.to_str().unwrap()])
+        .args([
+            "detect",
+            "--format",
+            "spark",
+            "--model",
+            model.to_str().unwrap(),
+        ])
         .args(&detect_files)
         .output()
         .unwrap();
-    assert!(out.status.success(), "detect failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "detect failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("sessions problematic"), "{stdout}");
-    assert!(!stdout.contains("0 of"), "fault should be detected: {stdout}");
+    assert!(
+        !stdout.contains("0 of"),
+        "fault should be detected: {stdout}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -84,7 +107,10 @@ fn cli_rejects_bad_usage() {
     let bin = env!("CARGO_BIN_EXE_intellog");
     let out = Command::new(bin).arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
-    let out = Command::new(bin).args(["train", "--model"]).output().unwrap();
+    let out = Command::new(bin)
+        .args(["train", "--model"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let out = Command::new(bin)
         .args(["detect", "--model", "/nonexistent/model.json"])

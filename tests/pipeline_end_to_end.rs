@@ -125,7 +125,12 @@ fn baselines_run_on_the_same_corpus() {
     let mut parser = SpellParser::default();
     let key_sessions: Vec<Vec<intellog::spell::KeyId>> = sessions
         .iter()
-        .map(|s| s.lines.iter().map(|l| parser.parse_message(&l.message).key_id).collect())
+        .map(|s| {
+            s.lines
+                .iter()
+                .map(|l| parser.parse_message(&l.message).key_id)
+                .collect()
+        })
         .collect();
 
     let mut dl = DeepLog::new(DeepLogConfig::default());
@@ -165,7 +170,11 @@ fn baselines_run_on_the_same_corpus() {
     assert!(!s3.types.is_empty());
     // the S3 graph carries identifier types but no entity semantics —
     // that's the Fig. 9 contrast
-    assert!(s3.types.iter().any(|t| t == "TASK" || t == "TID"), "{:?}", s3.types);
+    assert!(
+        s3.types.iter().any(|t| t == "TASK" || t == "TID"),
+        "{:?}",
+        s3.types
+    );
 }
 
 #[test]

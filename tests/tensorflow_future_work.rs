@@ -37,8 +37,16 @@ fn tensorflow_workflow_reconstructs() {
     let groups: Vec<&str> = il.graph().groups.iter().map(|g| g.name.as_str()).collect();
     // ML-specific entity families come out of the nomenclature grouping
     assert!(groups.iter().any(|g| g.contains("session")), "{groups:?}");
-    assert!(groups.iter().any(|g| g.contains("checkpoint")), "{groups:?}");
-    assert!(groups.iter().any(|g| g.contains("worker") || g.contains("step")), "{groups:?}");
+    assert!(
+        groups.iter().any(|g| g.contains("checkpoint")),
+        "{groups:?}"
+    );
+    assert!(
+        groups
+            .iter()
+            .any(|g| g.contains("worker") || g.contains("step")),
+        "{groups:?}"
+    );
     // clean job detection stays clean
     let job = dlasim::generate(&cfg(99, 4), None);
     let report = il.detect_job(&sessions_from_job(&job));

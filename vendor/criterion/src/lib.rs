@@ -1,0 +1,278 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group / `bench_function` / `bench_with_input` /
+//! `Bencher::iter` surface with simple wall-clock measurement: a short
+//! warm-up, then timed batches until a fixed measurement budget elapses.
+//! Reports mean time per iteration (and element throughput when set).
+//!
+//! Modes: when invoked by `cargo bench` (a `--bench` argument is present)
+//! benchmarks are measured and printed; otherwise (e.g. `cargo test`
+//! running a `harness = false` bench target) each benchmark body runs
+//! exactly once as a smoke test. Unknown CLI arguments are ignored; an
+//! argument that matches neither a flag nor a substring filter is treated
+//! as a benchmark-id filter, like criterion's positional filter.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `group/function` or `group/function/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.to_string(),
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    measure: bool,
+    filter: Option<String>,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: false,
+            filter: None,
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from CLI arguments (`cargo bench` passes `--bench`; a free
+    /// argument is a substring filter). Never errors on unknown flags.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => c.measure = true,
+                "--test" => c.measure = false,
+                s if s.starts_with('-') => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.render(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            measure: self.criterion.measure,
+            budget: self.criterion.measurement,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if !self.criterion.measure {
+            return; // smoke mode: ran once, nothing to report
+        }
+        let per_iter = if b.iters > 0 {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        } else {
+            0.0
+        };
+        let mut line = format!("{full:<46} time: {:>12}/iter", fmt_ns(per_iter));
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if per_iter > 0.0 {
+                let rate = count as f64 / (per_iter / 1e9);
+                line.push_str(&format!("   thrpt: {:>14} {unit}/s", fmt_rate(rate)));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the routine.
+pub struct Bencher {
+    measure: bool,
+    budget: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // warm-up: run until ~1/5 of the budget elapses
+        let warmup_end = Instant::now() + self.budget / 5;
+        let mut batch = 1u64;
+        while Instant::now() < warmup_end {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        // measurement: timed batches until the budget elapses
+        let start = Instant::now();
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+        }
+        self.elapsed = elapsed;
+        self.iters = iters;
+    }
+}
+
+/// `black_box` re-export for user code (stable since 1.66).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion::default(); // measure = false
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("f", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("train", 6).render(), "train/6");
+        assert_eq!(BenchmarkId::from_parameter(1.7).render(), "1.7");
+    }
+}

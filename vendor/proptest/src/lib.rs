@@ -1,0 +1,538 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Covers the surface this workspace's property tests use: `Strategy` with
+//! `prop_map`/`boxed`, strategies for regex-subset string literals, integer
+//! and float ranges, `Just`, tuples, `prop::collection::vec`, `any::<T>()`,
+//! the `proptest!` / `prop_oneof!` / `prop_assert*!` macros and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! case number and assertion message instead of a minimised input), and the
+//! deterministic per-test RNG is not stream-compatible with upstream, so
+//! `.proptest-regressions` files are not replayed.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case RNG (SplitMix64). Seeded from the test name and
+/// case index so runs are reproducible without any persisted state.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Seed from a test name (FNV-1a) and case index.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::new(h.wrapping_add(case as u64))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of values. Object safe: `gen_value` takes no generics, so
+/// `Box<dyn Strategy<Value = T>>` works (see [`BoxedStrategy`]).
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Mapped strategy, built by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].gen_value(rng)
+    }
+}
+
+// ---- numeric ranges ----------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128 + self.start as i128;
+                v as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128 % span) as i128 + lo as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+// ---- tuples ------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.gen_value(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(S1 / v1);
+impl_tuple_strategy!(S1 / v1, S2 / v2);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7
+);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7,
+    S8 / v8
+);
+
+// ---- regex-subset string strategies ------------------------------------
+
+/// `&'static str` literals are string strategies over a regex subset:
+/// concatenations of literal characters and `[...]` classes (with `a-z`
+/// ranges), each optionally quantified by `{m}` or `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+enum PatAtom {
+    Class(Vec<char>),
+    Lit(char),
+}
+
+fn parse_pattern(pat: &str) -> Vec<(PatAtom, u32, u32)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pat:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pat:?}");
+                i += 1; // consume ']'
+                PatAtom::Class(set)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                PatAtom::Lit(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                PatAtom::Lit(c)
+            }
+        };
+        // optional {m} / {m,n} quantifier
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pat:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let m: u32 = body.trim().parse().expect("quantifier count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+fn gen_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse_pattern(pat) {
+        let count = if max > min {
+            min + rng.below((max - min + 1) as u64) as u32
+        } else {
+            min
+        };
+        for _ in 0..count {
+            match &atom {
+                PatAtom::Class(set) => {
+                    assert!(!set.is_empty(), "empty class in pattern {pat:?}");
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+                PatAtom::Lit(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+// ---- any / Arbitrary ---------------------------------------------------
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// ---- collections -------------------------------------------------------
+
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.gen_value(rng);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, min..max)` — a vec with a length
+    /// drawn from the (half-open) size range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+// ---- macros ------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($option)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __l, __r));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), __l, __r));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a), stringify!($b), __l));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  both: {:?}", ::std::format!($($fmt)+), __l));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(__name, __case);
+                let ($($arg,)+) = $crate::Strategy::gen_value(&__strategy, &mut __rng);
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    ::std::panic!(
+                        "proptest {} failed at case {}/{}:\n{}",
+                        __name, __case + 1, __config.cases, __msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_shapes() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::gen_value(&"[a-z]{3,6}[0-9]{1,2}:[0-9]{4,5}", &mut rng);
+            assert!(t.contains(':'), "{t:?}");
+            let u = Strategy::gen_value(&"[a-z]{1,5}_[0-9]{1,4}", &mut rng);
+            assert!(u.contains('_'), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_vec() {
+        let mut rng = crate::TestRng::new(2);
+        let strat = prop::collection::vec(prop_oneof![Just(1u32), Just(2), 5u32..8], 2..5);
+        for _ in 0..100 {
+            let v = Strategy::gen_value(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 1 || x == 2 || (5..8).contains(&x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_smoke(x in 0u32..10, ws in prop::collection::vec("[a-z]{1,4}", 1..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(!ws.is_empty());
+            prop_assert_eq!(ws.len(), ws.len());
+            prop_assert_ne!(ws.len(), 99usize);
+        }
+    }
+}

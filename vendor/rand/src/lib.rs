@@ -1,0 +1,190 @@
+//! Offline stand-in for `rand`.
+//!
+//! Provides the trait surface this workspace uses — [`RngCore`],
+//! [`SeedableRng`], and [`Rng`] with `gen_range` / `gen_bool` / `gen` —
+//! backed by whatever generator implements [`RngCore`] (the vendored
+//! `rand_chacha` supplies ChaCha8). Determinism is guaranteed for a fixed
+//! seed, but the streams are NOT bit-compatible with the real rand crate;
+//! nothing in this workspace asserts upstream-exact values.
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64 like rand_core.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sampling helpers layered on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Sample a value of a type with a standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64_unit(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Uniform `f64` in `[0, 1)` from 53 random bits.
+fn f64_unit<G: RngCore>(rng: &mut G) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw a standard-distributed value.
+    fn sample_standard<G: RngCore>(rng: &mut G) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<G: RngCore>(rng: &mut G) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<G: RngCore>(rng: &mut G) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<G: RngCore>(rng: &mut G) -> f64 {
+        f64_unit(rng)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<G: RngCore>(rng: &mut G) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Uniform sample from this range.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128 + self.start as i128;
+                v as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128 + lo as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64_unit(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + f64_unit(rng) * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Counter(42);
+        for _ in 0..1000 {
+            let v: u32 = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = r.gen_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Counter(7);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

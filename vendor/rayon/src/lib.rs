@@ -1,0 +1,208 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small surface this workspace uses — `par_iter()` on
+//! slices/Vecs with `.map(..).collect()`, plus `ThreadPoolBuilder` /
+//! `ThreadPool::install` — on top of `std::thread::scope`. Work is split
+//! into contiguous index chunks, one per thread, and results are stitched
+//! back in input order, so `collect()` is deterministic and identical to
+//! the sequential result order.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread count forced by the innermost `ThreadPool::install` on this
+    /// thread; `None` means "use available parallelism".
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operators on this thread will use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|p| p.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use available parallelism", as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that just pins the thread count seen by parallel operators
+/// running inside [`ThreadPool::install`]. Threads are spawned per
+/// operation via `std::thread::scope`, not kept alive.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let forced = (self.num_threads != 0).then_some(self.num_threads);
+        let prev = POOL_THREADS.with(|p| p.replace(forced.or_else(|| p.get())));
+        let result = op();
+        POOL_THREADS.with(|p| p.set(prev));
+        result
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// `par_iter()` entry point for by-reference iteration.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F, R>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+            _r: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Mapped parallel iterator; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F, R> {
+    slice: &'a [T],
+    f: F,
+    _r: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F, R> {
+    /// Apply the map across threads and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_chunked(self.slice, &self.f).into_iter().collect()
+    }
+}
+
+/// Map `f` over `slice` using up to `current_num_threads()` scoped threads,
+/// each taking one contiguous chunk; returns results in input order.
+fn run_chunked<'a, T: Sync, R: Send>(slice: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads().max(1).min(slice.len().max(1));
+    if threads <= 1 || slice.len() <= 1 {
+        return slice.iter().map(f).collect();
+    }
+    let chunk = slice.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(slice.len());
+    out.resize_with(slice.len(), || None);
+    std::thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        let mut start = 0;
+        while start < slice.len() {
+            let end = (start + chunk).min(slice.len());
+            let (head, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            let items = &slice[start..end];
+            scope.spawn(move || {
+                for (slot, item) in head.iter_mut().zip(items) {
+                    *slot = Some(f(item));
+                }
+            });
+            start = end;
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| inner.install(|| assert_eq!(current_num_threads(), 1)));
+    }
+
+    #[test]
+    fn works_on_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

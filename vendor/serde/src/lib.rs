@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access and no crates.io cache, so the
+//! real serde cannot be fetched. This crate keeps the workspace's
+//! `#[derive(Serialize, Deserialize)]` + `serde_json` surface working by
+//! modelling serialized data as a JSON-like [`Content`] tree:
+//!
+//! * [`Serialize`] renders a value into a [`Content`];
+//! * [`Deserialize`] rebuilds a value from a [`Content`];
+//! * the vendored `serde_json` renders/parses `Content` as JSON text.
+//!
+//! The data model follows serde_json conventions where the workspace relies
+//! on them: newtype structs are transparent, unit enum variants become
+//! strings, data-carrying variants become single-key maps (external
+//! tagging), and map keys are stringified scalars.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+/// The serialized form of a value: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative (or explicitly signed) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Construct an error from a message.
+    pub fn msg(m: impl Into<String>) -> DeError {
+        DeError(m.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render a value into serialized [`Content`].
+pub trait Serialize {
+    /// The serialized form of `self`.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Rebuild a value from serialized [`Content`].
+pub trait Deserialize: Sized {
+    /// Parse `self` out of a content tree.
+    fn deserialize_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------- derive helpers
+
+/// Look up a struct field in a map; missing fields read as `Null` (so
+/// `Option` fields default to `None`, everything else errors).
+pub fn de_field<T: Deserialize>(c: &Content, name: &str) -> Result<T, DeError> {
+    match c {
+        Content::Map(m) => {
+            let v = m.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            match v {
+                Some(v) => T::deserialize_content(v),
+                None => T::deserialize_content(&Content::Null)
+                    .map_err(|_| DeError::msg(format!("missing field `{name}`"))),
+            }
+        }
+        other => Err(DeError::msg(format!(
+            "expected map for field `{name}`, got {other:?}"
+        ))),
+    }
+}
+
+/// Expect a sequence of exactly `n` elements.
+pub fn de_seq(c: &Content, n: usize) -> Result<&[Content], DeError> {
+    match c {
+        Content::Seq(s) if s.len() == n => Ok(s),
+        other => Err(DeError::msg(format!(
+            "expected sequence of {n} elements, got {other:?}"
+        ))),
+    }
+}
+
+/// The variant tag of an externally-tagged enum value.
+pub fn de_variant_tag(c: &Content) -> Result<String, DeError> {
+    match c {
+        Content::Str(s) => Ok(s.clone()),
+        Content::Map(m) if m.len() == 1 => Ok(m[0].0.clone()),
+        other => Err(DeError::msg(format!(
+            "expected enum variant, got {other:?}"
+        ))),
+    }
+}
+
+/// The payload of a data-carrying externally-tagged enum value.
+pub fn de_variant_value<'c>(c: &'c Content, variant: &str) -> Result<&'c Content, DeError> {
+    match c {
+        Content::Map(m) if m.len() == 1 && m[0].0 == variant => Ok(&m[0].1),
+        other => Err(DeError::msg(format!(
+            "expected `{variant}` payload, got {other:?}"
+        ))),
+    }
+}
+
+// ----------------------------------------------------------- scalar impls
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) if *v >= 0 => Ok(*v as $t),
+                    other => Err(DeError::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    other => Err(DeError::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    other => Err(DeError::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            // lenient: numeric map keys round-trip through strings
+            Content::U64(v) => Ok(v.to_string()),
+            Content::I64(v) => Ok(v.to_string()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::msg(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+// -------------------------------------------------------- container impls
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        self.as_slice().serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(s) => s.iter().map(T::deserialize_content).collect(),
+            other => Err(DeError::msg(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                const N: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                let s = de_seq(c, N)?;
+                Ok(($($t::deserialize_content(&s[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(s) => s.iter().map(T::deserialize_content).collect(),
+            other => Err(DeError::msg(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize + Hash + Eq, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(s) => s.iter().map(T::deserialize_content).collect(),
+            other => Err(DeError::msg(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+/// Stringify a map key (serde_json stringifies scalar keys).
+fn key_to_string(c: &Content) -> Result<String, DeError> {
+    match c {
+        Content::Str(s) => Ok(s.clone()),
+        Content::U64(v) => Ok(v.to_string()),
+        Content::I64(v) => Ok(v.to_string()),
+        Content::Bool(b) => Ok(b.to_string()),
+        other => Err(DeError::msg(format!(
+            "map key must be a scalar, got {other:?}"
+        ))),
+    }
+}
+
+/// Re-parse a stringified map key into scalar content.
+fn key_from_string(s: &str) -> Content {
+    if let Ok(v) = s.parse::<u64>() {
+        Content::U64(v)
+    } else if let Ok(v) = s.parse::<i64>() {
+        Content::I64(v)
+    } else {
+        Content::Str(s.to_string())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.serialize_content())
+                    .expect("HashMap key must serialize to a scalar");
+                (key, v.serialize_content())
+            })
+            .collect();
+        // sort for deterministic output (HashMap iteration order is not)
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Hash + Eq, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| {
+                    Ok((
+                        K::deserialize_content(&key_from_string(k))?,
+                        V::deserialize_content(v)?,
+                    ))
+                })
+                .collect(),
+            other => Err(DeError::msg(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.serialize_content())
+                        .expect("BTreeMap key must serialize to a scalar");
+                    (key, v.serialize_content())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| {
+                    Ok((
+                        K::deserialize_content(&key_from_string(k))?,
+                        V::deserialize_content(v)?,
+                    ))
+                })
+                .collect(),
+            other => Err(DeError::msg(format!("expected map, got {other:?}"))),
+        }
+    }
+}
