@@ -100,6 +100,19 @@ impl Anomaly {
     pub fn is_unexpected_message(&self) -> bool {
         matches!(self, Anomaly::UnexpectedMessage { .. })
     }
+
+    /// Stable kebab-case kind label, for metrics aggregation and log lines.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Anomaly::UnexpectedMessage { .. } => "unexpected-message",
+            Anomaly::MissingCriticalKey { .. } => "missing-critical-key",
+            Anomaly::BrokenOrder { .. } => "broken-order",
+            Anomaly::UnknownSignature { .. } => "unknown-signature",
+            Anomaly::MissingGroup { .. } => "missing-group",
+            Anomaly::HierarchyViolation { .. } => "hierarchy-violation",
+            Anomaly::GroupOrderViolation { .. } => "group-order-violation",
+        }
+    }
 }
 
 /// The detection result for one session.

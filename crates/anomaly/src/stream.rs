@@ -77,6 +77,16 @@ impl<'a> StreamDetector<'a> {
         self.lines
     }
 
+    /// The session this stream belongs to.
+    pub fn session_id(&self) -> &str {
+        &self.session_id
+    }
+
+    /// Online (unexpected-message) anomalies surfaced so far.
+    pub fn online_anomaly_count(&self) -> usize {
+        self.online_anomalies.len()
+    }
+
     /// Close the session: run the end-of-session structural checks and
     /// return the full report (online anomalies included).
     pub fn finish(self) -> SessionReport {

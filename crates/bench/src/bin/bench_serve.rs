@@ -1,0 +1,233 @@
+//! Serving-path benchmark: spins up an in-process `intellog-serve` server
+//! and replays simulated workloads through the loopback socket, emitting a
+//! machine-readable `BENCH_serve.json`.
+//!
+//! Sections:
+//!
+//! * `scaling` — ingestion throughput (lines/s, median of `--reps` runs)
+//!   at 1/2/4/8 shards with lossless `block` backpressure, plus the
+//!   per-run feed-latency p50/p99 and drop counters (must be 0);
+//! * `backpressure` — a deliberately undersized queue driven with each
+//!   shedding policy, recording how many lines were dropped vs ingested
+//!   (`block` must drop nothing; the drop-* policies must shed);
+//! * `correctness_verified` — before any timing, one replay runs with
+//!   verification on and asserts the online verdicts equal offline
+//!   `detect_session` for every session.
+//!
+//! Usage: `cargo run --release -p intellog-bench --bin bench_serve --
+//! [--smoke] [--out PATH] [--reps N]`. `--smoke` shrinks the workload so
+//! CI can validate the emitter in seconds; its numbers are not meaningful.
+
+use anomaly::Detector;
+use dlasim::SystemKind;
+use intellog_bench::training_sessions;
+use intellog_serve::{run_replay, Backpressure, ReplayConfig, ReplayOutcome, ServeConfig, Server};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct ShardRunStats {
+    shards: usize,
+    sessions: usize,
+    lines: usize,
+    lines_per_s: f64,
+    dropped: u64,
+    feed_p50_us: u64,
+    feed_p99_us: u64,
+}
+
+#[derive(Serialize)]
+struct BackpressureStats {
+    policy: String,
+    queue_capacity: usize,
+    lines: usize,
+    ingested: u64,
+    dropped: u64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    smoke: bool,
+    reps: usize,
+    correctness_verified: bool,
+    scaling: Vec<ShardRunStats>,
+    backpressure: Vec<BackpressureStats>,
+}
+
+fn serve_config(shards: usize, queue_capacity: usize, backpressure: Backpressure) -> ServeConfig {
+    ServeConfig {
+        shards,
+        queue_capacity,
+        backpressure,
+        // sessions must never be evicted mid-replay or verdicts would split
+        idle_timeout: Duration::from_secs(300),
+        ring_capacity: 8192,
+        ..ServeConfig::default()
+    }
+}
+
+/// Spin up a fresh server, replay one workload through it, shut it down.
+fn one_run(detector: &Arc<Detector>, cfg: &ServeConfig, replay: &ReplayConfig) -> ReplayOutcome {
+    let server = Server::bind(cfg, Arc::clone(detector)).expect("bind loopback");
+    let (addr, join) = server.spawn();
+    let outcome = run_replay(&addr.to_string(), detector, replay).expect("replay");
+    let mut ctl = intellog_serve::ServeClient::connect(&addr.to_string()).expect("ctl");
+    ctl.shutdown().expect("shutdown");
+    join.join().expect("server thread").expect("server run");
+    outcome
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut reps: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("bench_serve: --out requires a path");
+                    std::process::exit(2);
+                })
+            }
+            "--reps" => {
+                reps = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bench_serve: --reps requires a positive integer");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!(
+                    "bench_serve: unknown argument {other}\n\
+                     usage: bench_serve [--smoke] [--out PATH] [--reps N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = reps.unwrap_or(if smoke { 1 } else { 5 });
+    let (train_jobs, replay_jobs) = if smoke { (1, 1) } else { (4, 8) };
+
+    eprintln!("bench_serve: smoke={smoke} reps={reps}");
+    let detector: Arc<Detector> = Arc::new(anomaly::Trainer::default().train(&training_sessions(
+        SystemKind::Spark,
+        train_jobs,
+        42,
+    )));
+
+    // --- correctness gate before any timing -------------------------------
+    let verify_cfg = ReplayConfig {
+        system: SystemKind::Spark,
+        jobs: replay_jobs,
+        seed: 9,
+        verify: true,
+        ..ReplayConfig::default()
+    };
+    let verified = one_run(
+        &detector,
+        &serve_config(4, 1024, Backpressure::Block),
+        &verify_cfg,
+    );
+    assert!(
+        verified.mismatches.is_empty(),
+        "serve must match offline detection before timing:\n{}",
+        verified.mismatches.join("\n")
+    );
+    eprintln!(
+        "correctness: {} sessions, online==offline, {} problematic",
+        verified.sessions, verified.online_problematic
+    );
+
+    // --- shard scaling -----------------------------------------------------
+    let timing_cfg = ReplayConfig {
+        verify: false, // timing only; correctness is gated above
+        ..verify_cfg
+    };
+    let mut scaling = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = serve_config(shards, 1024, Backpressure::Block);
+        let mut runs: Vec<ReplayOutcome> = (0..reps.max(1))
+            .map(|_| one_run(&detector, &cfg, &timing_cfg))
+            .collect();
+        runs.sort_by(|a, b| a.lines_per_s.partial_cmp(&b.lines_per_s).unwrap());
+        let median = &runs[runs.len() / 2];
+        assert_eq!(median.stats.dropped, 0, "block backpressure is lossless");
+        let stats = ShardRunStats {
+            shards,
+            sessions: median.sessions,
+            lines: median.lines,
+            lines_per_s: median.lines_per_s,
+            dropped: median.stats.dropped,
+            feed_p50_us: median
+                .stats
+                .per_shard
+                .iter()
+                .map(|s| s.feed_p50_us)
+                .max()
+                .unwrap_or(0),
+            feed_p99_us: median
+                .stats
+                .per_shard
+                .iter()
+                .map(|s| s.feed_p99_us)
+                .max()
+                .unwrap_or(0),
+        };
+        eprintln!(
+            "scaling: {} shard(s): {:.0} lines/s, p50/p99 {}/{} µs",
+            shards, stats.lines_per_s, stats.feed_p50_us, stats.feed_p99_us
+        );
+        scaling.push(stats);
+    }
+
+    // --- backpressure policies under an undersized queue --------------------
+    let mut backpressure = Vec::new();
+    for policy in [
+        Backpressure::Block,
+        Backpressure::DropNewest,
+        Backpressure::DropOldest,
+    ] {
+        let queue_capacity = 4;
+        let cfg = serve_config(1, queue_capacity, policy);
+        let outcome = one_run(&detector, &cfg, &timing_cfg);
+        assert_eq!(
+            outcome.stats.ingested + outcome.stats.dropped,
+            outcome.lines as u64,
+            "every line is either processed or counted as shed"
+        );
+        if matches!(policy, Backpressure::Block) {
+            assert_eq!(outcome.stats.dropped, 0, "block never sheds");
+        }
+        eprintln!(
+            "backpressure: {} @cap{}: ingested {} dropped {}",
+            policy.name(),
+            queue_capacity,
+            outcome.stats.ingested,
+            outcome.stats.dropped
+        );
+        backpressure.push(BackpressureStats {
+            policy: policy.name().to_string(),
+            queue_capacity,
+            lines: outcome.lines,
+            ingested: outcome.stats.ingested,
+            dropped: outcome.stats.dropped,
+        });
+    }
+
+    let report = BenchReport {
+        smoke,
+        reps,
+        correctness_verified: true,
+        scaling,
+        backpressure,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("bench_serve: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

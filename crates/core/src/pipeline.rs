@@ -82,6 +82,17 @@ impl IntelLog {
         IntelLog::builder().train_sequential(sessions)
     }
 
+    /// Wrap an already-trained detector (e.g. one loaded from the model
+    /// store) in the pipeline API.
+    pub fn from_detector(detector: Detector) -> IntelLog {
+        IntelLog { detector }
+    }
+
+    /// Unwrap the trained detector, e.g. to hand it to the serving layer.
+    pub fn into_detector(self) -> Detector {
+        self.detector
+    }
+
     /// The trained detector (Spell keys, Intel Keys, HW-graph).
     pub fn detector(&self) -> &Detector {
         &self.detector

@@ -1,0 +1,130 @@
+//! A small line-protocol client, used by `intellog replay`, the serve
+//! bench and the integration tests.
+
+use crate::metrics::StatsSnapshot;
+use anomaly::SessionReport;
+use spell::LogLine;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// A connected client over the serve line protocol.
+pub struct ServeClient {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connect to a running server.
+    pub fn connect(addr: &str) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient {
+            writer: BufWriter::with_capacity(1 << 16, stream),
+            reader,
+        })
+    }
+
+    /// Send one log line (fire-and-forget; buffered).
+    pub fn log(&mut self, session: &str, line: &LogLine) -> std::io::Result<()> {
+        let wire = crate::server::render_log(session, line);
+        writeln!(self.writer, "{wire}")
+    }
+
+    /// Close a session (fire-and-forget; buffered).
+    pub fn end(&mut self, session: &str) -> std::io::Result<()> {
+        writeln!(self.writer, "END\t{session}")
+    }
+
+    /// Flush buffered data lines to the socket.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    fn request(&mut self, verb: &str) -> std::io::Result<Vec<String>> {
+        writeln!(self.writer, "{verb}")?;
+        self.writer.flush()?;
+        let mut status = String::new();
+        self.reader.read_line(&mut status)?;
+        let status = status.trim_end();
+        let Some(count) = status
+            .strip_prefix("OK ")
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("server replied {status:?} to {verb}"),
+            ));
+        };
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut l = String::new();
+            self.reader.read_line(&mut l)?;
+            lines.push(l.trim_end().to_string());
+        }
+        Ok(lines)
+    }
+
+    /// Round-trip a `PING`.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.request("PING").map(|_| ())
+    }
+
+    /// Fetch the server metrics snapshot.
+    pub fn stats(&mut self) -> std::io::Result<StatsSnapshot> {
+        let lines = self.request("STATS")?;
+        let json = lines
+            .first()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty STATS"))?;
+        serde_json::from_str(json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Fetch the newest `n` completed session reports.
+    pub fn reports(&mut self, n: usize) -> std::io::Result<Vec<SessionReport>> {
+        self.fetch_reports("REPORTS", n)
+    }
+
+    /// Fetch the newest `n` problematic session reports.
+    pub fn anomalies(&mut self, n: usize) -> std::io::Result<Vec<SessionReport>> {
+        self.fetch_reports("ANOMALIES", n)
+    }
+
+    fn fetch_reports(&mut self, verb: &str, n: usize) -> std::io::Result<Vec<SessionReport>> {
+        self.request(&format!("{verb}\t{n}"))?
+            .iter()
+            .map(|l| {
+                serde_json::from_str(l).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })
+            })
+            .collect()
+    }
+
+    /// Drain every live session; returns how many were finished.
+    pub fn drain(&mut self) -> std::io::Result<usize> {
+        writeln!(self.writer, "DRAIN")?;
+        self.writer.flush()?;
+        let mut status = String::new();
+        self.reader.read_line(&mut status)?;
+        status
+            .trim_end()
+            .strip_prefix("OK ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("server replied {:?} to DRAIN", status.trim_end()),
+                )
+            })
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        writeln!(self.writer, "SHUTDOWN")?;
+        self.writer.flush()?;
+        let mut status = String::new();
+        let _ = self.reader.read_line(&mut status);
+        Ok(())
+    }
+}

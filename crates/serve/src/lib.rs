@@ -1,0 +1,43 @@
+//! # intellog-serve — sharded online ingestion and anomaly serving
+//!
+//! The paper's detector consumes incoming logs (Fig. 2); this crate is the
+//! subsystem that makes that real: a long-running TCP front end that turns
+//! a trained model into a service. Built on std-only primitives (no async
+//! runtime — the vendored offline deps don't include one, and threads +
+//! bounded queues are all this workload needs):
+//!
+//! * [`server`] — line-framed TCP ingestion, session-hash routing to shard
+//!   workers, `STATS`/`ANOMALIES`/`REPORTS`/`DRAIN`/`SHUTDOWN` control
+//!   verbs, graceful drain;
+//! * [`shard`] — per-shard workers owning their sessions'
+//!   [`anomaly::StreamDetector`]s over one shared immutable model, with
+//!   idle-timeout eviction;
+//! * [`queue`] — bounded queues with `block` / `drop-newest` /
+//!   `drop-oldest` backpressure and drop counters;
+//! * [`sink`] — where completed session reports land: a bounded in-memory
+//!   ring plus an optional JSONL file of problematic reports;
+//! * [`metrics`] — wait-free per-shard counters and a fixed-bucket feed
+//!   latency histogram (p50/p99);
+//! * [`store`] — the versioned on-disk model store (format-version header
+//!   and CRC-32, refusing corrupt or mismatched models) shared with the
+//!   batch `train`/`detect` CLI;
+//! * [`client`] / [`replay`] — the protocol client and the dlasim load
+//!   generator that verifies online verdicts equal offline detection.
+
+pub mod client;
+pub mod metrics;
+pub mod queue;
+pub mod replay;
+pub mod server;
+pub mod shard;
+pub mod sink;
+pub mod store;
+
+pub use client::ServeClient;
+pub use metrics::{LatencyHistogram, ShardMetrics, ShardSnapshot, StatsSnapshot};
+pub use queue::{Backpressure, PushOutcome, ShardQueue};
+pub use replay::{generate_jobs, run_replay, ReplayConfig, ReplayOutcome};
+pub use server::{ServeConfig, Server};
+pub use shard::{shard_of, ShardHandle, ShardMsg};
+pub use sink::AnomalySink;
+pub use store::{crc32, ModelStore, StoreError, MODEL_FORMAT_VERSION};

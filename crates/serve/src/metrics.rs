@@ -1,0 +1,192 @@
+//! Per-shard serving metrics.
+//!
+//! Everything here is updated from the hot ingestion path, so the design
+//! rule is: atomics only, no locks, no allocation. Latency percentiles come
+//! from a fixed-bucket power-of-two histogram ([`LatencyHistogram`]) — the
+//! reported p50/p99 are bucket upper bounds, i.e. exact to within 2× which
+//! is all a serving dashboard needs, in exchange for a wait-free `record`.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended (~34 s).
+pub const LATENCY_BUCKETS: usize = 25;
+
+/// A wait-free fixed-bucket histogram of microsecond latencies.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record_us(&self, us: u64) {
+        // 0..=1 µs → bucket 0, then one bucket per doubling.
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The value at quantile `q` (0..=1) as the upper bound (µs) of the
+    /// bucket containing it, or 0 with no samples.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1); // upper bound of bucket i
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Counters owned by one shard worker (shared with the acceptor threads
+/// that enqueue into it and with `STATS` snapshotting).
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Log lines fed into a `StreamDetector`.
+    pub ingested: AtomicU64,
+    /// Log lines dropped by the backpressure policy before processing.
+    pub dropped: AtomicU64,
+    /// Online anomalies (unexpected messages) surfaced by `feed`.
+    pub online_anomalies: AtomicU64,
+    /// Sessions ever opened on this shard.
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed by an explicit `END` or a drain.
+    pub sessions_closed: AtomicU64,
+    /// Sessions evicted by the idle timeout.
+    pub sessions_evicted: AtomicU64,
+    /// Sessions currently live (opened − closed − evicted, tracked
+    /// directly so `STATS` needs one load).
+    pub sessions_live: AtomicU64,
+    /// Enqueue→processed latency per line.
+    pub feed_latency: LatencyHistogram,
+}
+
+/// Point-in-time, serialisable view of one shard ( `STATS` verb).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Lines fed into detectors.
+    pub ingested: u64,
+    /// Lines dropped by backpressure.
+    pub dropped: u64,
+    /// Online (unexpected-message) anomalies.
+    pub online_anomalies: u64,
+    /// Sessions currently live.
+    pub sessions_live: u64,
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions closed by END/drain.
+    pub sessions_closed: u64,
+    /// Sessions evicted by idle timeout.
+    pub sessions_evicted: u64,
+    /// Lines currently queued.
+    pub queue_len: usize,
+    /// Median feed latency (µs, bucket upper bound).
+    pub feed_p50_us: u64,
+    /// 99th-percentile feed latency (µs, bucket upper bound).
+    pub feed_p99_us: u64,
+}
+
+impl ShardMetrics {
+    /// Snapshot the counters (relaxed loads; values are monotonic per
+    /// counter but not mutually consistent — fine for monitoring).
+    pub fn snapshot(&self, shard: usize, queue_len: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            ingested: self.ingested.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            online_anomalies: self.online_anomalies.load(Ordering::Relaxed),
+            sessions_live: self.sessions_live.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            queue_len,
+            feed_p50_us: self.feed_latency.quantile_us(0.50),
+            feed_p99_us: self.feed_latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// The `STATS` reply: whole-server view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Number of shards.
+    pub shards: usize,
+    /// Backpressure policy name.
+    pub backpressure: String,
+    /// Total lines ingested.
+    pub ingested: u64,
+    /// Total lines dropped.
+    pub dropped: u64,
+    /// Total online anomalies.
+    pub online_anomalies: u64,
+    /// Total live sessions.
+    pub sessions_live: u64,
+    /// Completed (closed + evicted) session reports produced.
+    pub reports_completed: u64,
+    /// Of those, problematic ones.
+    pub reports_problematic: u64,
+    /// Protocol lines the server could not parse.
+    pub protocol_errors: u64,
+    /// Anomaly counts by kind across all completed reports.
+    pub anomalies_by_kind: std::collections::BTreeMap<String, u64>,
+    /// Per-shard detail.
+    pub per_shard: Vec<ShardSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for _ in 0..99 {
+            h.record_us(3); // bucket [2,4) → upper bound 4
+        }
+        h.record_us(1_000_000); // one outlier
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 4);
+        assert_eq!(h.quantile_us(0.99), 4);
+        assert!(h.quantile_us(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record_us(0);
+        assert_eq!(h.quantile_us(0.5), 2);
+    }
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let m = ShardMetrics::default();
+        m.ingested.store(7, Ordering::Relaxed);
+        m.sessions_live.store(2, Ordering::Relaxed);
+        let s = m.snapshot(3, 11);
+        assert_eq!(s.shard, 3);
+        assert_eq!(s.ingested, 7);
+        assert_eq!(s.sessions_live, 2);
+        assert_eq!(s.queue_len, 11);
+    }
+}

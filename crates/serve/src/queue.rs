@@ -1,0 +1,271 @@
+//! Bounded per-shard message queues with pluggable backpressure.
+//!
+//! std's `sync_channel` only blocks when full; a serving front end also
+//! needs load-shedding, so this is a small Mutex+Condvar MPSC queue with
+//! three policies ([`Backpressure`]). Control messages (drain, shutdown)
+//! always bypass the capacity check — shedding a drain request under load
+//! would deadlock the very mechanism meant to relieve the load.
+
+use std::collections::VecDeque;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// What to do when a shard queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Block the producer (the connection handler) until space frees up —
+    /// lossless; TCP flow control pushes back on the client.
+    #[default]
+    Block,
+    /// Drop the incoming line (tail drop) — newest data is sacrificed.
+    DropNewest,
+    /// Drop the oldest queued line to admit the new one (head drop) —
+    /// keeps the stream fresh at the cost of history.
+    DropOldest,
+}
+
+impl Backpressure {
+    /// Canonical CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backpressure::Block => "block",
+            Backpressure::DropNewest => "drop-newest",
+            Backpressure::DropOldest => "drop-oldest",
+        }
+    }
+}
+
+impl FromStr for Backpressure {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backpressure, String> {
+        match s {
+            "block" => Ok(Backpressure::Block),
+            "drop-newest" => Ok(Backpressure::DropNewest),
+            "drop-oldest" => Ok(Backpressure::DropOldest),
+            other => Err(format!(
+                "unknown backpressure policy '{other}' (use block, drop-newest or drop-oldest)"
+            )),
+        }
+    }
+}
+
+/// Outcome of a push, for callers that count drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The message was enqueued.
+    Enqueued,
+    /// The message itself was shed (drop-newest).
+    DroppedNew,
+    /// An older queued message was shed to admit this one (drop-oldest).
+    DroppedOld,
+}
+
+struct Inner<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue between connection handlers and one shard worker.
+pub struct ShardQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    policy: Backpressure,
+    dropped: AtomicU64,
+}
+
+impl<T> ShardQueue<T> {
+    /// A queue holding at most `capacity` data messages.
+    pub fn new(capacity: usize, policy: Backpressure) -> ShardQueue<T> {
+        ShardQueue {
+            inner: Mutex::new(Inner {
+                q: VecDeque::with_capacity(capacity.min(4096)),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue a data message under the configured policy.
+    pub fn push(&self, msg: T) -> PushOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            // Late lines racing a shutdown are shed, not processed.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return PushOutcome::DroppedNew;
+        }
+        let outcome = match self.policy {
+            Backpressure::Block => {
+                while inner.q.len() >= self.capacity && !inner.closed {
+                    inner = self.not_full.wait(inner).unwrap();
+                }
+                if inner.closed {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return PushOutcome::DroppedNew;
+                }
+                inner.q.push_back(msg);
+                PushOutcome::Enqueued
+            }
+            Backpressure::DropNewest => {
+                if inner.q.len() >= self.capacity {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    PushOutcome::DroppedNew
+                } else {
+                    inner.q.push_back(msg);
+                    PushOutcome::Enqueued
+                }
+            }
+            Backpressure::DropOldest => {
+                if inner.q.len() >= self.capacity {
+                    inner.q.pop_front();
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    inner.q.push_back(msg);
+                    PushOutcome::DroppedOld
+                } else {
+                    inner.q.push_back(msg);
+                    PushOutcome::Enqueued
+                }
+            }
+        };
+        drop(inner);
+        self.not_empty.notify_one();
+        outcome
+    }
+
+    /// Enqueue a control message, ignoring capacity and policy.
+    pub fn push_control(&self, msg: T) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.q.push_back(msg);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeue, waiting up to `timeout`. `None` means timeout (the queue
+    /// may also be closed — check [`ShardQueue::is_closed`] if it matters).
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.q.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(msg);
+            }
+            let (next, res) = self.not_empty.wait_timeout(inner, timeout).unwrap();
+            inner = next;
+            if res.timed_out() {
+                return inner.q.pop_front();
+            }
+        }
+    }
+
+    /// Close the queue: blocked producers wake and shed their messages.
+    /// Already-queued messages stay poppable.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// `true` after [`ShardQueue::close`].
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().q.len()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Messages shed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!("block".parse(), Ok(Backpressure::Block));
+        assert_eq!("drop-newest".parse(), Ok(Backpressure::DropNewest));
+        assert_eq!("drop-oldest".parse(), Ok(Backpressure::DropOldest));
+        assert!("fifo".parse::<Backpressure>().is_err());
+        assert_eq!(Backpressure::DropOldest.name(), "drop-oldest");
+    }
+
+    #[test]
+    fn drop_newest_sheds_incoming() {
+        let q = ShardQueue::new(2, Backpressure::DropNewest);
+        assert_eq!(q.push(1), PushOutcome::Enqueued);
+        assert_eq!(q.push(2), PushOutcome::Enqueued);
+        assert_eq!(q.push(3), PushOutcome::DroppedNew);
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn drop_oldest_sheds_queued() {
+        let q = ShardQueue::new(2, Backpressure::DropOldest);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.push(3), PushOutcome::DroppedOld);
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(3));
+    }
+
+    #[test]
+    fn control_bypasses_capacity() {
+        let q = ShardQueue::new(1, Backpressure::DropNewest);
+        q.push(1);
+        q.push_control(99);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(99));
+    }
+
+    #[test]
+    fn block_policy_waits_for_consumer() {
+        let q = Arc::new(ShardQueue::new(1, Backpressure::Block));
+        q.push(1);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "producer must be blocked");
+        assert_eq!(q.pop_timeout(Duration::from_millis(100)), Some(1));
+        assert_eq!(producer.join().unwrap(), PushOutcome::Enqueued);
+        assert_eq!(q.pop_timeout(Duration::from_millis(100)), Some(2));
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = Arc::new(ShardQueue::new(1, Backpressure::Block));
+        q.push(1);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), PushOutcome::DroppedNew);
+        // queued data remains poppable after close
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+    }
+}

@@ -1,0 +1,200 @@
+//! `intellog replay` — a load generator that drives simulated dlasim
+//! workloads through the serve socket and verifies the server's verdicts.
+//!
+//! The replayer renders each job's sessions, merges them into one
+//! cluster-wide timeline ([`dlasim::GenJob::merged_timeline`] — the arrival
+//! order a collector tailing every container would see), paces the lines at
+//! a target rate, ENDs every session, drains the server, and then compares
+//! the server's per-session reports against offline
+//! [`Detector::detect_session`] on exactly the same sessions. With the
+//! lossless `block` backpressure policy the two must be identical — that
+//! equivalence is the subsystem's core correctness property (asserted in
+//! `tests/loopback.rs` and in CI).
+
+use crate::client::ServeClient;
+use crate::metrics::StatsSnapshot;
+use anomaly::{Detector, SessionReport};
+use dlasim::{FaultKind, SystemKind, WorkloadGen};
+use intellog_core::{sessions_from_job, IntelLog};
+use spell::Session;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Replay configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Which simulated system's workloads to replay.
+    pub system: SystemKind,
+    /// Number of jobs (each job is many container sessions).
+    pub jobs: usize,
+    /// Workload seed — the same seed always replays the same bytes.
+    pub seed: u64,
+    /// Cluster hosts for the simulated jobs.
+    pub hosts: u32,
+    /// Target ingest rate in lines/second; `None` sends at full speed.
+    pub rate: Option<u64>,
+    /// Inject this fault into the first job.
+    pub fault: Option<FaultKind>,
+    /// Compare server verdicts against offline detection.
+    pub verify: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig {
+            system: SystemKind::Spark,
+            jobs: 1,
+            seed: 7,
+            hosts: 8,
+            rate: None,
+            fault: None,
+            verify: true,
+        }
+    }
+}
+
+/// What a replay run observed.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Sessions replayed.
+    pub sessions: usize,
+    /// Log lines sent.
+    pub lines: usize,
+    /// Wall-clock send duration (first line → drain ack), seconds.
+    pub elapsed_s: f64,
+    /// Achieved ingest rate.
+    pub lines_per_s: f64,
+    /// Problematic sessions according to the server.
+    pub online_problematic: usize,
+    /// Problematic sessions according to offline detection (only when
+    /// verifying, else 0).
+    pub offline_problematic: usize,
+    /// Human-readable verdict mismatches (empty = exact agreement).
+    pub mismatches: Vec<String>,
+    /// Server metrics after the drain.
+    pub stats: StatsSnapshot,
+}
+
+/// Generate the replay corpus deterministically from the seed: the same
+/// config always replays the same bytes (session ids are prefixed with the
+/// job index so multi-job replays never collide).
+pub fn generate_jobs(cfg: &ReplayConfig) -> Vec<dlasim::GenJob> {
+    let mut gen = WorkloadGen::new(cfg.seed, cfg.hosts);
+    let mut jobs = Vec::new();
+    for j in 0..cfg.jobs.max(1) {
+        let job_cfg = gen.detection_config(cfg.system, j);
+        let plan = match cfg.fault {
+            Some(kind) if j == 0 => Some(gen.fault_plan(kind)),
+            _ => None,
+        };
+        let mut job = dlasim::generate(&job_cfg, plan.as_ref());
+        for s in &mut job.sessions {
+            s.id = format!("j{j}-{}", s.id);
+        }
+        jobs.push(job);
+    }
+    jobs
+}
+
+/// Drive a replay against a running server.
+pub fn run_replay(
+    addr: &str,
+    detector: &Detector,
+    cfg: &ReplayConfig,
+) -> Result<ReplayOutcome, String> {
+    let jobs = generate_jobs(cfg);
+    let offline_sessions: Vec<Session> = jobs.iter().flat_map(sessions_from_job).collect();
+    let total_lines: usize = jobs.iter().map(|j| j.total_lines()).sum();
+
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+
+    let start = Instant::now();
+    let mut sent: u64 = 0;
+    for job in &jobs {
+        for (i, line) in job.merged_timeline() {
+            let session = &job.sessions[i].id;
+            let wire_line = spell::LogLine {
+                ts_ms: line.ts_ms,
+                level: intellog_core::bridge::level_of(line.level),
+                source: line.source.clone(),
+                message: line.message.clone(),
+            };
+            client
+                .log(session, &wire_line)
+                .map_err(|e| format!("send: {e}"))?;
+            sent += 1;
+            if let Some(rate) = cfg.rate.filter(|r| *r > 0) {
+                if sent.is_multiple_of(64) {
+                    client.flush().map_err(|e| format!("flush: {e}"))?;
+                    let due = Duration::from_secs_f64(sent as f64 / rate as f64);
+                    let elapsed = start.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                }
+            }
+        }
+    }
+    for s in &offline_sessions {
+        client.end(&s.id).map_err(|e| format!("end: {e}"))?;
+    }
+    client.flush().map_err(|e| format!("flush: {e}"))?;
+    let drained = client.drain().map_err(|e| format!("drain: {e}"))?;
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let _ = drained; // sessions already ENDed count as closed, not drained
+
+    let online: Vec<SessionReport> = client
+        .reports(offline_sessions.len() * 2)
+        .map_err(|e| format!("reports: {e}"))?;
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+
+    let by_id: BTreeMap<&str, &SessionReport> =
+        online.iter().map(|r| (r.session.as_str(), r)).collect();
+    let online_problematic = online.iter().filter(|r| r.is_problematic()).count();
+
+    let mut mismatches = Vec::new();
+    let mut offline_problematic = 0;
+    if cfg.verify {
+        // offline reference: the exact same sessions through the batch
+        // detector (rayon-parallel across sessions)
+        let il = IntelLog::from_detector(detector.clone());
+        let offline = il.detect_job(&offline_sessions);
+        offline_problematic = offline.problematic_count();
+        for report in &offline.sessions {
+            match by_id.get(report.session.as_str()) {
+                None => mismatches.push(format!("session {}: no server report", report.session)),
+                Some(served) => {
+                    if served.anomalies != report.anomalies {
+                        mismatches.push(format!(
+                            "session {}: server saw {} anomalies, offline {} — server {:?} vs offline {:?}",
+                            report.session,
+                            served.anomalies.len(),
+                            report.anomalies.len(),
+                            served.anomalies,
+                            report.anomalies,
+                        ));
+                    }
+                }
+            }
+        }
+        if online.len() != offline_sessions.len() {
+            mismatches.push(format!(
+                "server returned {} reports for {} sessions (idle-timeout eviction mid-replay?)",
+                online.len(),
+                offline_sessions.len()
+            ));
+        }
+    }
+
+    Ok(ReplayOutcome {
+        sessions: offline_sessions.len(),
+        lines: total_lines,
+        elapsed_s,
+        lines_per_s: total_lines as f64 / elapsed_s.max(1e-9),
+        online_problematic,
+        offline_problematic,
+        mismatches,
+        stats,
+    })
+}

@@ -1,0 +1,380 @@
+//! The TCP ingestion front end and control plane.
+//!
+//! The protocol is line-framed, tab-separated ASCII — trivially scriptable
+//! with `nc` and fast to parse:
+//!
+//! ```text
+//! LOG\t<session>\t<ts_ms>\t<level>\t<source>\t<message>   fire-and-forget
+//! END\t<session>                                          fire-and-forget
+//! PING                       → OK 0
+//! STATS                      → OK 1  + one StatsSnapshot JSON line
+//! REPORTS\t<n>               → OK <k> + k SessionReport JSON lines
+//! ANOMALIES\t<n>             → OK <k> + k problematic SessionReport lines
+//! DRAIN                      → OK <finished sessions>  (after queues empty)
+//! SHUTDOWN                   → OK 0, then the server drains and exits
+//! ```
+//!
+//! Data lines carry no reply so a client can saturate the socket; TCP flow
+//! control plus the `block` backpressure policy make the path lossless,
+//! while the `drop-*` policies shed load at the shard queues and count
+//! every shed line. Routing is `fnv1a(session) % shards`, so one session is
+//! always handled by one shard thread (no cross-thread session state).
+
+use crate::metrics::{ShardMetrics, StatsSnapshot};
+use crate::queue::{Backpressure, PushOutcome, ShardQueue};
+use crate::shard::{shard_of, ShardHandle, ShardMsg};
+use crate::sink::AnomalySink;
+use anomaly::Detector;
+use spell::{Level, LogLine};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Number of shard worker threads.
+    pub shards: usize,
+    /// Per-shard queue capacity (data messages).
+    pub queue_capacity: usize,
+    /// What to do when a shard queue is full.
+    pub backpressure: Backpressure,
+    /// Sessions idle longer than this are evicted (final report emitted).
+    pub idle_timeout: Duration,
+    /// How many completed reports the in-memory ring retains.
+    pub ring_capacity: usize,
+    /// Optional JSONL file receiving every problematic report.
+    pub sink_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            queue_capacity: 1024,
+            backpressure: Backpressure::Block,
+            idle_timeout: Duration::from_secs(30),
+            ring_capacity: 4096,
+            sink_path: None,
+        }
+    }
+}
+
+/// State shared by the acceptor and every connection handler.
+struct ServerState {
+    shards: Vec<(Arc<ShardQueue<ShardMsg>>, Arc<ShardMetrics>)>,
+    sink: Arc<AnomalySink>,
+    backpressure: Backpressure,
+    shutdown: AtomicBool,
+    protocol_errors: AtomicU64,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    fn stats(&self) -> StatsSnapshot {
+        let per_shard: Vec<_> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, (q, m))| {
+                let mut s = m.snapshot(i, q.len());
+                // the queue owns the authoritative drop counter
+                s.dropped = q.dropped();
+                s
+            })
+            .collect();
+        StatsSnapshot {
+            shards: per_shard.len(),
+            backpressure: self.backpressure.name().to_string(),
+            ingested: per_shard.iter().map(|s| s.ingested).sum(),
+            dropped: per_shard.iter().map(|s| s.dropped).sum(),
+            online_anomalies: per_shard.iter().map(|s| s.online_anomalies).sum(),
+            sessions_live: per_shard.iter().map(|s| s.sessions_live).sum(),
+            reports_completed: self.sink.completed(),
+            reports_problematic: self.sink.problematic(),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            anomalies_by_kind: self.sink.anomalies_by_kind(),
+            per_shard,
+        }
+    }
+
+    /// Send `Drain` to every shard and wait until each acks. Because the
+    /// drain joins the back of each queue, all previously enqueued lines
+    /// are processed before sessions are finished.
+    fn drain(&self) -> usize {
+        let (tx, rx) = mpsc::channel();
+        for (q, _) in &self.shards {
+            q.push_control(ShardMsg::Drain { ack: tx.clone() });
+        }
+        drop(tx);
+        rx.iter().sum()
+    }
+}
+
+/// A bound, running ingestion server.
+pub struct Server {
+    listener: TcpListener,
+    shards: Vec<ShardHandle>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind the listener and start the shard workers. The model is shared
+    /// immutably across all shards.
+    pub fn bind(config: &ServeConfig, detector: Arc<Detector>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let sink = Arc::new(AnomalySink::new(
+            config.ring_capacity,
+            config.sink_path.as_deref(),
+        )?);
+        let mut handles = Vec::new();
+        let mut shared = Vec::new();
+        for i in 0..config.shards.max(1) {
+            let queue = Arc::new(ShardQueue::new(config.queue_capacity, config.backpressure));
+            let metrics = Arc::new(ShardMetrics::default());
+            shared.push((Arc::clone(&queue), Arc::clone(&metrics)));
+            handles.push(ShardHandle::spawn(
+                i,
+                Arc::clone(&detector),
+                queue,
+                metrics,
+                Arc::clone(&sink),
+                config.idle_timeout,
+            ));
+        }
+        Ok(Server {
+            listener,
+            shards: handles,
+            state: Arc::new(ServerState {
+                shards: shared,
+                sink,
+                backpressure: config.backpressure,
+                shutdown: AtomicBool::new(false),
+                protocol_errors: AtomicU64::new(0),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Accept connections until a `SHUTDOWN` request arrives, then drain
+    /// the shards, join the workers and return.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::Builder::new()
+                        .name("intellog-conn".into())
+                        .spawn(move || handle_connection(s, &state))
+                        .expect("spawn connection handler");
+                }
+                Err(e) => {
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        // graceful drain: stop admitting, flush what is queued, join.
+        for (q, _) in &self.state.shards {
+            q.push_control(ShardMsg::Shutdown);
+            q.close();
+        }
+        for h in self.shards {
+            h.join();
+        }
+        Ok(())
+    }
+
+    /// Run on a background thread: returns the bound address and the join
+    /// handle (used by tests, `intellog replay --spawn`, and the bench).
+    pub fn spawn(self) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+        let addr = self.local_addr();
+        let join = std::thread::Builder::new()
+            .name("intellog-serve".into())
+            .spawn(move || self.run())
+            .expect("spawn server");
+        (addr, join)
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::with_capacity(1 << 16, stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.is_empty() {
+            continue;
+        }
+        if !handle_request(&line, state, &mut writer) {
+            break;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Handle one request line; `false` ends the connection (I/O error or
+/// shutdown).
+fn handle_request(line: &str, state: &ServerState, writer: &mut TcpStream) -> bool {
+    let verb = line.split('\t').next().unwrap_or("");
+    match verb {
+        "LOG" => {
+            match parse_log(line) {
+                Some((session, log_line)) => {
+                    let shard = shard_of(&session, state.shards.len());
+                    // fire-and-forget; drops are counted by the queue
+                    let _: PushOutcome = state.shards[shard].0.push(ShardMsg::Line {
+                        session,
+                        line: log_line,
+                        enqueued: std::time::Instant::now(),
+                    });
+                }
+                None => {
+                    state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            true
+        }
+        "END" => {
+            match line.split('\t').nth(1).filter(|s| !s.is_empty()) {
+                Some(session) => {
+                    let shard = shard_of(session, state.shards.len());
+                    state.shards[shard].0.push_control(ShardMsg::End {
+                        session: session.to_string(),
+                    });
+                }
+                None => {
+                    state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            true
+        }
+        "PING" => writeln!(writer, "OK 0").is_ok(),
+        "STATS" => {
+            let json = serde_json::to_string(&state.stats()).unwrap_or_else(|_| "{}".into());
+            writeln!(writer, "OK 1\n{json}").is_ok()
+        }
+        "REPORTS" | "ANOMALIES" => {
+            let n = line
+                .split('\t')
+                .nth(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(usize::MAX);
+            let reports = if verb == "REPORTS" {
+                state.sink.recent_reports(n)
+            } else {
+                state.sink.recent_anomalous(n)
+            };
+            if writeln!(writer, "OK {}", reports.len()).is_err() {
+                return false;
+            }
+            for r in &reports {
+                let json = serde_json::to_string(r).unwrap_or_else(|_| "{}".into());
+                if writeln!(writer, "{json}").is_err() {
+                    return false;
+                }
+            }
+            true
+        }
+        "DRAIN" => {
+            let n = state.drain();
+            writeln!(writer, "OK {n}").is_ok()
+        }
+        "SHUTDOWN" => {
+            let _ = state.drain();
+            state.shutdown.store(true, Ordering::SeqCst);
+            let _ = writeln!(writer, "OK 0");
+            // wake the acceptor so it observes the flag
+            let _ = TcpStream::connect(state.addr);
+            false
+        }
+        other => {
+            state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            writeln!(writer, "ERR unknown verb {other:?}").is_ok()
+        }
+    }
+}
+
+/// Parse `LOG\t<session>\t<ts_ms>\t<level>\t<source>\t<message>`; the
+/// message is everything after the fifth tab (tabs inside it survive).
+fn parse_log(line: &str) -> Option<(String, LogLine)> {
+    let mut fields = line.splitn(6, '\t');
+    let _verb = fields.next()?;
+    let session = fields.next()?;
+    if session.is_empty() {
+        return None;
+    }
+    let ts_ms: u64 = fields.next()?.parse().ok()?;
+    let level = Level::parse(fields.next()?)?;
+    let source = fields.next()?;
+    let message = fields.next()?;
+    Some((
+        session.to_string(),
+        LogLine {
+            ts_ms,
+            level,
+            source: source.to_string(),
+            message: message.to_string(),
+        },
+    ))
+}
+
+/// Render the `LOG` wire line for a structured log line (the inverse of
+/// [`parse_log`], used by the client and the replay generator).
+pub fn render_log(session: &str, line: &LogLine) -> String {
+    format!(
+        "LOG\t{session}\t{}\t{}\t{}\t{}",
+        line.ts_ms,
+        line.level.as_str(),
+        line.source,
+        line.message
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_line_roundtrips_through_wire_format() {
+        let l = LogLine {
+            ts_ms: 1234,
+            level: Level::Warn,
+            source: "BlockManager".into(),
+            message: "spill 1 written to /tmp/x\twith a tab".into(),
+        };
+        let wire = render_log("container_01", &l);
+        let (session, parsed) = parse_log(&wire).expect("parse");
+        assert_eq!(session, "container_01");
+        assert_eq!(parsed, l);
+    }
+
+    #[test]
+    fn malformed_log_lines_are_rejected() {
+        assert!(parse_log("LOG\t\t0\tINFO\tX\tmsg").is_none()); // empty session
+        assert!(parse_log("LOG\ts\tnotanum\tINFO\tX\tmsg").is_none());
+        assert!(parse_log("LOG\ts\t0\tLOUD\tX\tmsg").is_none());
+        assert!(parse_log("LOG\ts\t0\tINFO\tX").is_none()); // missing message
+    }
+}

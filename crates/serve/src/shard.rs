@@ -1,0 +1,334 @@
+//! Shard workers: the threads that own the live sessions.
+//!
+//! Each incoming log line is routed by a hash of its session id to exactly
+//! one shard, so a session's whole stream is processed by a single thread
+//! and the per-session [`StreamDetector`] needs no locking. The shard owns
+//! its sessions' detectors over a shared immutable [`Detector`] model,
+//! closes sessions on explicit `END`, evicts them after an idle timeout,
+//! and emits every finished session's [`SessionReport`] into the
+//! [`AnomalySink`].
+
+use crate::metrics::ShardMetrics;
+use crate::queue::ShardQueue;
+use crate::sink::AnomalySink;
+use anomaly::{Detector, StreamDetector};
+use spell::LogLine;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Messages a shard worker consumes.
+pub enum ShardMsg {
+    /// One routed log line.
+    Line {
+        /// Session (container) id.
+        session: String,
+        /// The structured line.
+        line: LogLine,
+        /// When the acceptor enqueued it (feed-latency measurement).
+        enqueued: Instant,
+    },
+    /// Explicit end of a session: finish it now.
+    End {
+        /// Session id.
+        session: String,
+    },
+    /// Finish every live session and ack how many were closed. Because
+    /// control messages join the back of the queue, every line enqueued
+    /// before the drain is processed first.
+    Drain {
+        /// Ack channel; receives the number of sessions finished.
+        ack: mpsc::Sender<usize>,
+    },
+    /// Drain and exit the worker thread.
+    Shutdown,
+}
+
+/// FNV-1a hash of a session id — the routing function. Deterministic
+/// across runs so a session always lands on the same shard.
+pub fn shard_of(session: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in session.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// One shard: its queue, its metrics, and its worker thread.
+pub struct ShardHandle {
+    /// Producer side (shared with the connection handlers).
+    pub queue: Arc<ShardQueue<ShardMsg>>,
+    /// Counters (shared with `STATS`).
+    pub metrics: Arc<ShardMetrics>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    /// Spawn a shard worker over a shared model.
+    pub fn spawn(
+        index: usize,
+        detector: Arc<Detector>,
+        queue: Arc<ShardQueue<ShardMsg>>,
+        metrics: Arc<ShardMetrics>,
+        sink: Arc<AnomalySink>,
+        idle_timeout: Duration,
+    ) -> ShardHandle {
+        let q = Arc::clone(&queue);
+        let m = Arc::clone(&metrics);
+        let join = std::thread::Builder::new()
+            .name(format!("intellog-shard-{index}"))
+            .spawn(move || run_shard(&detector, &q, &m, &sink, idle_timeout))
+            .expect("spawn shard worker");
+        ShardHandle {
+            queue,
+            metrics,
+            join: Some(join),
+        }
+    }
+
+    /// Join the worker (after a `Shutdown` message has been queued).
+    pub fn join(mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+struct LiveSession<'a> {
+    stream: StreamDetector<'a>,
+    last_seen: Instant,
+}
+
+fn run_shard(
+    detector: &Detector,
+    queue: &ShardQueue<ShardMsg>,
+    metrics: &ShardMetrics,
+    sink: &AnomalySink,
+    idle_timeout: Duration,
+) {
+    // How often we wake up idle and how often, at most, we scan for
+    // evictions while busy.
+    let tick = Duration::from_millis(100)
+        .min(idle_timeout / 2)
+        .max(Duration::from_millis(10));
+    let mut sessions: HashMap<String, LiveSession<'_>> = HashMap::new();
+    let mut last_scan = Instant::now();
+    loop {
+        match queue.pop_timeout(tick) {
+            Some(ShardMsg::Line {
+                session,
+                line,
+                enqueued,
+            }) => {
+                let live = sessions.entry(session).or_insert_with_key(|id| {
+                    metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                    metrics.sessions_live.fetch_add(1, Ordering::Relaxed);
+                    LiveSession {
+                        stream: StreamDetector::begin(detector, id.clone()),
+                        last_seen: Instant::now(),
+                    }
+                });
+                live.last_seen = Instant::now();
+                if live.stream.feed(&line).is_some() {
+                    metrics.online_anomalies.fetch_add(1, Ordering::Relaxed);
+                }
+                metrics.ingested.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .feed_latency
+                    .record_us(enqueued.elapsed().as_micros() as u64);
+            }
+            Some(ShardMsg::End { session }) => {
+                if let Some(live) = sessions.remove(&session) {
+                    metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                    metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
+                    sink.push(live.stream.finish());
+                }
+            }
+            Some(ShardMsg::Drain { ack }) => {
+                let n = finish_all(&mut sessions, metrics, sink, false);
+                let _ = ack.send(n);
+            }
+            Some(ShardMsg::Shutdown) => {
+                finish_all(&mut sessions, metrics, sink, false);
+                return;
+            }
+            None => {}
+        }
+        if last_scan.elapsed() >= tick {
+            last_scan = Instant::now();
+            evict_idle(&mut sessions, metrics, sink, idle_timeout);
+        }
+    }
+}
+
+fn finish_all(
+    sessions: &mut HashMap<String, LiveSession<'_>>,
+    metrics: &ShardMetrics,
+    sink: &AnomalySink,
+    evicted: bool,
+) -> usize {
+    let n = sessions.len();
+    for (_, live) in sessions.drain() {
+        let counter = if evicted {
+            &metrics.sessions_evicted
+        } else {
+            &metrics.sessions_closed
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
+        sink.push(live.stream.finish());
+    }
+    n
+}
+
+fn evict_idle(
+    sessions: &mut HashMap<String, LiveSession<'_>>,
+    metrics: &ShardMetrics,
+    sink: &AnomalySink,
+    idle_timeout: Duration,
+) {
+    let expired: Vec<String> = sessions
+        .iter()
+        .filter(|(_, live)| live.last_seen.elapsed() >= idle_timeout)
+        .map(|(id, _)| id.clone())
+        .collect();
+    for id in expired {
+        if let Some(live) = sessions.remove(&id) {
+            debug_assert_eq!(live.stream.session_id(), id);
+            metrics.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+            metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
+            sink.push(live.stream.finish());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Backpressure;
+    use anomaly::Trainer;
+    use spell::{Level, Session};
+
+    fn line(ts: u64, msg: &str) -> LogLine {
+        LogLine {
+            ts_ms: ts,
+            level: Level::Info,
+            source: "X".into(),
+            message: msg.into(),
+        }
+    }
+
+    fn trained() -> Detector {
+        let mk = |id: &str, k: u32| {
+            Session::new(
+                id,
+                vec![
+                    line(0, "Registering block manager endpoint on host1"),
+                    line(10, &format!("Starting task {k} in stage 0")),
+                    line(
+                        20,
+                        &format!("Finished task {k} in stage 0 and sent 9 bytes to driver"),
+                    ),
+                    line(30, "Shutdown hook called"),
+                ],
+            )
+        };
+        Trainer::default().train(&[mk("c0", 1), mk("c1", 2), mk("c2", 3)])
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 4, 8] {
+            for id in ["container_01", "container_02", "x"] {
+                let s = shard_of(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(id, shards));
+            }
+        }
+        // different ids actually spread (not all on shard 0)
+        let spread: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_of(&format!("c{i}"), 8)).collect();
+        assert!(spread.len() > 4, "{spread:?}");
+    }
+
+    #[test]
+    fn end_to_end_shard_worker_matches_batch_detection() {
+        let det = Arc::new(trained());
+        let queue = Arc::new(ShardQueue::new(64, Backpressure::Block));
+        let metrics = Arc::new(ShardMetrics::default());
+        let sink = Arc::new(AnomalySink::new(16, None).unwrap());
+        let shard = ShardHandle::spawn(
+            0,
+            Arc::clone(&det),
+            Arc::clone(&queue),
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            Duration::from_secs(60),
+        );
+        let session = Session::new(
+            "c9",
+            vec![
+                line(0, "Registering block manager endpoint on host1"),
+                line(5, "spill 1 written to /tmp/x.out"),
+                line(10, "Starting task 9 in stage 0"),
+                line(30, "Shutdown hook called"),
+            ],
+        );
+        for l in &session.lines {
+            queue.push(ShardMsg::Line {
+                session: "c9".into(),
+                line: l.clone(),
+                enqueued: Instant::now(),
+            });
+        }
+        queue.push_control(ShardMsg::End {
+            session: "c9".into(),
+        });
+        queue.push_control(ShardMsg::Shutdown);
+        shard.join();
+        let reports = sink.recent_reports(10);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0], det.detect_session(&session));
+        assert_eq!(metrics.ingested.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.sessions_closed.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.sessions_live.load(Ordering::Relaxed), 0);
+        assert!(metrics.feed_latency.count() == 4);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_with_final_report() {
+        let det = Arc::new(trained());
+        let queue = Arc::new(ShardQueue::new(64, Backpressure::Block));
+        let metrics = Arc::new(ShardMetrics::default());
+        let sink = Arc::new(AnomalySink::new(16, None).unwrap());
+        let shard = ShardHandle::spawn(
+            0,
+            det,
+            Arc::clone(&queue),
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            Duration::from_millis(50),
+        );
+        queue.push(ShardMsg::Line {
+            session: "idle1".into(),
+            line: line(0, "Starting task 9 in stage 0"),
+            enqueued: Instant::now(),
+        });
+        // wait well past the idle timeout + scan tick
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sink.completed() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(sink.completed(), 1, "idle session must be evicted");
+        assert_eq!(metrics.sessions_evicted.load(Ordering::Relaxed), 1);
+        let report = &sink.recent_reports(1)[0];
+        assert_eq!(report.session, "idle1");
+        // truncated session → structural anomalies in the final report
+        assert!(report.is_problematic());
+        queue.push_control(ShardMsg::Shutdown);
+        shard.join();
+    }
+}

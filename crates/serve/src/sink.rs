@@ -1,0 +1,181 @@
+//! The anomaly sink: where completed [`SessionReport`]s land.
+//!
+//! Every closed or evicted session produces exactly one report. The sink
+//! keeps the most recent reports in a bounded ring buffer (served by the
+//! `REPORTS` / `ANOMALIES` control verbs) and, when configured, appends
+//! each *problematic* report as one JSON object per line to a JSONL file —
+//! the same shape `intellog detect --json` prints, so offline and online
+//! tooling share one format.
+
+use anomaly::SessionReport;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct SinkInner {
+    ring: VecDeque<SessionReport>,
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    anomalies_by_kind: BTreeMap<&'static str, u64>,
+}
+
+/// Bounded in-memory ring + optional JSONL file of session reports.
+pub struct AnomalySink {
+    inner: Mutex<SinkInner>,
+    capacity: usize,
+    completed: AtomicU64,
+    problematic: AtomicU64,
+}
+
+impl AnomalySink {
+    /// A sink retaining the last `capacity` reports in memory, appending
+    /// problematic ones to `jsonl_path` if given.
+    pub fn new(capacity: usize, jsonl_path: Option<&Path>) -> std::io::Result<AnomalySink> {
+        let file = match jsonl_path {
+            Some(p) => Some(std::io::BufWriter::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)?,
+            )),
+            None => None,
+        };
+        Ok(AnomalySink {
+            inner: Mutex::new(SinkInner {
+                ring: VecDeque::with_capacity(capacity.min(4096)),
+                file,
+                anomalies_by_kind: BTreeMap::new(),
+            }),
+            capacity: capacity.max(1),
+            completed: AtomicU64::new(0),
+            problematic: AtomicU64::new(0),
+        })
+    }
+
+    /// Record one completed session.
+    pub fn push(&self, report: SessionReport) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        for a in &report.anomalies {
+            *inner.anomalies_by_kind.entry(a.kind_name()).or_insert(0) += 1;
+        }
+        if report.is_problematic() {
+            self.problematic.fetch_add(1, Ordering::Relaxed);
+            if let Some(f) = inner.file.as_mut() {
+                // One JSON object per line; flush per report so a tailing
+                // operator (or the CI smoke test) sees it immediately.
+                if let Ok(json) = serde_json::to_string(&report) {
+                    let _ = writeln!(f, "{json}");
+                    let _ = f.flush();
+                }
+            }
+        }
+        if inner.ring.len() >= self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(report);
+    }
+
+    /// The newest `n` completed reports, oldest first.
+    pub fn recent_reports(&self, n: usize) -> Vec<SessionReport> {
+        let inner = self.inner.lock().unwrap();
+        let skip = inner.ring.len().saturating_sub(n);
+        inner.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// The newest `n` problematic reports, oldest first.
+    pub fn recent_anomalous(&self, n: usize) -> Vec<SessionReport> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<SessionReport> = inner
+            .ring
+            .iter()
+            .rev()
+            .filter(|r| r.is_problematic())
+            .take(n)
+            .cloned()
+            .collect();
+        out.reverse();
+        out
+    }
+
+    /// Completed session count.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Problematic session count.
+    pub fn problematic(&self) -> u64 {
+        self.problematic.load(Ordering::Relaxed)
+    }
+
+    /// Anomaly counts by kind, for `STATS`.
+    pub fn anomalies_by_kind(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .anomalies_by_kind
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomaly::Anomaly;
+
+    fn report(id: &str, problematic: bool) -> SessionReport {
+        SessionReport {
+            session: id.into(),
+            lines: 1,
+            anomalies: if problematic {
+                vec![Anomaly::MissingGroup {
+                    group: "task".into(),
+                }]
+            } else {
+                vec![]
+            },
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let sink = AnomalySink::new(2, None).unwrap();
+        sink.push(report("a", false));
+        sink.push(report("b", true));
+        sink.push(report("c", false));
+        let recent = sink.recent_reports(10);
+        assert_eq!(
+            recent
+                .iter()
+                .map(|r| r.session.as_str())
+                .collect::<Vec<_>>(),
+            ["b", "c"]
+        );
+        assert_eq!(sink.completed(), 3);
+        assert_eq!(sink.problematic(), 1);
+        assert_eq!(sink.recent_anomalous(10).len(), 1);
+        assert_eq!(sink.anomalies_by_kind().get("missing-group"), Some(&1));
+    }
+
+    #[test]
+    fn jsonl_file_gets_problematic_reports_only() {
+        let dir = std::env::temp_dir().join("intellog-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sink-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let sink = AnomalySink::new(8, Some(&path)).unwrap();
+            sink.push(report("clean", false));
+            sink.push(report("bad", true));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let parsed: SessionReport = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(parsed.session, "bad");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

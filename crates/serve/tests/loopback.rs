@@ -1,0 +1,133 @@
+//! The subsystem's core correctness property: replaying a workload through
+//! the socket with lossless (`block`) backpressure yields exactly the
+//! per-session anomaly sets that offline batch detection computes — for
+//! all three analytics systems, including a fault-injected job.
+
+use anomaly::Detector;
+use dlasim::{FaultKind, SystemKind};
+use intellog_core::sessions_from_job;
+use intellog_serve::{run_replay, Backpressure, ReplayConfig, ServeConfig, Server};
+use spell::Session;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn train_sessions(system: SystemKind, jobs: usize, seed: u64) -> Vec<Session> {
+    let mut gen = dlasim::WorkloadGen::new(seed, 8);
+    let mut out = Vec::new();
+    for j in 0..jobs {
+        let cfg = gen.training_config(system);
+        let job = dlasim::generate(&cfg, None);
+        for (i, mut s) in sessions_from_job(&job).into_iter().enumerate() {
+            s.id = format!("train{j}_{i}_{}", s.id);
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        shards: 4,
+        queue_capacity: 256,
+        backpressure: Backpressure::Block,
+        // generous: a session must never be evicted mid-replay, or its
+        // report would be split and verdicts could not match
+        idle_timeout: Duration::from_secs(120),
+        ring_capacity: 4096,
+        ..ServeConfig::default()
+    }
+}
+
+fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>) {
+    let detector = Arc::new(anomaly::Trainer::default().train(&train_sessions(system, 2, 42)));
+    let server = Server::bind(&serve_config(), Arc::clone(&detector)).expect("bind");
+    let (addr, join) = server.spawn();
+
+    let replay_cfg = ReplayConfig {
+        system,
+        jobs: 2,
+        seed: 9,
+        fault,
+        ..ReplayConfig::default()
+    };
+    let outcome = run_replay(&addr.to_string(), &detector, &replay_cfg).expect("replay");
+
+    assert!(
+        outcome.mismatches.is_empty(),
+        "{system:?}: online verdicts must equal offline detect_session:\n{}",
+        outcome.mismatches.join("\n")
+    );
+    assert_eq!(outcome.online_problematic, outcome.offline_problematic);
+    assert_eq!(
+        outcome.stats.dropped, 0,
+        "block backpressure must be lossless"
+    );
+    assert_eq!(outcome.stats.ingested as usize, outcome.lines);
+    assert_eq!(
+        outcome.stats.sessions_live, 0,
+        "drain must close everything"
+    );
+    if fault.is_some() {
+        assert!(
+            outcome.online_problematic > 0,
+            "{system:?}: injected fault must surface anomalies"
+        );
+        assert!(!outcome.stats.anomalies_by_kind.is_empty());
+    }
+
+    let mut ctl = intellog_serve::ServeClient::connect(&addr.to_string()).expect("ctl");
+    ctl.shutdown().expect("shutdown");
+    join.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn spark_replay_with_network_fault_matches_offline() {
+    replay_matches_offline(SystemKind::Spark, Some(FaultKind::NetworkFailure));
+}
+
+#[test]
+fn mapreduce_replay_matches_offline() {
+    replay_matches_offline(SystemKind::MapReduce, None);
+}
+
+#[test]
+fn tez_replay_matches_offline() {
+    replay_matches_offline(SystemKind::Tez, Some(FaultKind::SessionKill));
+}
+
+#[test]
+fn drop_oldest_under_pressure_counts_drops_and_stays_up() {
+    let system = SystemKind::Spark;
+    let detector: Arc<Detector> =
+        Arc::new(anomaly::Trainer::default().train(&train_sessions(system, 1, 42)));
+    let cfg = ServeConfig {
+        shards: 1,
+        queue_capacity: 4, // absurdly small: force shedding
+        backpressure: Backpressure::DropOldest,
+        idle_timeout: Duration::from_secs(120),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&cfg, Arc::clone(&detector)).expect("bind");
+    let (addr, join) = server.spawn();
+
+    let replay_cfg = ReplayConfig {
+        system,
+        jobs: 1,
+        seed: 11,
+        verify: false, // lossy by design: verdicts will differ
+        ..ReplayConfig::default()
+    };
+    let outcome = run_replay(&addr.to_string(), &detector, &replay_cfg).expect("replay");
+    assert_eq!(
+        outcome.stats.ingested + outcome.stats.dropped,
+        outcome.lines as u64,
+        "every line is either processed or counted as shed"
+    );
+    // the server must stay responsive and drain cleanly even while shedding
+    assert_eq!(outcome.stats.sessions_live, 0);
+    assert!(outcome.stats.per_shard[0].feed_p50_us > 0 || outcome.stats.ingested == 0);
+
+    let mut ctl = intellog_serve::ServeClient::connect(&addr.to_string()).expect("ctl");
+    ctl.shutdown().expect("shutdown");
+    join.join().expect("server thread").expect("server run");
+}

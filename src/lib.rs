@@ -40,5 +40,6 @@ pub use dlasim;
 pub use extract;
 pub use hwgraph;
 pub use intellog_core as core;
+pub use intellog_serve as serve;
 pub use lognlp;
 pub use spell;

@@ -3,17 +3,27 @@
 //! Treats each log file as one session (= one YARN container, paper §5).
 //!
 //! ```text
-//! intellog train  --format spark|hadoop --model model.json LOGFILE...
-//! intellog detect --model model.json --format spark|hadoop LOGFILE...
-//! intellog graph  --model model.json
+//! intellog train  --format spark|hadoop --model model.ilm LOGFILE...
+//! intellog train  --sim spark --sim-jobs 4 --seed 7 --model model.ilm
+//! intellog detect --model model.ilm --format spark|hadoop [--json] LOGFILE...
+//! intellog graph  --model model.ilm
+//! intellog serve  --model model.ilm --addr 127.0.0.1:4317 --shards 4
+//! intellog replay --model model.ilm --addr 127.0.0.1:4317 --system spark
 //! intellog demo
 //! ```
 
+mod cliargs;
+
+use cliargs::FlagSet;
 use intellog::anomaly::{Detector, JobReport, Trainer};
 use intellog::core::IntelLog;
+use intellog::dlasim::{FaultKind, SystemKind};
 use intellog::spell::{LogFormat, Session};
+use intellog_serve::{Backpressure, ModelStore, ReplayConfig, ServeConfig, Server};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +36,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(rest),
         "detect" => cmd_detect(rest),
         "graph" => cmd_graph(rest),
+        "serve" => cmd_serve(rest),
+        "replay" => cmd_replay(rest),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -43,27 +55,34 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  intellog train  --format spark|hadoop --model MODEL.json LOGFILE...
-  intellog detect --model MODEL.json --format spark|hadoop LOGFILE...
-  intellog graph  --model MODEL.json
+  intellog train  --format spark|hadoop --model MODEL.ilm LOGFILE...
+  intellog train  --sim spark|mapreduce|tez [--sim-jobs N] [--seed N] --model MODEL.ilm
+  intellog detect --model MODEL.ilm --format spark|hadoop [--json] LOGFILE...
+  intellog graph  --model MODEL.ilm
+  intellog serve  --model MODEL.ilm [--addr HOST:PORT] [--shards N] [--queue-cap N]
+                  [--backpressure block|drop-newest|drop-oldest] [--idle-timeout-ms N]
+                  [--ring-cap N] [--sink FILE.jsonl] [--addr-file PATH]
+  intellog replay --model MODEL.ilm --addr HOST:PORT [--system spark|mapreduce|tez]
+                  [--jobs N] [--seed N] [--hosts N] [--rate LINES_PER_S]
+                  [--fault session-kill|network-failure|node-failure]
+                  [--no-verify] [--expect-anomalies] [--shutdown]
   intellog demo
 
-Each LOGFILE is one session (one YARN container's log). 'demo' trains on
-simulated Spark jobs and diagnoses an injected network failure.";
+Flags accept both '--flag value' and '--flag=value'. Each LOGFILE is one
+session (one YARN container's log). Models are stored in the versioned
+model-store format (header + crc32); 'train' writes it, every other
+command refuses corrupt or mismatched files. 'serve' runs the sharded
+online detector on a TCP socket; 'replay' drives simulated workloads
+through it and checks the verdicts against offline detection. 'demo'
+trains on simulated Spark jobs and diagnoses an injected network failure.";
 
-/// Pull `--flag value` out of an argument list; returns (value, remaining).
+/// Pull `--flag value` / `--flag=value` out of an argument list; returns
+/// (value, remaining). Kept for the original call sites — new code uses
+/// [`FlagSet`] directly.
 fn take_flag(args: &[String], flag: &str) -> (Option<String>, Vec<String>) {
-    let mut value = None;
-    let mut rest = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == flag {
-            value = it.next().cloned();
-        } else {
-            rest.push(a.clone());
-        }
-    }
-    (value, rest)
+    let mut flags = FlagSet::new(args);
+    let value = flags.value(flag).filter(|v| !v.is_empty());
+    (value, flags.finish())
 }
 
 fn parse_format(s: Option<String>) -> Result<LogFormat, String> {
@@ -72,6 +91,28 @@ fn parse_format(s: Option<String>) -> Result<LogFormat, String> {
         Some("hadoop") | None => Ok(LogFormat::Hadoop),
         Some(other) => Err(format!("unknown --format '{other}' (use spark or hadoop)")),
     }
+}
+
+fn parse_system(s: &str) -> Result<SystemKind, String> {
+    match s {
+        "spark" => Ok(SystemKind::Spark),
+        "mapreduce" => Ok(SystemKind::MapReduce),
+        "tez" => Ok(SystemKind::Tez),
+        other => Err(format!(
+            "unknown system '{other}' (use spark, mapreduce or tez)"
+        )),
+    }
+}
+
+fn parse_fault(s: &str) -> Result<FaultKind, String> {
+    Ok(match s {
+        "session-kill" => FaultKind::SessionKill,
+        "network-failure" => FaultKind::NetworkFailure,
+        "node-failure" => FaultKind::NodeFailure,
+        "memory-spill" => FaultKind::MemorySpill,
+        "starvation-bug" => FaultKind::Starvation,
+        other => return Err(format!("unknown --fault '{other}'")),
+    })
 }
 
 /// Read one log file as a session; lines the formatter rejects (stack-trace
@@ -105,14 +146,43 @@ fn read_sessions(files: &[String], format: LogFormat) -> Result<Vec<Session>, St
         .collect()
 }
 
+/// Simulated training corpus for `train --sim` / CI smoke runs.
+fn simulated_sessions(system: SystemKind, jobs: usize, seed: u64) -> Vec<Session> {
+    use intellog::core::sessions_from_job;
+    use intellog::dlasim::{self, WorkloadGen};
+    let mut gen = WorkloadGen::new(seed, 8);
+    let mut out = Vec::new();
+    for j in 0..jobs.max(1) {
+        let cfg = gen.training_config(system);
+        let job = dlasim::generate(&cfg, None);
+        for (i, mut s) in sessions_from_job(&job).into_iter().enumerate() {
+            s.id = format!("t{j}_{i}_{}", s.id);
+            out.push(s);
+        }
+    }
+    out
+}
+
 fn cmd_train(args: &[String]) -> Result<(), String> {
-    let (model, rest) = take_flag(args, "--model");
-    let (format, files) = take_flag(&rest, "--format");
+    let mut flags = FlagSet::new(args);
+    let model = flags.value("--model").filter(|v| !v.is_empty());
+    let sim = flags.value("--sim");
+    let sim_jobs: usize = flags.parse("--sim-jobs", 4)?;
+    let seed: u64 = flags.parse("--seed", 7)?;
+    let format = flags.value("--format");
+    let files = flags.finish();
     let model = PathBuf::from(model.ok_or("--model is required")?);
-    let sessions = read_sessions(&files, parse_format(format)?)?;
+    let sessions = match sim {
+        Some(system) => {
+            if !files.is_empty() {
+                return Err("--sim and LOGFILE arguments are mutually exclusive".into());
+            }
+            simulated_sessions(parse_system(&system)?, sim_jobs, seed)
+        }
+        None => read_sessions(&files, parse_format(format)?)?,
+    };
     let detector = Trainer::default().train(&sessions);
-    let json = serde_json::to_string(&detector).map_err(|e| e.to_string())?;
-    std::fs::write(&model, &json).map_err(|e| e.to_string())?;
+    let bytes = ModelStore::save(&model, &detector).map_err(|e| e.to_string())?;
     println!(
         "trained on {} sessions: {} log keys, {} entity groups ({} critical), {} ignored non-NL keys",
         sessions.len(),
@@ -121,27 +191,33 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         detector.graph.groups.iter().filter(|g| g.critical).count(),
         detector.ignored_keys.len(),
     );
-    println!(
-        "model written to {} ({} bytes)",
-        model.display(),
-        json.len()
-    );
+    println!("model written to {} ({bytes} bytes)", model.display());
     Ok(())
 }
 
-fn load_model(args: &[String]) -> Result<(Detector, Vec<String>), String> {
-    let (model, rest) = take_flag(args, "--model");
-    let model = model.ok_or("--model is required")?;
-    let json = std::fs::read_to_string(&model).map_err(|e| format!("{model}: {e}"))?;
-    let detector: Detector = serde_json::from_str(&json).map_err(|e| format!("{model}: {e}"))?;
-    Ok((detector, rest))
+fn load_model(model: Option<String>) -> Result<Detector, String> {
+    let model = model
+        .filter(|v| !v.is_empty())
+        .ok_or("--model is required")?;
+    ModelStore::load(Path::new(&model)).map_err(|e| format!("{model}: {e}"))
 }
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
-    let (detector, rest) = load_model(args)?;
-    let (format, files) = take_flag(&rest, "--format");
+    let mut flags = FlagSet::new(args);
+    let detector = load_model(flags.value("--model"))?;
+    let json = flags.bool("--json");
+    let format = flags.value("--format");
+    let files = flags.finish();
     let sessions = read_sessions(&files, parse_format(format)?)?;
     let report: JobReport = detector.detect_job(&sessions);
+    if json {
+        // machine-readable: one SessionReport JSON object per line, the
+        // same shape the serve anomaly sink writes
+        for s in &report.sessions {
+            println!("{}", serde_json::to_string(s).map_err(|e| e.to_string())?);
+        }
+        return Ok(());
+    }
     for s in &report.sessions {
         if s.is_problematic() {
             println!("session {}: {} anomalies", s.session, s.anomalies.len());
@@ -172,14 +248,129 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_graph(args: &[String]) -> Result<(), String> {
-    let (detector, _) = load_model(args)?;
+    let (model, _rest) = take_flag(args, "--model");
+    let detector = load_model(model)?;
     print!("{}", detector.graph.render_text(&detector.keys));
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut flags = FlagSet::new(args);
+    let detector = load_model(flags.value("--model"))?;
+    let config = ServeConfig {
+        addr: flags
+            .value("--addr")
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| "127.0.0.1:4317".into()),
+        shards: flags.parse("--shards", 4)?,
+        queue_capacity: flags.parse("--queue-cap", 1024)?,
+        backpressure: flags.parse("--backpressure", Backpressure::Block)?,
+        idle_timeout: Duration::from_millis(flags.parse("--idle-timeout-ms", 30_000u64)?),
+        ring_capacity: flags.parse("--ring-cap", 4096)?,
+        sink_path: flags
+            .value("--sink")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from),
+    };
+    let addr_file = flags.value("--addr-file").filter(|v| !v.is_empty());
+    let extra = flags.finish();
+    if !extra.is_empty() {
+        return Err(format!("unexpected arguments: {extra:?}"));
+    }
+    let server = Server::bind(&config, Arc::new(detector)).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    println!(
+        "intellog-serve listening on {addr} shards={} queue-cap={} backpressure={} idle-timeout={}ms",
+        config.shards,
+        config.queue_capacity,
+        config.backpressure.name(),
+        config.idle_timeout.as_millis()
+    );
+    if let Some(p) = addr_file {
+        std::fs::write(&p, format!("{addr}\n")).map_err(|e| format!("{p}: {e}"))?;
+    }
+    server.run().map_err(|e| e.to_string())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let mut flags = FlagSet::new(args);
+    let detector = load_model(flags.value("--model"))?;
+    let addr = flags
+        .value("--addr")
+        .filter(|v| !v.is_empty())
+        .ok_or("--addr is required")?;
+    let rate: u64 = flags.parse("--rate", 0)?;
+    let cfg = ReplayConfig {
+        system: parse_system(&flags.value("--system").unwrap_or_else(|| "spark".into()))?,
+        jobs: flags.parse("--jobs", 1)?,
+        seed: flags.parse("--seed", 7)?,
+        hosts: flags.parse("--hosts", 8)?,
+        rate: (rate > 0).then_some(rate),
+        fault: match flags.value("--fault") {
+            Some(f) => Some(parse_fault(&f)?),
+            None => None,
+        },
+        verify: !flags.bool("--no-verify"),
+    };
+    let expect_anomalies = flags.bool("--expect-anomalies");
+    let shutdown = flags.bool("--shutdown");
+    let extra = flags.finish();
+    if !extra.is_empty() {
+        return Err(format!("unexpected arguments: {extra:?}"));
+    }
+    let outcome = intellog_serve::run_replay(&addr, &detector, &cfg)?;
+    println!(
+        "replayed {} lines across {} sessions in {:.2}s ({:.0} lines/s)",
+        outcome.lines, outcome.sessions, outcome.elapsed_s, outcome.lines_per_s
+    );
+    println!(
+        "server: ingested={} dropped={} problematic={} (offline {}), feed p50/p99 = {}/{} µs",
+        outcome.stats.ingested,
+        outcome.stats.dropped,
+        outcome.online_problematic,
+        outcome.offline_problematic,
+        outcome
+            .stats
+            .per_shard
+            .iter()
+            .map(|s| s.feed_p50_us)
+            .max()
+            .unwrap_or(0),
+        outcome
+            .stats
+            .per_shard
+            .iter()
+            .map(|s| s.feed_p99_us)
+            .max()
+            .unwrap_or(0),
+    );
+    if shutdown {
+        let mut ctl = intellog_serve::ServeClient::connect(&addr).map_err(|e| e.to_string())?;
+        ctl.shutdown().map_err(|e| e.to_string())?;
+        println!("server shut down");
+    }
+    if !outcome.mismatches.is_empty() {
+        return Err(format!(
+            "{} verdict mismatches between serve and offline detection:\n{}",
+            outcome.mismatches.len(),
+            outcome.mismatches.join("\n")
+        ));
+    }
+    if cfg.verify {
+        println!(
+            "verified: online verdicts match offline detect_session for all {} sessions",
+            outcome.sessions
+        );
+    }
+    if expect_anomalies && outcome.online_problematic == 0 {
+        return Err("expected anomalies, but every session came back clean".into());
+    }
     Ok(())
 }
 
 fn cmd_demo() -> Result<(), String> {
     use intellog::core::sessions_from_job;
-    use intellog::dlasim::{self, FaultKind, FaultPlan, SystemKind, WorkloadGen};
+    use intellog::dlasim::{self, FaultPlan, WorkloadGen};
     println!("training on simulated Spark jobs…");
     let mut gen = WorkloadGen::new(7, 8);
     let mut train = Vec::new();

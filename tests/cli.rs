@@ -99,6 +99,34 @@ fn cli_train_graph_detect_roundtrip() {
         "fault should be detected: {stdout}"
     );
 
+    // --json mode with --flag=value spelling: one SessionReport JSON
+    // object per line, at least one of which is problematic.
+    let out = Command::new(bin)
+        .args([
+            "detect",
+            "--json",
+            "--format=spark",
+            &format!("--model={}", model.to_str().unwrap()),
+        ])
+        .args(&detect_files)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "detect --json failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let reports: Vec<intellog::anomaly::SessionReport> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each line is a SessionReport JSON object"))
+        .collect();
+    assert_eq!(reports.len(), detect_files.len());
+    assert!(
+        reports.iter().any(|r| r.is_problematic()),
+        "fault must surface in --json output"
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
