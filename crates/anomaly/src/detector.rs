@@ -61,6 +61,8 @@ impl Detector {
     /// HW-graph instance alongside the report (paper §4.2; the case studies
     /// inspect instances directly).
     pub fn detect_session_detailed(&self, session: &Session) -> (SessionReport, HwInstance) {
+        let _span = obs::span!("anomaly.detect_session");
+        obs::inc!("anomaly.sessions_checked");
         let extractor = IntelExtractor::new();
         let mut report = SessionReport {
             session: session.id.clone(),
@@ -93,6 +95,8 @@ impl Detector {
                     let intel =
                         IntelMessage::instantiate(&adhoc_key, &tokens, &session.id, line.ts_ms);
                     let groups = self.groups_of_entities(&intel.entities);
+                    obs::inc!("anomaly.verdict.unexpected-message");
+                    obs::event!("anomaly.unexpected_message", "session" = session.id);
                     report.anomalies.push(Anomaly::UnexpectedMessage {
                         ts_ms: line.ts_ms,
                         text: line.message.clone(),
@@ -122,6 +126,7 @@ impl Detector {
         messages: &[IntelMessage],
         report: &mut SessionReport,
     ) -> std::collections::BTreeMap<usize, GroupInstance> {
+        let verdicts_before = report.anomalies.len();
         // 2. Route matched messages into groups; track lifespans. BTreeMap
         //    so downstream anomaly ordering is deterministic (HashMap
         //    iteration order varies per instance).
@@ -251,6 +256,15 @@ impl Detector {
             }
         }
         let _ = GroupRel::Parallel; // relations other than parent/before need no check
+        crate::report::count_verdicts(&report.anomalies[verdicts_before..]);
+        obs::add!("hwgraph.instance_groups", collected.len() as u64);
+        obs::add!(
+            "hwgraph.instances",
+            collected
+                .values()
+                .map(|gi| gi.subroutines.len() as u64)
+                .sum::<u64>()
+        );
         collected
     }
 

@@ -115,6 +115,20 @@ impl Anomaly {
     }
 }
 
+/// Record one `anomaly.verdict.<kind>` counter tick per anomaly in `batch`
+/// (no-op while observability is disabled). The kind label is dynamic, so
+/// this goes through the registry rather than a literal-name macro; verdicts
+/// are rare enough that the registry lock does not matter.
+pub(crate) fn count_verdicts(batch: &[Anomaly]) {
+    if !obs::is_enabled() || batch.is_empty() {
+        return;
+    }
+    for a in batch {
+        let name = format!("anomaly.verdict.{}", a.kind_name());
+        obs::registry().counter(&name).inc();
+    }
+}
+
 /// The detection result for one session.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SessionReport {

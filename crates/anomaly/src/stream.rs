@@ -60,6 +60,7 @@ impl<'a> StreamDetector<'a> {
                 let intel =
                     IntelMessage::instantiate(&adhoc, &tokens, &self.session_id, line.ts_ms);
                 let groups = self.detector.groups_of_entities(&intel.entities);
+                obs::inc!("anomaly.verdict.unexpected-message");
                 let a = Anomaly::UnexpectedMessage {
                     ts_ms: line.ts_ms,
                     text: line.message.clone(),
@@ -90,6 +91,7 @@ impl<'a> StreamDetector<'a> {
     /// Close the session: run the end-of-session structural checks and
     /// return the full report (online anomalies included).
     pub fn finish(self) -> SessionReport {
+        obs::inc!("anomaly.sessions_checked");
         let mut report = SessionReport {
             session: self.session_id,
             lines: self.lines,

@@ -71,6 +71,8 @@ impl Trainer {
     /// Runs on rayon's current thread pool and produces a detector
     /// bit-identical to [`Trainer::train_sequential`].
     pub fn train(&self, sessions: &[Session]) -> Detector {
+        let _span = obs::span!("anomaly.train");
+        obs::add!("anomaly.train.sessions", sessions.len() as u64);
         let mut parser = SpellParser::new(self.spell_threshold);
         parser.set_use_index(!self.use_linear_matcher);
 
@@ -164,6 +166,8 @@ impl Trainer {
     /// detector; scaling benchmarks use this as their single-thread
     /// baseline.
     pub fn train_sequential(&self, sessions: &[Session]) -> Detector {
+        let _span = obs::span!("anomaly.train");
+        obs::add!("anomaly.train.sessions", sessions.len() as u64);
         let mut parser = SpellParser::new(self.spell_threshold);
         parser.set_use_index(!self.use_linear_matcher);
 

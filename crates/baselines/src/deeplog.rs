@@ -62,6 +62,7 @@ impl DeepLog {
 
     /// Train on one normal session (a sequence of log keys).
     pub fn train_session(&mut self, keys: &[KeyId]) {
+        obs::inc!("baselines.deeplog.sessions_trained");
         let h = self.config.history;
         for i in 0..keys.len() {
             let start = i.saturating_sub(h);
@@ -112,7 +113,11 @@ impl DeepLog {
     /// DeepLog's session-level verdict: anomalous iff any position is
     /// unpredicted.
     pub fn is_anomalous(&self, keys: &[KeyId]) -> bool {
-        self.count_misses(keys) > 0
+        let verdict = self.count_misses(keys) > 0;
+        if verdict {
+            obs::inc!("baselines.deeplog.anomalous_sessions");
+        }
+        verdict
     }
 }
 

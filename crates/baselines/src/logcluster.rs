@@ -55,6 +55,10 @@ pub struct LogCluster {
 impl LogCluster {
     /// Train the knowledge base on normal sessions (key sequences).
     pub fn train(config: LogClusterConfig, sessions: &[Vec<KeyId>]) -> LogCluster {
+        obs::add!(
+            "baselines.logcluster.sessions_trained",
+            sessions.len() as u64
+        );
         let n = sessions.len().max(1) as f64;
         let mut df: HashMap<u32, u64> = HashMap::new();
         for s in sessions {

@@ -47,6 +47,7 @@ impl S3Graph {
     /// are scoped per execution, since e.g. TIDs restart from 0 in every
     /// job — Stitch analyses each execution's logs separately.
     pub fn build_scoped(jobs: &[Vec<Vec<IntelMessage>>]) -> S3Graph {
+        let _span = obs::span!("baselines.stitch.build");
         // For each type pair co-occurring in a message, record the value
         // mappings in both directions.
         let mut types: BTreeSet<String> = BTreeSet::new();

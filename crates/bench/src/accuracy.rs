@@ -80,9 +80,13 @@ pub fn evaluate(system: SystemKind, jobs: &[GenJob]) -> AccuracyRow {
         if !lognlp::is_natural_language(&key.render_sample()) {
             continue;
         }
+        // Tie-break equal counts by template id: `HashMap` iteration order
+        // is randomized per process, and `max_by_key` keeps the last
+        // maximum it sees, so without the secondary key the attribution —
+        // and the resulting Table 4 counts — would differ across runs.
         let Some(template) = attribution
             .get(&key.id)
-            .and_then(|m| m.iter().max_by_key(|(_, c)| **c))
+            .and_then(|m| m.iter().max_by_key(|(t, c)| (**c, **t)))
             .map(|(t, _)| *t)
         else {
             continue;

@@ -78,6 +78,27 @@ struct EndToEndStats {
 }
 
 #[derive(Serialize)]
+struct ObservabilityStats {
+    /// End-to-end train+detect with the obs layer compiled in but disabled
+    /// (the default state — this is the `end_to_end.parallel_s` run).
+    disabled_s: f64,
+    /// Same workload with the obs layer enabled and recording.
+    enabled_s: f64,
+    /// (enabled − disabled) / disabled × 100. Regression bar: ≤ 5%.
+    overhead_pct: f64,
+}
+
+/// Per-stage registry dump from one enabled end-to-end pass: every counter
+/// and gauge value, plus count / total time / p99 for each span histogram.
+#[derive(Serialize)]
+struct StageBreakdown {
+    counters: std::collections::BTreeMap<String, u64>,
+    span_count: std::collections::BTreeMap<String, u64>,
+    span_total_us: std::collections::BTreeMap<String, u64>,
+    span_p99_us: std::collections::BTreeMap<String, u64>,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     smoke: bool,
     reps: usize,
@@ -87,6 +108,8 @@ struct BenchReport {
     detection: ScalingStats,
     training: ScalingStats,
     end_to_end: EndToEndStats,
+    observability: ObservabilityStats,
+    stage_breakdown: StageBreakdown,
 }
 
 /// Median wall-clock seconds of `reps` runs of `f`.
@@ -333,6 +356,54 @@ fn main() {
         end_to_end.speedup_vs_seed
     );
 
+    // --- observability overhead + per-stage breakdown -----------------------
+    // `e2e_par` above ran with the obs layer compiled in but disabled — that
+    // is the baseline. Now the same workload with recording on.
+    obs::reset();
+    obs::enable();
+    let e2e_obs = time_median(reps, || {
+        let il = IntelLog::train(&train);
+        il.detect_job(&eval).problematic_count()
+    });
+    // Clean single pass for the breakdown, so stage counts are per-run, not
+    // multiplied by `reps`.
+    obs::reset();
+    {
+        let il = IntelLog::train(&train);
+        std::hint::black_box(il.detect_job(&eval).problematic_count());
+    }
+    obs::disable();
+    let observability = ObservabilityStats {
+        disabled_s: e2e_par,
+        enabled_s: e2e_obs,
+        overhead_pct: (e2e_obs - e2e_par) / e2e_par * 100.0,
+    };
+    eprintln!(
+        "observability: disabled {:.3}s, enabled {:.3}s ({:+.1}% overhead)",
+        observability.disabled_s, observability.enabled_s, observability.overhead_pct
+    );
+    let mut stage_breakdown = StageBreakdown {
+        counters: Default::default(),
+        span_count: Default::default(),
+        span_total_us: Default::default(),
+        span_p99_us: Default::default(),
+    };
+    for m in obs::snapshot() {
+        match m {
+            obs::MetricSnapshot::Counter { name, value }
+            | obs::MetricSnapshot::Gauge { name, value } => {
+                stage_breakdown.counters.insert(name, value);
+            }
+            obs::MetricSnapshot::Histogram { name, hist } => {
+                stage_breakdown.span_count.insert(name.clone(), hist.count);
+                stage_breakdown
+                    .span_total_us
+                    .insert(name.clone(), hist.sum_us);
+                stage_breakdown.span_p99_us.insert(name, hist.p99_us);
+            }
+        }
+    }
+
     let report = BenchReport {
         smoke,
         reps,
@@ -342,6 +413,8 @@ fn main() {
         detection,
         training,
         end_to_end,
+        observability,
+        stage_breakdown,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {

@@ -112,6 +112,7 @@ impl IntelLog {
     /// rayon (each session is independent; the detector is shared
     /// read-only).
     pub fn detect_job(&self, sessions: &[Session]) -> JobReport {
+        let _span = obs::span!("pipeline.detect_job");
         JobReport {
             sessions: sessions
                 .par_iter()
@@ -219,7 +220,16 @@ mod tests {
         assert!(report.is_problematic());
         let diag = il.diagnose(&report);
         assert!(!diag.hosts.is_empty(), "{diag:?}");
-        assert_eq!(diag.hosts[0].0, "worker4", "{:?}", diag.hosts);
+        // assert the victim carries the top anomaly count rather than that
+        // it sorts first — rank 0 also encodes the alphabetical tie-break
+        let top = diag.hosts[0].1;
+        let victim = diag.hosts.iter().find(|(h, _)| h == "worker4");
+        assert_eq!(
+            victim.map(|(_, c)| *c),
+            Some(top),
+            "victim worker4 not a top-implicated host: {:?}",
+            diag.hosts
+        );
     }
 
     #[test]

@@ -131,14 +131,27 @@ impl WorkloadGen {
 
 /// Generate a job for any analytics system.
 pub fn generate(cfg: &JobConfig, fault: Option<&FaultPlan>) -> GenJob {
-    match cfg.system {
+    let job = match cfg.system {
         SystemKind::Spark => crate::spark::generate(cfg, fault),
         SystemKind::MapReduce => crate::mapreduce::generate(cfg, fault),
         SystemKind::Tez => crate::tez::generate(cfg, fault),
         SystemKind::Yarn => crate::yarn::generate(cfg),
         SystemKind::Nova => crate::nova::generate(cfg),
         SystemKind::TensorFlow => crate::tensorflow::generate(cfg, fault),
+    };
+    obs::inc!("dlasim.jobs_generated");
+    if fault.is_some() {
+        obs::inc!("dlasim.jobs_faulted");
     }
+    obs::add!("dlasim.sessions_generated", job.sessions.len() as u64);
+    obs::add!(
+        "dlasim.lines_generated",
+        job.sessions
+            .iter()
+            .map(|s| s.lines.len() as u64)
+            .sum::<u64>()
+    );
+    job
 }
 
 #[cfg(test)]

@@ -126,6 +126,17 @@ impl IntelExtractor {
         }
         fields.sort_by_key(|f| f.pos);
         let operations = extract_operations(&tagged, &entities);
+        obs::inc!("extract.keys_built");
+        obs::add!("extract.entities", entities.len() as u64);
+        obs::add!("extract.operations", operations.len() as u64);
+        for f in &fields {
+            match f.category {
+                crate::fields::FieldCategory::Identifier => obs::inc!("extract.identifiers"),
+                crate::fields::FieldCategory::Value => obs::inc!("extract.values"),
+                crate::fields::FieldCategory::Locality => obs::inc!("extract.localities"),
+                crate::fields::FieldCategory::Skipped => obs::inc!("extract.skipped_fields"),
+            }
+        }
         IntelKey {
             key_id: key.id,
             tokens: key.tokens.clone(),
@@ -140,6 +151,7 @@ impl IntelExtractor {
     /// unexpected log messages during anomaly detection (§4.2): every
     /// non-word position is classified by the same heuristics.
     pub fn extract_adhoc(&self, message: &str) -> IntelKey {
+        obs::inc!("extract.adhoc_messages");
         let tokens = spell::tokenize_message(message);
         let key = LogKey {
             id: KeyId(u32::MAX),

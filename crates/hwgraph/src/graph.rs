@@ -75,6 +75,7 @@ impl HwGraph {
     /// Build (train) a HW-graph from Intel Keys and per-session Intel
     /// Message sequences (time-ordered within each session).
     pub fn build(keys: &[IntelKey], sessions: &[Vec<IntelMessage>]) -> HwGraph {
+        let _span = obs::span!("hwgraph.build");
         // 1. Entity universe and Algorithm 1 grouping.
         let all_entities: BTreeSet<String> = keys
             .iter()
@@ -192,6 +193,17 @@ impl HwGraph {
             sub_len_avg_crit: avg(&sub_lens_crit),
         };
 
+        obs::inc!("hwgraph.builds");
+        obs::add!("hwgraph.groups", stats.groups_all as u64);
+        obs::add!("hwgraph.groups_critical", stats.groups_critical as u64);
+        obs::add!("hwgraph.subroutines", sub_lens_all.len() as u64);
+        obs::add!("hwgraph.sessions_trained", sessions.len() as u64);
+        obs::event!(
+            "hwgraph.built",
+            "groups" = stats.groups_all,
+            "critical" = stats.groups_critical,
+            "sessions" = sessions.len(),
+        );
         HwGraph {
             groups,
             hierarchy,

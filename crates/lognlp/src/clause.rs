@@ -28,10 +28,17 @@ pub fn is_key_value_only(tokens: &[Token]) -> bool {
 pub fn is_natural_language(message: &str) -> bool {
     let tokens = tokenize(message);
     if tokens.is_empty() || is_key_value_only(&tokens) {
+        obs::inc!("lognlp.non_natural");
         return false;
     }
     let tagged = pos::tag(&tokens);
-    depparse::parse(&tagged).predicate.is_some()
+    let natural = depparse::parse(&tagged).predicate.is_some();
+    if natural {
+        obs::inc!("lognlp.natural_language");
+    } else {
+        obs::inc!("lognlp.non_natural");
+    }
+    natural
 }
 
 #[cfg(test)]

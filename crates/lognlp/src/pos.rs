@@ -37,6 +37,8 @@ impl TaggedToken {
 /// This is the entry point for tagging concrete log *messages*. For log
 /// *keys* (which contain `*`), use [`tag_key_with_sample`].
 pub fn tag(tokens: &[Token]) -> Vec<TaggedToken> {
+    obs::inc!("lognlp.sequences_tagged");
+    obs::add!("lognlp.tokens_tagged", tokens.len() as u64);
     let lex = Lexicon::global();
     let mut tags: Vec<PosTag> = tokens.iter().map(|t| initial_tag(lex, t)).collect();
     apply_context_rules(lex, tokens, &mut tags);

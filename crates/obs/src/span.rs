@@ -1,0 +1,61 @@
+//! RAII span timing.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// A wall-clock span: created by [`crate::span!`], records its elapsed time
+/// (µs) into the stage histogram when dropped.
+///
+/// The disabled variant carries no clock reading — constructing and dropping
+/// it is branch + nothing.
+#[must_use = "binding a span to `_` drops it immediately; use `let _span = ...`"]
+pub struct SpanGuard {
+    inner: Option<(&'static Histogram, Instant)>,
+}
+
+impl SpanGuard {
+    /// A live span: starts the clock now, records into `hist` on drop.
+    #[inline]
+    pub fn started(hist: &'static Histogram) -> SpanGuard {
+        SpanGuard {
+            inner: Some((hist, Instant::now())),
+        }
+    }
+
+    /// An inert span for the disabled path — no clock read, records nothing.
+    #[inline]
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { inner: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((hist, started)) = self.inner.take() {
+            hist.record_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_span_records_once_on_drop() {
+        static HIST: Histogram = Histogram::new();
+        {
+            let _span = SpanGuard::started(&HIST);
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        assert_eq!(HIST.count(), 1);
+        assert!(HIST.sum_us() >= 1);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _span = SpanGuard::disabled();
+        // dropping must not panic or touch anything
+    }
+}

@@ -1,0 +1,131 @@
+//! JSONL structured event sink.
+//!
+//! One global, mutex-guarded buffered writer. Trace emission is for
+//! debugging sessions, not steady-state hot paths — a lock per event is
+//! acceptable there, and keeps events from interleaving mid-line. The
+//! [`crate::event!`] macro checks [`trace_active`] (a relaxed load) before
+//! formatting anything, so an uninstalled sink costs nothing.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+enum Sink {
+    File(BufWriter<File>),
+    Stderr,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Install the trace sink: `"-"` means stderr, anything else a file path
+/// (truncated). Events emitted before this call are dropped.
+pub fn set_trace_path(path: &str) -> io::Result<()> {
+    let sink = if path == "-" {
+        Sink::Stderr
+    } else {
+        Sink::File(BufWriter::new(File::create(path)?))
+    };
+    *SINK.lock().expect("obs trace sink poisoned") = Some(sink);
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flush and remove the trace sink; subsequent events are dropped.
+pub fn clear_trace() {
+    ACTIVE.store(false, Ordering::Relaxed);
+    if let Some(Sink::File(mut w)) = SINK.lock().expect("obs trace sink poisoned").take() {
+        let _ = w.flush();
+    }
+}
+
+/// Whether a trace sink is installed (one relaxed load).
+#[inline]
+pub fn trace_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Append one event as a single JSONL line:
+/// `{"event":"<name>","<k>":"<v>",...}`. Called through [`crate::event!`];
+/// silently drops the event if no sink is installed or the write fails
+/// (tracing must never take the pipeline down).
+pub fn emit_event(name: &str, fields: &[(&str, String)]) {
+    let mut line = String::with_capacity(32 + name.len() + fields.len() * 24);
+    line.push_str("{\"event\":\"");
+    escape_into(&mut line, name);
+    line.push('"');
+    for (k, v) in fields {
+        line.push_str(",\"");
+        escape_into(&mut line, k);
+        line.push_str("\":\"");
+        escape_into(&mut line, v);
+        line.push('"');
+    }
+    line.push_str("}\n");
+
+    let mut guard = SINK.lock().expect("obs trace sink poisoned");
+    if let Some(sink) = guard.as_mut() {
+        let _ = match sink {
+            Sink::File(w) => w.write_all(line.as_bytes()),
+            Sink::Stderr => io::stderr().lock().write_all(line.as_bytes()),
+        };
+    }
+}
+
+/// Flush the file sink without removing it (used by the CLI before exit).
+pub fn flush_trace() {
+    if let Some(Sink::File(w)) = SINK.lock().expect("obs trace sink poisoned").as_mut() {
+        let _ = w.flush();
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_json_escaped_lines() {
+        let dir = std::env::temp_dir().join("obs-trace-test");
+        std::fs::create_dir_all(&dir).expect("create trace test dir");
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        set_trace_path(path.to_str().expect("utf-8 temp path")).expect("install trace sink");
+        assert!(trace_active());
+        emit_event("spell.new_key", &[("key", "open \"file\"\n".to_string())]);
+        emit_event("plain", &[]);
+        clear_trace();
+        assert!(!trace_active());
+        let body = std::fs::read_to_string(&path).expect("read trace file");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"event":"spell.new_key","key":"open \"file\"\n"}"#
+        );
+        assert_eq!(lines[1], r#"{"event":"plain"}"#);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn control_chars_use_unicode_escapes() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\u{1}b\tc");
+        assert_eq!(s, "a\\u0001b\\tc");
+    }
+}

@@ -80,6 +80,18 @@ impl ServeClient {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 
+    /// Fetch the server metrics in Prometheus text exposition format
+    /// (`METRICS` verb); returns the raw text, one line per series/sample.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        let lines = self.request("METRICS")?;
+        let mut out = String::new();
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
     /// Fetch the newest `n` completed session reports.
     pub fn reports(&mut self, n: usize) -> std::io::Result<Vec<SessionReport>> {
         self.fetch_reports("REPORTS", n)

@@ -2,59 +2,25 @@
 //!
 //! Everything here is updated from the hot ingestion path, so the design
 //! rule is: atomics only, no locks, no allocation. Latency percentiles come
-//! from a fixed-bucket power-of-two histogram ([`LatencyHistogram`]) — the
+//! from the shared `intellog-obs` fixed-bucket power-of-two histogram — the
 //! reported p50/p99 are bucket upper bounds, i.e. exact to within 2× which
 //! is all a serving dashboard needs, in exchange for a wait-free `record`.
+//!
+//! These metrics are *intrinsic* to the server (they back the `STATS` and
+//! `METRICS` verbs), so they use the obs primitives directly, ungated —
+//! they record whether or not the process-wide observability flag is on.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of power-of-two latency buckets: bucket `i` counts samples in
-/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended (~34 s).
-pub const LATENCY_BUCKETS: usize = 25;
+/// Number of power-of-two latency buckets (re-exported from `intellog-obs`
+/// since the bespoke histogram was replaced by the shared one).
+pub const LATENCY_BUCKETS: usize = obs::HISTOGRAM_BUCKETS;
 
-/// A wait-free fixed-bucket histogram of microsecond latencies.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Record one sample.
-    pub fn record_us(&self, us: u64) {
-        // 0..=1 µs → bucket 0, then one bucket per doubling.
-        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The value at quantile `q` (0..=1) as the upper bound (µs) of the
-    /// bucket containing it, or 0 with no samples.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (i + 1); // upper bound of bucket i
-            }
-        }
-        1u64 << LATENCY_BUCKETS
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-}
+/// A wait-free fixed-bucket histogram of microsecond latencies — now the
+/// shared observability-layer histogram (identical bucket semantics to the
+/// bespoke one this replaces, plus a saturating `_sum` for Prometheus).
+pub type LatencyHistogram = obs::Histogram;
 
 /// Counters owned by one shard worker (shared with the acceptor threads
 /// that enqueue into it and with `STATS` snapshotting).
@@ -159,6 +125,8 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_quantiles() {
+        // The shared obs histogram must keep the bucket semantics the
+        // bespoke serve histogram had (this test predates the swap).
         let h = LatencyHistogram::default();
         assert_eq!(h.quantile_us(0.5), 0);
         for _ in 0..99 {

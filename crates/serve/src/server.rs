@@ -8,6 +8,7 @@
 //! END\t<session>                                          fire-and-forget
 //! PING                       → OK 0
 //! STATS                      → OK 1  + one StatsSnapshot JSON line
+//! METRICS                    → OK <k> + k Prometheus text-format lines
 //! REPORTS\t<n>               → OK <k> + k SessionReport JSON lines
 //! ANOMALIES\t<n>             → OK <k> + k problematic SessionReport lines
 //! DRAIN                      → OK <finished sessions>  (after queues empty)
@@ -102,6 +103,86 @@ impl ServerState {
             anomalies_by_kind: self.sink.anomalies_by_kind(),
             per_shard,
         }
+    }
+
+    /// Render server state (plus the process-wide obs registry) in
+    /// Prometheus text exposition format, for the `METRICS` verb.
+    fn render_metrics(&self) -> String {
+        use std::fmt::Write;
+        let stats = self.stats();
+        let mut out = String::new();
+        let mut counter = |name: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter("intellog_serve_ingested_total", stats.ingested);
+        counter("intellog_serve_dropped_total", stats.dropped);
+        counter(
+            "intellog_serve_online_anomalies_total",
+            stats.online_anomalies,
+        );
+        counter(
+            "intellog_serve_reports_completed_total",
+            stats.reports_completed,
+        );
+        counter(
+            "intellog_serve_reports_problematic_total",
+            stats.reports_problematic,
+        );
+        counter(
+            "intellog_serve_protocol_errors_total",
+            stats.protocol_errors,
+        );
+        let _ = writeln!(out, "# TYPE intellog_serve_sessions_live gauge");
+        let _ = writeln!(out, "intellog_serve_sessions_live {}", stats.sessions_live);
+        let _ = writeln!(out, "# TYPE intellog_serve_queue_len gauge");
+        for s in &stats.per_shard {
+            let _ = writeln!(
+                out,
+                "intellog_serve_queue_len{{shard=\"{}\"}} {}",
+                s.shard, s.queue_len
+            );
+        }
+        let _ = writeln!(out, "# TYPE intellog_serve_anomalies_by_kind counter");
+        for (kind, n) in &stats.anomalies_by_kind {
+            let _ = writeln!(
+                out,
+                "intellog_serve_anomalies_by_kind{{kind=\"{kind}\"}} {n}"
+            );
+        }
+        // Per-shard feed-latency histograms, in the same exposition shape
+        // the obs registry uses.
+        for (i, (_, m)) in self.shards.iter().enumerate() {
+            let _ = writeln!(out, "# TYPE intellog_serve_feed_latency_us histogram");
+            let mut cumulative = 0u64;
+            for (b, c) in m.feed_latency.bucket_counts().iter().enumerate() {
+                cumulative += *c;
+                if *c > 0 {
+                    let le = 1u64 << (b + 1);
+                    let _ = writeln!(
+                        out,
+                        "intellog_serve_feed_latency_us_bucket{{shard=\"{i}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "intellog_serve_feed_latency_us_bucket{{shard=\"{i}\",le=\"+Inf\"}} {cumulative}"
+            );
+            let _ = writeln!(
+                out,
+                "intellog_serve_feed_latency_us_sum{{shard=\"{i}\"}} {}",
+                m.feed_latency.sum_us()
+            );
+            let _ = writeln!(
+                out,
+                "intellog_serve_feed_latency_us_count{{shard=\"{i}\"}} {cumulative}"
+            );
+        }
+        // Pipeline-stage metrics (spell/lognlp/extract/hwgraph/anomaly)
+        // recorded by the gated macros while detectors ran in this process.
+        out.push_str(&obs::render_prometheus());
+        out
     }
 
     /// Send `Drain` to every shard and wait until each acks. Because the
@@ -271,6 +352,14 @@ fn handle_request(line: &str, state: &ServerState, writer: &mut TcpStream) -> bo
             true
         }
         "PING" => writeln!(writer, "OK 0").is_ok(),
+        "METRICS" => {
+            let text = state.render_metrics();
+            let n = text.lines().count();
+            if writeln!(writer, "OK {n}").is_err() {
+                return false;
+            }
+            writer.write_all(text.as_bytes()).is_ok()
+        }
         "STATS" => {
             let json = serde_json::to_string(&state.stats()).unwrap_or_else(|_| "{}".into());
             writeln!(writer, "OK 1\n{json}").is_ok()

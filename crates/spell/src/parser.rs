@@ -206,6 +206,7 @@ impl SpellParser {
         // KeyId is the final answer.
         for ki in self.index.exact_candidates(ids) {
             if is_instance(&self.ikeys[ki as usize], ids) {
+                obs::inc!("spell.match.trie_hits");
                 return Some(self.keys[ki as usize].id);
             }
         }
@@ -230,13 +231,23 @@ impl SpellParser {
                 best = Some((score, ki));
             }
         }
-        best.map(|(_, ki)| self.keys[ki as usize].id)
+        match best {
+            Some((_, ki)) => {
+                obs::inc!("spell.match.index_hits");
+                Some(self.keys[ki as usize].id)
+            }
+            None => {
+                obs::inc!("spell.match.misses");
+                None
+            }
+        }
     }
 
     /// Memoised [`SpellParser::match_ids`] for frozen-parser workloads.
     /// See [`MatchMemo`] for the soundness condition.
     pub fn match_ids_memo(&self, ids: &[TokenId], memo: &mut MatchMemo) -> Option<KeyId> {
         if let Some(&hit) = memo.map.get(ids) {
+            obs::inc!("spell.match.memo_hits");
             return hit;
         }
         let result = self.match_ids(ids);
@@ -249,6 +260,7 @@ impl SpellParser {
     /// specification of the matching contract; `match_ids` must agree with
     /// it on every input (property-tested in `tests/proptests.rs`).
     pub fn match_ids_linear(&self, ids: &[TokenId]) -> Option<KeyId> {
+        obs::inc!("spell.match.linear_scans");
         let required = self.required_lcs(ids.len());
         let mut best: Option<(usize, u32)> = None;
         for (ki, key) in self.ikeys.iter().enumerate() {
@@ -285,6 +297,7 @@ impl SpellParser {
         tokens: Vec<String>,
         hint: Option<Option<KeyId>>,
     ) -> ParseOutcome {
+        obs::inc!("spell.lines_parsed");
         let ids = self.interner.intern_all(&tokens);
         let matched = match hint {
             Some(precomputed) => precomputed,
@@ -308,9 +321,13 @@ impl SpellParser {
                 key.count += 1;
             }
             if flipped > 0 {
+                obs::inc!("spell.keys_refined");
+                obs::add!("spell.positions_wildcarded", flipped as u64);
+                obs::event!("spell.key_refined", "key" = id.0, "flipped" = flipped);
                 self.mutations += 1;
                 self.index.note_refinement(id.0, &self.ikeys[ki], flipped);
                 if self.index.needs_rebuild() {
+                    obs::inc!("spell.index_rebuilds");
                     self.rebuild_index();
                 }
             }
@@ -321,6 +338,8 @@ impl SpellParser {
             };
         }
         let id = KeyId(self.keys.len() as u32);
+        obs::inc!("spell.keys_created");
+        obs::event!("spell.new_key", "key" = id.0, "len" = ids.len());
         self.mutations += 1;
         self.index
             .insert_key(id.0, &ids, self.required_lcs(ids.len()));

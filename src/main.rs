@@ -68,6 +68,12 @@ const USAGE: &str = "usage:
                   [--no-verify] [--expect-anomalies] [--shutdown]
   intellog demo
 
+'train', 'detect' and 'replay' also accept [--metrics PATH|-] to dump
+per-stage counters and histograms in Prometheus text format on exit, and
+[--trace PATH|-] to stream JSONL trace events; either flag turns the
+observability layer on for the run ('serve' always has it on; query it
+with the METRICS verb).
+
 Flags accept both '--flag value' and '--flag=value'. Each LOGFILE is one
 session (one YARN container's log). Models are stored in the versioned
 model-store format (header + crc32); 'train' writes it, every other
@@ -75,6 +81,41 @@ command refuses corrupt or mismatched files. 'serve' runs the sharded
 online detector on a TCP socket; 'replay' drives simulated workloads
 through it and checks the verdicts against offline detection. 'demo'
 trains on simulated Spark jobs and diagnoses an injected network failure.";
+
+/// Observability wiring for `train|detect|replay`: `--metrics <path|->`
+/// enables the obs layer and dumps the registry (Prometheus text) there on
+/// success; `--trace <path|->` additionally streams JSONL trace events.
+struct ObsSetup {
+    metrics: Option<String>,
+}
+
+fn obs_setup(flags: &mut FlagSet) -> Result<ObsSetup, String> {
+    let metrics = flags.value("--metrics").filter(|v| !v.is_empty());
+    let trace = flags.value("--trace").filter(|v| !v.is_empty());
+    if metrics.is_some() || trace.is_some() {
+        obs::enable();
+    }
+    if let Some(t) = &trace {
+        obs::set_trace_path(t).map_err(|e| format!("--trace {t}: {e}"))?;
+    }
+    Ok(ObsSetup { metrics })
+}
+
+impl ObsSetup {
+    /// Flush the trace sink and emit the metrics dump, if requested.
+    fn finish(&self) -> Result<(), String> {
+        obs::flush_trace();
+        if let Some(path) = &self.metrics {
+            let text = obs::render_prometheus();
+            if path == "-" {
+                print!("{text}");
+            } else {
+                std::fs::write(path, text).map_err(|e| format!("--metrics {path}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Pull `--flag value` / `--flag=value` out of an argument list; returns
 /// (value, remaining). Kept for the original call sites — new code uses
@@ -165,6 +206,7 @@ fn simulated_sessions(system: SystemKind, jobs: usize, seed: u64) -> Vec<Session
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let mut flags = FlagSet::new(args);
+    let obs_out = obs_setup(&mut flags)?;
     let model = flags.value("--model").filter(|v| !v.is_empty());
     let sim = flags.value("--sim");
     let sim_jobs: usize = flags.parse("--sim-jobs", 4)?;
@@ -192,7 +234,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         detector.ignored_keys.len(),
     );
     println!("model written to {} ({bytes} bytes)", model.display());
-    Ok(())
+    obs_out.finish()
 }
 
 fn load_model(model: Option<String>) -> Result<Detector, String> {
@@ -204,6 +246,7 @@ fn load_model(model: Option<String>) -> Result<Detector, String> {
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
     let mut flags = FlagSet::new(args);
+    let obs_out = obs_setup(&mut flags)?;
     let detector = load_model(flags.value("--model"))?;
     let json = flags.bool("--json");
     let format = flags.value("--format");
@@ -216,7 +259,7 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
         for s in &report.sessions {
             println!("{}", serde_json::to_string(s).map_err(|e| e.to_string())?);
         }
-        return Ok(());
+        return obs_out.finish();
     }
     for s in &report.sessions {
         if s.is_problematic() {
@@ -244,7 +287,7 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
         .collect();
     let diag = intellog::anomaly::diagnose(&report, &entities);
     print!("{}", diag.render());
-    Ok(())
+    obs_out.finish()
 }
 
 fn cmd_graph(args: &[String]) -> Result<(), String> {
@@ -255,6 +298,9 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    // The server's METRICS verb reports pipeline-stage counters too, so the
+    // observability layer is always on while serving.
+    obs::enable();
     let mut flags = FlagSet::new(args);
     let detector = load_model(flags.value("--model"))?;
     let config = ServeConfig {
@@ -294,6 +340,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     let mut flags = FlagSet::new(args);
+    let obs_out = obs_setup(&mut flags)?;
     let detector = load_model(flags.value("--model"))?;
     let addr = flags
         .value("--addr")
@@ -365,7 +412,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     if expect_anomalies && outcome.online_problematic == 0 {
         return Err("expected anomalies, but every session came back clean".into());
     }
-    Ok(())
+    obs_out.finish()
 }
 
 fn cmd_demo() -> Result<(), String> {

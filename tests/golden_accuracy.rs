@@ -1,0 +1,256 @@
+//! Golden-corpus regression tests.
+//!
+//! Small deterministic dlasim corpora (fixed seeds) are checked in under
+//! `tests/golden/` together with the exact evaluation numbers the pipeline
+//! produces on them: Table 4 extraction counts, Table 5 HW-graph shape and
+//! a Table 8-style per-session detection score. Any change to the
+//! simulator, the parser, the extractor, the graph builder or the detector
+//! that shifts an observable result shows up here as a byte-level diff.
+//!
+//! To bless new numbers after an intentional change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_accuracy
+//! ```
+//!
+//! and commit the rewritten files under `tests/golden/`.
+
+use dlasim::{RawFormat, SystemKind};
+use intellog_bench::{evaluate, prf, score_jobs, table6_jobs, training_jobs, AccuracyRow, EvalJob};
+use intellog_core::{sessions_from_job, IntelLog};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Jobs per system in the checked-in training corpus. Deliberately small:
+/// the corpus lives in git and the tests run in the debug profile.
+const TRAIN_JOBS: usize = 2;
+/// Workload-generator seed for the training corpus.
+const TRAIN_SEED: u64 = 11;
+/// Seed for the Spark Table 6 evaluation corpus.
+const EVAL_SEED: u64 = 202;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Compare `actual` against the checked-in golden file, or rewrite the file
+/// when `GOLDEN_REGEN` is set.
+fn golden_check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir())
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", golden_dir().display()));
+        std::fs::write(&path, actual)
+            .unwrap_or_else(|e| panic!("cannot write golden file {}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected.as_str(),
+        "output drifted from golden file {}; if the change is intentional \
+         regenerate with GOLDEN_REGEN=1 and review the diff",
+        path.display()
+    );
+}
+
+fn system_slug(system: SystemKind) -> &'static str {
+    match system {
+        SystemKind::Spark => "spark",
+        SystemKind::MapReduce => "mapreduce",
+        SystemKind::Tez => "tez",
+        other => panic!("no golden corpus for {}", other.name()),
+    }
+}
+
+/// Render the training corpus exactly as the raw log files a collector
+/// would ship: one `# job` / `# session` header per unit, then the raw
+/// formatted lines. This is the drift guard for the simulator itself — if
+/// dlasim's generation changes for these seeds, every downstream golden
+/// number is suspect.
+fn render_corpus(system: SystemKind) -> String {
+    let format = RawFormat::for_system(system);
+    let mut out = String::new();
+    for (i, job) in training_jobs(system, TRAIN_JOBS, TRAIN_SEED)
+        .iter()
+        .enumerate()
+    {
+        writeln!(
+            out,
+            "# job {i} system={} workload={}",
+            system.name(),
+            job.workload
+        )
+        .unwrap();
+        for session in &job.sessions {
+            writeln!(
+                out,
+                "# session {} host={} affected={}",
+                session.id, session.host, session.affected
+            )
+            .unwrap();
+            for line in session.raw_lines(format) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Stable text rendering of a Table 4 row (exact integer counts).
+fn render_table4(row: &AccuracyRow) -> String {
+    let mut out = String::new();
+    writeln!(out, "system {}", row.system).unwrap();
+    writeln!(out, "consumed {}", row.consumed).unwrap();
+    writeln!(out, "keys {}", row.keys).unwrap();
+    for (name, c) in [
+        ("entities", &row.entities),
+        ("identifiers", &row.identifiers),
+        ("values", &row.values),
+        ("localities", &row.localities),
+    ] {
+        writeln!(out, "{name} total={} fp={} fn={}", c.total, c.fp, c.fn_).unwrap();
+    }
+    writeln!(
+        out,
+        "operations total={} missed={}",
+        row.operations_total, row.operations_missed
+    )
+    .unwrap();
+    out
+}
+
+/// Stable text rendering of the Table 5 graph shape. Averages are exact
+/// ratios of integers over the same corpus, so six decimals is stable.
+fn render_table5(system: SystemKind) -> String {
+    let jobs = training_jobs(system, TRAIN_JOBS, TRAIN_SEED);
+    let sessions: Vec<_> = jobs.iter().flat_map(sessions_from_job).collect();
+    let il = IntelLog::train(&sessions);
+    let stats = &il.graph().stats;
+    let mut out = String::new();
+    writeln!(out, "system {}", system.name()).unwrap();
+    writeln!(out, "avg_session_len {:.6}", stats.avg_session_len).unwrap();
+    writeln!(out, "groups_all {}", stats.groups_all).unwrap();
+    writeln!(out, "groups_critical {}", stats.groups_critical).unwrap();
+    writeln!(out, "sub_len_max {}", stats.sub_len_max).unwrap();
+    writeln!(out, "sub_len_avg_all {:.6}", stats.sub_len_avg_all).unwrap();
+    writeln!(out, "sub_len_avg_crit {:.6}", stats.sub_len_avg_crit).unwrap();
+    out
+}
+
+/// Spark-only Table 8-style detection pass (per-session and per-job
+/// scoring). One system keeps the debug-profile runtime reasonable; the
+/// detector code paths are system-independent.
+fn render_table8_spark() -> String {
+    let train: Vec<_> = training_jobs(SystemKind::Spark, 4, TRAIN_SEED)
+        .iter()
+        .flat_map(sessions_from_job)
+        .collect();
+    let il = IntelLog::train(&train);
+    let eval = table6_jobs(SystemKind::Spark, EVAL_SEED);
+
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    let mut verdicts: Vec<(bool, &EvalJob)> = Vec::new();
+    for job in &eval {
+        let report = il.detect_job_sequential(&job.sessions);
+        for (sr, gen) in report.sessions.iter().zip(&job.job.sessions) {
+            match (sr.is_problematic(), gen.affected) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+        verdicts.push((report.sessions.iter().any(|s| s.is_problematic()), job));
+    }
+    let (p, r, f) = prf(tp, fp, fn_);
+    let job_score = score_jobs(&verdicts);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "system Spark train_jobs=4 seed={TRAIN_SEED} eval_seed={EVAL_SEED}"
+    )
+    .unwrap();
+    writeln!(out, "session tp={tp} fp={fp} fn={fn_}").unwrap();
+    writeln!(out, "session precision={p:.6} recall={r:.6} f1={f:.6}").unwrap();
+    writeln!(
+        out,
+        "job detected={} fp={} fn={} latent_found={} total_injected={}",
+        job_score.detected,
+        job_score.false_positives,
+        job_score.false_negatives,
+        job_score.latent_found,
+        job_score.total_injected
+    )
+    .unwrap();
+    out
+}
+
+#[test]
+fn corpus_matches_checked_in_logs() {
+    for system in SystemKind::ANALYTICS {
+        golden_check(
+            &format!("corpus_{}.log", system_slug(system)),
+            &render_corpus(system),
+        );
+    }
+}
+
+#[test]
+fn table4_extraction_counts_are_stable() {
+    for system in SystemKind::ANALYTICS {
+        let jobs = training_jobs(system, TRAIN_JOBS, TRAIN_SEED);
+        let row = evaluate(system, &jobs);
+        golden_check(
+            &format!("table4_{}.txt", system_slug(system)),
+            &render_table4(&row),
+        );
+    }
+}
+
+#[test]
+fn table5_graph_shape_is_stable() {
+    for system in SystemKind::ANALYTICS {
+        golden_check(
+            &format!("table5_{}.txt", system_slug(system)),
+            &render_table5(system),
+        );
+    }
+}
+
+#[test]
+fn table8_spark_detection_score_is_stable() {
+    golden_check("table8_spark.txt", &render_table8_spark());
+}
+
+/// The whole evaluation must be deterministic within one process too:
+/// two back-to-back runs of generation + training + scoring are identical.
+#[test]
+fn evaluation_is_deterministic_in_process() {
+    for system in SystemKind::ANALYTICS {
+        assert_eq!(
+            render_corpus(system),
+            render_corpus(system),
+            "corpus generation nondeterministic for {}",
+            system.name()
+        );
+        let a = evaluate(system, &training_jobs(system, TRAIN_JOBS, TRAIN_SEED));
+        let b = evaluate(system, &training_jobs(system, TRAIN_JOBS, TRAIN_SEED));
+        assert_eq!(a, b, "table 4 nondeterministic for {}", system.name());
+        assert_eq!(
+            render_table5(system),
+            render_table5(system),
+            "table 5 nondeterministic for {}",
+            system.name()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Differential test: online vs offline detection.
+//!
+//! The streaming detector (`StreamDetector::begin`/`feed`/`finish`) and the
+//! offline batch path (`Detector::detect_session`) must produce the same
+//! report for the same session — the online form only changes *when*
+//! unexpected messages are surfaced, not *what* is detected. This sweeps
+//! every simulated system crossed with every fault kind in `faults.rs`
+//! (injected and latent alike), plus a clean job per system.
+
+use anomaly::StreamDetector;
+use dlasim::{FaultKind, SystemKind, WorkloadGen};
+use intellog_core::{sessions_from_job, IntelLog};
+
+const ALL_SYSTEMS: [SystemKind; 6] = [
+    SystemKind::Spark,
+    SystemKind::MapReduce,
+    SystemKind::Tez,
+    SystemKind::Yarn,
+    SystemKind::Nova,
+    SystemKind::TensorFlow,
+];
+
+const ALL_FAULTS: [FaultKind; 5] = [
+    FaultKind::SessionKill,
+    FaultKind::NetworkFailure,
+    FaultKind::NodeFailure,
+    FaultKind::MemorySpill,
+    FaultKind::Starvation,
+];
+
+#[test]
+fn stream_and_offline_agree_on_every_system_and_fault() {
+    for system in ALL_SYSTEMS {
+        let mut gen = WorkloadGen::new(40 + system as u64, 8);
+        let train: Vec<_> = (0..2)
+            .flat_map(|_| sessions_from_job(&dlasim::generate(&gen.training_config(system), None)))
+            .collect();
+        let il = IntelLog::train(&train);
+        let detector = il.detector();
+
+        let mut faulted_jobs: Vec<(&str, dlasim::GenJob)> = Vec::new();
+        for fault in ALL_FAULTS {
+            let cfg = gen.detection_config(system, 1);
+            let plan = gen.fault_plan(fault);
+            faulted_jobs.push((fault.name(), dlasim::generate(&cfg, Some(&plan))));
+        }
+        // and one clean job — agreement must hold when nothing is wrong too
+        faulted_jobs.push((
+            "none",
+            dlasim::generate(&gen.detection_config(system, 0), None),
+        ));
+
+        for (fault, job) in &faulted_jobs {
+            for session in sessions_from_job(job) {
+                let offline = detector.detect_session(&session);
+                let mut stream = StreamDetector::begin(detector, session.id.clone());
+                for line in &session.lines {
+                    stream.feed(line);
+                }
+                let online = stream.finish();
+                assert_eq!(
+                    offline,
+                    online,
+                    "online and offline reports diverge: system={} fault={fault} session={}",
+                    system.name(),
+                    session.id
+                );
+            }
+        }
+    }
+}
