@@ -76,9 +76,11 @@ impl Detector {
         // variable values) are memoised per session.
         let mut memo = spell::MatchMemo::new();
         let mut messages: Vec<IntelMessage> = Vec::with_capacity(session.lines.len());
+        // One interned-id buffer reused across all lines of the session.
+        let mut ids: Vec<spell::TokenId> = Vec::new();
         for line in &session.lines {
             let tokens = spell::tokenize_message(&line.message);
-            let ids = self.parser.lookup_ids(&tokens);
+            self.parser.lookup_ids_into(&tokens, &mut ids);
             match self.parser.match_ids_memo(&ids, &mut memo) {
                 Some(kid) if self.ignored_keys.contains(&kid) => {}
                 Some(kid) => {

@@ -21,6 +21,8 @@ pub struct StreamDetector<'a> {
     online_anomalies: Vec<Anomaly>,
     /// Sound for the stream's lifetime: the detector's parser is frozen.
     memo: spell::MatchMemo,
+    /// Interned-id buffer reused across `feed` calls.
+    ids: Vec<spell::TokenId>,
 }
 
 impl<'a> StreamDetector<'a> {
@@ -34,6 +36,7 @@ impl<'a> StreamDetector<'a> {
             messages: Vec::new(),
             online_anomalies: Vec::new(),
             memo: spell::MatchMemo::new(),
+            ids: Vec::new(),
         }
     }
 
@@ -42,8 +45,12 @@ impl<'a> StreamDetector<'a> {
     pub fn feed(&mut self, line: &LogLine) -> Option<Anomaly> {
         self.lines += 1;
         let tokens = spell::tokenize_message(&line.message);
-        let ids = self.detector.parser.lookup_ids(&tokens);
-        match self.detector.parser.match_ids_memo(&ids, &mut self.memo) {
+        self.detector.parser.lookup_ids_into(&tokens, &mut self.ids);
+        match self
+            .detector
+            .parser
+            .match_ids_memo(&self.ids, &mut self.memo)
+        {
             Some(kid) if self.detector.ignored_keys.contains(&kid) => None,
             Some(kid) => {
                 let ik = &self.detector.keys[kid.0 as usize];

@@ -90,9 +90,10 @@ impl Gauge {
 /// A wait-free fixed-bucket histogram of microsecond samples.
 ///
 /// Bucket `i` counts samples in `[2^i, 2^(i+1))` µs (0 and 1 land in bucket
-/// 0; the last bucket is open-ended). Quantiles are reported as the upper
-/// bound of the containing bucket — exact to within 2×, which is all a
-/// dashboard needs, in exchange for a lock-free `record_us`.
+/// 0; the last bucket is open-ended). Quantiles are linearly interpolated
+/// inside the containing bucket, so p50 and p99 stay distinguishable even
+/// when most samples share one power-of-two bucket, in exchange for a
+/// lock-free `record_us`.
 #[derive(Debug, Default)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -129,21 +130,27 @@ impl Histogram {
         }
     }
 
-    /// The value at quantile `q` (0..=1) as the upper bound (µs) of the
-    /// bucket containing it, or 0 with no samples.
+    /// The value (µs) at quantile `q` (0..=1), linearly interpolated within
+    /// the containing bucket; 0 with no samples. The rank of the bucket's
+    /// last sample maps to its upper bound, so `quantile_us(1.0)` still
+    /// bounds every recorded value (overflow bucket aside) and the estimate
+    /// never exceeds the old upper-bound-only report.
     pub fn quantile_us(&self, q: f64) -> u64 {
         let counts = self.bucket_counts();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
         }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0;
+        let rank = (((total as f64) * q).ceil().max(1.0) as u64).min(total);
+        let mut seen = 0u64;
         for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (i + 1); // upper bound of bucket i
+            if c > 0 && seen + c >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                let upper = 1u64 << (i + 1);
+                let frac = (rank - seen) as f64 / c as f64;
+                return lower + (frac * (upper - lower) as f64).round() as u64;
             }
+            seen += c;
         }
         1u64 << HISTOGRAM_BUCKETS
     }
@@ -434,16 +441,36 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_report_bucket_upper_bounds() {
+    fn quantiles_interpolate_within_buckets() {
         let h = Histogram::default();
         assert_eq!(h.quantile_us(0.5), 0);
         for _ in 0..99 {
-            h.record_us(3); // bucket [2,4) → upper bound 4
+            h.record_us(3); // bucket [2,4)
         }
         h.record_us(1_000_000);
-        assert_eq!(h.quantile_us(0.50), 4);
+        // p50 sits halfway into the [2,4) bucket, p99 at its top edge —
+        // distinguishable despite sharing a power-of-two bucket.
+        assert_eq!(h.quantile_us(0.50), 3);
         assert_eq!(h.quantile_us(0.99), 4);
         assert!(h.quantile_us(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = Histogram::default();
+        for v in [0, 1, 3, 3, 7, 100, 5_000, 5_100, 5_200, 80_000] {
+            h.record_us(v);
+        }
+        let qs: Vec<u64> = [0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile_us(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        assert!(h.quantile_us(1.0) >= 80_000);
+        // a single sample in a bucket reports that bucket's upper bound
+        let one = Histogram::default();
+        one.record_us(3);
+        assert_eq!(one.quantile_us(0.5), 4);
     }
 
     #[test]

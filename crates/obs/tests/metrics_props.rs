@@ -122,8 +122,8 @@ proptest! {
         prop_assert_eq!(h.count(), values.len() as u64);
         prop_assert_eq!(h.sum_us(), values.iter().sum::<u64>());
         prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), values.len() as u64);
-        // quantiles are bucket upper edges: never below the true quantile,
-        // and the max quantile bounds every recorded value
+        // quantiles interpolate within buckets but q=1.0 still lands on its
+        // bucket's upper edge, bounding every recorded value
         let max = *values.iter().max().unwrap();
         prop_assert!(h.quantile_us(1.0) >= max.max(1));
         prop_assert!(h.quantile_us(0.5) <= h.quantile_us(0.99));

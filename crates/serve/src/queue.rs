@@ -166,6 +166,37 @@ impl<T> ShardQueue<T> {
         }
     }
 
+    /// Dequeue *everything* currently queued in one lock round-trip,
+    /// waiting up to `timeout` for the first message. The internal deque is
+    /// swapped with `out` (which must arrive empty), so the consumer
+    /// processes the batch lock-free while producers refill the fresh
+    /// (previously drained) buffer — steady state allocates nothing.
+    /// Returns the number of messages drained (0 on timeout).
+    pub fn drain_timeout(&self, timeout: Duration, out: &mut VecDeque<T>) -> usize {
+        debug_assert!(out.is_empty(), "drain target must be empty");
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.q.is_empty() {
+                std::mem::swap(&mut inner.q, out);
+                drop(inner);
+                // The whole capacity just freed: wake every blocked producer.
+                self.not_full.notify_all();
+                return out.len();
+            }
+            let (next, res) = self.not_empty.wait_timeout(inner, timeout).unwrap();
+            inner = next;
+            if res.timed_out() {
+                // Take whatever raced in with the timeout, if anything.
+                std::mem::swap(&mut inner.q, out);
+                drop(inner);
+                if !out.is_empty() {
+                    self.not_full.notify_all();
+                }
+                return out.len();
+            }
+        }
+    }
+
     /// Close the queue: blocked producers wake and shed their messages.
     /// Already-queued messages stay poppable.
     pub fn close(&self) {
@@ -254,6 +285,38 @@ mod tests {
         assert_eq!(producer.join().unwrap(), PushOutcome::Enqueued);
         assert_eq!(q.pop_timeout(Duration::from_millis(100)), Some(2));
         assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_takes_everything_in_order() {
+        let q = ShardQueue::new(8, Backpressure::Block);
+        for i in 0..5 {
+            q.push(i);
+        }
+        let mut batch = VecDeque::new();
+        assert_eq!(q.drain_timeout(Duration::from_millis(1), &mut batch), 5);
+        assert_eq!(
+            batch.iter().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(q.is_empty());
+        batch.clear();
+        assert_eq!(q.drain_timeout(Duration::from_millis(1), &mut batch), 0);
+    }
+
+    #[test]
+    fn drain_unblocks_full_producers() {
+        let q = Arc::new(ShardQueue::new(1, Backpressure::Block));
+        q.push(1);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        let mut batch = VecDeque::new();
+        assert_eq!(q.drain_timeout(Duration::from_millis(500), &mut batch), 1);
+        assert_eq!(producer.join().unwrap(), PushOutcome::Enqueued);
+        batch.clear();
+        assert_eq!(q.drain_timeout(Duration::from_millis(500), &mut batch), 1);
+        assert_eq!(batch.pop_front(), Some(2));
     }
 
     #[test]

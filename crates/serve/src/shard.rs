@@ -116,46 +116,54 @@ fn run_shard(
         .max(Duration::from_millis(10));
     let mut sessions: HashMap<String, LiveSession<'_>> = HashMap::new();
     let mut last_scan = Instant::now();
+    // The whole queue is swapped into this batch under one lock per drain
+    // (instead of one lock round-trip per line), then processed lock-free.
+    let mut batch: std::collections::VecDeque<ShardMsg> = Default::default();
     loop {
-        match queue.pop_timeout(tick) {
-            Some(ShardMsg::Line {
-                session,
-                line,
-                enqueued,
-            }) => {
-                let live = sessions.entry(session).or_insert_with_key(|id| {
-                    metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
-                    metrics.sessions_live.fetch_add(1, Ordering::Relaxed);
-                    LiveSession {
-                        stream: StreamDetector::begin(detector, id.clone()),
-                        last_seen: Instant::now(),
+        queue.drain_timeout(tick, &mut batch);
+        for msg in batch.drain(..) {
+            match msg {
+                ShardMsg::Line {
+                    session,
+                    line,
+                    enqueued,
+                } => {
+                    let live = sessions.entry(session).or_insert_with_key(|id| {
+                        metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                        metrics.sessions_live.fetch_add(1, Ordering::Relaxed);
+                        LiveSession {
+                            stream: StreamDetector::begin(detector, id.clone()),
+                            last_seen: Instant::now(),
+                        }
+                    });
+                    live.last_seen = Instant::now();
+                    if live.stream.feed(&line).is_some() {
+                        metrics.online_anomalies.fetch_add(1, Ordering::Relaxed);
                     }
-                });
-                live.last_seen = Instant::now();
-                if live.stream.feed(&line).is_some() {
-                    metrics.online_anomalies.fetch_add(1, Ordering::Relaxed);
+                    metrics.ingested.fetch_add(1, Ordering::Relaxed);
+                    metrics
+                        .feed_latency
+                        .record_us(enqueued.elapsed().as_micros() as u64);
                 }
-                metrics.ingested.fetch_add(1, Ordering::Relaxed);
-                metrics
-                    .feed_latency
-                    .record_us(enqueued.elapsed().as_micros() as u64);
-            }
-            Some(ShardMsg::End { session }) => {
-                if let Some(live) = sessions.remove(&session) {
-                    metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
-                    metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
-                    sink.push(live.stream.finish());
+                ShardMsg::End { session } => {
+                    if let Some(live) = sessions.remove(&session) {
+                        metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
+                        metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
+                        sink.push(live.stream.finish());
+                    }
+                }
+                ShardMsg::Drain { ack } => {
+                    let n = finish_all(&mut sessions, metrics, sink, false);
+                    let _ = ack.send(n);
+                }
+                ShardMsg::Shutdown => {
+                    // Everything enqueued before the shutdown has already
+                    // been processed (queue order); later messages are shed,
+                    // exactly as when the per-message loop returned here.
+                    finish_all(&mut sessions, metrics, sink, false);
+                    return;
                 }
             }
-            Some(ShardMsg::Drain { ack }) => {
-                let n = finish_all(&mut sessions, metrics, sink, false);
-                let _ = ack.send(n);
-            }
-            Some(ShardMsg::Shutdown) => {
-                finish_all(&mut sessions, metrics, sink, false);
-                return;
-            }
-            None => {}
         }
         if last_scan.elapsed() >= tick {
             last_scan = Instant::now();

@@ -99,39 +99,42 @@ impl Trie {
 
     /// Key indices whose trie path matches `ids` (star edges match any
     /// token). May contain stale entries — callers verify against the live
-    /// key. Ascending order.
+    /// key. Ascending order. The node frontiers live in per-thread scratch
+    /// (this runs once per matched message).
     fn walk(&self, ids: &[TokenId]) -> Vec<u32> {
-        let mut active: Vec<u32> = vec![0];
-        let mut next: Vec<u32> = Vec::new();
-        for &tok in ids {
-            next.clear();
-            for &n in &active {
-                let edges = &self.nodes[n as usize].edges;
-                if tok != STAR_ID {
-                    if let Some(&e) = edges.get(&tok) {
+        crate::scratch::with_walk(|active, next| {
+            active.clear();
+            active.push(0);
+            for &tok in ids {
+                next.clear();
+                for &n in active.iter() {
+                    let edges = &self.nodes[n as usize].edges;
+                    if tok != STAR_ID {
+                        if let Some(&e) = edges.get(&tok) {
+                            if !next.contains(&e) {
+                                next.push(e);
+                            }
+                        }
+                    }
+                    if let Some(&e) = edges.get(&STAR_ID) {
                         if !next.contains(&e) {
                             next.push(e);
                         }
                     }
                 }
-                if let Some(&e) = edges.get(&STAR_ID) {
-                    if !next.contains(&e) {
-                        next.push(e);
-                    }
+                if next.is_empty() {
+                    return Vec::new();
                 }
+                std::mem::swap(active, next);
             }
-            if next.is_empty() {
-                return Vec::new();
+            let mut out: Vec<u32> = Vec::new();
+            for &n in active.iter() {
+                out.extend_from_slice(&self.nodes[n as usize].terminals);
             }
-            std::mem::swap(&mut active, &mut next);
-        }
-        let mut out: Vec<u32> = Vec::new();
-        for &n in &active {
-            out.extend_from_slice(&self.nodes[n as usize].terminals);
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
     }
 }
 
@@ -222,33 +225,41 @@ impl MatchIndex {
         let Some(bucket) = self.buckets.get(&ids.len()) else {
             return Vec::new();
         };
-        let mut msg_counts: HashMap<TokenId, u32> = HashMap::new();
-        for &tok in ids {
-            if tok != STAR_ID && tok != UNKNOWN_ID {
-                *msg_counts.entry(tok).or_default() += 1;
-            }
-        }
-        let mut overlap: HashMap<u32, usize> = HashMap::new();
-        for (&tok, &cm) in &msg_counts {
-            if let Some(list) = bucket.postings.get(&tok) {
-                for &(ki, ck) in list {
-                    *overlap.entry(ki).or_default() += ck.min(cm) as usize;
+        // The count/overlap maps come from per-thread scratch: scoring runs
+        // once per non-exact match, and clearing a warm map is far cheaper
+        // than growing a fresh one.
+        crate::scratch::with_scored(|scratch| {
+            let msg_counts = &mut scratch.msg_counts;
+            let overlap = &mut scratch.overlap;
+            msg_counts.clear();
+            overlap.clear();
+            for &tok in ids {
+                if tok != STAR_ID && tok != UNKNOWN_ID {
+                    *msg_counts.entry(tok).or_default() += 1;
                 }
             }
-        }
-        let mut out: Vec<(u32, usize)> = Vec::with_capacity(overlap.len() + bucket.high_star.len());
-        for (&ki, &ov) in &overlap {
-            let bound = (self.stars[ki as usize] as usize + ov).min(ids.len());
-            if bound >= bucket.required {
-                out.push((ki, bound));
+            for (&tok, &cm) in msg_counts.iter() {
+                if let Some(list) = bucket.postings.get(&tok) {
+                    for &(ki, ck) in list {
+                        *overlap.entry(ki).or_default() += ck.min(cm) as usize;
+                    }
+                }
             }
-        }
-        for &ki in &bucket.high_star {
-            if !overlap.contains_key(&ki) {
-                out.push((ki, (self.stars[ki as usize] as usize).min(ids.len())));
+            let mut out: Vec<(u32, usize)> =
+                Vec::with_capacity(overlap.len() + bucket.high_star.len());
+            for (&ki, &ov) in overlap.iter() {
+                let bound = (self.stars[ki as usize] as usize + ov).min(ids.len());
+                if bound >= bucket.required {
+                    out.push((ki, bound));
+                }
             }
-        }
-        out.sort_unstable_by_key(|&(ki, _)| ki);
-        out
+            for &ki in &bucket.high_star {
+                if !overlap.contains_key(&ki) {
+                    out.push((ki, (self.stars[ki as usize] as usize).min(ids.len())));
+                }
+            }
+            out.sort_unstable_by_key(|&(ki, _)| ki);
+            out
+        })
     }
 }

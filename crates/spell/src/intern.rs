@@ -89,10 +89,16 @@ impl Interner {
     /// Look up every token of a message without interning (detection path);
     /// unseen tokens become [`UNKNOWN_ID`].
     pub fn lookup_all(&self, tokens: &[String]) -> Vec<TokenId> {
-        tokens
-            .iter()
-            .map(|t| self.lookup(t).unwrap_or(UNKNOWN_ID))
-            .collect()
+        let mut out = Vec::with_capacity(tokens.len());
+        self.lookup_all_into(tokens, &mut out);
+        out
+    }
+
+    /// [`Interner::lookup_all`] into a caller-provided buffer (cleared
+    /// first), so per-line detection loops reuse one allocation.
+    pub fn lookup_all_into(&self, tokens: &[String], out: &mut Vec<TokenId>) {
+        out.clear();
+        out.extend(tokens.iter().map(|t| self.lookup(t).unwrap_or(UNKNOWN_ID)));
     }
 }
 

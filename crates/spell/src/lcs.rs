@@ -59,25 +59,29 @@ pub fn positional_matches_wild_ids(key: &[TokenId], msg: &[TokenId]) -> usize {
         .count()
 }
 
-/// Interned-token variant of [`lcs_len_wild`].
+/// Interned-token variant of [`lcs_len_wild`]. Runs on a per-thread DP row
+/// (this is the matcher's innermost loop; see `scratch.rs`).
 pub fn lcs_len_wild_ids(key: &[TokenId], msg: &[TokenId]) -> usize {
     if key.is_empty() || msg.is_empty() {
         return 0;
     }
-    let mut row = vec![0usize; msg.len() + 1];
-    for &k in key {
-        let mut prev_diag = 0;
-        for (j, &m) in msg.iter().enumerate() {
-            let cur = row[j + 1];
-            row[j + 1] = if k == STAR_ID || k == m {
-                prev_diag + 1
-            } else {
-                row[j + 1].max(row[j])
-            };
-            prev_diag = cur;
+    crate::scratch::with_lcs_row(|row| {
+        row.clear();
+        row.resize(msg.len() + 1, 0);
+        for &k in key {
+            let mut prev_diag = 0;
+            for (j, &m) in msg.iter().enumerate() {
+                let cur = row[j + 1];
+                row[j + 1] = if k == STAR_ID || k == m {
+                    prev_diag + 1
+                } else {
+                    row[j + 1].max(row[j])
+                };
+                prev_diag = cur;
+            }
         }
-    }
-    row[msg.len()]
+        row[msg.len()]
+    })
 }
 
 /// LCS length where a `*` in the key matches any message token.

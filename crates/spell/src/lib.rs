@@ -16,6 +16,7 @@ pub mod intern;
 pub mod key;
 pub mod lcs;
 pub mod parser;
+mod scratch;
 
 pub use format::{Level, LogFormat, LogLine};
 pub use intern::{Interner, TokenId, STAR_ID, UNKNOWN_ID};

@@ -187,11 +187,22 @@ impl SpellParser {
         self.interner.lookup_all(tokens)
     }
 
+    /// [`SpellParser::lookup_ids`] into a caller-provided buffer (cleared
+    /// first), so per-line detection loops reuse one allocation.
+    pub fn lookup_ids_into(&self, tokens: &[String], out: &mut Vec<TokenId>) {
+        self.interner.lookup_all_into(tokens, out);
+    }
+
     /// Find the best-matching existing key for `tokens` without mutating
     /// anything. Used in the detection phase, where an unmatched message is
-    /// an *unexpected log message* anomaly rather than a new key.
+    /// an *unexpected log message* anomaly rather than a new key. The
+    /// interned-id buffer lives in per-thread scratch — batch trainers call
+    /// this once per message from pool workers.
     pub fn match_message(&self, tokens: &[String]) -> Option<KeyId> {
-        self.match_ids(&self.lookup_ids(tokens))
+        crate::scratch::with_ids(|ids| {
+            self.interner.lookup_all_into(tokens, ids);
+            self.match_ids(ids)
+        })
     }
 
     /// Indexed matcher over interned tokens. See the module docs for the

@@ -1,0 +1,55 @@
+//! Per-thread reusable scratch buffers for the matching hot path.
+//!
+//! Matching one message runs an LCS dynamic program, a trie walk and an
+//! inverted-index scoring pass — each of which used to allocate its working
+//! vectors/maps per call. On the persistent executor (vendored rayon) the
+//! threads running these loops are long-lived, so one warm buffer per
+//! thread amortises to zero allocations per message.
+//!
+//! Every helper here hands the buffer to a closure (cleared by the callee
+//! as needed) rather than leaking `RefCell` guards into signatures. The
+//! closures are leaves — none of them re-enters the same helper — so the
+//! `borrow_mut` calls cannot conflict.
+
+use crate::intern::TokenId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+thread_local! {
+    /// DP row for the wildcard-LCS computation.
+    static LCS_ROW: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    /// Active/next node frontiers for the trie walk.
+    static WALK: RefCell<(Vec<u32>, Vec<u32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Token-count and key-overlap maps for inverted-index scoring.
+    static SCORED: RefCell<ScoredScratch> = RefCell::new(ScoredScratch::default());
+    /// Interned-id buffer for read-only message lookups.
+    static IDS: RefCell<Vec<TokenId>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Default)]
+pub(crate) struct ScoredScratch {
+    /// Token → multiplicity in the message being scored.
+    pub(crate) msg_counts: HashMap<TokenId, u32>,
+    /// Key index → LCS upper-bound contribution from postings overlap.
+    pub(crate) overlap: HashMap<u32, usize>,
+}
+
+pub(crate) fn with_lcs_row<R>(f: impl FnOnce(&mut Vec<usize>) -> R) -> R {
+    LCS_ROW.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+pub(crate) fn with_walk<R>(f: impl FnOnce(&mut Vec<u32>, &mut Vec<u32>) -> R) -> R {
+    WALK.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let (active, next) = &mut *guard;
+        f(active, next)
+    })
+}
+
+pub(crate) fn with_scored<R>(f: impl FnOnce(&mut ScoredScratch) -> R) -> R {
+    SCORED.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+pub(crate) fn with_ids<R>(f: impl FnOnce(&mut Vec<TokenId>) -> R) -> R {
+    IDS.with(|cell| f(&mut cell.borrow_mut()))
+}

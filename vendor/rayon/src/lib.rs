@@ -2,26 +2,81 @@
 //!
 //! Implements the small surface this workspace uses — `par_iter()` on
 //! slices/Vecs with `.map(..).collect()`, plus `ThreadPoolBuilder` /
-//! `ThreadPool::install` — on top of `std::thread::scope`. Work is split
-//! into contiguous index chunks, one per thread, and results are stitched
-//! back in input order, so `collect()` is deterministic and identical to
-//! the sequential result order.
+//! `ThreadPool::install` — on top of a persistent work-stealing executor
+//! (see `pool.rs`). Workers are long-lived: a lazily-initialized global
+//! pool serves bare `par_iter()` calls, and `ThreadPool::install` scopes
+//! parallel ops on the calling thread to an explicitly-sized pool.
+//!
+//! Work is split into many small index chunks (several per worker, not one
+//! per thread) pushed through an injector queue; idle workers park on a
+//! condvar. The submitting thread helps run chunks instead of blocking, so
+//! a size-N pool applies N+1 threads of effort while the submitter waits.
+//! Results land in per-index slots, so `collect()` is deterministic and
+//! byte-identical to the sequential result order; worker panics are
+//! captured and re-thrown on the submitting thread once all chunks finish.
+//!
+//! Nested parallelism inside a pool worker runs inline (sequentially) on
+//! that worker — simple and deadlock-free.
 
-use std::cell::Cell;
+mod pool;
+
+use pool::{Chunk, Pool, PoolCore, CHUNKS_PER_WORKER};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 thread_local! {
-    /// Thread count forced by the innermost `ThreadPool::install` on this
-    /// thread; `None` means "use available parallelism".
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Worker-side: size of the pool that owns this worker thread.
+    static WORKER_POOL_SIZE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Submitter-side: pool pinned by the innermost `ThreadPool::install`.
+    static INSTALLED: RefCell<Option<Arc<PoolCore>>> = const { RefCell::new(None) };
 }
 
-/// Number of threads parallel operators on this thread will use.
+/// Called by each worker thread at startup so `current_num_threads()`
+/// inside pool workers reports the pool's worker count.
+pub(crate) fn set_worker_pool_size(size: usize) {
+    WORKER_POOL_SIZE.with(|w| w.set(Some(size)));
+}
+
+fn in_worker() -> bool {
+    WORKER_POOL_SIZE.with(|w| w.get()).is_some()
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-global pool serving bare `par_iter()` calls. Created on
+/// first use, sized to available parallelism, never torn down (its workers
+/// park when idle).
+fn global_core() -> Arc<PoolCore> {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Pool::new(default_threads())).core())
+}
+
+/// Pool that parallel operators on the current thread will submit to.
+fn current_core() -> Arc<PoolCore> {
+    INSTALLED
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(global_core)
+}
+
+/// Number of threads parallel operators on this thread will use. Inside a
+/// pool worker this is the owning pool's worker count; under
+/// `ThreadPool::install` it is the installed pool's size; otherwise it is
+/// the global pool's size (available parallelism).
 pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|p| p.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    if let Some(n) = WORKER_POOL_SIZE.with(|w| w.get()) {
+        return n;
+    }
+    INSTALLED
+        .with(|c| c.borrow().as_ref().map(|core| core.size()))
+        .unwrap_or_else(default_threads)
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
@@ -54,37 +109,51 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let size = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
         Ok(ThreadPool {
-            num_threads: self.num_threads,
+            pool: Pool::new(size),
         })
     }
 }
 
-/// A "pool" that just pins the thread count seen by parallel operators
-/// running inside [`ThreadPool::install`]. Threads are spawned per
-/// operation via `std::thread::scope`, not kept alive.
-#[derive(Debug)]
+/// A pool of persistent worker threads. [`ThreadPool::install`] routes
+/// parallel operators run by the closure (on this thread) to this pool;
+/// dropping the handle shuts the workers down and joins them.
 pub struct ThreadPool {
-    num_threads: usize,
+    pool: Pool,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.pool.core().size())
+            .finish()
+    }
 }
 
 impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
-        if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.num_threads
-        }
+        self.pool.core().size()
     }
 
+    /// Run `op` on the calling thread with parallel operators submitting to
+    /// this pool. Nestable; the innermost install wins. The previous pool
+    /// is restored even if `op` panics.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        let forced = (self.num_threads != 0).then_some(self.num_threads);
-        let prev = POOL_THREADS.with(|p| p.replace(forced.or_else(|| p.get())));
-        let result = op();
-        POOL_THREADS.with(|p| p.set(prev));
-        result
+        struct Restore(Option<Arc<PoolCore>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                INSTALLED.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let core = Arc::clone(self.pool.core());
+        let _restore = Restore(INSTALLED.with(|c| c.borrow_mut().replace(core)));
+        op()
     }
 }
 
@@ -139,38 +208,152 @@ pub struct ParMap<'a, T, F, R> {
 }
 
 impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F, R> {
-    /// Apply the map across threads and collect results in input order.
+    /// Apply the map across the pool and collect results in input order.
     pub fn collect<C: FromIterator<R>>(self) -> C {
-        run_chunked(self.slice, &self.f).into_iter().collect()
+        run_par_map(self.slice, &self.f).into_iter().collect()
     }
 }
 
-/// Map `f` over `slice` using up to `current_num_threads()` scoped threads,
-/// each taking one contiguous chunk; returns results in input order.
-fn run_chunked<'a, T: Sync, R: Send>(slice: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
-    let threads = current_num_threads().max(1).min(slice.len().max(1));
-    if threads <= 1 || slice.len() <= 1 {
+/// Completion latch + panic slot shared by every chunk of one operation.
+struct OpStatus {
+    /// Chunks not yet finished; the chunk that drops this to 0 trips `done`.
+    remaining: AtomicUsize,
+    /// First captured worker panic, re-thrown by the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl OpStatus {
+    fn new(chunks: usize) -> OpStatus {
+        OpStatus {
+            remaining: AtomicUsize::new(chunks),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn finish_chunk(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done.lock().unwrap();
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.done.lock().unwrap()
+    }
+}
+
+/// One parallel map operation, pinned on the submitting thread's stack for
+/// its whole lifetime (the submitter blocks on `status.done` before
+/// returning, so chunks never outlive it).
+struct MapOp<'a, 'f, T, R, F> {
+    items: &'a [T],
+    f: &'f F,
+    /// Base of the output slot array; chunk `[start, end)` writes exactly
+    /// slots `start..end`, so writes are disjoint across chunks.
+    out: *mut Option<R>,
+    status: OpStatus,
+}
+
+/// Type-erased chunk runner for `MapOp`; `op` must point at a live
+/// `MapOp<'a, T, R, F>` of exactly these type parameters.
+unsafe fn run_map_chunk<'a, 'f, T, R, F>(op: *const (), start: usize, end: usize)
+where
+    T: Sync + 'a,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync + 'f,
+{
+    let op = &*(op as *const MapOp<'a, 'f, T, R, F>);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        for i in start..end {
+            let value = (op.f)(&op.items[i]);
+            // SAFETY: slot `i` belongs to this chunk alone (disjoint
+            // ranges), and the Vec backing `out` is not touched by the
+            // submitter until the latch trips.
+            *op.out.add(i) = Some(value);
+        }
+    }));
+    if let Err(payload) = result {
+        op.status.panic.lock().unwrap().get_or_insert(payload);
+    }
+    op.status.finish_chunk();
+}
+
+/// Map `f` over `slice` on the current pool, returning results in input
+/// order. Falls back to a plain sequential loop when the input is trivial,
+/// the pool has one worker, or we are already inside a pool worker (nested
+/// parallelism runs inline).
+fn run_par_map<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(slice: &'a [T], f: &F) -> Vec<R> {
+    let n = slice.len();
+    if n <= 1 || in_worker() {
         return slice.iter().map(f).collect();
     }
-    let chunk = slice.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(slice.len());
-    out.resize_with(slice.len(), || None);
-    std::thread::scope(|scope| {
-        let mut rest = out.as_mut_slice();
-        let mut start = 0;
-        while start < slice.len() {
-            let end = (start + chunk).min(slice.len());
-            let (head, tail) = rest.split_at_mut(end - start);
-            rest = tail;
-            let items = &slice[start..end];
-            scope.spawn(move || {
-                for (slot, item) in head.iter_mut().zip(items) {
-                    *slot = Some(f(item));
-                }
-            });
-            start = end;
+    let core = current_core();
+    let threads = core.size();
+    if threads <= 1 {
+        return slice.iter().map(f).collect();
+    }
+
+    // Many small chunks so stealing can balance skewed per-item cost.
+    let chunk_count = n.min(threads * CHUNKS_PER_WORKER);
+    let chunk_size = n.div_ceil(chunk_count);
+    let chunk_count = n.div_ceil(chunk_size);
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    let op = MapOp {
+        items: slice,
+        f,
+        out: out.as_mut_ptr(),
+        status: OpStatus::new(chunk_count),
+    };
+    let op_ptr = &op as *const MapOp<'_, '_, T, R, F> as *const ();
+    core.submit(
+        (0..chunk_count).map(|c| {
+            let start = c * chunk_size;
+            Chunk {
+                op: op_ptr,
+                run: run_map_chunk::<T, R, F>,
+                start,
+                end: (start + chunk_size).min(n),
+            }
+        }),
+        chunk_count,
+    );
+
+    // Help run chunks (ours or anyone's) instead of blocking; park on the
+    // latch only when the pool is drained and our op is still in flight.
+    loop {
+        if op.status.is_done() {
+            break;
         }
-    });
+        if let Some(chunk) = core.claim(None) {
+            // SAFETY: every submitted chunk's op outlives it (each
+            // submitter blocks on its own latch, as we do here).
+            unsafe { (chunk.run)(chunk.op, chunk.start, chunk.end) };
+        } else {
+            let done = op.status.done.lock().unwrap();
+            if *done {
+                break;
+            }
+            // Short timeout: a worker may have claimed the last chunk just
+            // before we checked, and its notify raced our lock.
+            let _ = op
+                .status
+                .done_cv
+                .wait_timeout(done, Duration::from_millis(1))
+                .unwrap();
+        }
+    }
+
+    if let Some(payload) = op.status.panic.lock().unwrap().take() {
+        std::panic::resume_unwind(payload);
+    }
     out.into_iter()
         .map(|r| r.expect("worker filled every slot"))
         .collect()
@@ -204,5 +387,46 @@ mod tests {
         let one = [7u32];
         let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn workers_see_pool_size() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let input: Vec<u32> = (0..256).collect();
+        let seen: Vec<usize> = pool.install(|| {
+            input
+                .par_iter()
+                .map(|_| current_num_threads())
+                .collect::<Vec<_>>()
+        });
+        // Every item ran either on a pool worker or on the installed
+        // submitter thread; both must report the pool's size.
+        assert!(seen.iter().all(|&n| n == 3), "got {seen:?}");
+    }
+
+    #[test]
+    fn panics_propagate_to_submitter() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let input: Vec<u32> = (0..100).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                input
+                    .par_iter()
+                    .map(|&x| if x == 57 { panic!("boom {x}") } else { x })
+                    .collect::<Vec<_>>()
+            })
+        }));
+        let payload = result.expect_err("panic must cross the pool");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "boom 57");
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let input: Vec<u64> = (0..512).collect();
+        let out: Vec<u64> = pool.install(|| input.par_iter().map(|x| x + 1).collect());
+        assert_eq!(out.len(), 512);
+        drop(pool); // must not hang or leak panics
     }
 }
