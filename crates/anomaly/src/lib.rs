@@ -9,6 +9,8 @@
 //! * [`diagnose`] — the GroupBy-based diagnosis workflow of the paper's
 //!   case studies.
 
+#![forbid(unsafe_code)]
+
 pub mod detector;
 pub mod diagnose;
 pub mod instance;

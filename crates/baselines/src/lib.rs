@@ -11,6 +11,8 @@
 //! All three consume the same key sequences / Intel Message streams as the
 //! IntelLog pipeline, so the Table 8 comparison runs on identical inputs.
 
+#![forbid(unsafe_code)]
+
 pub mod deeplog;
 pub mod logcluster;
 pub mod stitch;

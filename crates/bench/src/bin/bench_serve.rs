@@ -23,8 +23,8 @@ use dlasim::SystemKind;
 use intellog_bench::training_sessions;
 use intellog_serve::{run_replay, Backpressure, ReplayConfig, ReplayOutcome, ServeConfig, Server};
 use serde::Serialize;
-use std::sync::Arc;
 use std::time::Duration;
+use sync::Arc;
 
 #[derive(Serialize)]
 struct ShardRunStats {
@@ -70,7 +70,7 @@ fn serve_config(shards: usize, queue_capacity: usize, backpressure: Backpressure
 /// Spin up a fresh server, replay one workload through it, shut it down.
 fn one_run(detector: &Arc<Detector>, cfg: &ServeConfig, replay: &ReplayConfig) -> ReplayOutcome {
     let server = Server::bind(cfg, Arc::clone(detector)).expect("bind loopback");
-    let (addr, join) = server.spawn();
+    let (addr, join) = server.spawn().expect("spawn server");
     let outcome = run_replay(&addr.to_string(), detector, replay).expect("replay");
     let mut ctl = intellog_serve::ServeClient::connect(&addr.to_string()).expect("ctl");
     ctl.shutdown().expect("shutdown");

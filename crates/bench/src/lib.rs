@@ -10,6 +10,8 @@
 //! * [`accuracy`] — the Table 4 extraction-accuracy evaluation against the
 //!   simulator's template ground truth.
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod corpus;
 pub mod keyseq;

@@ -8,6 +8,8 @@
 //!   the log-session types the pipeline consumes, both structural and
 //!   through raw log text + formatters.
 
+#![forbid(unsafe_code)]
+
 pub mod bridge;
 pub mod pipeline;
 

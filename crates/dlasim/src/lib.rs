@@ -16,6 +16,8 @@
 //! * [`spark`] / [`mapreduce`] / [`tez`] / [`yarn`] / [`nova`] — the system
 //!   models and their truth catalogs.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod emit;
 pub mod faults;

@@ -16,6 +16,8 @@
 //! * [`query`] — GroupBy/filter operators over stored Intel Messages and
 //!   JSON export (the paper's diagnosis workflow).
 
+#![forbid(unsafe_code)]
+
 pub mod entity;
 pub mod fields;
 pub mod intelkey;

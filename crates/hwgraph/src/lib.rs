@@ -14,6 +14,8 @@
 //! * [`graph`] — the assembled [`HwGraph`], its Table 5 statistics, JSON
 //!   serialisation and the Fig. 8-style text rendering.
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod group;
 pub mod hierarchy;

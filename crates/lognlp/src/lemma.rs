@@ -7,7 +7,7 @@
 //! uses the surface by default and the base form only for matching.
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use sync::OnceLock;
 
 /// Irregular plural → singular pairs seen in system logs.
 const IRREGULAR_NOUNS: &[(&str, &str)] = &[

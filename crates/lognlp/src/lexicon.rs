@@ -18,7 +18,7 @@
 
 use crate::tags::PosTag;
 use std::collections::{HashMap, HashSet};
-use std::sync::OnceLock;
+use sync::OnceLock;
 
 /// Closed-class entries: word → tag.
 const CLOSED: &[(&str, PosTag)] = &[

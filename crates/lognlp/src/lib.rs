@@ -22,6 +22,8 @@
 //! do not exist, so this crate implements the required slices directly (see
 //! DESIGN.md §1 for the substitution argument).
 
+#![forbid(unsafe_code)]
+
 pub mod camel;
 pub mod clause;
 pub mod depparse;

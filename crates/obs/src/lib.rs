@@ -32,6 +32,8 @@
 //! [`render_prometheus`] sanitises them to `intellog_spell_match_trie_hits`
 //! for scrape compatibility.
 
+#![forbid(unsafe_code)]
+
 mod metrics;
 mod span;
 mod trace;
@@ -42,8 +44,15 @@ pub use metrics::{
 pub use span::SpanGuard;
 pub use trace::{clear_trace, emit_event, flush_trace, set_trace_path, trace_active};
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
+use sync::atomic::{AtomicBool, Ordering};
+use sync::OnceLock;
+
+/// Implementation detail of the metric macros: the per-call-site handle
+/// cache must name a `OnceLock` reachable from the *expanding* crate, and
+/// routing it through the facade keeps expanded code free of raw
+/// `std::sync` (the invariant linter checks expansions' source text too).
+#[doc(hidden)]
+pub use sync::OnceLock as __OnceLock;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -101,8 +110,8 @@ macro_rules! inc {
 macro_rules! add {
     ($name:literal, $n:expr) => {{
         if $crate::is_enabled() {
-            static __OBS_C: ::std::sync::OnceLock<&'static $crate::Counter> =
-                ::std::sync::OnceLock::new();
+            static __OBS_C: $crate::__OnceLock<&'static $crate::Counter> =
+                $crate::__OnceLock::new();
             __OBS_C
                 .get_or_init(|| $crate::registry().counter($name))
                 .add($n as u64);
@@ -115,8 +124,7 @@ macro_rules! add {
 macro_rules! gauge_set {
     ($name:literal, $v:expr) => {{
         if $crate::is_enabled() {
-            static __OBS_G: ::std::sync::OnceLock<&'static $crate::Gauge> =
-                ::std::sync::OnceLock::new();
+            static __OBS_G: $crate::__OnceLock<&'static $crate::Gauge> = $crate::__OnceLock::new();
             __OBS_G
                 .get_or_init(|| $crate::registry().gauge($name))
                 .set($v as u64);
@@ -129,8 +137,8 @@ macro_rules! gauge_set {
 macro_rules! observe_us {
     ($name:literal, $us:expr) => {{
         if $crate::is_enabled() {
-            static __OBS_H: ::std::sync::OnceLock<&'static $crate::Histogram> =
-                ::std::sync::OnceLock::new();
+            static __OBS_H: $crate::__OnceLock<&'static $crate::Histogram> =
+                $crate::__OnceLock::new();
             __OBS_H
                 .get_or_init(|| $crate::registry().histogram($name))
                 .record_us($us as u64);
@@ -145,8 +153,8 @@ macro_rules! observe_us {
 macro_rules! span {
     ($name:literal) => {{
         if $crate::is_enabled() {
-            static __OBS_S: ::std::sync::OnceLock<&'static $crate::Histogram> =
-                ::std::sync::OnceLock::new();
+            static __OBS_S: $crate::__OnceLock<&'static $crate::Histogram> =
+                $crate::__OnceLock::new();
             $crate::SpanGuard::started(
                 __OBS_S
                     .get_or_init(|| $crate::registry().histogram(concat!("span.", $name, "_us"))),
@@ -177,7 +185,7 @@ mod tests {
     fn global_registry_roundtrip() {
         // Serialise access to the global enable flag (other tests in this
         // binary may toggle it).
-        let _guard = metrics::test_lock().lock().unwrap();
+        let _guard = metrics::test_lock().lock();
         enable();
         inc!("test.lib.counter");
         add!("test.lib.counter", 4);
@@ -213,7 +221,7 @@ mod tests {
 
     #[test]
     fn disabled_macros_record_nothing() {
-        let _guard = metrics::test_lock().lock().unwrap();
+        let _guard = metrics::test_lock().lock();
         enable();
         inc!("test.gate.counter"); // register while enabled
         disable();

@@ -7,8 +7,8 @@
 //! macros in `lib.rs`), so the lock is hit once per call site per process.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use sync::atomic::{AtomicU64, Ordering};
+use sync::Mutex;
 
 /// Number of power-of-two histogram buckets: bucket `i` counts samples in
 /// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended (~34 s).
@@ -259,7 +259,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric type.
     pub fn counter(&self, name: &str) -> &'static Counter {
-        let mut map = self.metrics.lock().expect("obs registry poisoned");
+        let mut map = self.metrics.lock();
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::default()))))
@@ -271,7 +271,7 @@ impl Registry {
 
     /// Intern a gauge by name (see [`Registry::counter`]).
     pub fn gauge(&self, name: &str) -> &'static Gauge {
-        let mut map = self.metrics.lock().expect("obs registry poisoned");
+        let mut map = self.metrics.lock();
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::default()))))
@@ -283,7 +283,7 @@ impl Registry {
 
     /// Intern a histogram by name (see [`Registry::counter`]).
     pub fn histogram(&self, name: &str) -> &'static Histogram {
-        let mut map = self.metrics.lock().expect("obs registry poisoned");
+        let mut map = self.metrics.lock();
         match map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::default()))))
@@ -295,7 +295,7 @@ impl Registry {
 
     /// Zero every registered metric. Handles stay valid.
     pub fn reset(&self) {
-        let map = self.metrics.lock().expect("obs registry poisoned");
+        let map = self.metrics.lock();
         for m in map.values() {
             match m {
                 Metric::Counter(c) => c.reset(),
@@ -307,7 +307,7 @@ impl Registry {
 
     /// Sorted point-in-time view of every registered metric.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
-        let map = self.metrics.lock().expect("obs registry poisoned");
+        let map = self.metrics.lock();
         map.iter()
             .map(|(name, m)| match m {
                 Metric::Counter(c) => MetricSnapshot::Counter {

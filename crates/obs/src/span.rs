@@ -47,7 +47,7 @@ mod tests {
         static HIST: Histogram = Histogram::new();
         {
             let _span = SpanGuard::started(&HIST);
-            std::thread::sleep(std::time::Duration::from_micros(50));
+            sync::thread::sleep(std::time::Duration::from_micros(50));
         }
         assert_eq!(HIST.count(), 1);
         assert!(HIST.sum_us() >= 1);

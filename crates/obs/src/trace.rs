@@ -8,8 +8,8 @@
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use sync::atomic::{AtomicBool, Ordering};
+use sync::Mutex;
 
 enum Sink {
     File(BufWriter<File>),
@@ -27,7 +27,7 @@ pub fn set_trace_path(path: &str) -> io::Result<()> {
     } else {
         Sink::File(BufWriter::new(File::create(path)?))
     };
-    *SINK.lock().expect("obs trace sink poisoned") = Some(sink);
+    *SINK.lock() = Some(sink);
     ACTIVE.store(true, Ordering::Relaxed);
     Ok(())
 }
@@ -35,7 +35,7 @@ pub fn set_trace_path(path: &str) -> io::Result<()> {
 /// Flush and remove the trace sink; subsequent events are dropped.
 pub fn clear_trace() {
     ACTIVE.store(false, Ordering::Relaxed);
-    if let Some(Sink::File(mut w)) = SINK.lock().expect("obs trace sink poisoned").take() {
+    if let Some(Sink::File(mut w)) = SINK.lock().take() {
         let _ = w.flush();
     }
 }
@@ -64,7 +64,7 @@ pub fn emit_event(name: &str, fields: &[(&str, String)]) {
     }
     line.push_str("}\n");
 
-    let mut guard = SINK.lock().expect("obs trace sink poisoned");
+    let mut guard = SINK.lock();
     if let Some(sink) = guard.as_mut() {
         let _ = match sink {
             Sink::File(w) => w.write_all(line.as_bytes()),
@@ -75,7 +75,7 @@ pub fn emit_event(name: &str, fields: &[(&str, String)]) {
 
 /// Flush the file sink without removing it (used by the CLI before exit).
 pub fn flush_trace() {
-    if let Some(Sink::File(w)) = SINK.lock().expect("obs trace sink poisoned").as_mut() {
+    if let Some(Sink::File(w)) = SINK.lock().as_mut() {
         let _ = w.flush();
     }
 }

@@ -12,28 +12,39 @@ use obs::{Counter, Histogram, MetricSnapshot, HISTOGRAM_BUCKETS};
 use proptest::prelude::*;
 use rayon::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
+// lint: allow(std-sync) — the global allocator runs underneath everything,
+// including the sync facade's model-check hooks; counting allocations
+// through a facade atomic would re-enter the scheduler from inside alloc.
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use sync::{Mutex, MutexGuard, OnceLock};
 
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// GlobalAlloc contract; the only addition is a relaxed counter bump, which
+// neither allocates nor unwinds.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwarded to `System.alloc` with the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: forwarded to `System.dealloc`; `ptr`/`layout` come straight
+    // from the caller, whose contract matches System's.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwarded to `System.realloc` with the caller's arguments.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: forwarded to `System.alloc_zeroed` with the caller's layout.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
@@ -46,9 +57,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// All tests in this binary share the process-global obs state.
 fn lock() -> MutexGuard<'static, ()> {
     static L: OnceLock<Mutex<()>> = OnceLock::new();
-    L.get_or_init(|| Mutex::new(()))
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
+    L.get_or_init(|| Mutex::new(())).lock()
 }
 
 #[test]

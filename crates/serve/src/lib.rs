@@ -24,6 +24,8 @@
 //! * [`client`] / [`replay`] — the protocol client and the dlasim load
 //!   generator that verifies online verdicts equal offline detection.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod metrics;
 pub mod queue;

@@ -11,7 +11,7 @@
 //! they record whether or not the process-wide observability flag is on.
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two latency buckets (re-exported from `intellog-obs`
 /// since the bespoke histogram was replaced by the shared one).

@@ -8,9 +8,9 @@
 
 use std::collections::VecDeque;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Duration;
+use sync::atomic::{AtomicU64, Ordering};
+use sync::{Condvar, Mutex};
 
 /// What to do when a shard queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,7 +96,7 @@ impl<T> ShardQueue<T> {
 
     /// Enqueue a data message under the configured policy.
     pub fn push(&self, msg: T) -> PushOutcome {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         if inner.closed {
             // Late lines racing a shutdown are shed, not processed.
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -105,7 +105,7 @@ impl<T> ShardQueue<T> {
         let outcome = match self.policy {
             Backpressure::Block => {
                 while inner.q.len() >= self.capacity && !inner.closed {
-                    inner = self.not_full.wait(inner).unwrap();
+                    inner = self.not_full.wait(inner);
                 }
                 if inner.closed {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -136,13 +136,18 @@ impl<T> ShardQueue<T> {
             }
         };
         drop(inner);
+        // Mutant hook for the model-check self-test: compiling with
+        // `--cfg intellog_mutant_lost_wakeup` (on top of intellog_check)
+        // deletes this notify, and tests/model_check.rs proves the checker
+        // flags the resulting lost wakeup as a forced timeout.
+        #[cfg(not(all(intellog_check, intellog_mutant_lost_wakeup)))]
         self.not_empty.notify_one();
         outcome
     }
 
     /// Enqueue a control message, ignoring capacity and policy.
     pub fn push_control(&self, msg: T) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.q.push_back(msg);
         drop(inner);
         self.not_empty.notify_one();
@@ -151,14 +156,14 @@ impl<T> ShardQueue<T> {
     /// Dequeue, waiting up to `timeout`. `None` means timeout (the queue
     /// may also be closed — check [`ShardQueue::is_closed`] if it matters).
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         loop {
             if let Some(msg) = inner.q.pop_front() {
                 drop(inner);
                 self.not_full.notify_one();
                 return Some(msg);
             }
-            let (next, res) = self.not_empty.wait_timeout(inner, timeout).unwrap();
+            let (next, res) = self.not_empty.wait_timeout(inner, timeout);
             inner = next;
             if res.timed_out() {
                 return inner.q.pop_front();
@@ -174,7 +179,7 @@ impl<T> ShardQueue<T> {
     /// Returns the number of messages drained (0 on timeout).
     pub fn drain_timeout(&self, timeout: Duration, out: &mut VecDeque<T>) -> usize {
         debug_assert!(out.is_empty(), "drain target must be empty");
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         loop {
             if !inner.q.is_empty() {
                 std::mem::swap(&mut inner.q, out);
@@ -183,7 +188,7 @@ impl<T> ShardQueue<T> {
                 self.not_full.notify_all();
                 return out.len();
             }
-            let (next, res) = self.not_empty.wait_timeout(inner, timeout).unwrap();
+            let (next, res) = self.not_empty.wait_timeout(inner, timeout);
             inner = next;
             if res.timed_out() {
                 // Take whatever raced in with the timeout, if anything.
@@ -200,19 +205,19 @@ impl<T> ShardQueue<T> {
     /// Close the queue: blocked producers wake and shed their messages.
     /// Already-queued messages stay poppable.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.inner.lock().closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }
 
     /// `true` after [`ShardQueue::close`].
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().unwrap().closed
+        self.inner.lock().closed
     }
 
     /// Messages currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().q.len()
+        self.inner.lock().q.len()
     }
 
     /// `true` if nothing is queued.
@@ -229,7 +234,7 @@ impl<T> ShardQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use sync::Arc;
 
     #[test]
     fn policy_parsing() {
@@ -278,8 +283,8 @@ mod tests {
         let q = Arc::new(ShardQueue::new(1, Backpressure::Block));
         q.push(1);
         let q2 = Arc::clone(&q);
-        let producer = std::thread::spawn(move || q2.push(2));
-        std::thread::sleep(Duration::from_millis(20));
+        let producer = sync::thread::spawn(move || q2.push(2));
+        sync::thread::sleep(Duration::from_millis(20));
         assert_eq!(q.len(), 1, "producer must be blocked");
         assert_eq!(q.pop_timeout(Duration::from_millis(100)), Some(1));
         assert_eq!(producer.join().unwrap(), PushOutcome::Enqueued);
@@ -309,8 +314,8 @@ mod tests {
         let q = Arc::new(ShardQueue::new(1, Backpressure::Block));
         q.push(1);
         let q2 = Arc::clone(&q);
-        let producer = std::thread::spawn(move || q2.push(2));
-        std::thread::sleep(Duration::from_millis(20));
+        let producer = sync::thread::spawn(move || q2.push(2));
+        sync::thread::sleep(Duration::from_millis(20));
         let mut batch = VecDeque::new();
         assert_eq!(q.drain_timeout(Duration::from_millis(500), &mut batch), 1);
         assert_eq!(producer.join().unwrap(), PushOutcome::Enqueued);
@@ -324,8 +329,8 @@ mod tests {
         let q = Arc::new(ShardQueue::new(1, Backpressure::Block));
         q.push(1);
         let q2 = Arc::clone(&q);
-        let producer = std::thread::spawn(move || q2.push(2));
-        std::thread::sleep(Duration::from_millis(20));
+        let producer = sync::thread::spawn(move || q2.push(2));
+        sync::thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(producer.join().unwrap(), PushOutcome::DroppedNew);
         // queued data remains poppable after close

@@ -130,7 +130,7 @@ pub fn run_replay(
                     let due = Duration::from_secs_f64(sent as f64 / rate as f64);
                     let elapsed = start.elapsed();
                     if due > elapsed {
-                        std::thread::sleep(due - elapsed);
+                        sync::thread::sleep(due - elapsed);
                     }
                 }
             }

@@ -30,9 +30,9 @@ use spell::{Level, LogLine};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
 use std::time::Duration;
+use sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use sync::{mpsc, Arc};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -74,6 +74,7 @@ struct ServerState {
     backpressure: Backpressure,
     shutdown: AtomicBool,
     protocol_errors: AtomicU64,
+    spawn_errors: AtomicU64,
     addr: SocketAddr,
 }
 
@@ -132,6 +133,10 @@ impl ServerState {
         counter(
             "intellog_serve_protocol_errors_total",
             stats.protocol_errors,
+        );
+        counter(
+            "intellog_serve_spawn_errors_total",
+            self.spawn_errors.load(Ordering::Relaxed),
         );
         let _ = writeln!(out, "# TYPE intellog_serve_sessions_live gauge");
         let _ = writeln!(out, "intellog_serve_sessions_live {}", stats.sessions_live);
@@ -228,7 +233,7 @@ impl Server {
                 metrics,
                 Arc::clone(&sink),
                 config.idle_timeout,
-            ));
+            )?);
         }
         Ok(Server {
             listener,
@@ -239,6 +244,7 @@ impl Server {
                 backpressure: config.backpressure,
                 shutdown: AtomicBool::new(false),
                 protocol_errors: AtomicU64::new(0),
+                spawn_errors: AtomicU64::new(0),
                 addr,
             }),
         })
@@ -259,10 +265,17 @@ impl Server {
             match stream {
                 Ok(s) => {
                     let state = Arc::clone(&self.state);
-                    std::thread::Builder::new()
+                    // A failed spawn (thread exhaustion) must not take the
+                    // whole acceptor down: drop this connection, count it,
+                    // and keep serving the ones we already have.
+                    if let Err(e) = sync::thread::Builder::new()
                         .name("intellog-conn".into())
                         .spawn(move || handle_connection(s, &state))
-                        .expect("spawn connection handler");
+                    {
+                        self.state.spawn_errors.fetch_add(1, Ordering::Relaxed);
+                        obs::add!("serve.conn_spawn_errors", 1);
+                        eprintln!("intellog-serve: dropping connection, spawn failed: {e}");
+                    }
                 }
                 Err(e) => {
                     if self.state.shutdown.load(Ordering::SeqCst) {
@@ -285,13 +298,15 @@ impl Server {
 
     /// Run on a background thread: returns the bound address and the join
     /// handle (used by tests, `intellog replay --spawn`, and the bench).
-    pub fn spawn(self) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    /// Fails only if the acceptor thread itself cannot be spawned.
+    pub fn spawn(
+        self,
+    ) -> std::io::Result<(SocketAddr, sync::thread::JoinHandle<std::io::Result<()>>)> {
         let addr = self.local_addr();
-        let join = std::thread::Builder::new()
+        let join = sync::thread::Builder::new()
             .name("intellog-serve".into())
-            .spawn(move || self.run())
-            .expect("spawn server");
-        (addr, join)
+            .spawn(move || self.run())?;
+        Ok((addr, join))
     }
 }
 

@@ -14,10 +14,10 @@ use crate::sink::AnomalySink;
 use anomaly::{Detector, StreamDetector};
 use spell::LogLine;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use sync::atomic::Ordering;
+use sync::thread::JoinHandle;
+use sync::{mpsc, Arc};
 
 /// Messages a shard worker consumes.
 pub enum ShardMsg {
@@ -67,7 +67,8 @@ pub struct ShardHandle {
 }
 
 impl ShardHandle {
-    /// Spawn a shard worker over a shared model.
+    /// Spawn a shard worker over a shared model. Fails only if the OS
+    /// refuses the thread; the caller decides whether that is fatal.
     pub fn spawn(
         index: usize,
         detector: Arc<Detector>,
@@ -75,18 +76,17 @@ impl ShardHandle {
         metrics: Arc<ShardMetrics>,
         sink: Arc<AnomalySink>,
         idle_timeout: Duration,
-    ) -> ShardHandle {
+    ) -> std::io::Result<ShardHandle> {
         let q = Arc::clone(&queue);
         let m = Arc::clone(&metrics);
-        let join = std::thread::Builder::new()
+        let join = sync::thread::Builder::new()
             .name(format!("intellog-shard-{index}"))
-            .spawn(move || run_shard(&detector, &q, &m, &sink, idle_timeout))
-            .expect("spawn shard worker");
-        ShardHandle {
+            .spawn(move || run_shard(&detector, &q, &m, &sink, idle_timeout))?;
+        Ok(ShardHandle {
             queue,
             metrics,
             join: Some(join),
-        }
+        })
     }
 
     /// Join the worker (after a `Shutdown` message has been queued).
@@ -275,7 +275,8 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             Duration::from_secs(60),
-        );
+        )
+        .unwrap();
         let session = Session::new(
             "c9",
             vec![
@@ -319,7 +320,8 @@ mod tests {
             Arc::clone(&metrics),
             Arc::clone(&sink),
             Duration::from_millis(50),
-        );
+        )
+        .unwrap();
         queue.push(ShardMsg::Line {
             session: "idle1".into(),
             line: line(0, "Starting task 9 in stage 0"),
@@ -328,7 +330,7 @@ mod tests {
         // wait well past the idle timeout + scan tick
         let deadline = Instant::now() + Duration::from_secs(5);
         while sink.completed() == 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
+            sync::thread::sleep(Duration::from_millis(10));
         }
         assert_eq!(sink.completed(), 1, "idle session must be evicted");
         assert_eq!(metrics.sessions_evicted.load(Ordering::Relaxed), 1);

@@ -11,8 +11,8 @@ use anomaly::SessionReport;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use sync::atomic::{AtomicU64, Ordering};
+use sync::Mutex;
 
 struct SinkInner {
     ring: VecDeque<SessionReport>,
@@ -56,7 +56,7 @@ impl AnomalySink {
     /// Record one completed session.
     pub fn push(&self, report: SessionReport) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         for a in &report.anomalies {
             *inner.anomalies_by_kind.entry(a.kind_name()).or_insert(0) += 1;
         }
@@ -79,14 +79,14 @@ impl AnomalySink {
 
     /// The newest `n` completed reports, oldest first.
     pub fn recent_reports(&self, n: usize) -> Vec<SessionReport> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock();
         let skip = inner.ring.len().saturating_sub(n);
         inner.ring.iter().skip(skip).cloned().collect()
     }
 
     /// The newest `n` problematic reports, oldest first.
     pub fn recent_anomalous(&self, n: usize) -> Vec<SessionReport> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock();
         let mut out: Vec<SessionReport> = inner
             .ring
             .iter()
@@ -113,7 +113,6 @@ impl AnomalySink {
     pub fn anomalies_by_kind(&self) -> BTreeMap<String, u64> {
         self.inner
             .lock()
-            .unwrap()
             .anomalies_by_kind
             .iter()
             .map(|(k, v)| (k.to_string(), *v))

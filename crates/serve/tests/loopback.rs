@@ -8,8 +8,8 @@ use dlasim::{FaultKind, SystemKind};
 use intellog_core::sessions_from_job;
 use intellog_serve::{run_replay, Backpressure, ReplayConfig, ServeConfig, Server};
 use spell::Session;
-use std::sync::Arc;
 use std::time::Duration;
+use sync::Arc;
 
 fn train_sessions(system: SystemKind, jobs: usize, seed: u64) -> Vec<Session> {
     let mut gen = dlasim::WorkloadGen::new(seed, 8);
@@ -41,7 +41,7 @@ fn serve_config() -> ServeConfig {
 fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>) {
     let detector = Arc::new(anomaly::Trainer::default().train(&train_sessions(system, 2, 42)));
     let server = Server::bind(&serve_config(), Arc::clone(&detector)).expect("bind");
-    let (addr, join) = server.spawn();
+    let (addr, join) = server.spawn().expect("spawn server");
 
     let replay_cfg = ReplayConfig {
         system,
@@ -108,7 +108,7 @@ fn drop_oldest_under_pressure_counts_drops_and_stays_up() {
         ..ServeConfig::default()
     };
     let server = Server::bind(&cfg, Arc::clone(&detector)).expect("bind");
-    let (addr, join) = server.spawn();
+    let (addr, join) = server.spawn().expect("spawn server");
 
     let replay_cfg = ReplayConfig {
         system,

@@ -10,6 +10,8 @@
 //! timestamps, levels and emitting classes before Spell sees the message
 //! body, plus a session container type used throughout the pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod format;
 mod index;
 pub mod intern;

@@ -1,0 +1,202 @@
+//! Schedule-exploration strategies.
+//!
+//! Every scheduling decision in an execution is a choice among `n ≥ 2`
+//! options (which runnable task runs next, which condvar waiter wakes,
+//! which timed waiter force-fires). A [`Strategy`] makes those choices;
+//! the chosen *index* is recorded into the execution's schedule, so any
+//! execution — random, PCT or DFS — can be replayed byte-identically by
+//! [`Strategy::Replay`] without knowing how the choices were originally
+//! made. Single-option decisions are not recorded (nothing to choose),
+//! which keeps schedules short and the DFS tree narrow.
+
+use super::exec::Task;
+
+/// SplitMix64 — tiny, seedable, statistically fine for schedule sampling.
+/// Self-contained so the facade crate stays dependency-free.
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Mix a base seed with an iteration counter into an independent stream.
+pub(crate) fn mix_seed(base: u64, i: u64) -> u64 {
+    let mut rng = SplitMix64::new(base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rng.next()
+}
+
+/// Stateless depth-first enumeration of choice sequences, shared across
+/// executions. Each execution follows `path` for as long as it lasts and
+/// takes option 0 beyond it (extending the path); [`DfsTree::advance`]
+/// then bumps the deepest advanceable choice for the next execution.
+/// When `advance` returns `false` the whole (step-bounded) tree has been
+/// visited: the scenario is exhaustively explored.
+pub(crate) struct DfsTree {
+    /// `(chosen, total)` per decision point, in execution order.
+    path: Vec<(u32, u32)>,
+    cursor: usize,
+    /// Set when a replayed prefix saw a different option count than the
+    /// recorded one — the scenario is nondeterministic under a fixed
+    /// schedule (e.g. real-time branches), so DFS enumeration is invalid.
+    pub(crate) nondeterministic: bool,
+}
+
+impl DfsTree {
+    pub(crate) fn new() -> DfsTree {
+        DfsTree {
+            path: Vec::new(),
+            cursor: 0,
+            nondeterministic: false,
+        }
+    }
+
+    fn choose(&mut self, total: u32) -> u32 {
+        if self.cursor < self.path.len() {
+            let (chosen, recorded_total) = self.path[self.cursor];
+            if recorded_total != total {
+                self.nondeterministic = true;
+            }
+            self.cursor += 1;
+            return chosen.min(total - 1);
+        }
+        self.path.push((0, total));
+        self.cursor += 1;
+        0
+    }
+
+    /// Move to the next unexplored branch; `false` when exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        self.cursor = 0;
+        while let Some((chosen, total)) = self.path.pop() {
+            if chosen + 1 < total {
+                self.path.push((chosen + 1, total));
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Initial PCT priorities sit far above this; demotions count down from it
+/// so a demoted task always sinks below every initial priority.
+const PCT_LOW_START: u64 = 1 << 32;
+const PCT_HIGH_BIT: u64 = 1 << 48;
+
+pub(crate) enum Strategy {
+    /// Follow a recorded schedule exactly.
+    Replay {
+        choices: Vec<u32>,
+        pos: usize,
+        /// Ran out of recorded choices — the replayed code diverged.
+        underrun: bool,
+    },
+    /// Bounded exhaustive enumeration (shared tree, advanced externally).
+    Dfs { tree: DfsTree },
+    /// Uniformly random choice at every decision point.
+    Random { rng: SplitMix64 },
+    /// PCT-style: tasks carry random priorities, the highest-priority
+    /// runnable task wins, and the running task is occasionally demoted —
+    /// biases exploration toward few-preemption schedules, where most
+    /// real concurrency bugs live.
+    Pct { rng: SplitMix64, next_low: u64 },
+}
+
+impl Strategy {
+    pub(crate) fn random(seed: u64) -> Strategy {
+        Strategy::Random {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    pub(crate) fn pct(seed: u64) -> Strategy {
+        Strategy::Pct {
+            rng: SplitMix64::new(seed),
+            next_low: PCT_LOW_START,
+        }
+    }
+
+    pub(crate) fn replay(choices: Vec<u32>) -> Strategy {
+        Strategy::Replay {
+            choices,
+            pos: 0,
+            underrun: false,
+        }
+    }
+
+    /// Placeholder used when moving a strategy out of a finished execution.
+    pub(crate) fn null() -> Strategy {
+        Strategy::replay(Vec::new())
+    }
+
+    /// Priority for a newly registered task.
+    pub(crate) fn new_priority(&mut self) -> u64 {
+        match self {
+            Strategy::Pct { rng, .. } => PCT_HIGH_BIT | rng.next() % PCT_HIGH_BIT,
+            _ => 0,
+        }
+    }
+
+    /// Pick one of `options` (task ids, `len ≥ 2`). `current` is the task
+    /// that held the token when the decision arose (`usize::MAX` if none).
+    pub(crate) fn choose(
+        &mut self,
+        options: &[usize],
+        tasks: &mut [Task],
+        current: usize,
+    ) -> usize {
+        let n = options.len();
+        match self {
+            Strategy::Replay {
+                choices,
+                pos,
+                underrun,
+            } => {
+                let idx = if *pos < choices.len() {
+                    choices[*pos] as usize
+                } else {
+                    *underrun = true;
+                    0
+                };
+                *pos += 1;
+                idx.min(n - 1)
+            }
+            Strategy::Dfs { tree } => tree.choose(n as u32) as usize,
+            Strategy::Random { rng } => rng.below(n as u64) as usize,
+            Strategy::Pct { rng, next_low } => {
+                if current != usize::MAX && rng.below(8) == 0 {
+                    *next_low -= 1;
+                    tasks[current].priority = *next_low;
+                }
+                options
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &t)| tasks[t].priority)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Strategy::Replay { .. } => "replay".to_string(),
+            Strategy::Dfs { .. } => "dfs".to_string(),
+            Strategy::Random { .. } => "random".to_string(),
+            Strategy::Pct { .. } => "pct".to_string(),
+        }
+    }
+}

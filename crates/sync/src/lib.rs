@@ -1,0 +1,59 @@
+//! Synchronization facade for the IntelLog workspace.
+//!
+//! Every crate in the workspace (and `vendor/rayon`) takes its `Mutex`,
+//! `RwLock`, `Condvar`, atomics, channels and threads from here instead of
+//! `std::sync` / `std::thread` (enforced by `scripts/lint_invariants.py`).
+//! The facade has three personalities, chosen at compile time:
+//!
+//! * **release** — a zero-cost passthrough. Types are thin newtypes over
+//!   the std primitives (or straight re-exports) and every method inlines
+//!   to the std call.
+//! * **debug** (`debug_assertions`) — adds the [`mod@order`] lock-order
+//!   deadlock detector: a global lock-acquisition-order graph; creating a
+//!   cycle panics immediately with both acquisition sites, turning a
+//!   maybe-someday deadlock into a deterministic test failure.
+//! * **model checking** (`--cfg intellog_check`) — routes every
+//!   synchronization operation through the [`check`] scheduler, which owns
+//!   all interleaving decisions and can explore schedules exhaustively
+//!   (bounded DFS) or probabilistically (seeded uniform + PCT), replaying
+//!   any failure byte-identically from its recorded schedule. Code outside
+//!   a [`check::explore`] closure still runs on the std fallback, so the
+//!   regular test suite passes under the cfg too.
+//!
+//! See DESIGN.md §11 for the scheduler design and replay workflow.
+
+#![forbid(unsafe_code)]
+
+pub mod atomic;
+pub mod mpsc;
+pub mod thread;
+
+#[cfg(any(debug_assertions, intellog_check))]
+pub(crate) mod order;
+
+#[cfg(intellog_check)]
+pub mod check;
+
+mod facade;
+
+pub use facade::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+// Handle types with no synchronization *operations* of their own (their
+// effects are memory reclamation, not blocking) pass straight through.
+pub use std::sync::{Arc, OnceLock, Weak};
+
+/// `true` when this thread is currently executing inside a model-checking
+/// exploration (always `false` unless built with `--cfg intellog_check`).
+#[inline]
+pub fn model_checking_active() -> bool {
+    #[cfg(intellog_check)]
+    {
+        check::active()
+    }
+    #[cfg(not(intellog_check))]
+    {
+        false
+    }
+}

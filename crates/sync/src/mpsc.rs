@@ -1,0 +1,183 @@
+//! mpsc facade.
+//!
+//! Normal builds re-export `std::sync::mpsc`. Under `--cfg
+//! intellog_check` this is a miniature unbounded channel built on the
+//! facade's own `Mutex`/`Condvar`, so every send/recv is scheduler-
+//! visible (std's channel synchronizes internally where the model
+//! checker can't see it). The mini channel implements exactly the
+//! surface the workspace uses: `channel`, `Sender` (`clone`, `send`),
+//! `Receiver` (`recv`, `iter`), and the matching error types.
+
+#[cfg(not(intellog_check))]
+pub use std::sync::mpsc::*;
+
+#[cfg(intellog_check)]
+pub use checked::*;
+
+#[cfg(intellog_check)]
+mod checked {
+    use crate::{Arc, Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::fmt;
+
+    /// Sending on a channel whose receiver was dropped.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("sending on a closed channel")
+        }
+    }
+
+    /// Receiving on a channel whose senders are all gone.
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("receiving on a closed channel")
+        }
+    }
+
+    struct Inner<T> {
+        q: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        available: Condvar,
+    }
+
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                q: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            available: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            {
+                let mut inner = self.0.inner.lock();
+                if !inner.receiver_alive {
+                    return Err(SendError(value));
+                }
+                inner.q.push_back(value);
+            }
+            self.0.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.0.inner.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let last = {
+                let mut inner = self.0.inner.lock();
+                inner.senders -= 1;
+                inner.senders == 0
+            };
+            if last {
+                // Wake a receiver blocked on a now-unfillable channel.
+                self.0.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Sender")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.inner.lock();
+            loop {
+                if let Some(v) = inner.q.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.available.wait(inner);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.0.inner.lock();
+            match inner.q.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.inner.lock().receiver_alive = false;
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Receiver")
+        }
+    }
+
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Lock-order (witness-based) deadlock detection.
+//!
+//! Every facade lock gets a lazily-assigned global id. When a thread
+//! acquires lock `B` while holding lock `A`, the edge `A → B` is recorded
+//! in a process-wide acquisition-order graph. If inserting an edge creates
+//! a cycle, some pair of threads can deadlock under an unlucky schedule —
+//! we panic *immediately*, on the thread that closed the cycle, naming the
+//! acquisition site of every edge on the cycle. This turns a probabilistic
+//! hang into a deterministic single-threaded test failure: the detector
+//! fires even when the two acquisition orders are exercised sequentially
+//! by one thread.
+//!
+//! Compiled only under `debug_assertions` or `--cfg intellog_check`;
+//! release builds carry neither the graph nor the per-thread held stack.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Lazily-assigned stable identity for one facade lock. Ids come from a
+/// global counter rather than the lock's address so that address reuse
+/// (drop a lock, allocate another at the same spot) can't alias two
+/// distinct locks into one graph node and fabricate a cycle.
+pub(crate) struct LockId(AtomicU64);
+
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+impl LockId {
+    pub(crate) const fn new() -> LockId {
+        LockId(AtomicU64::new(0))
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        let id = self.0.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+}
+
+/// One recorded `from → to` acquisition ordering and where each side was
+/// locked the first time the ordering was observed.
+#[derive(Clone, Copy)]
+struct EdgeInfo {
+    from_loc: &'static Location<'static>,
+    to_loc: &'static Location<'static>,
+}
+
+#[derive(Default)]
+struct Graph {
+    edges: HashMap<u64, HashMap<u64, EdgeInfo>>,
+}
+
+impl Graph {
+    /// Is there a path `from →* to` using recorded edges?
+    fn reaches(&self, from: u64, to: u64, path: &mut Vec<u64>) -> bool {
+        if from == to {
+            return true;
+        }
+        if path.contains(&from) {
+            return false; // already on the DFS stack
+        }
+        path.push(from);
+        if let Some(nexts) = self.edges.get(&from) {
+            for &next in nexts.keys() {
+                if self.reaches(next, to, path) {
+                    return true;
+                }
+            }
+        }
+        path.pop();
+        false
+    }
+
+    /// Format the recorded path `from →* to` (computed by `reaches`) for a
+    /// cycle report.
+    fn describe_path(&self, from: u64, to: u64) -> String {
+        // Re-run the DFS keeping the successful path this time.
+        fn walk(g: &Graph, from: u64, to: u64, seen: &mut Vec<u64>, out: &mut String) -> bool {
+            if from == to {
+                return true;
+            }
+            if seen.contains(&from) {
+                return false;
+            }
+            seen.push(from);
+            if let Some(nexts) = g.edges.get(&from) {
+                for (&next, info) in nexts {
+                    if walk(g, next, to, seen, out) {
+                        out.insert_str(
+                            0,
+                            &format!(
+                                "\n    lock#{next} (at {}) acquired while holding lock#{from} (at {})",
+                                info.to_loc, info.from_loc
+                            ),
+                        );
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        let mut out = String::new();
+        walk(self, from, to, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+thread_local! {
+    /// Locks currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<(u64, &'static Location<'static>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Record the intent to acquire `id` at `loc`; panics if the acquisition
+/// would close a cycle in the global order graph (or is a recursive
+/// re-acquisition, which self-deadlocks on a non-reentrant std mutex).
+/// Runs *before* blocking so the report comes from a live thread.
+pub(crate) fn before_acquire(id: u64, loc: &'static Location<'static>) {
+    let held: Vec<(u64, &'static Location<'static>)> = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return;
+    }
+    if let Some(&(_, first_loc)) = held.iter().find(|&&(h, _)| h == id) {
+        panic!(
+            "lock-order: recursive acquisition of lock#{id} at {loc} \
+             (already held since {first_loc}); std mutexes are not reentrant"
+        );
+    }
+    let mut g = graph().lock().unwrap_or_else(|p| p.into_inner());
+    for &(held_id, held_loc) in &held {
+        let entry = g.edges.entry(held_id).or_default();
+        if entry.contains_key(&id) {
+            continue; // known-safe ordering, nothing new to check
+        }
+        // Adding held_id → id creates a cycle iff id already reaches held_id.
+        if g.reaches(id, held_id, &mut Vec::new()) {
+            let prior = g.describe_path(id, held_id);
+            panic!(
+                "lock-order violation: acquiring lock#{id} at {loc} while holding \
+                 lock#{held_id} (at {held_loc}) closes a cycle; conflicting prior order:{prior}\n\
+                 backtrace:\n{}",
+                std::backtrace::Backtrace::force_capture()
+            );
+        }
+        g.edges.entry(held_id).or_default().insert(
+            id,
+            EdgeInfo {
+                from_loc: held_loc,
+                to_loc: loc,
+            },
+        );
+    }
+}
+
+/// The acquisition of `id` succeeded; push it on this thread's held stack.
+pub(crate) fn after_acquire(id: u64, loc: &'static Location<'static>) {
+    HELD.with(|h| h.borrow_mut().push((id, loc)));
+}
+
+/// `id` was released (guard drop, or a condvar wait releasing the mutex).
+pub(crate) fn on_release(id: u64) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(h_id, _)| h_id == id) {
+            held.remove(pos);
+        }
+    });
+}

@@ -1,0 +1,156 @@
+//! Threads facade.
+//!
+//! Normal builds re-export `std::thread` wholesale. Under `--cfg
+//! intellog_check`, spawning from inside an exploration registers a
+//! scheduler *task* instead of a free-running OS thread: the scheduler
+//! decides when it runs, `join` is a blocking schedule point, `sleep` /
+//! `yield_now` are plain schedule points (no real time passes), and
+//! `park` / `park_timeout` block with the std token semantics. Outside
+//! an exploration everything falls through to std, so the same binary
+//! can run both checked scenarios and ordinary tests.
+
+#[cfg(not(intellog_check))]
+pub use std::thread::*;
+
+#[cfg(intellog_check)]
+pub use checked::*;
+
+#[cfg(intellog_check)]
+mod checked {
+    use crate::check;
+    use std::io;
+    use std::time::Duration;
+
+    pub use std::thread::available_parallelism;
+
+    /// Mirror of `std::thread::Builder` (name only — that is all the
+    /// workspace uses).
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Builder {
+            Builder { name: None }
+        }
+
+        pub fn name(mut self, name: String) -> Builder {
+            self.name = Some(name);
+            self
+        }
+
+        pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            if check::active() && !std::thread::panicking() {
+                let name = self.name.unwrap_or_else(|| "thread".to_string());
+                Ok(JoinHandle(Imp::Task(check::spawn_scenario_thread(name, f))))
+            } else {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                Ok(JoinHandle(Imp::Std(b.spawn(f)?)))
+            }
+        }
+    }
+
+    enum Imp<T> {
+        Std(std::thread::JoinHandle<T>),
+        Task(check::TaskHandle<T>),
+    }
+
+    /// Join handle over either a real thread or a scheduler task.
+    pub struct JoinHandle<T>(Imp<T>);
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Imp::Std(h) => h.join(),
+                Imp::Task(t) => t.join(),
+            }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            match &self.0 {
+                Imp::Std(h) => h.is_finished(),
+                Imp::Task(t) => t.is_finished(),
+            }
+        }
+
+        pub fn thread(&self) -> Thread {
+            match &self.0 {
+                Imp::Std(h) => Thread(ThreadImp::Std(h.thread().clone())),
+                Imp::Task(t) => {
+                    let (exec, id) = t.unpark_ref();
+                    Thread(ThreadImp::Task(exec, id))
+                }
+            }
+        }
+    }
+
+    enum ThreadImp {
+        Std(std::thread::Thread),
+        Task(std::sync::Arc<check::ExecutionRef>, usize),
+    }
+
+    /// Minimal `std::thread::Thread` stand-in: just `unpark`.
+    pub struct Thread(ThreadImp);
+
+    impl Thread {
+        pub fn unpark(&self) {
+            match &self.0 {
+                ThreadImp::Std(t) => t.unpark(),
+                ThreadImp::Task(exec, id) => check::unpark(exec, *id),
+            }
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn thread")
+    }
+
+    pub fn sleep(dur: Duration) {
+        if check::active() && !std::thread::panicking() {
+            // Model time: sleeping only cedes the schedule.
+            check::op_point("sleep", None);
+        } else {
+            std::thread::sleep(dur);
+        }
+    }
+
+    pub fn yield_now() {
+        if check::active() && !std::thread::panicking() {
+            check::op_point("yield", None);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    pub fn park() {
+        if check::active() && !std::thread::panicking() {
+            check::park(false);
+        } else {
+            std::thread::park();
+        }
+    }
+
+    pub fn park_timeout(dur: Duration) {
+        if check::active() && !std::thread::panicking() {
+            check::park(true);
+        } else {
+            std::thread::park_timeout(dur);
+        }
+    }
+
+    pub fn panicking() -> bool {
+        std::thread::panicking()
+    }
+}

@@ -1,0 +1,98 @@
+//! The lock-order deadlock detector must catch inverted acquisition
+//! orders *deterministically* — even when both orders are exercised
+//! sequentially by a single thread, with no concurrency at all.
+//!
+//! Only compiled with `debug_assertions` (the detector is absent from
+//! release builds; the recursive test would genuinely deadlock there).
+#![cfg(debug_assertions)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use sync::Mutex;
+
+#[test]
+fn inverted_acquisition_order_is_caught() {
+    let a = Mutex::new("a");
+    let b = Mutex::new("b");
+
+    // Train the graph: a → b is the blessed order.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    // The inversion b → a must panic with both acquisition sites.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }))
+    .expect_err("lock inversion must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".to_string());
+    assert!(
+        msg.contains("lock-order violation"),
+        "unexpected panic message: {msg}"
+    );
+    assert!(
+        msg.contains("lock_order.rs"),
+        "message should cite the acquisition sites: {msg}"
+    );
+}
+
+#[test]
+fn recursive_acquisition_is_caught() {
+    let m = Mutex::new(0);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _g1 = m.lock();
+        let _g2 = m.lock(); // would self-deadlock on a real std mutex
+    }))
+    .expect_err("recursive lock must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".to_string());
+    assert!(msg.contains("recursive"), "unexpected panic message: {msg}");
+}
+
+#[test]
+fn consistent_order_stays_silent() {
+    let a = Mutex::new(());
+    let b = Mutex::new(());
+    let c = Mutex::new(());
+    // a → b → c repeatedly, plus a → c: a DAG, never a cycle.
+    for _ in 0..3 {
+        let _ga = a.lock();
+        let _gb = b.lock();
+        let _gc = c.lock();
+    }
+    {
+        let _ga = a.lock();
+        let _gc = c.lock();
+    }
+}
+
+#[test]
+fn condvar_wait_releases_for_ordering_purposes() {
+    use std::time::Duration;
+    use sync::Condvar;
+
+    let outer = Mutex::new(());
+    let inner = Mutex::new(());
+    let cv = Condvar::new();
+
+    // Hold `outer`, wait (with timeout) on `inner`: during the wait the
+    // inner lock is released and reacquired — that must not record an
+    // inner → outer edge that later flags the normal outer → inner order.
+    {
+        let _go = outer.lock();
+        let gi = inner.lock();
+        let (gi, res) = cv.wait_timeout(gi, Duration::from_millis(1));
+        assert!(res.timed_out());
+        drop(gi);
+    }
+    {
+        let _go = outer.lock();
+        let _gi = inner.lock();
+    }
+}

@@ -1,0 +1,324 @@
+#!/usr/bin/env python3
+"""CI-gated concurrency-invariant linter (DESIGN.md §11).
+
+Four rules over the workspace's Rust sources:
+
+  R1  raw-sync     `std::sync` / `std::thread` are forbidden outside the
+                   facade (`crates/sync/`) and the vendored dependency
+                   stubs — all workspace concurrency must route through
+                   the `sync` facade or the model checker cannot see it.
+                   `vendor/rayon` is NOT exempt: it was migrated onto the
+                   facade and must stay on it.
+  R2  safety-doc   every `unsafe` block / fn / impl needs a comment
+                   containing `SAFETY` within the 5 preceding lines.
+  R3  forbid-attr  every crate root (`crates/*/src/lib.rs`, `src/main.rs`)
+                   must carry `#![forbid(unsafe_code)]` unless listed in
+                   R3_EXEMPT (only `crates/sync` would ever qualify — it
+                   carries the attribute anyway — and vendor/ is skipped).
+  R4  no-unwrap    `.unwrap()` / `.expect(` are forbidden in the serve
+                   request-path modules outside their `#[cfg(test)]`
+                   tail — a malformed request must never abort a shard.
+
+Escape hatch: a `// lint: allow(<rule>)` comment on the offending line or
+within the 5 lines above suppresses that rule there (used exactly once in
+the tree, for the counting global allocator in obs's tests, which must
+not recurse into the facade).
+
+Exit status: 0 clean, 1 violations (printed as file:line: rule message).
+`--self-test` instead verifies, on synthetic sources, that every rule
+both fires on a violation and stays silent on compliant code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# R1: directories whose files may touch std::sync / std::thread directly.
+RAW_SYNC_WHITELIST = ("crates/sync/",)
+VENDOR_EXEMPT_PREFIX = "vendor/"  # stubs for external deps…
+VENDOR_CHECKED = ("vendor/rayon/",)  # …except the migrated executor
+
+R1_PATTERN = re.compile(r"\bstd\s*::\s*(sync|thread)\b")
+
+# R2: `unsafe` keyword opening a block, fn definition, impl or trait —
+# not the `unsafe fn(…)` *type* in a field/parameter position.
+R2_PATTERN = re.compile(r"\bunsafe\s+(fn\s+\w|impl\b|trait\b)|\bunsafe\s*\{")
+
+# R4: serve request-path modules (store/replay/client are offline paths).
+R4_MODULES = (
+    "crates/serve/src/server.rs",
+    "crates/serve/src/shard.rs",
+    "crates/serve/src/queue.rs",
+    "crates/serve/src/sink.rs",
+    "crates/serve/src/metrics.rs",
+)
+R4_PATTERN = re.compile(r"\.\s*(unwrap\s*\(\s*\)|expect\s*\()")
+
+R3_EXEMPT: tuple[str, ...] = ()
+
+ALLOW = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+LOOKBACK = 5  # lines of grace for SAFETY comments and allow markers
+
+
+def strip_noncode(line: str) -> str:
+    """Remove string literals and line comments so tokens inside them
+    (e.g. the word "unsafe" in lognlp's lexicon word list, or `std::sync`
+    in a doc comment) don't trip the rules. Block comments are handled
+    coarsely per line, which is adequate for this tree's style."""
+    out = []
+    i, n = 0, len(line)
+    in_str = False
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_str = False
+            i += 1
+            continue
+        if c == '"':
+            in_str = True
+            out.append('""')  # keep a placeholder so offsets stay sane
+            i += 1
+            continue
+        if c == "'" and i + 2 < n and line[i + 2] == "'":
+            i += 3  # char literal ('x'); lifetimes don't match this shape
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a comment
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed(lines: list[str], idx: int, rule: str) -> bool:
+    """True if an allow marker for `rule` covers line `idx` (0-based)."""
+    for j in range(max(0, idx - LOOKBACK), idx + 1):
+        m = ALLOW.search(lines[j])
+        if m and rule in [r.strip() for r in m.group(1).split(",")]:
+            return True
+    return False
+
+
+def has_safety_comment(lines: list[str], idx: int) -> bool:
+    for j in range(max(0, idx - LOOKBACK), idx + 1):
+        if "SAFETY" in lines[j].upper() and ("//" in lines[j] or "/*" in lines[j]):
+            return True
+    return False
+
+
+def rel(path: Path) -> str:
+    return path.relative_to(REPO).as_posix()
+
+
+def rust_sources(root: Path) -> list[Path]:
+    skip_dirs = {"target", ".git"}
+    out = []
+    for p in sorted(root.rglob("*.rs")):
+        parts = p.relative_to(root).parts
+        if parts and parts[0] in skip_dirs:
+            continue
+        out.append(p)
+    return out
+
+
+def lint_file(path: Path, relpath: str, violations: list[str]) -> None:
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    vendored = relpath.startswith(VENDOR_EXEMPT_PREFIX) and not relpath.startswith(
+        VENDOR_CHECKED
+    )
+    raw_sync_ok = vendored or any(relpath.startswith(w) for w in RAW_SYNC_WHITELIST)
+
+    # R4 only applies outside the conventional `#[cfg(test)]` tail.
+    r4_active = relpath in R4_MODULES
+    test_tail_start = len(lines)
+    if r4_active:
+        for i, line in enumerate(lines):
+            if line.strip().startswith("#[cfg(test)]"):
+                test_tail_start = i
+                break
+
+    for i, raw in enumerate(lines):
+        code = strip_noncode(raw)
+        if not code.strip():
+            continue
+        if not raw_sync_ok and R1_PATTERN.search(code):
+            if not allowed(lines, i, "std-sync"):
+                violations.append(
+                    f"{relpath}:{i + 1}: [raw-sync] raw std::sync/std::thread — "
+                    "use the `sync` facade so the model checker sees this op"
+                )
+        if not vendored and R2_PATTERN.search(code):
+            if not has_safety_comment(lines, i) and not allowed(lines, i, "safety-doc"):
+                violations.append(
+                    f"{relpath}:{i + 1}: [safety-doc] unsafe without a "
+                    f"`// SAFETY:` comment within {LOOKBACK} lines above"
+                )
+        if r4_active and i < test_tail_start and R4_PATTERN.search(code):
+            if not allowed(lines, i, "no-unwrap"):
+                violations.append(
+                    f"{relpath}:{i + 1}: [no-unwrap] .unwrap()/.expect() on a "
+                    "serve request path — handle or count the error instead"
+                )
+
+
+def lint_tree(root: Path) -> list[str]:
+    violations: list[str] = []
+    for path in rust_sources(root):
+        lint_file(path, path.relative_to(root).as_posix(), violations)
+
+    # R3: crate roots must forbid unsafe code.
+    roots = sorted(root.glob("crates/*/src/lib.rs"))
+    main = root / "src/main.rs"
+    if main.exists():
+        roots.append(main)
+    for r in roots:
+        relpath = r.relative_to(root).as_posix()
+        if relpath in R3_EXEMPT:
+            continue
+        if "#![forbid(unsafe_code)]" not in r.read_text(encoding="utf-8"):
+            violations.append(
+                f"{relpath}:1: [forbid-attr] crate root lacks "
+                "#![forbid(unsafe_code)] (add it or list the crate in "
+                "R3_EXEMPT with a justification)"
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------
+# Self-test: every rule must fire on a violation and pass on a fix.
+# ---------------------------------------------------------------------
+
+def self_test() -> int:
+    import tempfile
+
+    cases = {
+        "raw-sync fires": (
+            "crates/serve/src/bad.rs",
+            "use std::sync::Mutex;\n",
+            True,
+        ),
+        "raw-sync respects facade": (
+            "crates/serve/src/good.rs",
+            "use sync::Mutex;\n",
+            False,
+        ),
+        "raw-sync whitelists the facade crate": (
+            "crates/sync/src/facade.rs",
+            "use std::sync::Mutex;\n",
+            False,
+        ),
+        "raw-sync whitelists vendor stubs": (
+            "vendor/rand/src/lib.rs",
+            "use std::sync::Mutex;\n",
+            False,
+        ),
+        "raw-sync still checks vendor/rayon": (
+            "vendor/rayon/src/pool.rs",
+            "use std::thread::JoinHandle;\n",
+            True,
+        ),
+        "raw-sync ignores comments and strings": (
+            "crates/serve/src/doc.rs",
+            '// std::sync is forbidden here\nlet s = "std::thread";\n',
+            False,
+        ),
+        "raw-sync honors allow marker": (
+            "crates/serve/src/alloc.rs",
+            "// lint: allow(std-sync) — allocator runs below the facade\n"
+            "use std::sync::atomic::AtomicU64;\n",
+            False,
+        ),
+        "safety-doc fires": (
+            "crates/spell/src/bad.rs",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+            True,
+        ),
+        "safety-doc accepts documented unsafe": (
+            "crates/spell/src/good.rs",
+            "// SAFETY: p is valid for reads, checked by the caller.\n"
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+            False,
+        ),
+        "safety-doc skips unsafe fn pointer types": (
+            "crates/spell/src/ty.rs",
+            "struct C { run: unsafe fn(*const ()) }\n",
+            False,
+        ),
+        "no-unwrap fires on request path": (
+            "crates/serve/src/server.rs",
+            "fn f(s: &str) { s.parse::<u8>().unwrap(); }\n",
+            True,
+        ),
+        "no-unwrap spares the test tail": (
+            "crates/serve/src/queue.rs",
+            "fn f() {}\n#[cfg(test)]\nmod tests { fn g(s: &str) { s.parse::<u8>().unwrap(); } }\n",
+            False,
+        ),
+        "no-unwrap spares unwrap_or": (
+            "crates/serve/src/metrics.rs",
+            "fn f(s: &str) -> u8 { s.parse().unwrap_or(0) }\n",
+            False,
+        ),
+        "forbid-attr fires": (
+            "crates/fake/src/lib.rs",
+            "pub fn f() {}\n",
+            True,
+        ),
+        "forbid-attr accepts the attribute": (
+            "crates/fake/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            False,
+        ),
+    }
+
+    failures = 0
+    for name, (relpath, content, should_fire) in cases.items():
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            f = root / relpath
+            f.parent.mkdir(parents=True, exist_ok=True)
+            f.write_text(content, encoding="utf-8")
+            fired = bool(lint_tree(root))
+            if fired != should_fire:
+                print(f"self-test FAIL: {name}: expected fired={should_fire}, "
+                      f"got {fired}")
+                failures += 1
+    if failures:
+        return 1
+    print(f"self-test OK: {len(cases)} cases")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the rules fire on synthetic violations")
+    ap.add_argument("--root", type=Path, default=REPO,
+                    help="tree to lint (default: the repo)")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    violations = lint_tree(args.root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\n{len(violations)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@
 //! intellog demo
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cliargs;
 
 use cliargs::FlagSet;
@@ -22,8 +24,8 @@ use intellog::spell::{LogFormat, Session};
 use intellog_serve::{Backpressure, ModelStore, ReplayConfig, ServeConfig, Server};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Arc;
 use std::time::Duration;
+use sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use sync::atomic::{AtomicUsize, Ordering};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

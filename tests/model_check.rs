@@ -1,0 +1,422 @@
+//! Deterministic concurrency checking of the workspace's real sync code.
+//!
+//! Compiled only under `--cfg intellog_check` (see DESIGN.md §11):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg intellog_check" cargo test --test model_check --target-dir target/check
+//! ```
+//!
+//! Every scenario runs under `sync::check::explore`, which owns all
+//! interleaving: a bounded exhaustive-DFS phase followed by seeded
+//! random + PCT-style schedules. Failures print a replayable schedule.
+//!
+//! Lost wakeups are detected through the forced-timeout criterion: the
+//! controlled scheduler fires a timed wait's timeout only when *nothing*
+//! else can run, so in scenarios whose timed waits are all eventually
+//! satisfied, `forced_timeouts == 0` holds iff no wakeup was lost.
+//!
+//! The mutant tests at the bottom (compiled only when
+//! `--cfg intellog_mutant_lost_wakeup` is added on top) prove the
+//! criterion has teeth: with `ShardQueue::push`'s notify deleted, the
+//! same scenarios that are silent here must report forced timeouts.
+#![cfg(intellog_check)]
+
+use anomaly::SessionReport;
+use intellog_serve::{AnomalySink, Backpressure, ShardHandle, ShardMetrics, ShardMsg, ShardQueue};
+use spell::{Level, LogLine};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+use sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use sync::check::{explore, replay, CheckConfig};
+use sync::{thread, Arc};
+
+/// Iteration budget, divided by 10 when `INTELLOG_MC_SMOKE=1` (the CI
+/// smoke job) so the bounded run stays well under its time box while the
+/// full local run clears the 10k-interleaving bar.
+fn iters(full: usize) -> usize {
+    match std::env::var("INTELLOG_MC_SMOKE") {
+        Ok(v) if v == "1" => (full / 10).max(20),
+        _ => full,
+    }
+}
+
+fn cfg(iterations: usize, dfs_budget: usize) -> CheckConfig {
+    CheckConfig {
+        iterations,
+        dfs_budget,
+        ..CheckConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executor: the work-stealing pool's parking protocol.
+// ---------------------------------------------------------------------
+
+/// A 2-worker pool runs a par-map while the submitting task helps; every
+/// park/notify handoff in `vendor/rayon`'s submit/claim/park protocol is
+/// scheduler-controlled. Zero forced timeouts ⇒ no submit/park race can
+/// strand a worker (the classic lost-wakeup executor bug).
+#[test]
+fn executor_par_map_has_no_lost_wakeups() {
+    let report = explore(&cfg(iters(1000), 200), || {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("build pool");
+        let out: Vec<u64> = pool.install(|| {
+            use rayon::prelude::*;
+            let xs: Vec<u64> = (0..6).collect();
+            xs.par_iter().map(|x| x * 2).collect()
+        });
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+        // `pool` drops here: shutdown + notify + join, also under the
+        // scheduler — a lost shutdown wakeup would livelock into the
+        // step budget and fail the exploration.
+    });
+    report.assert_no_lost_wakeups();
+    assert!(report.executions >= iters(1000));
+}
+
+// ---------------------------------------------------------------------
+// ShardQueue: drain_timeout vs concurrent producers, all three policies.
+// ---------------------------------------------------------------------
+
+fn queue_scenario(policy: Backpressure, capacity: usize) {
+    let q = Arc::new(ShardQueue::new(capacity, policy));
+    let producers: Vec<_> = (0..2)
+        .map(|i| {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(i))
+        })
+        .collect();
+    // Drain until both pushes are accounted for (enqueued or shed). The
+    // consumer only ever waits while an unresolved push remains, and any
+    // push that enqueues also notifies — so under a correct queue no
+    // timed wait here can need the forced-timeout escape hatch.
+    let mut got = 0;
+    let mut batch = VecDeque::new();
+    while got + (q.dropped() as usize) < 2 {
+        got += q.drain_timeout(Duration::from_millis(50), &mut batch);
+        batch.clear();
+    }
+    for p in producers {
+        p.join().expect("producer exits");
+    }
+    assert_eq!(got + q.dropped() as usize, 2);
+    if policy == Backpressure::Block {
+        assert_eq!(q.dropped(), 0, "block policy must never shed");
+    }
+}
+
+#[cfg(not(intellog_mutant_lost_wakeup))]
+#[test]
+fn shard_queue_block_policy_under_all_interleavings() {
+    // capacity 1 forces the producer-blocks / drain-unblocks handoff
+    let report = explore(&cfg(iters(2000), 300), || {
+        queue_scenario(Backpressure::Block, 1)
+    });
+    report.assert_no_lost_wakeups();
+    assert!(report.executions >= iters(2000));
+    assert!(
+        report.distinct_schedules > 1,
+        "scheduler found no diversity"
+    );
+}
+
+#[cfg(not(intellog_mutant_lost_wakeup))]
+#[test]
+fn shard_queue_drop_newest_under_all_interleavings() {
+    explore(&cfg(iters(2000), 300), || {
+        queue_scenario(Backpressure::DropNewest, 1)
+    })
+    .assert_no_lost_wakeups();
+}
+
+#[cfg(not(intellog_mutant_lost_wakeup))]
+#[test]
+fn shard_queue_drop_oldest_under_all_interleavings() {
+    explore(&cfg(iters(2000), 300), || {
+        queue_scenario(Backpressure::DropOldest, 1)
+    })
+    .assert_no_lost_wakeups();
+}
+
+/// `close` must wake a producer blocked on a full queue — shed, not hung.
+#[cfg(not(intellog_mutant_lost_wakeup))]
+#[test]
+fn shard_queue_close_always_unblocks_producers() {
+    let report = explore(&cfg(iters(1000), 200), || {
+        let q = Arc::new(ShardQueue::<u32>::new(1, Backpressure::Block));
+        q.push(0);
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push(1));
+        q.close();
+        // Whatever the interleaving, the producer must terminate: either
+        // it enqueued before the close or it was woken and shed.
+        let _ = producer.join().expect("producer exits");
+    });
+    report.assert_ok();
+}
+
+// ---------------------------------------------------------------------
+// Serve: one shard worker end to end (lines → END → Shutdown → report).
+// ---------------------------------------------------------------------
+
+fn line(ts: u64, msg: &str) -> LogLine {
+    LogLine {
+        ts_ms: ts,
+        level: Level::Info,
+        source: "X".into(),
+        message: msg.into(),
+    }
+}
+
+fn trained() -> anomaly::Detector {
+    let mk = |id: &str| {
+        spell::Session::new(
+            id,
+            vec![
+                line(0, "Registering block manager endpoint on host1"),
+                line(10, "Shutdown hook called"),
+            ],
+        )
+    };
+    anomaly::Trainer::default().train(&[mk("t0"), mk("t1"), mk("t2")])
+}
+
+/// Concurrent producers feed a live shard worker, then END + Shutdown
+/// drain it. `run_shard` has a real-time eviction branch
+/// (`last_scan.elapsed()`), so the DFS phase is disabled — a fixed
+/// schedule does not replay deterministically across wall-clock jitter.
+#[cfg(not(intellog_mutant_lost_wakeup))]
+#[test]
+fn shard_worker_shutdown_always_emits_final_report() {
+    let det = Arc::new(trained());
+    let report = explore(&cfg(iters(100), 0), move || {
+        let queue = Arc::new(ShardQueue::new(8, Backpressure::Block));
+        let metrics = Arc::new(ShardMetrics::default());
+        let sink = Arc::new(AnomalySink::new(4, None).expect("memory-only sink"));
+        let shard = ShardHandle::spawn(
+            0,
+            Arc::clone(&det),
+            Arc::clone(&queue),
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            Duration::from_secs(60),
+        )
+        .expect("spawn shard worker");
+        let producers: Vec<_> = (0..2)
+            .map(|i| {
+                let q = Arc::clone(&queue);
+                thread::spawn(move || {
+                    q.push(ShardMsg::Line {
+                        session: "s".into(),
+                        line: line(i, "Registering block manager endpoint on host1"),
+                        enqueued: Instant::now(),
+                    })
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer exits");
+        }
+        queue.push_control(ShardMsg::End {
+            session: "s".into(),
+        });
+        queue.push_control(ShardMsg::Shutdown);
+        shard.join();
+        assert_eq!(sink.completed(), 1, "session must be finished exactly once");
+        assert_eq!(metrics.ingested.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.sessions_live.load(Ordering::Relaxed), 0);
+    });
+    report.assert_ok();
+}
+
+// ---------------------------------------------------------------------
+// AnomalySink ring and obs histogram under concurrent writers.
+// ---------------------------------------------------------------------
+
+fn report_for(id: &str) -> SessionReport {
+    SessionReport {
+        session: id.into(),
+        lines: 1,
+        anomalies: vec![],
+    }
+}
+
+#[test]
+fn anomaly_sink_ring_stays_bounded_under_concurrent_pushes() {
+    let report = explore(&cfg(iters(1500), 300), || {
+        let sink = Arc::new(AnomalySink::new(2, None).expect("memory-only sink"));
+        let pushers: Vec<_> = (0..3)
+            .map(|i| {
+                let s = Arc::clone(&sink);
+                thread::spawn(move || s.push(report_for(&format!("s{i}"))))
+            })
+            .collect();
+        for p in pushers {
+            p.join().expect("pusher exits");
+        }
+        assert_eq!(sink.completed(), 3, "every push must be counted");
+        let recent = sink.recent_reports(10);
+        assert_eq!(recent.len(), 2, "ring capacity must bound retention");
+    });
+    report.assert_ok();
+    assert!(report.executions >= iters(1500));
+}
+
+#[test]
+fn obs_histogram_loses_no_records_under_concurrency() {
+    let report = explore(&cfg(iters(1500), 300), || {
+        let h = Arc::new(obs::Histogram::new());
+        let writers: Vec<_> = (0..3)
+            .map(|i| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    h.record_us(1 << i);
+                    h.record_us(1 << i);
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer exits");
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 6);
+        assert_eq!(h.sum_us(), 2 * (1 + 2 + 4));
+    });
+    report.assert_ok();
+}
+
+// ---------------------------------------------------------------------
+// Tooling self-tests: park/unpark, replay determinism, failure discovery.
+// ---------------------------------------------------------------------
+
+#[test]
+fn park_unpark_handoff_is_race_free() {
+    let report = explore(&cfg(iters(1000), 200), || {
+        let turns = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&turns);
+        let h = thread::spawn(move || {
+            thread::park(); // unpark-before-park must leave a token
+            t2.fetch_add(1, Ordering::SeqCst);
+        });
+        h.thread().unpark();
+        h.join().expect("parked thread resumes");
+        assert_eq!(turns.load(Ordering::SeqCst), 1);
+    });
+    report.assert_ok();
+}
+
+/// The same schedule must reproduce the same execution byte for byte —
+/// the property that makes a printed failure schedule actually useful.
+#[test]
+fn replay_is_byte_identical() {
+    fn scenario() {
+        let n = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || n.fetch_add(1, Ordering::SeqCst))
+            })
+            .collect();
+        for h in hs {
+            h.join().expect("adder exits");
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    }
+    // An empty schedule falls back to first-choice everywhere and records
+    // the canonical schedule; replaying that must be a fixed point.
+    let first = replay(&[], 20_000, scenario);
+    assert!(first.failure.is_none(), "{:?}", first.failure);
+    let second = replay(&first.schedule, 20_000, scenario);
+    let third = replay(&first.schedule, 20_000, scenario);
+    assert_eq!(second.trace, third.trace, "replay must be deterministic");
+    assert_eq!(second.schedule, third.schedule);
+    assert_eq!(first.trace, second.trace);
+}
+
+/// A wait nobody will ever signal: the scheduler must report a deadlock
+/// (not hang) and name the stuck task.
+#[test]
+fn scheduler_reports_deadlocks() {
+    let report = explore(
+        &CheckConfig {
+            iterations: 10,
+            dfs_budget: 10,
+            ..CheckConfig::default()
+        },
+        || {
+            let pair = Arc::new((sync::Mutex::new(()), sync::Condvar::new()));
+            let g = pair.0.lock();
+            let _g = pair.1.wait(g); // untimed, never notified
+        },
+    );
+    let failure = report.failure.expect("deadlock must be detected");
+    assert!(
+        failure.message.contains("deadlock") && failure.message.contains("main"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+/// The classic ABBA inversion, exercised concurrently: the lock-order
+/// witness (layered *under* the model checker) converts the latent
+/// deadlock into a deterministic panic naming both acquisition sites.
+#[test]
+fn abba_inversion_is_discovered() {
+    let report = explore(
+        &CheckConfig {
+            iterations: 50,
+            dfs_budget: 50,
+            ..CheckConfig::default()
+        },
+        || {
+            let a = Arc::new(sync::Mutex::new(0u32));
+            let b = Arc::new(sync::Mutex::new(0u32));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }
+            let _ = t.join();
+        },
+    );
+    let failure = report.failure.expect("ABBA must be caught");
+    assert!(
+        failure.message.contains("lock-order violation") || failure.message.contains("deadlock"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+// ---------------------------------------------------------------------
+// Mutant: deliberately deleted wakeup (satellite self-test).
+//
+// Build with BOTH cfgs to compile the mutation into ShardQueue::push:
+//
+// RUSTFLAGS="--cfg intellog_check --cfg intellog_mutant_lost_wakeup" \
+//   cargo test --test model_check mutant --target-dir target/mutant
+// ---------------------------------------------------------------------
+
+/// With the data-path notify deleted, a consumer blocked in
+/// `drain_timeout` can only proceed because the *model checker* force-
+/// fires its timeout once nothing else is runnable. A nonzero
+/// forced-timeout count is exactly the checker catching the lost wakeup
+/// (the same scenarios assert zero under the unmutated build).
+#[cfg(intellog_mutant_lost_wakeup)]
+#[test]
+fn mutant_lost_wakeup_is_caught() {
+    let report = explore(&cfg(400, 100), || queue_scenario(Backpressure::Block, 2));
+    report.assert_ok(); // scenario still terminates (via forced timeouts)…
+    assert!(
+        report.forced_timeouts > 0,
+        "mutant notify deletion must surface as forced timeouts \
+         ({} executions, 0 forced)",
+        report.executions
+    );
+}

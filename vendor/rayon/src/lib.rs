@@ -24,9 +24,9 @@ use pool::{Chunk, Pool, PoolCore, CHUNKS_PER_WORKER};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+use sync::atomic::{AtomicUsize, Ordering};
+use sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
     /// Worker-side: size of the pool that owns this worker thread.
@@ -46,7 +46,7 @@ fn in_worker() -> bool {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
+    sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
@@ -236,14 +236,14 @@ impl OpStatus {
 
     fn finish_chunk(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut done = self.done.lock().unwrap();
+            let mut done = self.done.lock();
             *done = true;
             self.done_cv.notify_all();
         }
     }
 
     fn is_done(&self) -> bool {
-        *self.done.lock().unwrap()
+        *self.done.lock()
     }
 }
 
@@ -261,6 +261,15 @@ struct MapOp<'a, 'f, T, R, F> {
 
 /// Type-erased chunk runner for `MapOp`; `op` must point at a live
 /// `MapOp<'a, T, R, F>` of exactly these type parameters.
+///
+/// SAFETY: callers must guarantee (1) `op` was created from a
+/// `&MapOp<'a, 'f, T, R, F>` with *identical* type parameters — the cast
+/// below re-materialises the reference, so any mismatch is instant UB —
+/// and (2) the `MapOp` is still alive, which the submitter enforces by
+/// blocking on `status` until every chunk has called `finish_chunk`. The
+/// whole fn is unsafe (no internal unsafe block) because the pointer cast
+/// *is* its entire body; writes through `op.out` are covered by the
+/// chunk-disjointness argument on the inner SAFETY comment.
 unsafe fn run_map_chunk<'a, 'f, T, R, F>(op: *const (), start: usize, end: usize)
 where
     T: Sync + 'a,
@@ -278,7 +287,7 @@ where
         }
     }));
     if let Err(payload) = result {
-        op.status.panic.lock().unwrap().get_or_insert(payload);
+        op.status.panic.lock().get_or_insert(payload);
     }
     op.status.finish_chunk();
 }
@@ -337,7 +346,7 @@ fn run_par_map<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(slice: &'a [T], f
             // submitter blocks on its own latch, as we do here).
             unsafe { (chunk.run)(chunk.op, chunk.start, chunk.end) };
         } else {
-            let done = op.status.done.lock().unwrap();
+            let done = op.status.done.lock();
             if *done {
                 break;
             }
@@ -346,12 +355,11 @@ fn run_par_map<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(slice: &'a [T], f
             let _ = op
                 .status
                 .done_cv
-                .wait_timeout(done, Duration::from_millis(1))
-                .unwrap();
+                .wait_timeout(done, Duration::from_millis(1));
         }
     }
 
-    if let Some(payload) = op.status.panic.lock().unwrap().take() {
+    if let Some(payload) = op.status.panic.lock().take() {
         std::panic::resume_unwind(payload);
     }
     out.into_iter()

@@ -23,10 +23,10 @@
 //! the mutexes are uncontended in practice.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::Duration;
+use sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use sync::thread::JoinHandle;
+use sync::{Arc, Condvar, Mutex};
 
 /// Chunks created per worker per parallel operation. Several small chunks
 /// (instead of one contiguous chunk per thread) let stealing absorb skewed
@@ -85,8 +85,8 @@ impl PoolCore {
     /// push still refuses to park.
     pub(crate) fn submit(&self, chunks: impl IntoIterator<Item = Chunk>, count: usize) {
         self.pending.fetch_add(count, Ordering::SeqCst);
-        self.injector.lock().unwrap().extend(chunks);
-        let _park = self.park.lock().unwrap();
+        self.injector.lock().extend(chunks);
+        let _park = self.park.lock();
         self.unpark.notify_all();
     }
 
@@ -96,25 +96,25 @@ impl PoolCore {
         if let Some(i) = me {
             // Own deque, newest first: best cache locality for work this
             // worker split off or batched earlier.
-            if let Some(c) = self.deques[i].lock().unwrap().pop_back() {
+            if let Some(c) = self.deques[i].lock().pop_back() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 return Some(c);
             }
             // Injector: take a small batch, run the first, keep the rest
             // in our deque where thieves can still reach them.
             let mut grabbed: VecDeque<Chunk> = {
-                let mut inj = self.injector.lock().unwrap();
+                let mut inj = self.injector.lock();
                 let take = INJECTOR_BATCH.min(inj.len());
                 inj.drain(..take).collect()
             };
             if let Some(first) = grabbed.pop_front() {
                 if !grabbed.is_empty() {
-                    self.deques[i].lock().unwrap().extend(grabbed);
+                    self.deques[i].lock().extend(grabbed);
                 }
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 return Some(first);
             }
-        } else if let Some(c) = self.injector.lock().unwrap().pop_front() {
+        } else if let Some(c) = self.injector.lock().pop_front() {
             self.pending.fetch_sub(1, Ordering::SeqCst);
             return Some(c);
         }
@@ -126,7 +126,7 @@ impl PoolCore {
             if Some(j) == me {
                 continue;
             }
-            if let Some(c) = self.deques[j].lock().unwrap().pop_front() {
+            if let Some(c) = self.deques[j].lock().pop_front() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
                 return Some(c);
             }
@@ -148,17 +148,14 @@ impl PoolCore {
             }
             // Nothing claimable: park, unless work or shutdown arrived
             // between the failed claim and taking the lock.
-            let guard = self.park.lock().unwrap();
+            let guard = self.park.lock();
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
             if self.pending.load(Ordering::SeqCst) == 0 {
                 // Timeout is belt-and-braces only; submit() notifies under
                 // this lock after bumping `pending`.
-                let _ = self
-                    .unpark
-                    .wait_timeout(guard, Duration::from_millis(100))
-                    .unwrap();
+                let _ = self.unpark.wait_timeout(guard, Duration::from_millis(100));
             }
         }
     }
@@ -188,7 +185,7 @@ impl Pool {
         let workers = (0..size)
             .map(|i| {
                 let core = Arc::clone(&core);
-                std::thread::Builder::new()
+                sync::thread::Builder::new()
                     .name(format!("intellog-pool-{i}"))
                     .spawn(move || core.worker_loop(i))
                     .expect("spawn pool worker")
@@ -206,7 +203,7 @@ impl Drop for Pool {
     fn drop(&mut self) {
         self.core.shutdown.store(true, Ordering::SeqCst);
         {
-            let _park = self.core.park.lock().unwrap();
+            let _park = self.core.park.lock();
             self.core.unpark.notify_all();
         }
         for handle in self.workers.drain(..) {
