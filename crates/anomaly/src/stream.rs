@@ -5,31 +5,46 @@
 //! reported the moment they arrive, while the *erroneous HW-graph instance*
 //! checks (critical keys, orders, mandatory groups, hierarchy) run when the
 //! session closes — they are end-of-session properties by definition.
+//!
+//! The state of an in-flight session lives in [`StreamState`], which does
+//! NOT borrow the model: every call takes the `&Detector` explicitly. That
+//! split is what lets the serving layer move a live session between shard
+//! threads (snapshot/restore during a drain) and pin each session to one
+//! model version under hot reload — the state is an owned value, the model
+//! an `Arc` the caller threads through. [`StreamDetector`] packages the two
+//! back together for single-threaded callers.
+//!
+//! Correctness contract: all `feed` calls and the final `finish` for one
+//! `StreamState` must use the *same* `Detector` — the internal
+//! [`spell::MatchMemo`] and accumulated [`IntelMessage`]s are only
+//! meaningful against the parser they were built from. The serving layer
+//! guarantees this by storing the model `Arc` next to the state.
 
 use crate::detector::Detector;
 use crate::report::{Anomaly, SessionReport};
 use extract::{IntelExtractor, IntelMessage};
 use spell::LogLine;
 
-/// An in-flight session being checked line by line.
-pub struct StreamDetector<'a> {
-    detector: &'a Detector,
+/// Owned, movable state of one in-flight streaming session. See the module
+/// docs for the one-detector-per-state contract.
+pub struct StreamState {
     extractor: IntelExtractor,
     session_id: String,
     lines: usize,
     messages: Vec<IntelMessage>,
     online_anomalies: Vec<Anomaly>,
-    /// Sound for the stream's lifetime: the detector's parser is frozen.
+    /// Sound for the stream's lifetime: the detector's parser is frozen
+    /// and the caller feeds every line against the same detector.
     memo: spell::MatchMemo,
     /// Interned-id buffer reused across `feed` calls.
     ids: Vec<spell::TokenId>,
 }
 
-impl<'a> StreamDetector<'a> {
-    /// Open a streaming session against a trained detector.
-    pub fn begin(detector: &'a Detector, session_id: impl Into<String>) -> StreamDetector<'a> {
-        StreamDetector {
-            detector,
+impl StreamState {
+    /// Open a streaming session. The detector is not captured; pass the
+    /// same one to every subsequent call.
+    pub fn begin(session_id: impl Into<String>) -> StreamState {
+        StreamState {
             extractor: IntelExtractor::new(),
             session_id: session_id.into(),
             lines: 0,
@@ -42,18 +57,14 @@ impl<'a> StreamDetector<'a> {
 
     /// Feed one log line. Returns an anomaly immediately if the line is an
     /// unexpected message (no Intel Key matches).
-    pub fn feed(&mut self, line: &LogLine) -> Option<Anomaly> {
+    pub fn feed(&mut self, detector: &Detector, line: &LogLine) -> Option<Anomaly> {
         self.lines += 1;
         let tokens = spell::tokenize_message(&line.message);
-        self.detector.parser.lookup_ids_into(&tokens, &mut self.ids);
-        match self
-            .detector
-            .parser
-            .match_ids_memo(&self.ids, &mut self.memo)
-        {
-            Some(kid) if self.detector.ignored_keys.contains(&kid) => None,
+        detector.parser.lookup_ids_into(&tokens, &mut self.ids);
+        match detector.parser.match_ids_memo(&self.ids, &mut self.memo) {
+            Some(kid) if detector.ignored_keys.contains(&kid) => None,
             Some(kid) => {
-                let ik = &self.detector.keys[kid.0 as usize];
+                let ik = &detector.keys[kid.0 as usize];
                 self.messages.push(IntelMessage::instantiate(
                     ik,
                     &tokens,
@@ -66,7 +77,7 @@ impl<'a> StreamDetector<'a> {
                 let adhoc = self.extractor.extract_adhoc(&line.message);
                 let intel =
                     IntelMessage::instantiate(&adhoc, &tokens, &self.session_id, line.ts_ms);
-                let groups = self.detector.groups_of_entities(&intel.entities);
+                let groups = detector.groups_of_entities(&intel.entities);
                 obs::inc!("anomaly.verdict.unexpected-message");
                 let a = Anomaly::UnexpectedMessage {
                     ts_ms: line.ts_ms,
@@ -97,15 +108,59 @@ impl<'a> StreamDetector<'a> {
 
     /// Close the session: run the end-of-session structural checks and
     /// return the full report (online anomalies included).
-    pub fn finish(self) -> SessionReport {
+    pub fn finish(self, detector: &Detector) -> SessionReport {
         obs::inc!("anomaly.sessions_checked");
         let mut report = SessionReport {
             session: self.session_id,
             lines: self.lines,
             anomalies: self.online_anomalies,
         };
-        let _ = self.detector.structural_checks(&self.messages, &mut report);
+        let _ = detector.structural_checks(&self.messages, &mut report);
         report
+    }
+}
+
+/// An in-flight session being checked line by line, bundled with its
+/// detector — the borrow-based convenience wrapper over [`StreamState`].
+pub struct StreamDetector<'a> {
+    detector: &'a Detector,
+    state: StreamState,
+}
+
+impl<'a> StreamDetector<'a> {
+    /// Open a streaming session against a trained detector.
+    pub fn begin(detector: &'a Detector, session_id: impl Into<String>) -> StreamDetector<'a> {
+        StreamDetector {
+            detector,
+            state: StreamState::begin(session_id),
+        }
+    }
+
+    /// Feed one log line. Returns an anomaly immediately if the line is an
+    /// unexpected message (no Intel Key matches).
+    pub fn feed(&mut self, line: &LogLine) -> Option<Anomaly> {
+        self.state.feed(self.detector, line)
+    }
+
+    /// Number of lines consumed so far.
+    pub fn lines_seen(&self) -> usize {
+        self.state.lines_seen()
+    }
+
+    /// The session this stream belongs to.
+    pub fn session_id(&self) -> &str {
+        self.state.session_id()
+    }
+
+    /// Online (unexpected-message) anomalies surfaced so far.
+    pub fn online_anomaly_count(&self) -> usize {
+        self.state.online_anomaly_count()
+    }
+
+    /// Close the session: run the end-of-session structural checks and
+    /// return the full report (online anomalies included).
+    pub fn finish(self) -> SessionReport {
+        self.state.finish(self.detector)
     }
 }
 
@@ -205,5 +260,37 @@ mod tests {
         }
         let report = s.finish();
         assert!(!report.is_problematic(), "{:?}", report.anomalies);
+    }
+
+    /// A `StreamState` moved mid-session (the snapshot/restore path) must
+    /// produce the same report as one that never moved.
+    #[test]
+    fn moved_state_matches_unmoved_state() {
+        let d = trained();
+        let lines = [
+            line(0, "Registering block manager endpoint on host1"),
+            line(5, "spill 1 written to /tmp/x.out"),
+            line(10, "Starting task 9 in stage 0"),
+            line(30, "Shutdown hook called"),
+        ];
+        let mut stay = StreamState::begin("c9");
+        for l in &lines {
+            stay.feed(&d, l);
+        }
+        let mut moved = StreamState::begin("c9");
+        for l in &lines[..2] {
+            moved.feed(&d, l);
+        }
+        // simulate a shard-to-shard handoff: the state crosses threads by
+        // value, so it must be Send and survive the move intact
+        fn handoff<T: Send>(t: T) -> T {
+            t
+        }
+        let mut moved = handoff(moved);
+        for l in &lines[2..] {
+            moved.feed(&d, l);
+        }
+        assert_eq!(moved.lines_seen(), stay.lines_seen());
+        assert_eq!(moved.finish(&d), stay.finish(&d));
     }
 }

@@ -1,12 +1,18 @@
-//! Serving-path benchmark: spins up an in-process `intellog-serve` server
-//! and replays simulated workloads through the loopback socket, emitting a
-//! machine-readable `BENCH_serve.json`.
+//! Serving-path benchmark: spins up an in-process `intellog-gateway`
+//! (the event-driven connection front end over the sharded serve data
+//! plane) and replays simulated workloads through the loopback socket,
+//! emitting a machine-readable `BENCH_serve.json`.
 //!
 //! Sections:
 //!
 //! * `scaling` — ingestion throughput (lines/s, median of `--reps` runs)
-//!   at 1/2/4/8 shards with lossless `block` backpressure, plus the
-//!   per-run feed-latency p50/p99 and drop counters (must be 0);
+//!   at 1/2/4/8 shards with lossless `block` backpressure and 4 concurrent
+//!   replay connections (a single sender saturates its own socket loop
+//!   long before the shards), plus the per-run feed-latency p50/p99 and
+//!   drop counters (must be 0);
+//! * `connections` — throughput at a fixed shard count as the number of
+//!   concurrent client connections grows 1→8, exercising the gateway's
+//!   readiness sweep rather than the detector;
 //! * `backpressure` — a deliberately undersized queue driven with each
 //!   shedding policy, recording how many lines were dropped vs ingested
 //!   (`block` must drop nothing; the drop-* policies must shed);
@@ -21,7 +27,8 @@
 use anomaly::Detector;
 use dlasim::SystemKind;
 use intellog_bench::training_sessions;
-use intellog_serve::{run_replay, Backpressure, ReplayConfig, ReplayOutcome, ServeConfig, Server};
+use intellog_gateway::{Gateway, GatewayConfig};
+use intellog_serve::{run_replay, Backpressure, ReplayConfig, ReplayOutcome};
 use serde::Serialize;
 use std::time::Duration;
 use sync::Arc;
@@ -29,6 +36,7 @@ use sync::Arc;
 #[derive(Serialize)]
 struct ShardRunStats {
     shards: usize,
+    connections: usize,
     sessions: usize,
     lines: usize,
     lines_per_s: f64,
@@ -52,30 +60,78 @@ struct BenchReport {
     reps: usize,
     correctness_verified: bool,
     scaling: Vec<ShardRunStats>,
+    connections: Vec<ShardRunStats>,
     backpressure: Vec<BackpressureStats>,
 }
 
-fn serve_config(shards: usize, queue_capacity: usize, backpressure: Backpressure) -> ServeConfig {
-    ServeConfig {
+fn gateway_config(
+    shards: usize,
+    queue_capacity: usize,
+    backpressure: Backpressure,
+) -> GatewayConfig {
+    GatewayConfig {
         shards,
         queue_capacity,
         backpressure,
         // sessions must never be evicted mid-replay or verdicts would split
         idle_timeout: Duration::from_secs(300),
         ring_capacity: 8192,
-        ..ServeConfig::default()
+        ..GatewayConfig::default()
     }
 }
 
-/// Spin up a fresh server, replay one workload through it, shut it down.
-fn one_run(detector: &Arc<Detector>, cfg: &ServeConfig, replay: &ReplayConfig) -> ReplayOutcome {
-    let server = Server::bind(cfg, Arc::clone(detector)).expect("bind loopback");
-    let (addr, join) = server.spawn().expect("spawn server");
+/// Spin up a fresh gateway, replay one workload through it, shut it down.
+fn one_run(detector: &Arc<Detector>, cfg: &GatewayConfig, replay: &ReplayConfig) -> ReplayOutcome {
+    let gateway = Gateway::bind(cfg, Arc::clone(detector)).expect("bind loopback");
+    let (addr, join) = gateway.spawn().expect("spawn gateway");
     let outcome = run_replay(&addr.to_string(), detector, replay).expect("replay");
     let mut ctl = intellog_serve::ServeClient::connect(&addr.to_string()).expect("ctl");
     ctl.shutdown().expect("shutdown");
-    join.join().expect("server thread").expect("server run");
+    join.join().expect("gateway thread").expect("gateway run");
     outcome
+}
+
+/// Median-throughput run at one (shards, connections) point.
+fn median_point(
+    detector: &Arc<Detector>,
+    shards: usize,
+    connections: usize,
+    replay: &ReplayConfig,
+    reps: usize,
+) -> ShardRunStats {
+    let cfg = gateway_config(shards, 1024, Backpressure::Block);
+    let replay = ReplayConfig {
+        connections,
+        ..replay.clone()
+    };
+    let mut runs: Vec<ReplayOutcome> = (0..reps.max(1))
+        .map(|_| one_run(detector, &cfg, &replay))
+        .collect();
+    runs.sort_by(|a, b| a.lines_per_s.partial_cmp(&b.lines_per_s).unwrap());
+    let median = &runs[runs.len() / 2];
+    assert_eq!(median.stats.dropped, 0, "block backpressure is lossless");
+    ShardRunStats {
+        shards,
+        connections,
+        sessions: median.sessions,
+        lines: median.lines,
+        lines_per_s: median.lines_per_s,
+        dropped: median.stats.dropped,
+        feed_p50_us: median
+            .stats
+            .per_shard
+            .iter()
+            .map(|s| s.feed_p50_us)
+            .max()
+            .unwrap_or(0),
+        feed_p99_us: median
+            .stats
+            .per_shard
+            .iter()
+            .map(|s| s.feed_p99_us)
+            .max()
+            .unwrap_or(0),
+    }
 }
 
 fn main() {
@@ -119,16 +175,19 @@ fn main() {
     )));
 
     // --- correctness gate before any timing -------------------------------
+    // Multi-connection on purpose: interleaved sockets into the readiness
+    // sweep must still produce verdicts identical to offline detection.
     let verify_cfg = ReplayConfig {
         system: SystemKind::Spark,
         jobs: replay_jobs,
         seed: 9,
         verify: true,
+        connections: 4,
         ..ReplayConfig::default()
     };
     let verified = one_run(
         &detector,
-        &serve_config(4, 1024, Backpressure::Block),
+        &gateway_config(4, 1024, Backpressure::Block),
         &verify_cfg,
     );
     assert!(
@@ -137,7 +196,7 @@ fn main() {
         verified.mismatches.join("\n")
     );
     eprintln!(
-        "correctness: {} sessions, online==offline, {} problematic",
+        "correctness: {} sessions over 4 connections, online==offline, {} problematic",
         verified.sessions, verified.online_problematic
     );
 
@@ -148,39 +207,23 @@ fn main() {
     };
     let mut scaling = Vec::new();
     for shards in [1usize, 2, 4, 8] {
-        let cfg = serve_config(shards, 1024, Backpressure::Block);
-        let mut runs: Vec<ReplayOutcome> = (0..reps.max(1))
-            .map(|_| one_run(&detector, &cfg, &timing_cfg))
-            .collect();
-        runs.sort_by(|a, b| a.lines_per_s.partial_cmp(&b.lines_per_s).unwrap());
-        let median = &runs[runs.len() / 2];
-        assert_eq!(median.stats.dropped, 0, "block backpressure is lossless");
-        let stats = ShardRunStats {
-            shards,
-            sessions: median.sessions,
-            lines: median.lines,
-            lines_per_s: median.lines_per_s,
-            dropped: median.stats.dropped,
-            feed_p50_us: median
-                .stats
-                .per_shard
-                .iter()
-                .map(|s| s.feed_p50_us)
-                .max()
-                .unwrap_or(0),
-            feed_p99_us: median
-                .stats
-                .per_shard
-                .iter()
-                .map(|s| s.feed_p99_us)
-                .max()
-                .unwrap_or(0),
-        };
+        let stats = median_point(&detector, shards, 4, &timing_cfg, reps);
         eprintln!(
-            "scaling: {} shard(s): {:.0} lines/s, p50/p99 {}/{} µs",
-            shards, stats.lines_per_s, stats.feed_p50_us, stats.feed_p99_us
+            "scaling: {} shard(s) x{} conns: {:.0} lines/s, p50/p99 {}/{} µs",
+            shards, stats.connections, stats.lines_per_s, stats.feed_p50_us, stats.feed_p99_us
         );
         scaling.push(stats);
+    }
+
+    // --- connection scaling -------------------------------------------------
+    let mut connections = Vec::new();
+    for conns in [1usize, 2, 4, 8] {
+        let stats = median_point(&detector, 4, conns, &timing_cfg, reps);
+        eprintln!(
+            "connections: {} conn(s) x4 shards: {:.0} lines/s",
+            conns, stats.lines_per_s
+        );
+        connections.push(stats);
     }
 
     // --- backpressure policies under an undersized queue --------------------
@@ -191,7 +234,7 @@ fn main() {
         Backpressure::DropOldest,
     ] {
         let queue_capacity = 4;
-        let cfg = serve_config(1, queue_capacity, policy);
+        let cfg = gateway_config(1, queue_capacity, policy);
         let outcome = one_run(&detector, &cfg, &timing_cfg);
         assert_eq!(
             outcome.stats.ingested + outcome.stats.dropped,
@@ -222,6 +265,7 @@ fn main() {
         reps,
         correctness_verified: true,
         scaling,
+        connections,
         backpressure,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -1,0 +1,134 @@
+//! Per-connection protocol state: read/write buffers and the line-framed
+//! state machine's bookkeeping. No I/O here — the poll core moves bytes,
+//! this module owns what they mean.
+
+use intellog_serve::{ShardMsg, TenantEntry};
+use sync::Arc;
+
+/// Cap on buffered-but-unsent reply bytes before the connection is
+/// declared stuck and dropped (a client must drain what it asked for).
+pub const MAX_WRITE_BUFFER: usize = 64 << 20;
+
+/// Cap on received-but-unparsed request bytes (one protocol line can
+/// never legitimately approach this).
+pub const MAX_READ_BUFFER: usize = 8 << 20;
+
+/// One connection's protocol state.
+pub struct Conn {
+    /// Poll token (slot index; may be reused after close).
+    pub token: usize,
+    /// Generation id pairing async replies (LOAD) with *this* connection,
+    /// not a later one that reused the token.
+    pub id: u64,
+    /// Received bytes not yet parsed into lines.
+    pub rbuf: Vec<u8>,
+    /// Reply bytes not yet accepted by the socket.
+    pub wbuf: Vec<u8>,
+    /// How much of `wbuf` is already written.
+    pub wpos: usize,
+    /// The tenant this connection's data verbs route to (`TENANT` verb);
+    /// `None` falls back to the gateway's default tenant.
+    pub tenant: Option<Arc<TenantEntry>>,
+    /// A data message refused by a full shard queue (Block policy). While
+    /// set, no further input is parsed from this connection — its socket
+    /// fills and TCP flow control pushes back on the client.
+    pub pending: Option<ShardMsg>,
+    /// A `LOAD` running in the background for this connection. While set,
+    /// no further input is parsed, so replies stay in request order.
+    pub awaiting_load: bool,
+    /// The peer closed its write side. Buffered input keeps being parsed;
+    /// the connection is dropped once every complete line is consumed.
+    pub eof: bool,
+    /// Close once `wbuf` drains (e.g. after a fatal protocol reply).
+    pub closing: bool,
+}
+
+impl Conn {
+    /// Fresh state for an accepted socket.
+    pub fn new(token: usize, id: u64) -> Conn {
+        Conn {
+            token,
+            id,
+            rbuf: Vec::with_capacity(4096),
+            wbuf: Vec::new(),
+            wpos: 0,
+            tenant: None,
+            pending: None,
+            awaiting_load: false,
+            eof: false,
+            closing: false,
+        }
+    }
+
+    /// Whether any complete (newline-terminated) line is buffered.
+    pub fn has_full_line(&self) -> bool {
+        self.rbuf.contains(&b'\n')
+    }
+
+    /// Whether input parsing is paused (backpressure or an in-flight
+    /// async reply).
+    pub fn paused(&self) -> bool {
+        self.pending.is_some() || self.awaiting_load
+    }
+
+    /// Queue reply bytes (actual socket writes happen in the sweep).
+    pub fn reply(&mut self, text: &str) {
+        self.wbuf.extend_from_slice(text.as_bytes());
+    }
+
+    /// Unsent reply bytes.
+    pub fn unsent(&self) -> &[u8] {
+        &self.wbuf[self.wpos..]
+    }
+
+    /// Record that `n` more bytes of `wbuf` reached the socket, compacting
+    /// once everything is out.
+    pub fn advance_write(&mut self, n: usize) {
+        self.wpos += n;
+        if self.wpos >= self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+    }
+
+    /// Extract the next complete line from `rbuf` (without its `\n`;
+    /// a trailing `\r` is stripped). Returns `None` when no full line is
+    /// buffered.
+    pub fn next_line(&mut self) -> Option<String> {
+        let nl = self.rbuf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.rbuf.drain(..=nl).collect();
+        line.pop(); // the \n
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_framing_handles_partials_and_crlf() {
+        let mut c = Conn::new(0, 1);
+        c.rbuf.extend_from_slice(b"PING\r\nSTA");
+        assert_eq!(c.next_line().as_deref(), Some("PING"));
+        assert_eq!(c.next_line(), None, "partial line stays buffered");
+        c.rbuf.extend_from_slice(b"TS\n\n");
+        assert_eq!(c.next_line().as_deref(), Some("STATS"));
+        assert_eq!(c.next_line().as_deref(), Some(""), "empty line surfaces");
+        assert_eq!(c.next_line(), None);
+    }
+
+    #[test]
+    fn write_buffer_compacts_when_drained() {
+        let mut c = Conn::new(0, 1);
+        c.reply("OK 0\n");
+        assert_eq!(c.unsent(), b"OK 0\n");
+        c.advance_write(2);
+        assert_eq!(c.unsent(), b" 0\n");
+        c.advance_write(3);
+        assert!(c.wbuf.is_empty() && c.wpos == 0);
+    }
+}

@@ -1,0 +1,1262 @@
+//! The gateway: one event-loop thread orchestrating every connection,
+//! tenant, and shard.
+//!
+//! Design invariants (DESIGN.md §12):
+//!
+//! * **The loop never blocks.** Shard queues are fed with `try_push`; a
+//!   refusal parks the message on its connection and pauses reading it
+//!   (TCP backpressure does the blocking, in the kernel, per client).
+//!   Disk I/O (`LOAD`) runs on background threads; their completions and
+//!   all shard acks arrive over channels polled with `try_recv`.
+//! * **All routing happens on the loop thread.** The consistent-hash ring
+//!   is swapped only here, between complete sweeps, so no message can be
+//!   routed by a half-installed ring.
+//! * **Rebalances are serialized and order-preserving.** One control
+//!   operation (ADDSHARD / DRAINSHARD / DRAIN / SHUTDOWN) runs at a time;
+//!   later ones queue. During a rebalance, traffic for sessions that are
+//!   changing owner is parked in arrival order and released only after
+//!   the moved sessions are restored on their new shards — so a moved
+//!   session sees exactly the line sequence it would have seen unmoved.
+//! * **Sessions pin model versions.** Hot reload (`LOAD`) swaps the
+//!   registry entry; live sessions keep their lease until they finish
+//!   (see `serve::registry`), so no verdict straddles two versions.
+
+use crate::conn::{Conn, MAX_READ_BUFFER, MAX_WRITE_BUFFER};
+use crate::poll::{Poller, ReadOutcome, SocketAddr, Token, WriteOutcome};
+use crate::wake::IdleGate;
+use anomaly::Detector;
+use intellog_serve::{
+    parse_log, session_key, AnomalySink, Backpressure, Ring, SessionState, ShardHandle,
+    ShardMetrics, ShardMsg, ShardQueue, ShardSnapshot, StatsSnapshot, TenantEntry, TenantRegistry,
+    DEFAULT_VNODES,
+};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use sync::{mpsc, Arc};
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Initial number of shard worker threads.
+    pub shards: usize,
+    /// Per-shard queue capacity (data messages).
+    pub queue_capacity: usize,
+    /// What to do when a shard queue is full.
+    pub backpressure: Backpressure,
+    /// Sessions idle longer than this are evicted (final report emitted).
+    pub idle_timeout: Duration,
+    /// How many completed reports the in-memory ring retains.
+    pub ring_capacity: usize,
+    /// Optional JSONL file receiving every problematic report.
+    pub sink_path: Option<PathBuf>,
+    /// Tenant used by connections that never send `TENANT`.
+    pub default_tenant: String,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            queue_capacity: 1024,
+            backpressure: Backpressure::Block,
+            idle_timeout: Duration::from_secs(30),
+            ring_capacity: 4096,
+            sink_path: None,
+            default_tenant: intellog_serve::DEFAULT_TENANT.into(),
+            vnodes: DEFAULT_VNODES,
+        }
+    }
+}
+
+/// One live shard: its handle plus the queue/metrics shared with it.
+struct ShardSlot {
+    handle: Option<ShardHandle>,
+}
+
+/// A completed background load, reported back to the loop.
+struct LoadDone {
+    token: Token,
+    conn_id: u64,
+    result: Result<intellog_serve::LoadOutcome, String>,
+}
+
+/// The one control operation in flight (they serialize).
+enum ControlOp {
+    /// Ring rebalance: ADDSHARD (`added`) or DRAINSHARD (`drained`).
+    Rebalance {
+        new_ring: Arc<Ring>,
+        rx: mpsc::Receiver<Vec<SessionState>>,
+        expected: usize,
+        received: usize,
+        moved: Vec<SessionState>,
+        added: Option<usize>,
+        drained: Option<usize>,
+        token: Token,
+        conn_id: u64,
+    },
+    /// Session drain (`DRAIN`), optionally tenant-scoped; `shutdown`
+    /// makes the gateway exit once the drain acks.
+    Drain {
+        rx: mpsc::Receiver<usize>,
+        expected: usize,
+        received: usize,
+        finished: usize,
+        token: Token,
+        conn_id: u64,
+        shutdown: bool,
+    },
+}
+
+/// A control request that arrived while another was in flight.
+enum QueuedControl {
+    AddShard {
+        token: Token,
+        conn_id: u64,
+    },
+    DrainShard {
+        index: usize,
+        token: Token,
+        conn_id: u64,
+    },
+    Drain {
+        tenant: Option<String>,
+        token: Token,
+        conn_id: u64,
+        shutdown: bool,
+    },
+}
+
+/// A bound, running gateway.
+pub struct Gateway {
+    poller: Poller,
+    addr: SocketAddr,
+    cfg: GatewayConfig,
+    registry: Arc<TenantRegistry>,
+    sink: Arc<AnomalySink>,
+    gate: Arc<IdleGate>,
+    /// Index-stable shard table; drained slots become `None` (their
+    /// worker handles retire into `retired` for the final join).
+    shards: Vec<Option<ShardSlot>>,
+    retired: Vec<ShardHandle>,
+    ring: Arc<Ring>,
+    conns: HashMap<Token, Conn>,
+    next_conn_id: u64,
+    /// Background-load completions.
+    load_tx: mpsc::Sender<LoadDone>,
+    load_rx: mpsc::Receiver<LoadDone>,
+    active: Option<ControlOp>,
+    queued: VecDeque<QueuedControl>,
+    /// Messages held back during/after a rebalance, in arrival order.
+    parked: VecDeque<ShardMsg>,
+    // loop-local counters (the loop is single-threaded; no atomics needed)
+    connections_total: u64,
+    protocol_errors: u64,
+    rebalances: u64,
+    sessions_moved: u64,
+    loads_inflight: u64,
+    shutdown: bool,
+}
+
+impl Gateway {
+    /// Bind with a single model registered as the default tenant.
+    pub fn bind(cfg: &GatewayConfig, detector: Arc<Detector>) -> std::io::Result<Gateway> {
+        let registry = Arc::new(TenantRegistry::new());
+        registry.register(&cfg.default_tenant, detector);
+        Gateway::bind_with_registry(cfg, registry)
+    }
+
+    /// Bind over a pre-populated tenant registry (multi-tenant startup;
+    /// more tenants can be added later via `LOAD`).
+    pub fn bind_with_registry(
+        cfg: &GatewayConfig,
+        registry: Arc<TenantRegistry>,
+    ) -> std::io::Result<Gateway> {
+        let poller = Poller::bind(&cfg.addr)?;
+        let addr = poller.local_addr();
+        let sink = Arc::new(AnomalySink::new(
+            cfg.ring_capacity,
+            cfg.sink_path.as_deref(),
+        )?);
+        let n = cfg.shards.max(1);
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            shards.push(Some(spawn_shard(cfg, i, &sink)?));
+        }
+        let (load_tx, load_rx) = mpsc::channel();
+        Ok(Gateway {
+            poller,
+            addr,
+            cfg: cfg.clone(),
+            registry,
+            sink,
+            gate: Arc::new(IdleGate::new()),
+            shards,
+            retired: Vec::new(),
+            ring: Arc::new(Ring::contiguous(n, cfg.vnodes.max(1))),
+            conns: HashMap::new(),
+            next_conn_id: 1,
+            load_tx,
+            load_rx,
+            active: None,
+            queued: VecDeque::new(),
+            parked: VecDeque::new(),
+            connections_total: 0,
+            protocol_errors: 0,
+            rebalances: 0,
+            sessions_moved: 0,
+            loads_inflight: 0,
+            shutdown: false,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The tenant registry (shared; e.g. for pre-registering models).
+    pub fn registry(&self) -> Arc<TenantRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Run the event loop until a `SHUTDOWN` drain completes, then join
+    /// every shard worker and return.
+    pub fn run(mut self) -> std::io::Result<()> {
+        let mut idle_streak: u32 = 0;
+        while !self.shutdown {
+            let mut worked = false;
+            worked |= self.sweep_accept()?;
+            worked |= self.sweep_conns();
+            worked |= self.sweep_loads();
+            worked |= self.sweep_control();
+            worked |= self.sweep_parked();
+            if worked {
+                idle_streak = 0;
+            } else {
+                // Adaptive backoff: brief spin for latency, then park on
+                // the gate so an idle gateway costs ~zero CPU. Capped low
+                // enough that a ready socket waits at most ~2ms.
+                idle_streak = idle_streak.saturating_add(1);
+                if idle_streak > 8 {
+                    let us = (1u64 << idle_streak.min(16)).min(2000);
+                    self.gate.wait(Duration::from_micros(us));
+                }
+            }
+        }
+        // Graceful exit: best-effort flush of buffered replies, then stop
+        // the workers.
+        let tokens: Vec<Token> = self.conns.keys().copied().collect();
+        for t in tokens {
+            self.flush_conn(t);
+        }
+        for slot in self.shards.iter_mut().flatten() {
+            if let Some(h) = &slot.handle {
+                h.queue.push_control(ShardMsg::Shutdown);
+                h.queue.close();
+            }
+        }
+        for slot in self.shards.iter_mut().flatten() {
+            if let Some(h) = slot.handle.take() {
+                h.join();
+            }
+        }
+        for h in self.retired.drain(..) {
+            h.join();
+        }
+        Ok(())
+    }
+
+    /// Run on a background thread: returns the bound address and the join
+    /// handle (used by tests, `intellog replay --spawn`, and the bench).
+    pub fn spawn(
+        self,
+    ) -> std::io::Result<(SocketAddr, sync::thread::JoinHandle<std::io::Result<()>>)> {
+        let addr = self.local_addr();
+        let join = sync::thread::Builder::new()
+            .name("intellog-gateway".into())
+            .spawn(move || self.run())?;
+        Ok((addr, join))
+    }
+
+    // ------------------------------------------------------------------
+    // sweep stages
+    // ------------------------------------------------------------------
+
+    fn sweep_accept(&mut self) -> std::io::Result<bool> {
+        let mut worked = false;
+        loop {
+            match self.poller.accept() {
+                Ok(Some(token)) => {
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    self.conns.insert(token, Conn::new(token, id));
+                    self.connections_total += 1;
+                    obs::inc!("gateway.connections.accepted");
+                    worked = true;
+                }
+                Ok(None) => return Ok(worked),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn sweep_conns(&mut self) -> bool {
+        let mut worked = false;
+        let tokens: Vec<Token> = self.conns.keys().copied().collect();
+        for token in tokens {
+            // retry a parked (backpressured) message first
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if let Some(msg) = conn.pending.take() {
+                    match self.route(msg) {
+                        Ok(()) => worked = true,
+                        Err(back) => {
+                            if let Some(c) = self.conns.get_mut(&token) {
+                                c.pending = Some(back);
+                            }
+                        }
+                    }
+                }
+            }
+            worked |= self.read_conn(token);
+            worked |= self.process_conn(token);
+            worked |= self.flush_conn(token);
+            if let Some(conn) = self.conns.get(&token) {
+                let overrun = conn.wbuf.len() - conn.wpos > MAX_WRITE_BUFFER
+                    || conn.rbuf.len() > MAX_READ_BUFFER;
+                let done = conn.closing && conn.wpos >= conn.wbuf.len();
+                // EOF: the peer is done sending; drop once every buffered
+                // line has been parsed and routed (nothing parked, nothing
+                // awaiting an async reply).
+                let drained = conn.eof && !conn.paused() && !conn.has_full_line();
+                if overrun || done || drained {
+                    self.drop_conn(token);
+                }
+            }
+        }
+        worked
+    }
+
+    /// Pull bytes off one socket (bounded per sweep so one firehose
+    /// connection cannot starve the others).
+    fn read_conn(&mut self, token: Token) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        if conn.paused() || conn.closing || conn.eof {
+            return false;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        let mut got = false;
+        for _ in 0..4 {
+            match self.poller.read(token, &mut chunk) {
+                ReadOutcome::Data(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    got = true;
+                }
+                ReadOutcome::WouldBlock => break,
+                ReadOutcome::Closed => {
+                    // Not dropped yet: bytes already read (this very sweep
+                    // included) may still hold complete protocol lines.
+                    conn.eof = true;
+                    return true;
+                }
+            }
+        }
+        got
+    }
+
+    /// Parse and execute complete lines buffered on one connection.
+    fn process_conn(&mut self, token: Token) -> bool {
+        let mut worked = false;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return worked;
+            };
+            if conn.paused() || conn.closing {
+                return worked;
+            }
+            let Some(line) = conn.next_line() else {
+                return worked;
+            };
+            worked = true;
+            if line.is_empty() {
+                continue;
+            }
+            self.handle_line(token, &line);
+        }
+    }
+
+    /// Push buffered reply bytes to the socket.
+    fn flush_conn(&mut self, token: Token) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        let mut worked = false;
+        while !conn.unsent().is_empty() {
+            match self.poller.write(token, conn.unsent()) {
+                WriteOutcome::Wrote(n) => {
+                    conn.advance_write(n);
+                    worked = true;
+                }
+                WriteOutcome::WouldBlock => break,
+                WriteOutcome::Closed => {
+                    self.drop_conn(token);
+                    return worked;
+                }
+            }
+        }
+        worked
+    }
+
+    fn sweep_loads(&mut self) -> bool {
+        let mut worked = false;
+        while let Ok(done) = self.load_rx.try_recv() {
+            worked = true;
+            self.loads_inflight = self.loads_inflight.saturating_sub(1);
+            let Some(conn) = self.conns.get_mut(&done.token) else {
+                continue;
+            };
+            if conn.id != done.conn_id {
+                continue; // connection closed; token reused
+            }
+            conn.awaiting_load = false;
+            match done.result {
+                Ok(out) => {
+                    conn.reply(&format!(
+                        "OK 1\nLOADED\t{}\t{}\t{}\t{}\n",
+                        out.tenant, out.version, out.keys, out.previous_live
+                    ));
+                }
+                Err(e) => conn.reply(&format!("ERR load failed: {e}\n")),
+            }
+            self.flush_conn(done.token);
+        }
+        worked
+    }
+
+    /// Advance the in-flight control operation, if any, and start queued
+    /// ones once the slot frees.
+    fn sweep_control(&mut self) -> bool {
+        let mut worked = false;
+        if let Some(op) = self.active.take() {
+            match op {
+                ControlOp::Rebalance {
+                    new_ring,
+                    rx,
+                    expected,
+                    mut received,
+                    mut moved,
+                    added,
+                    drained,
+                    token,
+                    conn_id,
+                } => {
+                    while received < expected {
+                        match rx.try_recv() {
+                            Ok(batch) => {
+                                received += 1;
+                                moved.extend(batch);
+                                worked = true;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    if received < expected {
+                        self.active = Some(ControlOp::Rebalance {
+                            new_ring,
+                            rx,
+                            expected,
+                            received,
+                            moved,
+                            added,
+                            drained,
+                            token,
+                            conn_id,
+                        });
+                    } else {
+                        worked = true;
+                        self.finish_rebalance(new_ring, moved, added, drained, token, conn_id);
+                    }
+                }
+                ControlOp::Drain {
+                    rx,
+                    expected,
+                    mut received,
+                    mut finished,
+                    token,
+                    conn_id,
+                    shutdown,
+                } => {
+                    while received < expected {
+                        match rx.try_recv() {
+                            Ok(n) => {
+                                received += 1;
+                                finished += n;
+                                worked = true;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    if received < expected {
+                        self.active = Some(ControlOp::Drain {
+                            rx,
+                            expected,
+                            received,
+                            finished,
+                            token,
+                            conn_id,
+                            shutdown,
+                        });
+                    } else {
+                        worked = true;
+                        if shutdown {
+                            self.reply_to(token, conn_id, "OK 0\n");
+                            self.shutdown = true;
+                        } else {
+                            self.reply_to(token, conn_id, &format!("OK {finished}\n"));
+                        }
+                    }
+                }
+            }
+        }
+        if self.active.is_none() && self.parked.is_empty() {
+            if let Some(q) = self.queued.pop_front() {
+                worked = true;
+                match q {
+                    QueuedControl::AddShard { token, conn_id } => {
+                        self.start_add_shard(token, conn_id)
+                    }
+                    QueuedControl::DrainShard {
+                        index,
+                        token,
+                        conn_id,
+                    } => self.start_drain_shard(index, token, conn_id),
+                    QueuedControl::Drain {
+                        tenant,
+                        token,
+                        conn_id,
+                        shutdown,
+                    } => self.start_drain(tenant, token, conn_id, shutdown),
+                }
+            }
+        }
+        worked
+    }
+
+    /// Re-route messages parked during a rebalance, strictly in order.
+    fn sweep_parked(&mut self) -> bool {
+        // While a rebalance is collecting snapshots the parked queue must
+        // hold — the moved sessions are not on any shard yet.
+        if self.rebalance_active() {
+            return false;
+        }
+        let mut worked = false;
+        while let Some(msg) = self.parked.pop_front() {
+            match self.route_direct(msg) {
+                Ok(()) => worked = true,
+                Err(back) => {
+                    // Head-of-line blocked on a full queue: retry next
+                    // sweep to preserve order.
+                    self.parked.push_front(back);
+                    break;
+                }
+            }
+        }
+        worked
+    }
+
+    // ------------------------------------------------------------------
+    // verb handling
+    // ------------------------------------------------------------------
+
+    fn handle_line(&mut self, token: Token, line: &str) {
+        let verb = line.split('\t').next().unwrap_or("");
+        match verb {
+            "LOG" => match parse_log(line) {
+                Some((session, log_line)) => {
+                    let Some(tenant) = self.conn_tenant(token) else {
+                        self.protocol_error(token, None);
+                        return;
+                    };
+                    let key = session_key(&tenant.name, &session);
+                    let msg = ShardMsg::Line {
+                        tenant,
+                        key,
+                        session,
+                        line: log_line,
+                        enqueued: Instant::now(),
+                    };
+                    if let Err(back) = self.route(msg) {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.pending = Some(back);
+                        }
+                    }
+                }
+                None => self.protocol_error(token, None),
+            },
+            "END" => match line.split('\t').nth(1).filter(|s| !s.is_empty()) {
+                Some(session) => {
+                    let Some(tenant) = self.conn_tenant(token) else {
+                        self.protocol_error(token, None);
+                        return;
+                    };
+                    let key = session_key(&tenant.name, session);
+                    // End is a control message (never refused), but it must
+                    // still respect rebalance parking for ordering.
+                    let msg = ShardMsg::End { key };
+                    if let Err(back) = self.route(msg) {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.pending = Some(back);
+                        }
+                    }
+                }
+                None => self.protocol_error(token, None),
+            },
+            "TENANT" => match line.split('\t').nth(1).filter(|s| !s.is_empty()) {
+                Some(id) => match self.registry.get(id) {
+                    Some(entry) => {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.tenant = Some(entry);
+                            conn.reply("OK 0\n");
+                        }
+                    }
+                    None => self.protocol_error(token, Some("unknown tenant (LOAD it first)")),
+                },
+                None => self.protocol_error(token, Some("TENANT needs an id")),
+            },
+            "PING" => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.reply("OK 0\n");
+                }
+            }
+            "STATS" => {
+                let json = serde_json::to_string(&self.stats()).unwrap_or_else(|_| "{}".into());
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.reply(&format!("OK 1\n{json}\n"));
+                }
+            }
+            "METRICS" => {
+                let text = self.render_metrics();
+                let n = text.lines().count();
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.reply(&format!("OK {n}\n"));
+                    conn.reply(&text);
+                }
+            }
+            "REPORTS" | "ANOMALIES" => {
+                let mut fields = line.split('\t');
+                let _ = fields.next();
+                let n = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(usize::MAX);
+                let tenant = fields.next().filter(|s| !s.is_empty());
+                let reports = if verb == "REPORTS" {
+                    self.sink.recent_reports(n, tenant)
+                } else {
+                    self.sink.recent_anomalous(n, tenant)
+                };
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.reply(&format!("OK {}\n", reports.len()));
+                    for r in &reports {
+                        let json = serde_json::to_string(r).unwrap_or_else(|_| "{}".into());
+                        conn.reply(&json);
+                        conn.reply("\n");
+                    }
+                }
+            }
+            "LOAD" => {
+                let mut fields = line.splitn(3, '\t');
+                let _ = fields.next();
+                match (
+                    fields.next().filter(|s| !s.is_empty()),
+                    fields.next().filter(|s| !s.is_empty()),
+                ) {
+                    (Some(tenant), Some(path)) => self.start_load(token, tenant, path),
+                    _ => self.protocol_error(token, Some("LOAD needs <tenant>\\t<path>")),
+                }
+            }
+            "ADDSHARD" => {
+                let conn_id = self.conn_id(token);
+                if self.active.is_some() || !self.parked.is_empty() {
+                    self.queued
+                        .push_back(QueuedControl::AddShard { token, conn_id });
+                } else {
+                    self.start_add_shard(token, conn_id);
+                }
+            }
+            "DRAINSHARD" => match line.split('\t').nth(1).and_then(|v| v.parse().ok()) {
+                Some(index) => {
+                    let conn_id = self.conn_id(token);
+                    if self.active.is_some() || !self.parked.is_empty() {
+                        self.queued.push_back(QueuedControl::DrainShard {
+                            index,
+                            token,
+                            conn_id,
+                        });
+                    } else {
+                        self.start_drain_shard(index, token, conn_id);
+                    }
+                }
+                None => self.protocol_error(token, Some("DRAINSHARD needs a shard index")),
+            },
+            "DRAIN" => {
+                let tenant = line
+                    .split('\t')
+                    .nth(1)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string);
+                let conn_id = self.conn_id(token);
+                if self.active.is_some() || !self.parked.is_empty() {
+                    self.queued.push_back(QueuedControl::Drain {
+                        tenant,
+                        token,
+                        conn_id,
+                        shutdown: false,
+                    });
+                } else {
+                    self.start_drain(tenant, token, conn_id, false);
+                }
+            }
+            "SHUTDOWN" => {
+                let conn_id = self.conn_id(token);
+                if self.active.is_some() || !self.parked.is_empty() {
+                    self.queued.push_back(QueuedControl::Drain {
+                        tenant: None,
+                        token,
+                        conn_id,
+                        shutdown: true,
+                    });
+                } else {
+                    self.start_drain(None, token, conn_id, true);
+                }
+            }
+            other => {
+                self.protocol_error(token, Some(&format!("unknown verb {other:?}")));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // routing
+    // ------------------------------------------------------------------
+
+    /// Route a data/End message, honoring rebalance parking. `Err` hands
+    /// the message back (full queue under Block policy).
+    // Err deliberately carries the rejected message so the caller can park
+    // it without a clone; boxing would allocate on the hot path.
+    #[allow(clippy::result_large_err)]
+    fn route(&mut self, msg: ShardMsg) -> Result<(), ShardMsg> {
+        // Global FIFO discipline: while any message is parked, every new
+        // data message parks behind it (cheapest way to keep affected
+        // sessions ordered; the parked queue drains within a few sweeps).
+        if !self.parked.is_empty() {
+            self.parked.push_back(msg);
+            return Ok(());
+        }
+        if let Some(new_ring) = self.pending_ring() {
+            let key = match &msg {
+                ShardMsg::Line { key, .. } => key.as_str(),
+                ShardMsg::End { key } => key.as_str(),
+                _ => "",
+            };
+            if !key.is_empty() && self.ring.owner(key) != new_ring.owner(key) {
+                self.parked.push_back(msg);
+                return Ok(());
+            }
+        }
+        self.route_direct(msg)
+    }
+
+    /// Route by the current ring, no parking checks.
+    #[allow(clippy::result_large_err)]
+    fn route_direct(&mut self, msg: ShardMsg) -> Result<(), ShardMsg> {
+        let (key, is_line) = match &msg {
+            ShardMsg::Line { key, .. } => (key.as_str(), true),
+            ShardMsg::End { key } => (key.as_str(), false),
+            _ => return Ok(()),
+        };
+        let shard = self.ring.owner(key);
+        let Some(Some(slot)) = self.shards.get(shard) else {
+            return Ok(()); // routed to a dead slot: impossible by ring invariant
+        };
+        let Some(handle) = &slot.handle else {
+            return Ok(());
+        };
+        if is_line {
+            handle.queue.try_push(msg).map(|_| ())
+        } else {
+            handle.queue.push_control(msg);
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // control operations
+    // ------------------------------------------------------------------
+
+    fn rebalance_active(&self) -> bool {
+        matches!(self.active, Some(ControlOp::Rebalance { .. }))
+    }
+
+    /// The ring being installed by an in-flight rebalance, if any.
+    fn pending_ring(&self) -> Option<Arc<Ring>> {
+        match &self.active {
+            Some(ControlOp::Rebalance { new_ring, .. }) => Some(Arc::clone(new_ring)),
+            _ => None,
+        }
+    }
+
+    fn start_load(&mut self, token: Token, tenant: &str, path: &str) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.awaiting_load = true;
+        let conn_id = conn.id;
+        let registry = Arc::clone(&self.registry);
+        let tx = self.load_tx.clone();
+        let gate = Arc::clone(&self.gate);
+        let tenant = tenant.to_string();
+        let path = PathBuf::from(path);
+        self.loads_inflight += 1;
+        obs::inc!("gateway.reload.requests");
+        let spawned = sync::thread::Builder::new()
+            .name("intellog-load".into())
+            .spawn(move || {
+                let result = registry
+                    .load_from_path(&tenant, &path)
+                    .map_err(|e| e.to_string());
+                let _ = tx.send(LoadDone {
+                    token,
+                    conn_id,
+                    result,
+                });
+                gate.wake();
+            });
+        if spawned.is_err() {
+            self.loads_inflight -= 1;
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.awaiting_load = false;
+                conn.reply("ERR load failed: cannot spawn loader thread\n");
+            }
+        }
+    }
+
+    fn start_add_shard(&mut self, token: Token, conn_id: u64) {
+        // reuse the lowest dead slot, else grow the table
+        let index = self
+            .shards
+            .iter()
+            .position(|s| s.is_none())
+            .unwrap_or(self.shards.len());
+        let slot = match spawn_shard(&self.cfg, index, &self.sink) {
+            Ok(s) => s,
+            Err(e) => {
+                self.reply_to(token, conn_id, &format!("ERR addshard: {e}\n"));
+                return;
+            }
+        };
+        if index == self.shards.len() {
+            self.shards.push(Some(slot));
+        } else {
+            self.shards[index] = Some(slot);
+        }
+        let new_ring = Arc::new(self.ring.with_shard(index));
+        self.begin_rebalance(new_ring, Some(index), None, token, conn_id);
+    }
+
+    fn start_drain_shard(&mut self, index: usize, token: Token, conn_id: u64) {
+        if !self.ring.contains(index) {
+            self.reply_to(
+                token,
+                conn_id,
+                &format!("ERR drainshard: no shard {index}\n"),
+            );
+            return;
+        }
+        if self.ring.len() <= 1 {
+            self.reply_to(
+                token,
+                conn_id,
+                "ERR drainshard: cannot drain the last shard\n",
+            );
+            return;
+        }
+        let new_ring = Arc::new(self.ring.without_shard(index));
+        self.begin_rebalance(new_ring, None, Some(index), token, conn_id);
+    }
+
+    /// Ask every shard in the *current* ring to snapshot sessions the new
+    /// ring assigns elsewhere. FIFO queues guarantee all previously
+    /// enqueued lines are processed first.
+    fn begin_rebalance(
+        &mut self,
+        new_ring: Arc<Ring>,
+        added: Option<usize>,
+        drained: Option<usize>,
+        token: Token,
+        conn_id: u64,
+    ) {
+        let (tx, rx) = mpsc::channel();
+        let mut expected = 0;
+        for &i in self.ring.shards() {
+            if let Some(Some(slot)) = self.shards.get(i) {
+                if let Some(h) = &slot.handle {
+                    h.queue.push_control(ShardMsg::Rebalance {
+                        ring: Arc::clone(&new_ring),
+                        ack: tx.clone(),
+                    });
+                    expected += 1;
+                }
+            }
+        }
+        obs::inc!("gateway.rebalance.started");
+        self.active = Some(ControlOp::Rebalance {
+            new_ring,
+            rx,
+            expected,
+            received: 0,
+            moved: Vec::new(),
+            added,
+            drained,
+            token,
+            conn_id,
+        });
+    }
+
+    /// All shards acked: restore moved sessions on their new owners, swap
+    /// the ring, retire a drained worker, reply.
+    fn finish_rebalance(
+        &mut self,
+        new_ring: Arc<Ring>,
+        moved: Vec<SessionState>,
+        added: Option<usize>,
+        drained: Option<usize>,
+        token: Token,
+        conn_id: u64,
+    ) {
+        let moved_count = moved.len();
+        for state in moved {
+            let owner = new_ring.owner(&state.key);
+            if let Some(Some(slot)) = self.shards.get(owner) {
+                if let Some(h) = &slot.handle {
+                    h.queue.push_control(ShardMsg::Restore {
+                        state: Box::new(state),
+                    });
+                }
+            }
+        }
+        self.ring = new_ring;
+        self.rebalances += 1;
+        self.sessions_moved += moved_count as u64;
+        obs::inc!("gateway.rebalance.completed");
+        if let Some(index) = drained {
+            // The drained worker has handed off every session; retire it.
+            if let Some(slot) = self.shards.get_mut(index).and_then(Option::take) {
+                if let Some(h) = slot.handle {
+                    h.queue.push_control(ShardMsg::Shutdown);
+                    h.queue.close();
+                    self.retired.push(h);
+                }
+            }
+            self.reply_to(token, conn_id, &format!("OK {moved_count}\n"));
+        }
+        if let Some(index) = added {
+            self.reply_to(token, conn_id, &format!("OK {index}\n"));
+        }
+        // parked traffic now flows via sweep_parked (ring already swapped,
+        // restores already enqueued ahead of it in the new owners' queues)
+    }
+
+    fn start_drain(&mut self, tenant: Option<String>, token: Token, conn_id: u64, shutdown: bool) {
+        let (tx, rx) = mpsc::channel();
+        let mut expected = 0;
+        for &i in self.ring.shards() {
+            if let Some(Some(slot)) = self.shards.get(i) {
+                if let Some(h) = &slot.handle {
+                    h.queue.push_control(ShardMsg::Drain {
+                        tenant: tenant.clone(),
+                        ack: tx.clone(),
+                    });
+                    expected += 1;
+                }
+            }
+        }
+        self.active = Some(ControlOp::Drain {
+            rx,
+            expected,
+            received: 0,
+            finished: 0,
+            token,
+            conn_id,
+            shutdown,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // helpers
+    // ------------------------------------------------------------------
+
+    fn conn_tenant(&mut self, token: Token) -> Option<Arc<TenantEntry>> {
+        let conn = self.conns.get(&token)?;
+        if let Some(t) = &conn.tenant {
+            return Some(Arc::clone(t));
+        }
+        let entry = self.registry.get(&self.cfg.default_tenant)?;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.tenant = Some(Arc::clone(&entry));
+        }
+        Some(entry)
+    }
+
+    fn conn_id(&self, token: Token) -> u64 {
+        self.conns.get(&token).map(|c| c.id).unwrap_or(0)
+    }
+
+    /// Write a reply if the connection (same generation) is still open.
+    fn reply_to(&mut self, token: Token, conn_id: u64, text: &str) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.id == conn_id {
+                conn.reply(text);
+                self.flush_conn(token);
+            }
+        }
+    }
+
+    fn protocol_error(&mut self, token: Token, reply: Option<&str>) {
+        self.protocol_errors += 1;
+        obs::inc!("gateway.protocol_errors");
+        if let Some(text) = reply {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.reply(&format!("ERR {text}\n"));
+            }
+        }
+    }
+
+    fn drop_conn(&mut self, token: Token) {
+        self.poller.close(token);
+        self.conns.remove(&token);
+        obs::inc!("gateway.connections.closed");
+    }
+
+    // ------------------------------------------------------------------
+    // stats / metrics
+    // ------------------------------------------------------------------
+
+    fn stats(&self) -> StatsSnapshot {
+        let per_shard: Vec<_> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let slot = slot.as_ref()?;
+                let h = slot.handle.as_ref()?;
+                let mut s = h.metrics.snapshot(i, h.queue.len());
+                // the queue owns the authoritative drop counter
+                s.dropped = h.queue.dropped();
+                Some(s)
+            })
+            .collect();
+        let per_tenant: Vec<_> = self
+            .registry
+            .entries()
+            .iter()
+            .map(|t| {
+                t.metrics
+                    .snapshot(&t.name, t.current().version, t.reloads())
+            })
+            .collect();
+        // Drained shards leave the active topology but their counters are
+        // history that already happened — totals must keep them or every
+        // DRAINSHARD would silently shrink `ingested`.
+        let retired: Vec<_> = self
+            .retired
+            .iter()
+            .map(|h| {
+                let mut s = h.metrics.snapshot(usize::MAX, 0);
+                s.dropped = h.queue.dropped();
+                s
+            })
+            .collect();
+        let total = |f: fn(&ShardSnapshot) -> u64| -> u64 {
+            per_shard.iter().map(f).sum::<u64>() + retired.iter().map(f).sum::<u64>()
+        };
+        StatsSnapshot {
+            shards: per_shard.len(),
+            backpressure: self.cfg.backpressure.name().to_string(),
+            ingested: total(|s| s.ingested),
+            dropped: total(|s| s.dropped),
+            online_anomalies: total(|s| s.online_anomalies),
+            sessions_live: total(|s| s.sessions_live),
+            reports_completed: self.sink.completed(),
+            reports_problematic: self.sink.problematic(),
+            protocol_errors: self.protocol_errors,
+            connections_open: self.conns.len() as u64,
+            connections_total: self.connections_total,
+            rebalances: self.rebalances,
+            sessions_moved: self.sessions_moved,
+            anomalies_by_kind: self.sink.anomalies_by_kind(),
+            per_shard,
+            per_tenant,
+        }
+    }
+
+    /// Render gateway state (plus the process-wide obs registry) in
+    /// Prometheus text exposition format, for the `METRICS` verb.
+    fn render_metrics(&self) -> String {
+        use std::fmt::Write;
+        let stats = self.stats();
+        let mut out = String::new();
+        let mut counter = |name: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter("intellog_serve_ingested_total", stats.ingested);
+        counter("intellog_serve_dropped_total", stats.dropped);
+        counter(
+            "intellog_serve_online_anomalies_total",
+            stats.online_anomalies,
+        );
+        counter(
+            "intellog_serve_reports_completed_total",
+            stats.reports_completed,
+        );
+        counter(
+            "intellog_serve_reports_problematic_total",
+            stats.reports_problematic,
+        );
+        counter(
+            "intellog_serve_protocol_errors_total",
+            stats.protocol_errors,
+        );
+        counter(
+            "intellog_gateway_connections_total",
+            stats.connections_total,
+        );
+        counter("intellog_gateway_rebalances_total", stats.rebalances);
+        counter(
+            "intellog_gateway_sessions_moved_total",
+            stats.sessions_moved,
+        );
+        let _ = writeln!(out, "# TYPE intellog_gateway_connections_open gauge");
+        let _ = writeln!(
+            out,
+            "intellog_gateway_connections_open {}",
+            stats.connections_open
+        );
+        let _ = writeln!(out, "# TYPE intellog_serve_sessions_live gauge");
+        let _ = writeln!(out, "intellog_serve_sessions_live {}", stats.sessions_live);
+        let _ = writeln!(out, "# TYPE intellog_serve_queue_len gauge");
+        for s in &stats.per_shard {
+            let _ = writeln!(
+                out,
+                "intellog_serve_queue_len{{shard=\"{}\"}} {}",
+                s.shard, s.queue_len
+            );
+        }
+        // Per-tenant breakdowns: sessions, verdicts, reloads.
+        let _ = writeln!(out, "# TYPE intellog_tenant_lines_total counter");
+        for t in &stats.per_tenant {
+            let _ = writeln!(
+                out,
+                "intellog_tenant_lines_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.lines
+            );
+        }
+        let _ = writeln!(out, "# TYPE intellog_tenant_sessions_live gauge");
+        for t in &stats.per_tenant {
+            let _ = writeln!(
+                out,
+                "intellog_tenant_sessions_live{{tenant=\"{}\"}} {}",
+                t.tenant, t.sessions_live
+            );
+        }
+        let _ = writeln!(out, "# TYPE intellog_tenant_online_anomalies_total counter");
+        for t in &stats.per_tenant {
+            let _ = writeln!(
+                out,
+                "intellog_tenant_online_anomalies_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.online_anomalies
+            );
+        }
+        let _ = writeln!(out, "# TYPE intellog_tenant_model_version gauge");
+        for t in &stats.per_tenant {
+            let _ = writeln!(
+                out,
+                "intellog_tenant_model_version{{tenant=\"{}\"}} {}",
+                t.tenant, t.model_version
+            );
+        }
+        let _ = writeln!(out, "# TYPE intellog_tenant_reloads_total counter");
+        for t in &stats.per_tenant {
+            let _ = writeln!(
+                out,
+                "intellog_tenant_reloads_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.reloads
+            );
+        }
+        let _ = writeln!(out, "# TYPE intellog_serve_anomalies_by_kind counter");
+        for (kind, n) in &stats.anomalies_by_kind {
+            let _ = writeln!(
+                out,
+                "intellog_serve_anomalies_by_kind{{kind=\"{kind}\"}} {n}"
+            );
+        }
+        // Per-shard feed-latency histograms, in the same exposition shape
+        // the obs registry uses.
+        for (i, slot) in self.shards.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            let Some(h) = &slot.handle else { continue };
+            let m = &h.metrics;
+            let _ = writeln!(out, "# TYPE intellog_serve_feed_latency_us histogram");
+            let mut cumulative = 0u64;
+            for (b, c) in m.feed_latency.bucket_counts().iter().enumerate() {
+                cumulative += *c;
+                if *c > 0 {
+                    let le = 1u64 << (b + 1);
+                    let _ = writeln!(
+                        out,
+                        "intellog_serve_feed_latency_us_bucket{{shard=\"{i}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "intellog_serve_feed_latency_us_bucket{{shard=\"{i}\",le=\"+Inf\"}} {cumulative}"
+            );
+            let _ = writeln!(
+                out,
+                "intellog_serve_feed_latency_us_sum{{shard=\"{i}\"}} {}",
+                m.feed_latency.sum_us()
+            );
+            let _ = writeln!(
+                out,
+                "intellog_serve_feed_latency_us_count{{shard=\"{i}\"}} {cumulative}"
+            );
+        }
+        // Pipeline-stage metrics (spell/lognlp/extract/hwgraph/anomaly)
+        // recorded by the gated macros while detectors ran in this process.
+        out.push_str(&obs::render_prometheus());
+        out
+    }
+}
+
+/// Spawn one shard worker with a fresh queue and metrics.
+fn spawn_shard(
+    cfg: &GatewayConfig,
+    index: usize,
+    sink: &Arc<AnomalySink>,
+) -> std::io::Result<ShardSlot> {
+    let queue = Arc::new(ShardQueue::new(cfg.queue_capacity, cfg.backpressure));
+    let metrics = Arc::new(ShardMetrics::default());
+    let handle = ShardHandle::spawn(index, queue, metrics, Arc::clone(sink), cfg.idle_timeout)?;
+    Ok(ShardSlot {
+        handle: Some(handle),
+    })
+}

@@ -1,12 +1,14 @@
-//! The subsystem's core correctness property: replaying a workload through
-//! the socket with lossless (`block`) backpressure yields exactly the
-//! per-session anomaly sets that offline batch detection computes — for
-//! all three analytics systems, including a fault-injected job.
+//! The subsystem's core correctness property, now through the event-driven
+//! gateway: replaying a workload over concurrent sockets with lossless
+//! (`block`) backpressure yields exactly the per-session anomaly sets that
+//! offline batch detection computes — for all three analytics systems,
+//! including a fault-injected job.
 
 use anomaly::Detector;
 use dlasim::{FaultKind, SystemKind};
 use intellog_core::sessions_from_job;
-use intellog_serve::{run_replay, Backpressure, ReplayConfig, ServeConfig, Server};
+use intellog_gateway::{Gateway, GatewayConfig};
+use intellog_serve::{run_replay, Backpressure, ReplayConfig};
 use spell::Session;
 use std::time::Duration;
 use sync::Arc;
@@ -25,8 +27,8 @@ fn train_sessions(system: SystemKind, jobs: usize, seed: u64) -> Vec<Session> {
     out
 }
 
-fn serve_config() -> ServeConfig {
-    ServeConfig {
+fn gateway_config() -> GatewayConfig {
+    GatewayConfig {
         shards: 4,
         queue_capacity: 256,
         backpressure: Backpressure::Block,
@@ -34,20 +36,21 @@ fn serve_config() -> ServeConfig {
         // report would be split and verdicts could not match
         idle_timeout: Duration::from_secs(120),
         ring_capacity: 4096,
-        ..ServeConfig::default()
+        ..GatewayConfig::default()
     }
 }
 
-fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>) {
+fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>, connections: usize) {
     let detector = Arc::new(anomaly::Trainer::default().train(&train_sessions(system, 2, 42)));
-    let server = Server::bind(&serve_config(), Arc::clone(&detector)).expect("bind");
-    let (addr, join) = server.spawn().expect("spawn server");
+    let gateway = Gateway::bind(&gateway_config(), Arc::clone(&detector)).expect("bind");
+    let (addr, join) = gateway.spawn().expect("spawn gateway");
 
     let replay_cfg = ReplayConfig {
         system,
         jobs: 2,
         seed: 9,
         fault,
+        connections,
         ..ReplayConfig::default()
     };
     let outcome = run_replay(&addr.to_string(), &detector, &replay_cfg).expect("replay");
@@ -67,6 +70,10 @@ fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>) {
         outcome.stats.sessions_live, 0,
         "drain must close everything"
     );
+    assert!(
+        outcome.stats.connections_total >= connections as u64,
+        "every replay socket must be accepted"
+    );
     if fault.is_some() {
         assert!(
             outcome.online_problematic > 0,
@@ -77,22 +84,22 @@ fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>) {
 
     let mut ctl = intellog_serve::ServeClient::connect(&addr.to_string()).expect("ctl");
     ctl.shutdown().expect("shutdown");
-    join.join().expect("server thread").expect("server run");
+    join.join().expect("gateway thread").expect("gateway run");
 }
 
 #[test]
 fn spark_replay_with_network_fault_matches_offline() {
-    replay_matches_offline(SystemKind::Spark, Some(FaultKind::NetworkFailure));
+    replay_matches_offline(SystemKind::Spark, Some(FaultKind::NetworkFailure), 1);
 }
 
 #[test]
-fn mapreduce_replay_matches_offline() {
-    replay_matches_offline(SystemKind::MapReduce, None);
+fn mapreduce_replay_matches_offline_over_concurrent_connections() {
+    replay_matches_offline(SystemKind::MapReduce, None, 4);
 }
 
 #[test]
 fn tez_replay_matches_offline() {
-    replay_matches_offline(SystemKind::Tez, Some(FaultKind::SessionKill));
+    replay_matches_offline(SystemKind::Tez, Some(FaultKind::SessionKill), 2);
 }
 
 #[test]
@@ -100,15 +107,15 @@ fn drop_oldest_under_pressure_counts_drops_and_stays_up() {
     let system = SystemKind::Spark;
     let detector: Arc<Detector> =
         Arc::new(anomaly::Trainer::default().train(&train_sessions(system, 1, 42)));
-    let cfg = ServeConfig {
+    let cfg = GatewayConfig {
         shards: 1,
         queue_capacity: 4, // absurdly small: force shedding
         backpressure: Backpressure::DropOldest,
         idle_timeout: Duration::from_secs(120),
-        ..ServeConfig::default()
+        ..GatewayConfig::default()
     };
-    let server = Server::bind(&cfg, Arc::clone(&detector)).expect("bind");
-    let (addr, join) = server.spawn().expect("spawn server");
+    let gateway = Gateway::bind(&cfg, Arc::clone(&detector)).expect("bind");
+    let (addr, join) = gateway.spawn().expect("spawn gateway");
 
     let replay_cfg = ReplayConfig {
         system,
@@ -123,11 +130,11 @@ fn drop_oldest_under_pressure_counts_drops_and_stays_up() {
         outcome.lines as u64,
         "every line is either processed or counted as shed"
     );
-    // the server must stay responsive and drain cleanly even while shedding
+    // the gateway must stay responsive and drain cleanly even while shedding
     assert_eq!(outcome.stats.sessions_live, 0);
     assert!(outcome.stats.per_shard[0].feed_p50_us > 0 || outcome.stats.ingested == 0);
 
     let mut ctl = intellog_serve::ServeClient::connect(&addr.to_string()).expect("ctl");
     ctl.shutdown().expect("shutdown");
-    join.join().expect("server thread").expect("server run");
+    join.join().expect("gateway thread").expect("gateway run");
 }

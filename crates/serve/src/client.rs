@@ -25,9 +25,15 @@ impl ServeClient {
         })
     }
 
+    /// Bind this connection's data verbs (`LOG`/`END`) to a tenant. The
+    /// server routes to the default tenant until this is called.
+    pub fn tenant(&mut self, id: &str) -> std::io::Result<()> {
+        self.request(&format!("TENANT\t{id}")).map(|_| ())
+    }
+
     /// Send one log line (fire-and-forget; buffered).
     pub fn log(&mut self, session: &str, line: &LogLine) -> std::io::Result<()> {
-        let wire = crate::server::render_log(session, line);
+        let wire = crate::proto::render_log(session, line);
         writeln!(self.writer, "{wire}")
     }
 
@@ -94,16 +100,35 @@ impl ServeClient {
 
     /// Fetch the newest `n` completed session reports.
     pub fn reports(&mut self, n: usize) -> std::io::Result<Vec<SessionReport>> {
-        self.fetch_reports("REPORTS", n)
+        self.fetch_reports("REPORTS", n, None)
+    }
+
+    /// Fetch the newest `n` completed reports for one tenant.
+    pub fn reports_for(&mut self, n: usize, tenant: &str) -> std::io::Result<Vec<SessionReport>> {
+        self.fetch_reports("REPORTS", n, Some(tenant))
     }
 
     /// Fetch the newest `n` problematic session reports.
     pub fn anomalies(&mut self, n: usize) -> std::io::Result<Vec<SessionReport>> {
-        self.fetch_reports("ANOMALIES", n)
+        self.fetch_reports("ANOMALIES", n, None)
     }
 
-    fn fetch_reports(&mut self, verb: &str, n: usize) -> std::io::Result<Vec<SessionReport>> {
-        self.request(&format!("{verb}\t{n}"))?
+    /// Fetch the newest `n` problematic reports for one tenant.
+    pub fn anomalies_for(&mut self, n: usize, tenant: &str) -> std::io::Result<Vec<SessionReport>> {
+        self.fetch_reports("ANOMALIES", n, Some(tenant))
+    }
+
+    fn fetch_reports(
+        &mut self,
+        verb: &str,
+        n: usize,
+        tenant: Option<&str>,
+    ) -> std::io::Result<Vec<SessionReport>> {
+        let req = match tenant {
+            Some(t) => format!("{verb}\t{n}\t{t}"),
+            None => format!("{verb}\t{n}"),
+        };
+        self.request(&req)?
             .iter()
             .map(|l| {
                 serde_json::from_str(l).map_err(|e| {
@@ -113,9 +138,42 @@ impl ServeClient {
             .collect()
     }
 
+    /// Hot-load a model from `path` for `tenant` (created if new). Blocks
+    /// until the background load completes; returns the result line
+    /// (`LOADED\t<tenant>\t<version>\t<keys>\t<prev_live>`).
+    pub fn load(&mut self, tenant: &str, path: &str) -> std::io::Result<String> {
+        let lines = self.request(&format!("LOAD\t{tenant}\t{path}"))?;
+        lines
+            .into_iter()
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty LOAD reply"))
+    }
+
+    /// Add a shard worker; returns the new shard's index once the ring
+    /// rebalance completed.
+    pub fn add_shard(&mut self) -> std::io::Result<usize> {
+        self.numeric_request("ADDSHARD")
+    }
+
+    /// Drain shard `index` under live load: its sessions are
+    /// snapshot-moved to the remaining shards. Returns how many moved.
+    pub fn drain_shard(&mut self, index: usize) -> std::io::Result<usize> {
+        self.numeric_request(&format!("DRAINSHARD\t{index}"))
+    }
+
     /// Drain every live session; returns how many were finished.
     pub fn drain(&mut self) -> std::io::Result<usize> {
-        writeln!(self.writer, "DRAIN")?;
+        self.numeric_request("DRAIN")
+    }
+
+    /// Drain one tenant's live sessions; returns how many were finished.
+    pub fn drain_tenant(&mut self, tenant: &str) -> std::io::Result<usize> {
+        self.numeric_request(&format!("DRAIN\t{tenant}"))
+    }
+
+    /// Send a verb whose `OK <n>` reply carries a count, not a line batch.
+    fn numeric_request(&mut self, verb: &str) -> std::io::Result<usize> {
+        writeln!(self.writer, "{verb}")?;
         self.writer.flush()?;
         let mut status = String::new();
         self.reader.read_line(&mut status)?;
@@ -126,7 +184,7 @@ impl ServeClient {
             .ok_or_else(|| {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
-                    format!("server replied {:?} to DRAIN", status.trim_end()),
+                    format!("server replied {:?} to {verb}", status.trim_end()),
                 )
             })
     }

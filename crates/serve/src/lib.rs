@@ -1,45 +1,59 @@
-//! # intellog-serve — sharded online ingestion and anomaly serving
+//! # intellog-serve — the multi-tenant online serving data plane
 //!
-//! The paper's detector consumes incoming logs (Fig. 2); this crate is the
-//! subsystem that makes that real: a long-running TCP front end that turns
-//! a trained model into a service. Built on std-only primitives (no async
-//! runtime — the vendored offline deps don't include one, and threads +
-//! bounded queues are all this workload needs):
+//! The paper's detector consumes incoming logs (Fig. 2); this crate holds
+//! the data plane that makes that real as a service: tenant-aware shard
+//! workers, bounded queues, the model registry with hot reload, and the
+//! consistent-hash session ring. The connection front end — the
+//! event-driven nonblocking socket loop — lives in `crates/gateway` and
+//! drives everything here. Built on std-only primitives (no async runtime
+//! — the vendored offline deps don't include one, and threads + bounded
+//! queues are all this workload needs):
 //!
-//! * [`server`] — line-framed TCP ingestion, session-hash routing to shard
-//!   workers, `STATS`/`ANOMALIES`/`REPORTS`/`DRAIN`/`SHUTDOWN` control
-//!   verbs, graceful drain;
-//! * [`shard`] — per-shard workers owning their sessions'
-//!   [`anomaly::StreamDetector`]s over one shared immutable model, with
-//!   idle-timeout eviction;
+//! * [`proto`] — the line-framed tab-separated wire protocol (parse and
+//!   render halves shared by gateway, client and replay);
+//! * [`shard`] — per-shard workers owning their sessions' movable
+//!   [`anomaly::StreamState`]s, with idle-timeout eviction and
+//!   snapshot/restore so sessions survive live re-sharding;
+//! * [`registry`] — the tenant → model-version table: sessions pin their
+//!   version at open, `LOAD` swaps atomically, old versions drain;
+//! * [`ring`] — consistent-hash (virtual-node) session→shard routing that
+//!   moves only ~K/N sessions when a shard is added or drained;
 //! * [`queue`] — bounded queues with `block` / `drop-newest` /
-//!   `drop-oldest` backpressure and drop counters;
-//! * [`sink`] — where completed session reports land: a bounded in-memory
-//!   ring plus an optional JSONL file of problematic reports;
-//! * [`metrics`] — wait-free per-shard counters and a fixed-bucket feed
-//!   latency histogram (p50/p99);
+//!   `drop-oldest` backpressure, drop counters, and a nonblocking
+//!   `try_push` for event-loop producers;
+//! * [`sink`] — where completed session reports land: a tenant-tagged
+//!   bounded in-memory ring plus an optional JSONL file;
+//! * [`metrics`] — wait-free per-shard and per-tenant counters and a
+//!   fixed-bucket feed latency histogram (p50/p99);
 //! * [`store`] — the versioned on-disk model store (format-version header
 //!   and CRC-32, refusing corrupt or mismatched models) shared with the
 //!   batch `train`/`detect` CLI;
 //! * [`client`] / [`replay`] — the protocol client and the dlasim load
-//!   generator that verifies online verdicts equal offline detection.
+//!   generator (now multi-connection) that verifies online verdicts equal
+//!   offline detection.
 
 #![forbid(unsafe_code)]
 
 pub mod client;
 pub mod metrics;
+pub mod proto;
 pub mod queue;
+pub mod registry;
 pub mod replay;
-pub mod server;
+pub mod ring;
 pub mod shard;
 pub mod sink;
 pub mod store;
 
 pub use client::ServeClient;
-pub use metrics::{LatencyHistogram, ShardMetrics, ShardSnapshot, StatsSnapshot};
+pub use metrics::{
+    LatencyHistogram, ShardMetrics, ShardSnapshot, StatsSnapshot, TenantMetrics, TenantSnapshot,
+};
+pub use proto::{parse_log, render_log, DEFAULT_TENANT};
 pub use queue::{Backpressure, PushOutcome, ShardQueue};
+pub use registry::{LoadOutcome, ModelLease, ModelVersion, TenantEntry, TenantRegistry};
 pub use replay::{generate_jobs, run_replay, ReplayConfig, ReplayOutcome};
-pub use server::{ServeConfig, Server};
-pub use shard::{shard_of, ShardHandle, ShardMsg};
+pub use ring::{session_key, Ring, DEFAULT_VNODES};
+pub use shard::{SessionState, ShardHandle, ShardMsg};
 pub use sink::AnomalySink;
 pub use store::{crc32, ModelStore, StoreError, MODEL_FORMAT_VERSION};

@@ -92,10 +92,68 @@ impl ShardMetrics {
     }
 }
 
+/// Counters owned by one tenant (updated by shard workers, read by
+/// `STATS`). Same design rule as [`ShardMetrics`]: atomics only.
+#[derive(Debug, Default)]
+pub struct TenantMetrics {
+    /// Lines fed into this tenant's sessions.
+    pub lines: AtomicU64,
+    /// Sessions ever opened for this tenant.
+    pub sessions_opened: AtomicU64,
+    /// Sessions finished (END, drain, or idle eviction).
+    pub sessions_closed: AtomicU64,
+    /// Online (unexpected-message) verdicts.
+    pub online_anomalies: AtomicU64,
+    /// Completed reports that were problematic.
+    pub reports_problematic: AtomicU64,
+}
+
+impl TenantMetrics {
+    /// Snapshot this tenant's counters.
+    pub fn snapshot(&self, tenant: &str, model_version: u64, reloads: u64) -> TenantSnapshot {
+        let opened = self.sessions_opened.load(Ordering::Relaxed);
+        let closed = self.sessions_closed.load(Ordering::Relaxed);
+        TenantSnapshot {
+            tenant: tenant.to_string(),
+            model_version,
+            reloads,
+            lines: self.lines.load(Ordering::Relaxed),
+            sessions_live: opened.saturating_sub(closed),
+            sessions_opened: opened,
+            sessions_closed: closed,
+            online_anomalies: self.online_anomalies.load(Ordering::Relaxed),
+            reports_problematic: self.reports_problematic.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time, serialisable view of one tenant (`STATS` verb).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSnapshot {
+    /// Tenant id.
+    pub tenant: String,
+    /// Current model version number.
+    pub model_version: u64,
+    /// Completed hot reloads.
+    pub reloads: u64,
+    /// Lines fed into this tenant's sessions.
+    pub lines: u64,
+    /// Sessions currently live (opened − closed).
+    pub sessions_live: u64,
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Sessions finished.
+    pub sessions_closed: u64,
+    /// Online verdicts.
+    pub online_anomalies: u64,
+    /// Problematic completed reports.
+    pub reports_problematic: u64,
+}
+
 /// The `STATS` reply: whole-server view.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
-    /// Number of shards.
+    /// Number of live shards.
     pub shards: usize,
     /// Backpressure policy name.
     pub backpressure: String,
@@ -113,10 +171,20 @@ pub struct StatsSnapshot {
     pub reports_problematic: u64,
     /// Protocol lines the server could not parse.
     pub protocol_errors: u64,
+    /// Connections currently open on the gateway.
+    pub connections_open: u64,
+    /// Connections ever accepted.
+    pub connections_total: u64,
+    /// Ring rebalances completed (ADDSHARD / DRAINSHARD).
+    pub rebalances: u64,
+    /// Sessions snapshot-moved between shards by rebalances.
+    pub sessions_moved: u64,
     /// Anomaly counts by kind across all completed reports.
     pub anomalies_by_kind: std::collections::BTreeMap<String, u64>,
     /// Per-shard detail.
     pub per_shard: Vec<ShardSnapshot>,
+    /// Per-tenant detail, in tenant-id order.
+    pub per_tenant: Vec<TenantSnapshot>,
 }
 
 #[cfg(test)]

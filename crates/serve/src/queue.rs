@@ -65,7 +65,47 @@ pub enum PushOutcome {
 
 struct Inner<T> {
     q: VecDeque<T>,
+    /// Lockstep with `q`: `true` marks a control message. Kept separate so
+    /// `T` stays opaque; the flags let capacity checks and drop-oldest
+    /// eviction see *data* messages only — evicting a queued End / Drain /
+    /// Shutdown to admit a log line would lose protocol state (or hang
+    /// whoever is waiting on that control message's ack).
+    control: VecDeque<bool>,
+    /// Count of `true` entries in `control`.
+    control_len: usize,
     closed: bool,
+}
+
+impl<T> Inner<T> {
+    fn data_len(&self) -> usize {
+        self.q.len() - self.control_len
+    }
+
+    fn pop_front(&mut self) -> Option<T> {
+        let msg = self.q.pop_front()?;
+        if self.control.pop_front() == Some(true) {
+            self.control_len -= 1;
+        }
+        Some(msg)
+    }
+
+    fn push_back(&mut self, msg: T, is_control: bool) {
+        self.q.push_back(msg);
+        self.control.push_back(is_control);
+        if is_control {
+            self.control_len += 1;
+        }
+    }
+
+    /// Remove the oldest *data* message (drop-oldest eviction). Callers
+    /// only invoke this when `data_len() > 0`, so a scan must succeed;
+    /// control messages rarely queue up, so the scan is short in practice.
+    fn evict_oldest_data(&mut self) {
+        if let Some(i) = self.control.iter().position(|c| !c) {
+            self.q.remove(i);
+            self.control.remove(i);
+        }
+    }
 }
 
 /// A bounded MPSC queue between connection handlers and one shard worker.
@@ -84,6 +124,8 @@ impl<T> ShardQueue<T> {
         ShardQueue {
             inner: Mutex::new(Inner {
                 q: VecDeque::with_capacity(capacity.min(4096)),
+                control: VecDeque::with_capacity(capacity.min(4096)),
+                control_len: 0,
                 closed: false,
             }),
             not_full: Condvar::new(),
@@ -104,33 +146,33 @@ impl<T> ShardQueue<T> {
         }
         let outcome = match self.policy {
             Backpressure::Block => {
-                while inner.q.len() >= self.capacity && !inner.closed {
+                while inner.data_len() >= self.capacity && !inner.closed {
                     inner = self.not_full.wait(inner);
                 }
                 if inner.closed {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                     return PushOutcome::DroppedNew;
                 }
-                inner.q.push_back(msg);
+                inner.push_back(msg, false);
                 PushOutcome::Enqueued
             }
             Backpressure::DropNewest => {
-                if inner.q.len() >= self.capacity {
+                if inner.data_len() >= self.capacity {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                     PushOutcome::DroppedNew
                 } else {
-                    inner.q.push_back(msg);
+                    inner.push_back(msg, false);
                     PushOutcome::Enqueued
                 }
             }
             Backpressure::DropOldest => {
-                if inner.q.len() >= self.capacity {
-                    inner.q.pop_front();
+                if inner.data_len() >= self.capacity {
+                    inner.evict_oldest_data();
                     self.dropped.fetch_add(1, Ordering::Relaxed);
-                    inner.q.push_back(msg);
+                    inner.push_back(msg, false);
                     PushOutcome::DroppedOld
                 } else {
-                    inner.q.push_back(msg);
+                    inner.push_back(msg, false);
                     PushOutcome::Enqueued
                 }
             }
@@ -145,10 +187,61 @@ impl<T> ShardQueue<T> {
         outcome
     }
 
-    /// Enqueue a control message, ignoring capacity and policy.
+    /// Nonblocking enqueue for event-loop producers (the gateway must
+    /// never park its poll thread on a shard queue). Drop policies behave
+    /// exactly as [`ShardQueue::push`]; under [`Backpressure::Block`] a
+    /// full queue returns `Err(msg)` instead of waiting, handing the
+    /// message back so the caller can park it and stop reading that
+    /// connection — TCP flow control then does the blocking.
+    pub fn try_push(&self, msg: T) -> Result<PushOutcome, T> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(PushOutcome::DroppedNew);
+        }
+        let outcome = match self.policy {
+            Backpressure::Block => {
+                if inner.data_len() >= self.capacity {
+                    return Err(msg);
+                }
+                inner.push_back(msg, false);
+                PushOutcome::Enqueued
+            }
+            Backpressure::DropNewest => {
+                if inner.data_len() >= self.capacity {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    PushOutcome::DroppedNew
+                } else {
+                    inner.push_back(msg, false);
+                    PushOutcome::Enqueued
+                }
+            }
+            Backpressure::DropOldest => {
+                if inner.data_len() >= self.capacity {
+                    inner.evict_oldest_data();
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    inner.push_back(msg, false);
+                    PushOutcome::DroppedOld
+                } else {
+                    inner.push_back(msg, false);
+                    PushOutcome::Enqueued
+                }
+            }
+        };
+        drop(inner);
+        if outcome != PushOutcome::DroppedNew {
+            self.not_empty.notify_one();
+        }
+        Ok(outcome)
+    }
+
+    /// Enqueue a control message, ignoring capacity and policy. Control
+    /// messages keep FIFO order with data (an End must not overtake its
+    /// session's lines) but are invisible to the capacity check and
+    /// immune to drop-oldest eviction.
     pub fn push_control(&self, msg: T) {
         let mut inner = self.inner.lock();
-        inner.q.push_back(msg);
+        inner.push_back(msg, true);
         drop(inner);
         self.not_empty.notify_one();
     }
@@ -158,7 +251,7 @@ impl<T> ShardQueue<T> {
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
         let mut inner = self.inner.lock();
         loop {
-            if let Some(msg) = inner.q.pop_front() {
+            if let Some(msg) = inner.pop_front() {
                 drop(inner);
                 self.not_full.notify_one();
                 return Some(msg);
@@ -166,7 +259,7 @@ impl<T> ShardQueue<T> {
             let (next, res) = self.not_empty.wait_timeout(inner, timeout);
             inner = next;
             if res.timed_out() {
-                return inner.q.pop_front();
+                return inner.pop_front();
             }
         }
     }
@@ -183,6 +276,8 @@ impl<T> ShardQueue<T> {
         loop {
             if !inner.q.is_empty() {
                 std::mem::swap(&mut inner.q, out);
+                inner.control.clear();
+                inner.control_len = 0;
                 drop(inner);
                 // The whole capacity just freed: wake every blocked producer.
                 self.not_full.notify_all();
@@ -193,6 +288,8 @@ impl<T> ShardQueue<T> {
             if res.timed_out() {
                 // Take whatever raced in with the timeout, if anything.
                 std::mem::swap(&mut inner.q, out);
+                inner.control.clear();
+                inner.control_len = 0;
                 drop(inner);
                 if !out.is_empty() {
                     self.not_full.notify_all();
@@ -246,6 +343,20 @@ mod tests {
     }
 
     #[test]
+    fn try_push_never_blocks() {
+        let q = ShardQueue::new(1, Backpressure::Block);
+        assert_eq!(q.try_push(1), Ok(PushOutcome::Enqueued));
+        assert_eq!(q.try_push(2), Err(2), "full Block queue hands msg back");
+        assert_eq!(q.dropped(), 0, "a refused try_push is not a drop");
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
+        assert_eq!(q.try_push(2), Ok(PushOutcome::Enqueued));
+        let q = ShardQueue::new(1, Backpressure::DropOldest);
+        q.push(1);
+        assert_eq!(q.try_push(2), Ok(PushOutcome::DroppedOld));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(2));
+    }
+
+    #[test]
     fn drop_newest_sheds_incoming() {
         let q = ShardQueue::new(2, Backpressure::DropNewest);
         assert_eq!(q.push(1), PushOutcome::Enqueued);
@@ -276,6 +387,42 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(1));
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(99));
+    }
+
+    #[test]
+    fn drop_oldest_never_evicts_control() {
+        // Regression: eviction used to pop_front blindly, so a queued
+        // control message (End / Drain ack / Shutdown) in front of the
+        // data could be shed — losing protocol state and counting a
+        // non-line as a dropped line.
+        let q = ShardQueue::new(2, Backpressure::DropOldest);
+        q.push_control(90); // oldest entry is control
+        q.push(1);
+        q.push(2); // data full (control doesn't count toward capacity)
+        assert_eq!(q.push(3), PushOutcome::DroppedOld);
+        assert_eq!(q.dropped(), 1, "only the data line counts as shed");
+        // control survived in its original FIFO position; line 1 is gone
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(90));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Some(3));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn queued_control_never_blocks_or_sheds_data() {
+        // Capacity counts data only: a backlog of control messages must
+        // not make Block try_push refuse (parking the connection) or
+        // DropNewest shed incoming lines.
+        let q = ShardQueue::new(2, Backpressure::Block);
+        q.push_control(90);
+        q.push_control(91);
+        assert_eq!(q.try_push(1), Ok(PushOutcome::Enqueued));
+        assert_eq!(q.try_push(2), Ok(PushOutcome::Enqueued));
+        assert_eq!(q.try_push(3), Err(3), "data capacity is still enforced");
+        let q = ShardQueue::new(1, Backpressure::DropNewest);
+        q.push_control(90);
+        assert_eq!(q.push(1), PushOutcome::Enqueued);
+        assert_eq!(q.dropped(), 0);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //!
 //! The replayer renders each job's sessions, merges them into one
 //! cluster-wide timeline ([`dlasim::GenJob::merged_timeline`] — the arrival
-//! order a collector tailing every container would see), paces the lines at
-//! a target rate, ENDs every session, drains the server, and then compares
-//! the server's per-session reports against offline
+//! order a collector tailing every container would see), partitions the
+//! sessions across `connections` concurrent sockets (each session's stream
+//! stays on one socket, so per-session order is preserved), paces the lines
+//! at a target rate, ENDs every session, drains the server, and then
+//! compares the server's per-session reports against offline
 //! [`Detector::detect_session`] on exactly the same sessions. With the
 //! lossless `block` backpressure policy the two must be identical — that
 //! equivalence is the subsystem's core correctness property (asserted in
@@ -37,6 +39,14 @@ pub struct ReplayConfig {
     pub fault: Option<FaultKind>,
     /// Compare server verdicts against offline detection.
     pub verify: bool,
+    /// Concurrent sender connections. Sessions are partitioned across
+    /// them (a session's lines all flow over one socket, preserving
+    /// per-session order); >1 is what makes shard scaling visible instead
+    /// of measuring single-driver saturation.
+    pub connections: usize,
+    /// Send traffic as this tenant (`TENANT` handshake) and scope the
+    /// drain + report fetch to it; `None` uses the server default.
+    pub tenant: Option<String>,
 }
 
 impl Default for ReplayConfig {
@@ -49,6 +59,8 @@ impl Default for ReplayConfig {
             rate: None,
             fault: None,
             verify: true,
+            connections: 1,
+            tenant: None,
         }
     }
 }
@@ -96,6 +108,94 @@ pub fn generate_jobs(cfg: &ReplayConfig) -> Vec<dlasim::GenJob> {
     jobs
 }
 
+/// One sender connection's share of the replay: its sessions' lines in
+/// timeline order, then their ENDs.
+struct SenderPlan {
+    lines: Vec<(String, spell::LogLine)>,
+    ends: Vec<String>,
+}
+
+/// Partition the replay corpus across `connections` senders. A session's
+/// whole stream goes to exactly one sender (round-robin by session index),
+/// so per-session line order is preserved no matter how the sockets
+/// interleave at the server.
+fn plan_senders(jobs: &[dlasim::GenJob], connections: usize) -> Vec<SenderPlan> {
+    let c = connections.max(1);
+    let mut plans: Vec<SenderPlan> = (0..c)
+        .map(|_| SenderPlan {
+            lines: Vec::new(),
+            ends: Vec::new(),
+        })
+        .collect();
+    let mut session_index = 0usize;
+    for job in jobs {
+        let conn_of: Vec<usize> = job
+            .sessions
+            .iter()
+            .map(|_| {
+                let conn = session_index % c;
+                session_index += 1;
+                conn
+            })
+            .collect();
+        for (i, line) in job.merged_timeline() {
+            let session = &job.sessions[i].id;
+            plans[conn_of[i]].lines.push((
+                session.clone(),
+                spell::LogLine {
+                    ts_ms: line.ts_ms,
+                    level: intellog_core::bridge::level_of(line.level),
+                    source: line.source.clone(),
+                    message: line.message.clone(),
+                },
+            ));
+        }
+        for (i, s) in job.sessions.iter().enumerate() {
+            plans[conn_of[i]].ends.push(s.id.clone());
+        }
+    }
+    plans
+}
+
+/// Run one sender connection to completion (lines, then ENDs, flushed).
+fn run_sender(
+    addr: &str,
+    tenant: Option<&str>,
+    plan: SenderPlan,
+    rate: Option<u64>,
+) -> Result<(), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    if let Some(t) = tenant {
+        client.tenant(t).map_err(|e| format!("tenant: {e}"))?;
+    }
+    let start = Instant::now();
+    let mut sent: u64 = 0;
+    for (session, line) in &plan.lines {
+        client
+            .log(session, line)
+            .map_err(|e| format!("send: {e}"))?;
+        sent += 1;
+        if let Some(rate) = rate.filter(|r| *r > 0) {
+            if sent.is_multiple_of(64) {
+                client.flush().map_err(|e| format!("flush: {e}"))?;
+                let due = Duration::from_secs_f64(sent as f64 / rate as f64);
+                let elapsed = start.elapsed();
+                if due > elapsed {
+                    sync::thread::sleep(due - elapsed);
+                }
+            }
+        }
+    }
+    for s in &plan.ends {
+        client.end(s).map_err(|e| format!("end: {e}"))?;
+    }
+    // Barrier: the PING reply is only generated once every preceding line
+    // on this connection has been parsed and routed, so a joined sender
+    // means its traffic is in the server — a later DRAIN cannot overtake
+    // bytes still buffered in the kernel or unread by the event loop.
+    client.ping().map_err(|e| format!("final ping: {e}"))
+}
+
 /// Drive a replay against a running server.
 pub fn run_replay(
     addr: &str,
@@ -105,48 +205,47 @@ pub fn run_replay(
     let jobs = generate_jobs(cfg);
     let offline_sessions: Vec<Session> = jobs.iter().flat_map(sessions_from_job).collect();
     let total_lines: usize = jobs.iter().map(|j| j.total_lines()).sum();
+    let connections = cfg.connections.max(1);
+    let per_conn_rate = cfg.rate.map(|r| (r / connections as u64).max(1));
 
     let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     client.ping().map_err(|e| format!("ping: {e}"))?;
+    if let Some(t) = &cfg.tenant {
+        client.tenant(t).map_err(|e| format!("tenant: {e}"))?;
+    }
 
+    let mut plans = plan_senders(&jobs, connections);
     let start = Instant::now();
-    let mut sent: u64 = 0;
-    for job in &jobs {
-        for (i, line) in job.merged_timeline() {
-            let session = &job.sessions[i].id;
-            let wire_line = spell::LogLine {
-                ts_ms: line.ts_ms,
-                level: intellog_core::bridge::level_of(line.level),
-                source: line.source.clone(),
-                message: line.message.clone(),
-            };
-            client
-                .log(session, &wire_line)
-                .map_err(|e| format!("send: {e}"))?;
-            sent += 1;
-            if let Some(rate) = cfg.rate.filter(|r| *r > 0) {
-                if sent.is_multiple_of(64) {
-                    client.flush().map_err(|e| format!("flush: {e}"))?;
-                    let due = Duration::from_secs_f64(sent as f64 / rate as f64);
-                    let elapsed = start.elapsed();
-                    if due > elapsed {
-                        sync::thread::sleep(due - elapsed);
-                    }
-                }
-            }
-        }
+    // N−1 sender threads; the last plan is sent from this thread so a
+    // single-connection replay spawns nothing.
+    let mut handles = Vec::new();
+    let last_plan = plans.pop().ok_or("no sender plan")?;
+    for (i, plan) in plans.into_iter().enumerate() {
+        let addr = addr.to_string();
+        let tenant = cfg.tenant.clone();
+        let handle = sync::thread::Builder::new()
+            .name(format!("intellog-replay-{i}"))
+            .spawn(move || run_sender(&addr, tenant.as_deref(), plan, per_conn_rate))
+            .map_err(|e| format!("spawn sender {i}: {e}"))?;
+        handles.push(handle);
     }
-    for s in &offline_sessions {
-        client.end(&s.id).map_err(|e| format!("end: {e}"))?;
+    run_sender(addr, cfg.tenant.as_deref(), last_plan, per_conn_rate)?;
+    for h in handles {
+        h.join().map_err(|_| "sender thread panicked")??;
     }
-    client.flush().map_err(|e| format!("flush: {e}"))?;
-    let drained = client.drain().map_err(|e| format!("drain: {e}"))?;
+    let drained = match &cfg.tenant {
+        Some(t) => client.drain_tenant(t),
+        None => client.drain(),
+    }
+    .map_err(|e| format!("drain: {e}"))?;
     let elapsed_s = start.elapsed().as_secs_f64();
     let _ = drained; // sessions already ENDed count as closed, not drained
 
-    let online: Vec<SessionReport> = client
-        .reports(offline_sessions.len() * 2)
-        .map_err(|e| format!("reports: {e}"))?;
+    let online: Vec<SessionReport> = match &cfg.tenant {
+        Some(t) => client.reports_for(offline_sessions.len() * 2, t),
+        None => client.reports(offline_sessions.len() * 2),
+    }
+    .map_err(|e| format!("reports: {e}"))?;
     let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
 
     let by_id: BTreeMap<&str, &SessionReport> =

@@ -1,17 +1,27 @@
 //! Shard workers: the threads that own the live sessions.
 //!
-//! Each incoming log line is routed by a hash of its session id to exactly
-//! one shard, so a session's whole stream is processed by a single thread
-//! and the per-session [`StreamDetector`] needs no locking. The shard owns
-//! its sessions' detectors over a shared immutable [`Detector`] model,
-//! closes sessions on explicit `END`, evicts them after an idle timeout,
-//! and emits every finished session's [`SessionReport`] into the
-//! [`AnomalySink`].
+//! Each incoming log line is routed — by the gateway's consistent-hash
+//! [`Ring`](crate::ring::Ring) over the tenant-qualified session key — to
+//! exactly one shard, so a session's whole stream is processed by a single
+//! thread and the per-session [`StreamState`] needs no locking. A session
+//! pins its tenant's model version at open (a [`ModelLease`]), so hot
+//! reloads never change the detector under a live session.
+//!
+//! Sessions are *movable*: [`ShardMsg::Rebalance`] makes the worker
+//! snapshot every session the new ring assigns elsewhere and hand the
+//! owned [`SessionState`]s back through the ack channel; the gateway
+//! restores them into their new owners with [`ShardMsg::Restore`]. Because
+//! control messages join the back of the FIFO queue, every line enqueued
+//! before the rebalance is processed before the snapshot — a moved session
+//! resumes exactly where it left off, which is what makes draining a shard
+//! under live load verdict-lossless.
 
 use crate::metrics::ShardMetrics;
 use crate::queue::ShardQueue;
+use crate::registry::{ModelLease, TenantEntry};
+use crate::ring::Ring;
 use crate::sink::AnomalySink;
-use anomaly::{Detector, StreamDetector};
+use anomaly::StreamState;
 use spell::LogLine;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -19,47 +29,74 @@ use sync::atomic::Ordering;
 use sync::thread::JoinHandle;
 use sync::{mpsc, Arc};
 
+/// The full state of one in-flight session — everything needed to resume
+/// it on another shard.
+pub struct SessionState {
+    /// Ring routing key (`tenant \x1f session`).
+    pub key: String,
+    /// The tenant this session belongs to.
+    pub tenant: Arc<TenantEntry>,
+    /// The pinned model version (kept across moves — a session opened on
+    /// v1 finishes on v1 even if it is restored after a reload).
+    pub lease: ModelLease,
+    /// The detection state.
+    pub stream: StreamState,
+    /// Last activity, for idle eviction.
+    pub last_seen: Instant,
+}
+
 /// Messages a shard worker consumes.
 pub enum ShardMsg {
     /// One routed log line.
     Line {
+        /// The session's tenant.
+        tenant: Arc<TenantEntry>,
+        /// Ring routing key (`tenant \x1f session`).
+        key: String,
         /// Session (container) id.
         session: String,
         /// The structured line.
         line: LogLine,
-        /// When the acceptor enqueued it (feed-latency measurement).
+        /// When the gateway enqueued it (feed-latency measurement).
         enqueued: Instant,
     },
     /// Explicit end of a session: finish it now.
     End {
-        /// Session id.
-        session: String,
+        /// Ring routing key.
+        key: String,
     },
-    /// Finish every live session and ack how many were closed. Because
-    /// control messages join the back of the queue, every line enqueued
-    /// before the drain is processed first.
+    /// Finish live sessions (all, or one tenant's) and ack how many were
+    /// closed. Because control messages join the back of the queue, every
+    /// line enqueued before the drain is processed first.
     Drain {
+        /// Restrict the drain to one tenant, or `None` for all.
+        tenant: Option<String>,
         /// Ack channel; receives the number of sessions finished.
         ack: mpsc::Sender<usize>,
     },
-    /// Drain and exit the worker thread.
+    /// Snapshot every session the new ring assigns to another shard and
+    /// send the owned states back. The worker keeps running with the
+    /// sessions it still owns.
+    Rebalance {
+        /// The ring that will become current once every shard has acked.
+        ring: Arc<Ring>,
+        /// Receives the snapshot of moved-away sessions.
+        ack: mpsc::Sender<Vec<SessionState>>,
+    },
+    /// Adopt a session snapshotted off another shard.
+    Restore {
+        /// The moved session (boxed: this variant is rare and large).
+        state: Box<SessionState>,
+    },
+    /// Finish everything and exit the worker thread.
     Shutdown,
-}
-
-/// FNV-1a hash of a session id — the routing function. Deterministic
-/// across runs so a session always lands on the same shard.
-pub fn shard_of(session: &str, shards: usize) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in session.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h % shards.max(1) as u64) as usize
 }
 
 /// One shard: its queue, its metrics, and its worker thread.
 pub struct ShardHandle {
-    /// Producer side (shared with the connection handlers).
+    /// This shard's index (its identity in the ring).
+    pub index: usize,
+    /// Producer side (shared with the gateway).
     pub queue: Arc<ShardQueue<ShardMsg>>,
     /// Counters (shared with `STATS`).
     pub metrics: Arc<ShardMetrics>,
@@ -67,11 +104,10 @@ pub struct ShardHandle {
 }
 
 impl ShardHandle {
-    /// Spawn a shard worker over a shared model. Fails only if the OS
-    /// refuses the thread; the caller decides whether that is fatal.
+    /// Spawn a shard worker. Fails only if the OS refuses the thread; the
+    /// caller decides whether that is fatal.
     pub fn spawn(
         index: usize,
-        detector: Arc<Detector>,
         queue: Arc<ShardQueue<ShardMsg>>,
         metrics: Arc<ShardMetrics>,
         sink: Arc<AnomalySink>,
@@ -81,8 +117,9 @@ impl ShardHandle {
         let m = Arc::clone(&metrics);
         let join = sync::thread::Builder::new()
             .name(format!("intellog-shard-{index}"))
-            .spawn(move || run_shard(&detector, &q, &m, &sink, idle_timeout))?;
+            .spawn(move || run_shard(index, &q, &m, &sink, idle_timeout))?;
         Ok(ShardHandle {
+            index,
             queue,
             metrics,
             join: Some(join),
@@ -97,13 +134,8 @@ impl ShardHandle {
     }
 }
 
-struct LiveSession<'a> {
-    stream: StreamDetector<'a>,
-    last_seen: Instant,
-}
-
 fn run_shard(
-    detector: &Detector,
+    index: usize,
     queue: &ShardQueue<ShardMsg>,
     metrics: &ShardMetrics,
     sink: &AnomalySink,
@@ -114,7 +146,7 @@ fn run_shard(
     let tick = Duration::from_millis(100)
         .min(idle_timeout / 2)
         .max(Duration::from_millis(10));
-    let mut sessions: HashMap<String, LiveSession<'_>> = HashMap::new();
+    let mut sessions: HashMap<String, SessionState> = HashMap::new();
     let mut last_scan = Instant::now();
     // The whole queue is swapped into this batch under one lock per drain
     // (instead of one lock round-trip per line), then processed lock-free.
@@ -124,43 +156,105 @@ fn run_shard(
         for msg in batch.drain(..) {
             match msg {
                 ShardMsg::Line {
+                    tenant,
+                    key,
                     session,
                     line,
                     enqueued,
                 } => {
-                    let live = sessions.entry(session).or_insert_with_key(|id| {
+                    let live = sessions.entry(key).or_insert_with_key(|k| {
                         metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
                         metrics.sessions_live.fetch_add(1, Ordering::Relaxed);
-                        LiveSession {
-                            stream: StreamDetector::begin(detector, id.clone()),
+                        tenant
+                            .metrics
+                            .sessions_opened
+                            .fetch_add(1, Ordering::Relaxed);
+                        SessionState {
+                            key: k.clone(),
+                            lease: tenant.open_session(),
+                            tenant,
+                            stream: StreamState::begin(session),
                             last_seen: Instant::now(),
                         }
                     });
                     live.last_seen = Instant::now();
-                    if live.stream.feed(&line).is_some() {
+                    if live.stream.feed(live.lease.detector(), &line).is_some() {
                         metrics.online_anomalies.fetch_add(1, Ordering::Relaxed);
+                        live.tenant
+                            .metrics
+                            .online_anomalies
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                     metrics.ingested.fetch_add(1, Ordering::Relaxed);
+                    live.tenant.metrics.lines.fetch_add(1, Ordering::Relaxed);
                     metrics
                         .feed_latency
                         .record_us(enqueued.elapsed().as_micros() as u64);
                 }
-                ShardMsg::End { session } => {
-                    if let Some(live) = sessions.remove(&session) {
-                        metrics.sessions_closed.fetch_add(1, Ordering::Relaxed);
-                        metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
-                        sink.push(live.stream.finish());
+                ShardMsg::End { key } => {
+                    if let Some(live) = sessions.remove(&key) {
+                        finish_session(live, metrics, sink, false);
                     }
                 }
-                ShardMsg::Drain { ack } => {
-                    let n = finish_all(&mut sessions, metrics, sink, false);
+                ShardMsg::Drain { tenant, ack } => {
+                    let n = match tenant {
+                        None => finish_all(&mut sessions, metrics, sink),
+                        Some(t) => {
+                            let keys: Vec<String> = sessions
+                                .iter()
+                                .filter(|(_, s)| s.tenant.name == t)
+                                .map(|(k, _)| k.clone())
+                                .collect();
+                            let n = keys.len();
+                            for k in keys {
+                                if let Some(live) = sessions.remove(&k) {
+                                    finish_session(live, metrics, sink, false);
+                                }
+                            }
+                            n
+                        }
+                    };
                     let _ = ack.send(n);
+                }
+                ShardMsg::Rebalance { ring, ack } => {
+                    let moved_keys: Vec<String> = sessions
+                        .keys()
+                        .filter(|k| ring.owner(k) != index)
+                        .cloned()
+                        .collect();
+                    let mut moved = Vec::with_capacity(moved_keys.len());
+                    for k in moved_keys {
+                        if let Some(s) = sessions.remove(&k) {
+                            metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
+                            moved.push(s);
+                        }
+                    }
+                    obs::add!("gateway.rebalance.sessions_moved", moved.len() as u64);
+                    let _ = ack.send(moved);
+                }
+                ShardMsg::Restore { state } => {
+                    metrics.sessions_live.fetch_add(1, Ordering::Relaxed);
+                    match sessions.entry(state.key.clone()) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(*state);
+                        }
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            // Cannot happen under the gateway's parking
+                            // protocol (no line for a moved key is routed
+                            // until the restore lands), but if it ever
+                            // does, close the restored state rather than
+                            // silently dropping its verdicts.
+                            obs::inc!("gateway.rebalance.restore_conflicts");
+                            metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
+                            finish_session(*state, metrics, sink, false);
+                        }
+                    }
                 }
                 ShardMsg::Shutdown => {
                     // Everything enqueued before the shutdown has already
                     // been processed (queue order); later messages are shed,
                     // exactly as when the per-message loop returned here.
-                    finish_all(&mut sessions, metrics, sink, false);
+                    finish_all(&mut sessions, metrics, sink);
                     return;
                 }
             }
@@ -172,28 +266,52 @@ fn run_shard(
     }
 }
 
+/// Close one session: final structural checks against its pinned model
+/// version, report to the sink, counters updated. Dropping the lease here
+/// is what lets an old model version drain after a hot reload.
+fn finish_session(live: SessionState, metrics: &ShardMetrics, sink: &AnomalySink, evicted: bool) {
+    let counter = if evicted {
+        &metrics.sessions_evicted
+    } else {
+        &metrics.sessions_closed
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
+    let SessionState {
+        tenant,
+        lease,
+        stream,
+        ..
+    } = live;
+    let report = stream.finish(lease.detector());
+    tenant
+        .metrics
+        .sessions_closed
+        .fetch_add(1, Ordering::Relaxed);
+    if report.is_problematic() {
+        tenant
+            .metrics
+            .reports_problematic
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    sink.push(&tenant.name, report);
+    drop(lease);
+}
+
 fn finish_all(
-    sessions: &mut HashMap<String, LiveSession<'_>>,
+    sessions: &mut HashMap<String, SessionState>,
     metrics: &ShardMetrics,
     sink: &AnomalySink,
-    evicted: bool,
 ) -> usize {
     let n = sessions.len();
     for (_, live) in sessions.drain() {
-        let counter = if evicted {
-            &metrics.sessions_evicted
-        } else {
-            &metrics.sessions_closed
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-        metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
-        sink.push(live.stream.finish());
+        finish_session(live, metrics, sink, false);
     }
     n
 }
 
 fn evict_idle(
-    sessions: &mut HashMap<String, LiveSession<'_>>,
+    sessions: &mut HashMap<String, SessionState>,
     metrics: &ShardMetrics,
     sink: &AnomalySink,
     idle_timeout: Duration,
@@ -205,10 +323,7 @@ fn evict_idle(
         .collect();
     for id in expired {
         if let Some(live) = sessions.remove(&id) {
-            debug_assert_eq!(live.stream.session_id(), id);
-            metrics.sessions_evicted.fetch_add(1, Ordering::Relaxed);
-            metrics.sessions_live.fetch_sub(1, Ordering::Relaxed);
-            sink.push(live.stream.finish());
+            finish_session(live, metrics, sink, true);
         }
     }
 }
@@ -217,7 +332,9 @@ fn evict_idle(
 mod tests {
     use super::*;
     use crate::queue::Backpressure;
-    use anomaly::Trainer;
+    use crate::registry::TenantRegistry;
+    use crate::ring::session_key;
+    use anomaly::{Detector, Trainer};
     use spell::{Level, Session};
 
     fn line(ts: u64, msg: &str) -> LogLine {
@@ -247,30 +364,43 @@ mod tests {
         Trainer::default().train(&[mk("c0", 1), mk("c1", 2), mk("c2", 3)])
     }
 
-    #[test]
-    fn routing_is_deterministic_and_in_range() {
-        for shards in [1usize, 2, 4, 8] {
-            for id in ["container_01", "container_02", "x"] {
-                let s = shard_of(id, shards);
-                assert!(s < shards);
-                assert_eq!(s, shard_of(id, shards));
-            }
-        }
-        // different ids actually spread (not all on shard 0)
-        let spread: std::collections::HashSet<usize> =
-            (0..64).map(|i| shard_of(&format!("c{i}"), 8)).collect();
-        assert!(spread.len() > 4, "{spread:?}");
+    fn harness() -> (
+        Arc<TenantEntry>,
+        Arc<ShardQueue<ShardMsg>>,
+        Arc<ShardMetrics>,
+        Arc<AnomalySink>,
+    ) {
+        let reg = TenantRegistry::new();
+        let tenant = reg.register("t0", Arc::new(trained()));
+        (
+            tenant,
+            Arc::new(ShardQueue::new(64, Backpressure::Block)),
+            Arc::new(ShardMetrics::default()),
+            Arc::new(AnomalySink::new(16, None).unwrap()),
+        )
+    }
+
+    fn push_line(
+        queue: &ShardQueue<ShardMsg>,
+        tenant: &Arc<TenantEntry>,
+        session: &str,
+        l: LogLine,
+    ) {
+        queue.push(ShardMsg::Line {
+            tenant: Arc::clone(tenant),
+            key: session_key(&tenant.name, session),
+            session: session.into(),
+            line: l,
+            enqueued: Instant::now(),
+        });
     }
 
     #[test]
     fn end_to_end_shard_worker_matches_batch_detection() {
-        let det = Arc::new(trained());
-        let queue = Arc::new(ShardQueue::new(64, Backpressure::Block));
-        let metrics = Arc::new(ShardMetrics::default());
-        let sink = Arc::new(AnomalySink::new(16, None).unwrap());
+        let (tenant, queue, metrics, sink) = harness();
+        let det = tenant.current().detector.clone();
         let shard = ShardHandle::spawn(
             0,
-            Arc::clone(&det),
             Arc::clone(&queue),
             Arc::clone(&metrics),
             Arc::clone(&sink),
@@ -287,46 +417,44 @@ mod tests {
             ],
         );
         for l in &session.lines {
-            queue.push(ShardMsg::Line {
-                session: "c9".into(),
-                line: l.clone(),
-                enqueued: Instant::now(),
-            });
+            push_line(&queue, &tenant, "c9", l.clone());
         }
         queue.push_control(ShardMsg::End {
-            session: "c9".into(),
+            key: session_key("t0", "c9"),
         });
         queue.push_control(ShardMsg::Shutdown);
         shard.join();
-        let reports = sink.recent_reports(10);
+        let reports = sink.recent_reports(10, None);
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0], det.detect_session(&session));
         assert_eq!(metrics.ingested.load(Ordering::Relaxed), 4);
         assert_eq!(metrics.sessions_closed.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.sessions_live.load(Ordering::Relaxed), 0);
         assert!(metrics.feed_latency.count() == 4);
+        // tenant counters saw the same traffic
+        assert_eq!(tenant.metrics.lines.load(Ordering::Relaxed), 4);
+        assert_eq!(tenant.metrics.sessions_closed.load(Ordering::Relaxed), 1);
+        // the session's lease was released on finish
+        assert_eq!(tenant.current().live(), 0);
     }
 
     #[test]
     fn idle_sessions_are_evicted_with_final_report() {
-        let det = Arc::new(trained());
-        let queue = Arc::new(ShardQueue::new(64, Backpressure::Block));
-        let metrics = Arc::new(ShardMetrics::default());
-        let sink = Arc::new(AnomalySink::new(16, None).unwrap());
+        let (tenant, queue, metrics, sink) = harness();
         let shard = ShardHandle::spawn(
             0,
-            det,
             Arc::clone(&queue),
             Arc::clone(&metrics),
             Arc::clone(&sink),
             Duration::from_millis(50),
         )
         .unwrap();
-        queue.push(ShardMsg::Line {
-            session: "idle1".into(),
-            line: line(0, "Starting task 9 in stage 0"),
-            enqueued: Instant::now(),
-        });
+        push_line(
+            &queue,
+            &tenant,
+            "idle1",
+            line(0, "Starting task 9 in stage 0"),
+        );
         // wait well past the idle timeout + scan tick
         let deadline = Instant::now() + Duration::from_secs(5);
         while sink.completed() == 0 && Instant::now() < deadline {
@@ -334,11 +462,109 @@ mod tests {
         }
         assert_eq!(sink.completed(), 1, "idle session must be evicted");
         assert_eq!(metrics.sessions_evicted.load(Ordering::Relaxed), 1);
-        let report = &sink.recent_reports(1)[0];
+        let report = &sink.recent_reports(1, None)[0];
         assert_eq!(report.session, "idle1");
         // truncated session → structural anomalies in the final report
         assert!(report.is_problematic());
         queue.push_control(ShardMsg::Shutdown);
         shard.join();
+    }
+
+    /// Moving a session to another shard mid-stream (Rebalance snapshot →
+    /// Restore) must not change its final report.
+    #[test]
+    fn rebalance_snapshot_restore_is_verdict_lossless() {
+        let (tenant, q0, m0, sink) = harness();
+        let det = tenant.current().detector.clone();
+        let shard0 = ShardHandle::spawn(
+            0,
+            Arc::clone(&q0),
+            Arc::clone(&m0),
+            Arc::clone(&sink),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+        let q1 = Arc::new(ShardQueue::new(64, Backpressure::Block));
+        let m1 = Arc::new(ShardMetrics::default());
+        let shard1 = ShardHandle::spawn(
+            1,
+            Arc::clone(&q1),
+            Arc::clone(&m1),
+            Arc::clone(&sink),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+        let session = Session::new(
+            "c9",
+            vec![
+                line(0, "Registering block manager endpoint on host1"),
+                line(5, "spill 1 written to /tmp/x.out"),
+                line(10, "Starting task 9 in stage 0"),
+                line(30, "Shutdown hook called"),
+            ],
+        );
+        // first half on shard 0
+        for l in &session.lines[..2] {
+            push_line(&q0, &tenant, "c9", l.clone());
+        }
+        // rebalance against a ring where shard 0 no longer exists: the
+        // session must be snapshotted out
+        let ring = Arc::new(Ring::new(&[1], 8));
+        let (tx, rx) = mpsc::channel();
+        q0.push_control(ShardMsg::Rebalance { ring, ack: tx });
+        let moved = rx.recv().unwrap();
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].stream.lines_seen(), 2, "pre-move lines consumed");
+        for s in moved {
+            q1.push_control(ShardMsg::Restore { state: Box::new(s) });
+        }
+        // second half on shard 1
+        for l in &session.lines[2..] {
+            push_line(&q1, &tenant, "c9", l.clone());
+        }
+        q1.push_control(ShardMsg::End {
+            key: session_key("t0", "c9"),
+        });
+        q0.push_control(ShardMsg::Shutdown);
+        q1.push_control(ShardMsg::Shutdown);
+        shard0.join();
+        shard1.join();
+        let reports = sink.recent_reports(10, None);
+        assert_eq!(reports.len(), 1, "exactly one report despite the move");
+        assert_eq!(reports[0], det.detect_session(&session));
+        assert_eq!(m1.sessions_closed.load(Ordering::Relaxed), 1);
+        assert_eq!(tenant.current().live(), 0, "lease released after move");
+    }
+
+    /// A tenant-scoped drain must leave other tenants' sessions running.
+    #[test]
+    fn tenant_scoped_drain_is_isolated() {
+        let reg = TenantRegistry::new();
+        let t0 = reg.register("t0", Arc::new(trained()));
+        let t1 = reg.register("t1", Arc::new(trained()));
+        let queue = Arc::new(ShardQueue::new(64, Backpressure::Block));
+        let metrics = Arc::new(ShardMetrics::default());
+        let sink = Arc::new(AnomalySink::new(16, None).unwrap());
+        let shard = ShardHandle::spawn(
+            0,
+            Arc::clone(&queue),
+            Arc::clone(&metrics),
+            Arc::clone(&sink),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+        push_line(&queue, &t0, "s0", line(0, "Starting task 1 in stage 0"));
+        push_line(&queue, &t1, "s1", line(0, "Starting task 2 in stage 0"));
+        let (tx, rx) = mpsc::channel();
+        queue.push_control(ShardMsg::Drain {
+            tenant: Some("t0".into()),
+            ack: tx,
+        });
+        assert_eq!(rx.recv().unwrap(), 1, "only t0's session drains");
+        assert_eq!(sink.recent_reports(10, Some("t1")).len(), 0);
+        assert_eq!(sink.recent_reports(10, Some("t0")).len(), 1);
+        queue.push_control(ShardMsg::Shutdown);
+        shard.join();
+        assert_eq!(sink.recent_reports(10, Some("t1")).len(), 1);
     }
 }

@@ -15,7 +15,10 @@ use sync::atomic::{AtomicU64, Ordering};
 use sync::Mutex;
 
 struct SinkInner {
-    ring: VecDeque<SessionReport>,
+    /// (tenant, report) — tenant-tagged so `REPORTS`/`ANOMALIES` can be
+    /// filtered per tenant; the JSONL file keeps the plain
+    /// `SessionReport` shape shared with `intellog detect --json`.
+    ring: VecDeque<(String, SessionReport)>,
     file: Option<std::io::BufWriter<std::fs::File>>,
     anomalies_by_kind: BTreeMap<&'static str, u64>,
 }
@@ -53,8 +56,8 @@ impl AnomalySink {
         })
     }
 
-    /// Record one completed session.
-    pub fn push(&self, report: SessionReport) {
+    /// Record one completed session for `tenant`.
+    pub fn push(&self, tenant: &str, report: SessionReport) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
         for a in &report.anomalies {
@@ -74,26 +77,35 @@ impl AnomalySink {
         if inner.ring.len() >= self.capacity {
             inner.ring.pop_front();
         }
-        inner.ring.push_back(report);
+        inner.ring.push_back((tenant.to_string(), report));
     }
 
-    /// The newest `n` completed reports, oldest first.
-    pub fn recent_reports(&self, n: usize) -> Vec<SessionReport> {
-        let inner = self.inner.lock();
-        let skip = inner.ring.len().saturating_sub(n);
-        inner.ring.iter().skip(skip).cloned().collect()
+    /// The newest `n` completed reports, oldest first, optionally only
+    /// for one tenant.
+    pub fn recent_reports(&self, n: usize, tenant: Option<&str>) -> Vec<SessionReport> {
+        self.filtered(n, tenant, |_| true)
     }
 
-    /// The newest `n` problematic reports, oldest first.
-    pub fn recent_anomalous(&self, n: usize) -> Vec<SessionReport> {
+    /// The newest `n` problematic reports, oldest first, optionally only
+    /// for one tenant.
+    pub fn recent_anomalous(&self, n: usize, tenant: Option<&str>) -> Vec<SessionReport> {
+        self.filtered(n, tenant, SessionReport::is_problematic)
+    }
+
+    fn filtered(
+        &self,
+        n: usize,
+        tenant: Option<&str>,
+        keep: impl Fn(&SessionReport) -> bool,
+    ) -> Vec<SessionReport> {
         let inner = self.inner.lock();
         let mut out: Vec<SessionReport> = inner
             .ring
             .iter()
             .rev()
-            .filter(|r| r.is_problematic())
+            .filter(|(t, r)| tenant.is_none_or(|want| want == t.as_str()) && keep(r))
+            .map(|(_, r)| r.clone())
             .take(n)
-            .cloned()
             .collect();
         out.reverse();
         out
@@ -142,10 +154,10 @@ mod tests {
     #[test]
     fn ring_is_bounded_and_ordered() {
         let sink = AnomalySink::new(2, None).unwrap();
-        sink.push(report("a", false));
-        sink.push(report("b", true));
-        sink.push(report("c", false));
-        let recent = sink.recent_reports(10);
+        sink.push("t0", report("a", false));
+        sink.push("t0", report("b", true));
+        sink.push("t0", report("c", false));
+        let recent = sink.recent_reports(10, None);
         assert_eq!(
             recent
                 .iter()
@@ -155,8 +167,25 @@ mod tests {
         );
         assert_eq!(sink.completed(), 3);
         assert_eq!(sink.problematic(), 1);
-        assert_eq!(sink.recent_anomalous(10).len(), 1);
+        assert_eq!(sink.recent_anomalous(10, None).len(), 1);
         assert_eq!(sink.anomalies_by_kind().get("missing-group"), Some(&1));
+    }
+
+    #[test]
+    fn tenant_filter_separates_streams() {
+        let sink = AnomalySink::new(8, None).unwrap();
+        sink.push("acme", report("a1", true));
+        sink.push("globex", report("g1", false));
+        sink.push("acme", report("a2", false));
+        let acme = sink.recent_reports(10, Some("acme"));
+        assert_eq!(
+            acme.iter().map(|r| r.session.as_str()).collect::<Vec<_>>(),
+            ["a1", "a2"]
+        );
+        assert_eq!(sink.recent_reports(10, Some("globex")).len(), 1);
+        assert_eq!(sink.recent_anomalous(10, Some("globex")).len(), 0);
+        assert_eq!(sink.recent_anomalous(10, Some("acme")).len(), 1);
+        assert_eq!(sink.recent_reports(10, Some("missing")).len(), 0);
     }
 
     #[test]
@@ -167,8 +196,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let sink = AnomalySink::new(8, Some(&path)).unwrap();
-            sink.push(report("clean", false));
-            sink.push(report("bad", true));
+            sink.push("t0", report("clean", false));
+            sink.push("t0", report("bad", true));
         }
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();

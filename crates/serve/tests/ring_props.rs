@@ -1,0 +1,126 @@
+//! Property tests for the consistent-hash ring: adding or draining a shard
+//! moves only the sessions it must — in expectation K/N of K sessions for
+//! N shards — and never strands a session on a dead shard. Key strategies
+//! deliberately include the near-identical `container_00000042`-style ids
+//! real workloads produce (a regression guard for hash clustering: FNV-1a
+//! alone leaves their high bits equal, collapsing the ring to one shard).
+
+use intellog_serve::{session_key, Ring, DEFAULT_VNODES};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Session keys in the shapes replay traffic actually has: container ids
+/// with long shared prefixes, plus free-form names.
+fn keys_strategy() -> impl Strategy<Value = Vec<String>> {
+    let container = ("[a-z]{2,8}", 0u32..4, 0u32..200)
+        .prop_map(|(t, j, c)| session_key(&t, &format!("j{j}-container_{c:08}")));
+    let freeform = ("[a-z]{2,8}", "[a-zA-Z0-9_-]{1,24}").prop_map(|(t, s)| session_key(&t, &s));
+    prop::collection::vec(prop_oneof![container, freeform], 50..400).prop_map(|mut v| {
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+/// Live shard index sets of size 2..=8 drawn from a sparse id space (ids
+/// stay stable across drains, so they need not be contiguous).
+fn shards_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..16, 2..9).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        if v.len() < 2 {
+            v = vec![0, 1]; // degenerate draw: fall back to a minimal pair
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding a shard steals sessions only for itself, and no more than a
+    /// slack-adjusted K/N share of them.
+    #[test]
+    fn add_moves_at_most_a_share_and_only_to_the_new_shard(
+        keys in keys_strategy(),
+        shards in shards_strategy(),
+    ) {
+        let new = (0usize..16).find(|i| !shards.contains(i)).unwrap_or(16);
+        let before = Ring::new(&shards, DEFAULT_VNODES);
+        let after = before.with_shard(new);
+
+        let mut moved = 0usize;
+        for k in &keys {
+            let (a, b) = (before.owner(k), after.owner(k));
+            if a != b {
+                prop_assert_eq!(b, new, "a moved session must land on the new shard");
+                moved += 1;
+            }
+        }
+        // expectation K/(N+1); vnode placement is random, so allow 3x
+        // slack plus an absolute floor for tiny K
+        let n_after = shards.len() + 1;
+        let bound = (3 * keys.len()) / n_after + 8;
+        prop_assert!(
+            moved <= bound,
+            "add moved {moved} of {} sessions across {n_after} shards (bound {bound})",
+            keys.len()
+        );
+    }
+
+    /// Draining a shard moves exactly its own sessions, spread over the
+    /// survivors — nobody else's session changes owner.
+    #[test]
+    fn drain_moves_only_the_drained_shards_sessions(
+        keys in keys_strategy(),
+        shards in shards_strategy(),
+    ) {
+        let drained = shards[0];
+        let before = Ring::new(&shards, DEFAULT_VNODES);
+        let after = before.without_shard(drained);
+
+        for k in &keys {
+            let (a, b) = (before.owner(k), after.owner(k));
+            if a == drained {
+                prop_assert_ne!(b, drained, "drained shard must own nothing");
+            } else {
+                prop_assert_eq!(a, b, "survivors' sessions must not move");
+            }
+        }
+    }
+
+    /// Every key routes to a live shard, deterministically, regardless of
+    /// the order shards were listed in.
+    #[test]
+    fn owner_is_total_deterministic_and_order_independent(
+        keys in keys_strategy(),
+        shards in shards_strategy(),
+    ) {
+        let ring = Ring::new(&shards, DEFAULT_VNODES);
+        let mut reversed = shards.clone();
+        reversed.reverse();
+        let ring2 = Ring::new(&reversed, DEFAULT_VNODES);
+        let live: HashSet<usize> = shards.iter().copied().collect();
+        for k in &keys {
+            let o = ring.owner(k);
+            prop_assert!(live.contains(&o), "owner {o} is not a live shard");
+            prop_assert_eq!(o, ring2.owner(k), "construction order changed routing");
+        }
+    }
+
+    /// An add followed by draining the same shard restores the original
+    /// routing exactly (rings are values; the round trip is identity).
+    #[test]
+    fn add_then_drain_is_identity(
+        keys in keys_strategy(),
+        shards in shards_strategy(),
+    ) {
+        let new = (0usize..16).find(|i| !shards.contains(i)).unwrap_or(16);
+        let before = Ring::new(&shards, DEFAULT_VNODES);
+        let round = before.with_shard(new).without_shard(new);
+        prop_assert_eq!(&before, &round);
+        for k in &keys {
+            prop_assert_eq!(before.owner(k), round.owner(k));
+        }
+    }
+}

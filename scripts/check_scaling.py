@@ -20,6 +20,14 @@ numbers are noise) and enforces:
   * serve: lines/s is monotone non-decreasing from 1 -> 2 -> 4 shards,
     with multiplicative noise slack per step (on a single-CPU host the
     series is flat; more shards must never make it *worse* than slack).
+    The scaling series is measured over 4 concurrent connections, so it
+    also covers the gateway's readiness sweep, not just the shards.
+  * gateway connections: every point of the 1 -> 8 connection series
+    clears an absolute throughput floor (local single-CPU measurements
+    sit at 56-66k lines/s; the floor is ~10x below that so only a real
+    event-loop regression trips it), and 8 connections must not fall
+    below CONN_PARITY x the single-connection rate — fanning the same
+    load over more sockets exercises the sweep but must not collapse it.
 
 Exit code 0 = all gates pass.  Any failure prints every violated gate
 and exits 1.
@@ -32,6 +40,8 @@ import sys
 SPEEDUP_MIN = 1.2  # threads4 vs sequential, hosts with >= 4 CPUs
 PARITY_MIN = 0.70  # threads4 vs sequential, smaller hosts (overhead bound)
 SERVE_STEP_SLACK = 0.85  # per-step noise slack on the shard series
+CONN_FLOOR = 5_000  # gateway lines/s at any connection count
+CONN_PARITY = 0.60  # 8 connections vs 1 (sweep overhead bound)
 PARSE_FLOOR = 25_000  # Spell streaming parse, msgs/s
 MATCH_FLOOR = 15_000  # Spell indexed match, msgs/s
 RATIO_FLOOR = 3.0  # indexed vs linear matcher, same probes
@@ -103,6 +113,27 @@ def main() -> int:
     gate(
         serve["correctness_verified"] is True,
         "serve: online verdicts verified against offline detection",
+    )
+
+    # --- gateway: connection series floor + sweep-overhead bound ---------
+    by_conns = {c["connections"]: c["lines_per_s"] for c in serve["connections"]}
+    for conns in sorted(by_conns):
+        gate(
+            by_conns[conns] >= CONN_FLOOR,
+            f"gateway: {by_conns[conns]:.0f} lines/s at {conns} "
+            f"connection(s) >= {CONN_FLOOR}",
+        )
+    most = max(by_conns)
+    ratio = by_conns[most] / by_conns[1]
+    gate(
+        ratio >= CONN_PARITY,
+        f"gateway: {most} conns / 1 conn = {ratio:.2f} >= {CONN_PARITY} "
+        f"(readiness sweep must not collapse under fan-in)",
+    )
+    dropped = [s for s in serve["scaling"] + serve["connections"] if s["dropped"]]
+    gate(
+        not dropped,
+        "gateway: block backpressure dropped nothing in any timing run",
     )
 
     if failures:

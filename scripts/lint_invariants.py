@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI-gated concurrency-invariant linter (DESIGN.md §11).
 
-Four rules over the workspace's Rust sources:
+Five rules over the workspace's Rust sources:
 
   R1  raw-sync     `std::sync` / `std::thread` are forbidden outside the
                    facade (`crates/sync/`) and the vendored dependency
@@ -15,9 +15,16 @@ Four rules over the workspace's Rust sources:
                    must carry `#![forbid(unsafe_code)]` unless listed in
                    R3_EXEMPT (only `crates/sync` would ever qualify — it
                    carries the attribute anyway — and vendor/ is skipped).
-  R4  no-unwrap    `.unwrap()` / `.expect(` are forbidden in the serve
-                   request-path modules outside their `#[cfg(test)]`
-                   tail — a malformed request must never abort a shard.
+  R4  no-unwrap    `.unwrap()` / `.expect(` are forbidden in the serving
+                   request-path modules (serve data plane + gateway event
+                   loop) outside their `#[cfg(test)]` tail — a malformed
+                   request must never abort a shard or the gateway.
+  R5  raw-net      `std::net` is forbidden outside the gateway's poll
+                   core (`crates/gateway/src/poll.rs`) and the blocking
+                   test/replay client (`crates/serve/src/client.rs`) —
+                   every server-side socket must go through the poller's
+                   nonblocking readiness API, where the never-block rules
+                   are enforced in one place.
 
 Escape hatch: a `// lint: allow(<rule>)` comment on the offending line or
 within the 5 lines above suppresses that rule there (used exactly once in
@@ -49,15 +56,29 @@ R1_PATTERN = re.compile(r"\bstd\s*::\s*(sync|thread)\b")
 # not the `unsafe fn(…)` *type* in a field/parameter position.
 R2_PATTERN = re.compile(r"\bunsafe\s+(fn\s+\w|impl\b|trait\b)|\bunsafe\s*\{")
 
-# R4: serve request-path modules (store/replay/client are offline paths).
+# R4: serving request-path modules — the serve data plane plus the whole
+# gateway event loop (store/replay/client are offline or test-side paths).
 R4_MODULES = (
-    "crates/serve/src/server.rs",
     "crates/serve/src/shard.rs",
     "crates/serve/src/queue.rs",
     "crates/serve/src/sink.rs",
     "crates/serve/src/metrics.rs",
+    "crates/serve/src/registry.rs",
+    "crates/serve/src/ring.rs",
+    "crates/gateway/src/server.rs",
+    "crates/gateway/src/conn.rs",
+    "crates/gateway/src/poll.rs",
+    "crates/gateway/src/wake.rs",
 )
 R4_PATTERN = re.compile(r"\.\s*(unwrap\s*\(\s*\)|expect\s*\()")
+
+# R5: modules allowed to touch std::net directly. The poller owns every
+# nonblocking server socket; the client is the blocking caller side.
+RAW_NET_WHITELIST = (
+    "crates/gateway/src/poll.rs",
+    "crates/serve/src/client.rs",
+)
+R5_PATTERN = re.compile(r"\bstd\s*::\s*net\b")
 
 R3_EXEMPT: tuple[str, ...] = ()
 
@@ -137,6 +158,7 @@ def lint_file(path: Path, relpath: str, violations: list[str]) -> None:
         VENDOR_CHECKED
     )
     raw_sync_ok = vendored or any(relpath.startswith(w) for w in RAW_SYNC_WHITELIST)
+    raw_net_ok = vendored or relpath in RAW_NET_WHITELIST
 
     # R4 only applies outside the conventional `#[cfg(test)]` tail.
     r4_active = relpath in R4_MODULES
@@ -168,6 +190,13 @@ def lint_file(path: Path, relpath: str, violations: list[str]) -> None:
                 violations.append(
                     f"{relpath}:{i + 1}: [no-unwrap] .unwrap()/.expect() on a "
                     "serve request path — handle or count the error instead"
+                )
+        if not raw_net_ok and R5_PATTERN.search(code):
+            if not allowed(lines, i, "std-net"):
+                violations.append(
+                    f"{relpath}:{i + 1}: [raw-net] raw std::net — sockets "
+                    "belong to the gateway poll core (or the blocking "
+                    "client); use the Poller's readiness API"
                 )
 
 
@@ -255,7 +284,7 @@ def self_test() -> int:
             False,
         ),
         "no-unwrap fires on request path": (
-            "crates/serve/src/server.rs",
+            "crates/serve/src/shard.rs",
             "fn f(s: &str) { s.parse::<u8>().unwrap(); }\n",
             True,
         ),
@@ -268,6 +297,37 @@ def self_test() -> int:
             "crates/serve/src/metrics.rs",
             "fn f(s: &str) -> u8 { s.parse().unwrap_or(0) }\n",
             False,
+        ),
+        "raw-net fires": (
+            "crates/gateway/src/server.rs",
+            "use std::net::TcpStream;\n",
+            True,
+        ),
+        "raw-net whitelists the poll core": (
+            "crates/gateway/src/poll.rs",
+            "use std::net::{TcpListener, TcpStream};\n",
+            False,
+        ),
+        "raw-net whitelists the blocking client": (
+            "crates/serve/src/client.rs",
+            "use std::net::TcpStream;\n",
+            False,
+        ),
+        "raw-net ignores doc comments": (
+            "crates/gateway/src/lib.rs",
+            "#![forbid(unsafe_code)]\n//! only poll.rs may touch std::net\n",
+            False,
+        ),
+        "raw-net honors allow marker": (
+            "crates/serve/src/probe.rs",
+            "// lint: allow(std-net) — diagnostic-only resolver\n"
+            "use std::net::ToSocketAddrs;\n",
+            False,
+        ),
+        "no-unwrap covers the gateway event loop": (
+            "crates/gateway/src/conn.rs",
+            "fn f(s: &str) { s.parse::<u8>().unwrap(); }\n",
+            True,
         ),
         "forbid-attr fires": (
             "crates/fake/src/lib.rs",

@@ -43,6 +43,16 @@ impl FlagSet {
         None
     }
 
+    /// Remove every occurrence of a repeatable `--flag value` /
+    /// `--flag=value`, in order. Empty when absent.
+    pub fn values(&mut self, flag: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(v) = self.value(flag) {
+            out.push(v);
+        }
+        out
+    }
+
     /// Remove a boolean `--flag`; `true` if it was present.
     pub fn bool(&mut self, flag: &str) -> bool {
         let before = self.args.len();
@@ -100,6 +110,22 @@ mod tests {
         assert_eq!(f.value("--model"), None);
         assert!(!f.bool("--json"));
         assert_eq!(f.finish(), args(&["a.log", "b.log"]));
+    }
+
+    #[test]
+    fn repeatable_flags_collect_in_order() {
+        let mut f = FlagSet::new(&args(&[
+            "--tenant-model",
+            "acme=a.ilm",
+            "--tenant-model=globex=g.ilm",
+            "x",
+        ]));
+        assert_eq!(
+            f.values("--tenant-model"),
+            args(&["acme=a.ilm", "globex=g.ilm"])
+        );
+        assert_eq!(f.values("--tenant-model"), Vec::<String>::new());
+        assert_eq!(f.finish(), args(&["x"]));
     }
 
     #[test]

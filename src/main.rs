@@ -21,7 +21,8 @@ use intellog::anomaly::{Detector, JobReport, Trainer};
 use intellog::core::IntelLog;
 use intellog::dlasim::{FaultKind, SystemKind};
 use intellog::spell::{LogFormat, Session};
-use intellog_serve::{Backpressure, ModelStore, ReplayConfig, ServeConfig, Server};
+use intellog_gateway::{Gateway, GatewayConfig};
+use intellog_serve::{Backpressure, ModelStore, ReplayConfig, TenantRegistry};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -64,9 +65,11 @@ const USAGE: &str = "usage:
   intellog serve  --model MODEL.ilm [--addr HOST:PORT] [--shards N] [--queue-cap N]
                   [--backpressure block|drop-newest|drop-oldest] [--idle-timeout-ms N]
                   [--ring-cap N] [--sink FILE.jsonl] [--addr-file PATH]
+                  [--tenant NAME] [--tenant-model NAME=MODEL.ilm]... [--vnodes N]
   intellog replay --model MODEL.ilm --addr HOST:PORT [--system spark|mapreduce|tez]
                   [--jobs N] [--seed N] [--hosts N] [--rate LINES_PER_S]
                   [--fault session-kill|network-failure|node-failure]
+                  [--connections N] [--tenant NAME]
                   [--no-verify] [--expect-anomalies] [--shutdown]
   intellog demo
 
@@ -79,10 +82,14 @@ with the METRICS verb).
 Flags accept both '--flag value' and '--flag=value'. Each LOGFILE is one
 session (one YARN container's log). Models are stored in the versioned
 model-store format (header + crc32); 'train' writes it, every other
-command refuses corrupt or mismatched files. 'serve' runs the sharded
-online detector on a TCP socket; 'replay' drives simulated workloads
-through it and checks the verdicts against offline detection. 'demo'
-trains on simulated Spark jobs and diagnoses an injected network failure.";
+command refuses corrupt or mismatched files. 'serve' runs the event-driven
+multi-tenant gateway: one nonblocking connection loop feeding sharded
+online detectors, with per-tenant models ('--tenant-model', or the LOAD
+verb at runtime for hot reload) and live re-sharding (ADDSHARD /
+DRAINSHARD verbs). 'replay' drives simulated workloads through it over
+'--connections' concurrent sockets and checks the verdicts against
+offline detection. 'demo' trains on simulated Spark jobs and diagnoses an
+injected network failure.";
 
 /// Observability wiring for `train|detect|replay`: `--metrics <path|->`
 /// enables the obs layer and dumps the registry (Prometheus text) there on
@@ -300,12 +307,17 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    // The server's METRICS verb reports pipeline-stage counters too, so the
-    // observability layer is always on while serving.
+    // The gateway's METRICS verb reports pipeline-stage counters too, so
+    // the observability layer is always on while serving.
     obs::enable();
     let mut flags = FlagSet::new(args);
     let detector = load_model(flags.value("--model"))?;
-    let config = ServeConfig {
+    let default_tenant = flags
+        .value("--tenant")
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| intellog_serve::DEFAULT_TENANT.into());
+    let tenant_models = flags.values("--tenant-model");
+    let config = GatewayConfig {
         addr: flags
             .value("--addr")
             .filter(|v| !v.is_empty())
@@ -319,25 +331,46 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .value("--sink")
             .filter(|v| !v.is_empty())
             .map(PathBuf::from),
+        default_tenant: default_tenant.clone(),
+        vnodes: flags.parse("--vnodes", intellog_serve::DEFAULT_VNODES)?,
     };
     let addr_file = flags.value("--addr-file").filter(|v| !v.is_empty());
     let extra = flags.finish();
     if !extra.is_empty() {
         return Err(format!("unexpected arguments: {extra:?}"));
     }
-    let server = Server::bind(&config, Arc::new(detector)).map_err(|e| e.to_string())?;
-    let addr = server.local_addr();
+    let registry = Arc::new(TenantRegistry::new());
+    registry.register(&default_tenant, Arc::new(detector));
+    for spec in &tenant_models {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--tenant-model {spec:?}: expected NAME=PATH"))?;
+        if name.is_empty() || path.is_empty() {
+            return Err(format!("--tenant-model {spec:?}: expected NAME=PATH"));
+        }
+        let out = registry
+            .load_from_path(name, Path::new(path))
+            .map_err(|e| format!("--tenant-model {spec}: {e}"))?;
+        println!(
+            "tenant {name}: loaded v{} ({} keys) from {path}",
+            out.version, out.keys
+        );
+    }
+    let gateway = Gateway::bind_with_registry(&config, registry).map_err(|e| e.to_string())?;
+    let addr = gateway.local_addr();
     println!(
-        "intellog-serve listening on {addr} shards={} queue-cap={} backpressure={} idle-timeout={}ms",
+        "intellog-gateway listening on {addr} shards={} queue-cap={} backpressure={} idle-timeout={}ms tenants={} default-tenant={}",
         config.shards,
         config.queue_capacity,
         config.backpressure.name(),
-        config.idle_timeout.as_millis()
+        config.idle_timeout.as_millis(),
+        1 + tenant_models.len(),
+        default_tenant,
     );
     if let Some(p) = addr_file {
         std::fs::write(&p, format!("{addr}\n")).map_err(|e| format!("{p}: {e}"))?;
     }
-    server.run().map_err(|e| e.to_string())
+    gateway.run().map_err(|e| e.to_string())
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
@@ -360,6 +393,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             None => None,
         },
         verify: !flags.bool("--no-verify"),
+        connections: flags.parse("--connections", 1)?,
+        tenant: flags.value("--tenant").filter(|v| !v.is_empty()),
     };
     let expect_anomalies = flags.bool("--expect-anomalies");
     let shutdown = flags.bool("--shutdown");

@@ -22,7 +22,11 @@
 #![cfg(intellog_check)]
 
 use anomaly::SessionReport;
-use intellog_serve::{AnomalySink, Backpressure, ShardHandle, ShardMetrics, ShardMsg, ShardQueue};
+use intellog_gateway::IdleGate;
+use intellog_serve::{
+    session_key, AnomalySink, Backpressure, Ring, ShardHandle, ShardMetrics, ShardMsg, ShardQueue,
+    TenantRegistry, DEFAULT_VNODES,
+};
 use spell::{Level, LogLine};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -193,12 +197,13 @@ fn trained() -> anomaly::Detector {
 fn shard_worker_shutdown_always_emits_final_report() {
     let det = Arc::new(trained());
     let report = explore(&cfg(iters(100), 0), move || {
+        let registry = TenantRegistry::new();
+        let tenant = registry.register("t", Arc::clone(&det));
         let queue = Arc::new(ShardQueue::new(8, Backpressure::Block));
         let metrics = Arc::new(ShardMetrics::default());
         let sink = Arc::new(AnomalySink::new(4, None).expect("memory-only sink"));
         let shard = ShardHandle::spawn(
             0,
-            Arc::clone(&det),
             Arc::clone(&queue),
             Arc::clone(&metrics),
             Arc::clone(&sink),
@@ -208,8 +213,11 @@ fn shard_worker_shutdown_always_emits_final_report() {
         let producers: Vec<_> = (0..2)
             .map(|i| {
                 let q = Arc::clone(&queue);
+                let t = Arc::clone(&tenant);
                 thread::spawn(move || {
                     q.push(ShardMsg::Line {
+                        tenant: t,
+                        key: session_key("t", "s"),
                         session: "s".into(),
                         line: line(i, "Registering block manager endpoint on host1"),
                         enqueued: Instant::now(),
@@ -221,13 +229,160 @@ fn shard_worker_shutdown_always_emits_final_report() {
             p.join().expect("producer exits");
         }
         queue.push_control(ShardMsg::End {
-            session: "s".into(),
+            key: session_key("t", "s"),
         });
         queue.push_control(ShardMsg::Shutdown);
         shard.join();
         assert_eq!(sink.completed(), 1, "session must be finished exactly once");
         assert_eq!(metrics.ingested.load(Ordering::Relaxed), 2);
         assert_eq!(metrics.sessions_live.load(Ordering::Relaxed), 0);
+        assert_eq!(tenant.current().live(), 0, "lease released on finish");
+    });
+    report.assert_ok();
+}
+
+// ---------------------------------------------------------------------
+// Gateway protocols: idle-gate wakeups, hot-reload leases, rebalance.
+// ---------------------------------------------------------------------
+
+/// The event loop's park/wake protocol. The loop parks on the gate only
+/// after a sweep found nothing; background threads (LOAD done, shard
+/// acks) wake it. A wake racing a not-yet-parked loop must be buffered by
+/// the flag — zero forced timeouts proves no interleaving loses it.
+#[cfg(not(intellog_mutant_lost_wakeup))]
+#[test]
+fn idle_gate_wake_is_never_lost() {
+    let report = explore(&cfg(iters(1500), 300), || {
+        let gate = Arc::new(IdleGate::new());
+        let wakers: Vec<_> = (0..2)
+            .map(|_| {
+                let g = Arc::clone(&gate);
+                thread::spawn(move || g.wake())
+            })
+            .collect();
+        // the loop side: sweep until the (coalesced) wake is observed
+        while !gate.wait(Duration::from_millis(50)) {}
+        for w in wakers {
+            w.join().expect("waker exits");
+        }
+    });
+    report.assert_no_lost_wakeups();
+    assert!(report.executions >= iters(1500));
+}
+
+/// Hot reload under racing session opens: a swap must never tear a lease
+/// (every lease is pinned to exactly one version and releases it), the
+/// old version drains to zero once its sessions end, and an open racing
+/// the swap lands on one of the two versions — never a third state.
+#[test]
+fn hot_reload_swap_and_drain_accounts_every_lease() {
+    let det = Arc::new(trained());
+    let report = explore(&cfg(iters(800), 200), move || {
+        let registry = TenantRegistry::new();
+        let tenant = registry.register("t", Arc::clone(&det));
+        let before = tenant.open_session(); // pinned to v1 across the swap
+        let t2 = Arc::clone(&tenant);
+        let d2 = Arc::clone(&det);
+        let swapper = thread::spawn(move || t2.swap(d2));
+        let racing = tenant.open_session(); // v1 or v2, depending on schedule
+        let (new_version, old_version, _old_live) = swapper.join().expect("swap exits");
+        assert_eq!((new_version, old_version), (2, 1));
+        assert_eq!(before.version(), 1, "existing session must stay pinned");
+        assert!(
+            racing.version() == 1 || racing.version() == 2,
+            "racing open saw version {}",
+            racing.version()
+        );
+        let after = tenant.open_session();
+        assert_eq!(after.version(), 2, "post-swap opens must see v2");
+        drop(after);
+        drop(racing);
+        drop(before);
+        assert_eq!(tenant.current().live(), 0, "v2 fully drained");
+        assert_eq!(tenant.reloads(), 1);
+    });
+    report.assert_ok();
+}
+
+/// Rebalance conservation: a session snapshotted off one shard and
+/// restored onto another is finished exactly once, with its line counts
+/// and lease intact — under every schedule of the two workers and the
+/// producer. (Wall-clock eviction branch ⇒ DFS disabled, as above.)
+#[cfg(not(intellog_mutant_lost_wakeup))]
+#[test]
+fn rebalance_snapshot_restore_conserves_sessions() {
+    let det = Arc::new(trained());
+    let report = explore(&cfg(iters(60), 0), move || {
+        let registry = TenantRegistry::new();
+        let tenant = registry.register("t", Arc::clone(&det));
+        let key = session_key("t", "s");
+        let sink = Arc::new(AnomalySink::new(4, None).expect("memory-only sink"));
+        let mk_shard = |i: usize| {
+            let queue = Arc::new(ShardQueue::new(8, Backpressure::Block));
+            let metrics = Arc::new(ShardMetrics::default());
+            let handle = ShardHandle::spawn(
+                i,
+                Arc::clone(&queue),
+                Arc::clone(&metrics),
+                Arc::clone(&sink),
+                Duration::from_secs(60),
+            )
+            .expect("spawn shard worker");
+            (queue, metrics, handle)
+        };
+        let (q0, m0, h0) = mk_shard(0);
+        let (q1, m1, h1) = mk_shard(1);
+
+        // line 1 arrives on shard 0 (concurrently with the gateway's
+        // rebalance decision), which then hands the session to shard 1
+        let t = Arc::clone(&tenant);
+        let q = Arc::clone(&q0);
+        let k = key.clone();
+        let producer = thread::spawn(move || {
+            q.push(ShardMsg::Line {
+                tenant: t,
+                key: k.clone(),
+                session: "s".into(),
+                line: line(0, "Registering block manager endpoint on host1"),
+                enqueued: Instant::now(),
+            })
+        });
+        producer.join().expect("producer exits");
+
+        let (ack, moved_rx) = sync::mpsc::channel();
+        q0.push_control(ShardMsg::Rebalance {
+            ring: Arc::new(Ring::new(&[1], DEFAULT_VNODES)),
+            ack,
+        });
+        let moved = moved_rx.recv().expect("shard 0 acks");
+        assert_eq!(moved.len(), 1, "the session must be snapshotted out");
+        for state in moved {
+            q1.push_control(ShardMsg::Restore {
+                state: Box::new(state),
+            });
+        }
+        q1.push(ShardMsg::Line {
+            tenant: Arc::clone(&tenant),
+            key: key.clone(),
+            session: "s".into(),
+            line: line(10, "Shutdown hook called"),
+            enqueued: Instant::now(),
+        });
+        q1.push_control(ShardMsg::End { key });
+        q0.push_control(ShardMsg::Shutdown);
+        q1.push_control(ShardMsg::Shutdown);
+        h0.join();
+        h1.join();
+
+        assert_eq!(sink.completed(), 1, "moved session finishes exactly once");
+        assert_eq!(
+            m0.ingested.load(Ordering::Relaxed) + m1.ingested.load(Ordering::Relaxed),
+            2,
+            "every line is counted on exactly one shard"
+        );
+        assert_eq!(m0.sessions_live.load(Ordering::Relaxed), 0);
+        assert_eq!(m1.sessions_live.load(Ordering::Relaxed), 0);
+        assert_eq!(tenant.current().live(), 0, "lease released after the move");
     });
     report.assert_ok();
 }
@@ -251,14 +406,14 @@ fn anomaly_sink_ring_stays_bounded_under_concurrent_pushes() {
         let pushers: Vec<_> = (0..3)
             .map(|i| {
                 let s = Arc::clone(&sink);
-                thread::spawn(move || s.push(report_for(&format!("s{i}"))))
+                thread::spawn(move || s.push("t", report_for(&format!("s{i}"))))
             })
             .collect();
         for p in pushers {
             p.join().expect("pusher exits");
         }
         assert_eq!(sink.completed(), 3, "every push must be counted");
-        let recent = sink.recent_reports(10);
+        let recent = sink.recent_reports(10, None);
         assert_eq!(recent.len(), 2, "ring capacity must bound retention");
     });
     report.assert_ok();
