@@ -37,13 +37,16 @@ pub struct Detector {
 }
 
 impl Detector {
-    /// Assemble a detector from trained components.
+    /// Assemble a detector from trained components. The parser is frozen
+    /// here — training is over, so the key set is compiled into the dense
+    /// matching automaton that detection, replay and serving run against.
     pub fn new(
-        parser: SpellParser,
+        mut parser: SpellParser,
         keys: Vec<IntelKey>,
         graph: HwGraph,
         ignored_keys: BTreeSet<KeyId>,
     ) -> Detector {
+        parser.freeze();
         Detector {
             parser,
             keys,
@@ -76,15 +79,22 @@ impl Detector {
         // variable values) are memoised per session.
         let mut memo = spell::MatchMemo::new();
         let mut messages: Vec<IntelMessage> = Vec::with_capacity(session.lines.len());
-        // One interned-id buffer reused across all lines of the session.
+        // Span + interned-id buffers reused across all lines of the session
+        // (the zero-copy ingest path: matching allocates nothing; token
+        // strings are materialised only for lines that feed extraction).
         let mut ids: Vec<spell::TokenId> = Vec::new();
+        let mut spans: Vec<spell::Span> = Vec::new();
+        let materialize = |spans: &[spell::Span], msg: &str| -> Vec<String> {
+            spans.iter().map(|s| s.of(msg).to_string()).collect()
+        };
         for line in &session.lines {
-            let tokens = spell::tokenize_message(&line.message);
-            self.parser.lookup_ids_into(&tokens, &mut ids);
+            self.parser
+                .lookup_line_into(&line.message, &mut spans, &mut ids);
             match self.parser.match_ids_memo(&ids, &mut memo) {
                 Some(kid) if self.ignored_keys.contains(&kid) => {}
                 Some(kid) => {
                     let ik = &self.keys[kid.0 as usize];
+                    let tokens = materialize(&spans, &line.message);
                     messages.push(IntelMessage::instantiate(
                         ik,
                         &tokens,
@@ -94,6 +104,7 @@ impl Detector {
                 }
                 None => {
                     let adhoc_key = extractor.extract_adhoc(&line.message);
+                    let tokens = materialize(&spans, &line.message);
                     let intel =
                         IntelMessage::instantiate(&adhoc_key, &tokens, &session.id, line.ts_ms);
                     let groups = self.groups_of_entities(&intel.entities);

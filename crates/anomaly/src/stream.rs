@@ -38,6 +38,8 @@ pub struct StreamState {
     memo: spell::MatchMemo,
     /// Interned-id buffer reused across `feed` calls.
     ids: Vec<spell::TokenId>,
+    /// Token-span buffer reused across `feed` calls (zero-copy tokenise).
+    spans: Vec<spell::Span>,
 }
 
 impl StreamState {
@@ -52,6 +54,7 @@ impl StreamState {
             online_anomalies: Vec::new(),
             memo: spell::MatchMemo::new(),
             ids: Vec::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -59,12 +62,22 @@ impl StreamState {
     /// unexpected message (no Intel Key matches).
     pub fn feed(&mut self, detector: &Detector, line: &LogLine) -> Option<Anomaly> {
         self.lines += 1;
-        let tokens = spell::tokenize_message(&line.message);
-        detector.parser.lookup_ids_into(&tokens, &mut self.ids);
+        // Zero-copy match: byte spans + interner lookups straight off the
+        // line buffer, reusing this state's span/id buffers. Token strings
+        // are materialised only for lines that feed extraction below —
+        // ignored-key lines (and the match itself) allocate nothing.
+        detector
+            .parser
+            .lookup_line_into(&line.message, &mut self.spans, &mut self.ids);
         match detector.parser.match_ids_memo(&self.ids, &mut self.memo) {
             Some(kid) if detector.ignored_keys.contains(&kid) => None,
             Some(kid) => {
                 let ik = &detector.keys[kid.0 as usize];
+                let tokens: Vec<String> = self
+                    .spans
+                    .iter()
+                    .map(|s| s.of(&line.message).to_string())
+                    .collect();
                 self.messages.push(IntelMessage::instantiate(
                     ik,
                     &tokens,
@@ -75,6 +88,11 @@ impl StreamState {
             }
             None => {
                 let adhoc = self.extractor.extract_adhoc(&line.message);
+                let tokens: Vec<String> = self
+                    .spans
+                    .iter()
+                    .map(|s| s.of(&line.message).to_string())
+                    .collect();
                 let intel =
                     IntelMessage::instantiate(&adhoc, &tokens, &self.session_id, line.ts_ms);
                 let groups = detector.groups_of_entities(&intel.entities);

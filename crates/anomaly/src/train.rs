@@ -71,6 +71,13 @@ impl Trainer {
     /// Runs on rayon's current thread pool and produces a detector
     /// bit-identical to [`Trainer::train_sequential`].
     pub fn train(&self, sessions: &[Session]) -> Detector {
+        // On a single-threaded pool the speculative hint round would run
+        // sequentially anyway — every message matched twice for nothing
+        // (~2x the Spell cost). The sequential trainer is bit-identical by
+        // contract, so take it directly.
+        if rayon::current_num_threads() <= 1 {
+            return self.train_sequential(sessions);
+        }
         let _span = obs::span!("anomaly.train");
         obs::add!("anomaly.train.sessions", sessions.len() as u64);
         let mut parser = SpellParser::new(self.spell_threshold);

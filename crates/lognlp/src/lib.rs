@@ -30,6 +30,7 @@ pub mod depparse;
 pub mod lemma;
 pub mod lexicon;
 pub mod pos;
+pub mod raw;
 pub mod tags;
 pub mod token;
 
@@ -39,5 +40,6 @@ pub use depparse::{parse, Arc, Parse, UdRel};
 pub use lemma::{singularize, singularize_phrase, verb_base};
 pub use lexicon::Lexicon;
 pub use pos::{tag, tag_key_with_sample, TaggedToken};
+pub use raw::{tokenize_spans, Span};
 pub use tags::PosTag;
 pub use token::{classify, detokenize, tokenize, Token, TokenShape};

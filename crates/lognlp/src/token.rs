@@ -141,7 +141,7 @@ fn is_path(text: &str) -> bool {
         || text.starts_with("s3://")
 }
 
-fn is_host_port(text: &str) -> bool {
+pub(crate) fn is_host_port(text: &str) -> bool {
     let Some((host, port)) = text.rsplit_once(':') else {
         return false;
     };

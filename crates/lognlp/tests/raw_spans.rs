@@ -1,0 +1,98 @@
+//! Property-based equivalence of the zero-copy span tokeniser
+//! (`lognlp::raw::tokenize_spans`) against the owning tokeniser
+//! (`lognlp::tokenize`) it mirrors.
+//!
+//! The span tokeniser is the entry point of the zero-alloc ingest path
+//! (DESIGN.md §13): a divergence here would change key founding,
+//! refinement and matching silently, so the contract is checked over
+//! adversarial log-line material — bracket/quote nests, trailing
+//! punctuation runs, `key=value` chains, paths, URLs, host:port tokens
+//! and multibyte text — not just the shapes dlasim happens to emit.
+
+use lognlp::raw::tokenize_spans;
+use lognlp::{tokenize, Span};
+use proptest::prelude::*;
+
+/// Token material biased toward the tokeniser's special cases.
+fn chunk_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{1,10}",
+        "[A-Z][a-z]{1,6}",
+        "[0-9]{1,5}",
+        "[a-z]{1,4}_[0-9]{1,3}",
+        // host:port and colon-terminated labels
+        "[a-z]{1,6}:[0-9]{2,5}",
+        "[a-z]{1,6}:",
+        // key=value shapes, including degenerate '=' runs
+        "[A-Z_]{1,8}=[0-9]{1,4}",
+        "[a-z]{1,4}=[a-z]{1,4}=[a-z]{1,4}",
+        Just("=".to_string()),
+        Just("a=".to_string()),
+        Just("=b".to_string()),
+        // paths and URLs ('.' and '=' must survive inside these)
+        "/[a-z]{1,5}/[a-z]{1,5}\\.[a-z]{2,3}",
+        "hdfs://[a-z]{1,4}:[0-9]{2,4}/[a-z]{1,5}",
+        "https?://[a-z]{1,6}\\.[a-z]{2,3}/[a-z]{0,4}",
+        // bracket/quote wrapping and trailing punctuation runs
+        "\\[[a-z]{1,5}\\]",
+        "\\(\\[\\{[a-z]{1,4}\\}\\]\\)",
+        "\"[a-z]{1,5}\"",
+        "<[a-z]{1,5}>",
+        "[a-z]{1,6}[.,;!?]{1,3}",
+        "[a-z]{1,6}\\.\\.",
+        // lone punctuation
+        Just(".".to_string()),
+        Just("..".to_string()),
+        Just("[".to_string()),
+        Just("]".to_string()),
+        // multibyte text through the len_utf8 paths
+        Just("état".to_string()),
+        Just("[dégradé]".to_string()),
+        Just("données.".to_string()),
+    ]
+}
+
+fn line_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(chunk_strategy(), 0..12).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    /// For every line, resolving the spans against the input yields
+    /// exactly the token texts `tokenize` produces, in the same order.
+    #[test]
+    fn spans_mirror_tokenize(line in line_strategy()) {
+        let want: Vec<String> = tokenize(&line).into_iter().map(|t| t.text).collect();
+        let mut spans: Vec<Span> = Vec::new();
+        tokenize_spans(&line, &mut spans);
+        let got: Vec<&str> = spans.iter().map(|s| s.of(&line)).collect();
+        prop_assert_eq!(got, want, "span divergence on {:?}", line);
+    }
+
+    /// Spans are well-formed views of the line: non-empty, in-bounds, on
+    /// char boundaries, and non-decreasing in start offset (tokens are
+    /// emitted left to right; only the re-emitted sentence period may
+    /// point back before a following token's start).
+    #[test]
+    fn spans_are_well_formed(line in line_strategy()) {
+        let mut spans: Vec<Span> = Vec::new();
+        tokenize_spans(&line, &mut spans);
+        for s in &spans {
+            prop_assert!(s.start < s.end, "empty span in {:?}", line);
+            prop_assert!((s.end as usize) <= line.len());
+            prop_assert!(line.is_char_boundary(s.start as usize));
+            prop_assert!(line.is_char_boundary(s.end as usize));
+        }
+    }
+
+    /// The caller's buffer is reusable: tokenising a second line into the
+    /// same buffer leaves exactly that line's spans.
+    #[test]
+    fn buffer_reuse_is_clean(a in line_strategy(), b in line_strategy()) {
+        let mut spans: Vec<Span> = Vec::new();
+        tokenize_spans(&a, &mut spans);
+        tokenize_spans(&b, &mut spans);
+        let want: Vec<String> = tokenize(&b).into_iter().map(|t| t.text).collect();
+        let got: Vec<&str> = spans.iter().map(|s| s.of(&b)).collect();
+        prop_assert_eq!(got, want);
+    }
+}

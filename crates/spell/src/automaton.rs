@@ -1,0 +1,713 @@
+//! Compiled key-matching automaton — the frozen-model fast path.
+//!
+//! Training mutates the key set continuously, so the live matcher
+//! (`index.rs`) is built for cheap incremental updates and tolerates
+//! refinement garbage. Detection and serving run against a *frozen* model,
+//! which admits a much denser representation compiled once by
+//! [`KeyAutomaton::compile`]:
+//!
+//! * keys are grouped into per-message-length **buckets** (only same-length
+//!   keys can match), each with a **sorted token dictionary** of the
+//!   constant tokens its keys use — one binary search per message token
+//!   resolves both the DFA edge label *and* the postings slice for the
+//!   inverted-index prune, fusing the two lookups the live path pays
+//!   separately (trie-edge HashMap probe + postings HashMap probe);
+//! * the exact-instance prefix tree is determinised into a **prefix DFA**
+//!   (subset construction over the garbage-free trie, wildcard edges as
+//!   per-state default transitions), so the exact phase is one transition
+//!   per token with no frontier management; buckets whose subset
+//!   construction would blow past a state budget keep the flattened trie
+//!   and walk it NFA-style (`Machine::Frontier`) — same verdicts, bounded
+//!   memory;
+//! * postings are stored garbage-free in CSR layout over **bucket-local
+//!   key ids**, so the scoring pass runs on dense arrays with touched-list
+//!   resets instead of hash maps (see `scratch.rs::AutoScratch`).
+//!
+//! # Equivalence
+//!
+//! Verdicts are identical to `MatchIndex` + `match_ids` and to the linear
+//! reference scan (property-tested in `tests/proptests.rs` and
+//! `tests/automaton_equivalence.rs`):
+//!
+//! * the exact phase accepts exactly the keys the message instantiates
+//!   (every path of the garbage-free trie corresponds to a live key, so no
+//!   verification step is needed), and returns the lowest such key id —
+//!   an exact instance has the maximal LCS `n`, so it is the final answer;
+//! * the scoring phase uses the same sound upper bound
+//!   `min(stars + Σ min(mult_key, mult_msg), n)`; garbage-free postings
+//!   can only make the bound *tighter* than the live index's, which can
+//!   only prune keys whose true LCS is below threshold — never a winner —
+//!   and candidates are scanned in ascending key order with the identical
+//!   best-score/lowest-id selection loop.
+
+use crate::intern::{TokenId, STAR_ID};
+use crate::lcs::{lcs_len_wild_ids, positional_matches_wild_ids};
+use crate::scratch::{self, AutoScratch};
+use std::collections::{BTreeMap, HashMap};
+
+/// Sentinel for "no state / no token / no terminal" in the packed tables.
+const NONE: u32 = u32::MAX;
+
+/// Hard ceilings for subset construction, scaled to the bucket's trie.
+/// Blowing past either falls back to the frontier walk (correct, compact).
+fn dfa_budget(nfa_nodes: usize, nfa_edges: usize) -> (usize, usize) {
+    (4 * nfa_nodes + 256, 16 * nfa_edges + 1024)
+}
+
+/// Outcome of one automaton match, tagged with the phase that decided it
+/// (the parser mirrors the live path's observability counters from this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AutoMatch {
+    /// Message is an exact instance of this key index (global).
+    Exact(u32),
+    /// Best scored key index (global) at or above the LCS threshold.
+    Scored(u32),
+    /// No key matches.
+    Miss,
+}
+
+/// Compile-time statistics, surfaced through
+/// [`crate::parser::SpellParser::automaton_stats`] for tests and docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AutomatonStats {
+    /// Number of length buckets.
+    pub buckets: usize,
+    /// Buckets whose exact phase is a determinised DFA.
+    pub dense_buckets: usize,
+    /// Total exact-phase states across buckets (DFA states or trie nodes).
+    pub states: usize,
+    /// Total keys compiled in.
+    pub keys: usize,
+}
+
+/// A frozen key set compiled for matching. Self-contained: owns copies of
+/// the key token sequences, so matching needs no access to the live parser
+/// structures.
+#[derive(Debug, Clone)]
+pub(crate) struct KeyAutomaton {
+    /// Indexed by message token count.
+    buckets: Vec<Option<Bucket>>,
+    stats: AutomatonStats,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    /// Key/message length of this bucket.
+    len: usize,
+    /// Minimum wildcard LCS required for a match at this length.
+    required: usize,
+    /// Global key indices, ascending; position is the bucket-local key id.
+    keys: Vec<u32>,
+    /// Flattened key tokens: row `lk` is `key_toks[lk*len .. (lk+1)*len]`.
+    key_toks: Vec<TokenId>,
+    /// `*` count per local key.
+    stars: Vec<u32>,
+    /// Local keys whose star count alone meets `required` (ascending).
+    high_star: Vec<u32>,
+    /// Sorted distinct constant tokens of this bucket's keys. Binary
+    /// searching a message token here yields its local id — the label used
+    /// by the DFA edges *and* the postings row below.
+    dict: Vec<TokenId>,
+    /// CSR offsets into `postings`, length `dict.len() + 1`.
+    post_start: Vec<u32>,
+    /// (local key, multiplicity) pairs, grouped by dictionary token.
+    postings: Vec<(u32, u32)>,
+    /// Exact-instance machine over local token ids.
+    machine: Machine,
+}
+
+#[derive(Debug, Clone)]
+enum Machine {
+    Dense(Dfa),
+    Frontier(Nfa),
+}
+
+/// Determinised prefix automaton. All tables are indexed by state id;
+/// `edges` is CSR with per-state runs sorted by local token id.
+#[derive(Debug, Clone)]
+struct Dfa {
+    edge_start: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    /// Default transition (wildcard key positions); `NONE` if absent.
+    star_next: Vec<u32>,
+    /// Lowest local key terminating at this state (`NONE` unless the state
+    /// is at full depth).
+    terminal: Vec<u32>,
+}
+
+/// Flattened garbage-free trie for the frontier fallback. Same table
+/// layout as [`Dfa`], but a walk maintains a node frontier.
+#[derive(Debug, Clone)]
+struct Nfa {
+    edge_start: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    star_child: Vec<u32>,
+    terminal: Vec<u32>,
+}
+
+impl KeyAutomaton {
+    /// Compile the live key set. `required_for(n)` is the matching
+    /// threshold for messages of `n` tokens (ceil(n / t)).
+    pub(crate) fn compile(
+        ikeys: &[Vec<TokenId>],
+        required_for: &dyn Fn(usize) -> usize,
+    ) -> KeyAutomaton {
+        let mut by_len: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for (ki, ids) in ikeys.iter().enumerate() {
+            by_len.entry(ids.len()).or_default().push(ki as u32);
+        }
+        let max_len = by_len.keys().next_back().copied().unwrap_or(0);
+        let mut buckets: Vec<Option<Bucket>> = Vec::new();
+        buckets.resize_with(max_len + 1, || None);
+        let mut stats = AutomatonStats {
+            keys: ikeys.len(),
+            ..AutomatonStats::default()
+        };
+        for (len, keys) in by_len {
+            let bucket = Bucket::compile(len, keys, ikeys, required_for(len));
+            stats.buckets += 1;
+            match &bucket.machine {
+                Machine::Dense(d) => {
+                    stats.dense_buckets += 1;
+                    stats.states += d.star_next.len();
+                }
+                Machine::Frontier(n) => stats.states += n.star_child.len(),
+            }
+            buckets[len] = Some(bucket);
+        }
+        KeyAutomaton { buckets, stats }
+    }
+
+    pub(crate) fn stats(&self) -> AutomatonStats {
+        self.stats
+    }
+
+    // lint: ingest-hot(begin)
+
+    /// Match an interned message against the compiled key set. Runs on
+    /// per-thread scratch; allocation-free in the steady state.
+    pub(crate) fn match_ids(&self, ids: &[TokenId]) -> AutoMatch {
+        let Some(Some(bucket)) = self.buckets.get(ids.len()) else {
+            return AutoMatch::Miss;
+        };
+        scratch::with_auto(|auto| bucket.match_in(ids, auto))
+    }
+
+    // lint: ingest-hot(end)
+}
+
+impl Bucket {
+    fn compile(len: usize, keys: Vec<u32>, ikeys: &[Vec<TokenId>], required: usize) -> Bucket {
+        let nkeys = keys.len();
+        // Flatten key rows and gather the constant-token dictionary.
+        let mut key_toks: Vec<TokenId> = Vec::with_capacity(nkeys * len);
+        let mut dict: Vec<TokenId> = Vec::new();
+        let mut stars: Vec<u32> = Vec::with_capacity(nkeys);
+        for &ki in &keys {
+            let row = &ikeys[ki as usize];
+            key_toks.extend_from_slice(row);
+            let mut s = 0u32;
+            for &tok in row {
+                if tok == STAR_ID {
+                    s += 1;
+                } else {
+                    dict.push(tok);
+                }
+            }
+            stars.push(s);
+        }
+        dict.sort_unstable();
+        dict.dedup();
+        let high_star: Vec<u32> = (0..nkeys as u32)
+            .filter(|&lk| stars[lk as usize] as usize >= required)
+            .collect();
+        // Postings in CSR over local token ids: (ltok, lk, mult) triples
+        // sorted by (ltok, lk). `counts` scratch is per-key multiplicity.
+        let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+        let mut counts: HashMap<TokenId, u32> = HashMap::new();
+        for lk in 0..nkeys {
+            counts.clear();
+            for &tok in &key_toks[lk * len..(lk + 1) * len] {
+                if tok != STAR_ID {
+                    *counts.entry(tok).or_default() += 1;
+                }
+            }
+            for (&tok, &mult) in counts.iter() {
+                let lt = dict.binary_search(&tok).expect("token in dictionary") as u32;
+                triples.push((lt, lk as u32, mult));
+            }
+        }
+        triples.sort_unstable();
+        let mut post_start = vec![0u32; dict.len() + 1];
+        let mut postings: Vec<(u32, u32)> = Vec::with_capacity(triples.len());
+        for &(lt, lk, mult) in &triples {
+            post_start[lt as usize + 1] += 1;
+            postings.push((lk, mult));
+        }
+        for i in 0..dict.len() {
+            post_start[i + 1] += post_start[i];
+        }
+        // Exact-phase machine: garbage-free trie, then determinisation.
+        let nfa = Nfa::build(len, nkeys, &key_toks, &dict);
+        let machine = match Dfa::determinise(&nfa) {
+            Some(dfa) => Machine::Dense(dfa),
+            None => Machine::Frontier(nfa),
+        };
+        Bucket {
+            len,
+            required,
+            keys,
+            key_toks,
+            stars,
+            high_star,
+            dict,
+            post_start,
+            postings,
+            machine,
+        }
+    }
+
+    // lint: ingest-hot(begin)
+
+    fn match_in(&self, ids: &[TokenId], auto: &mut AutoScratch) -> AutoMatch {
+        debug_assert_eq!(ids.len(), self.len);
+        // One binary search per message token resolves the DFA edge label
+        // and the postings row at once. Stars, unknowns and out-of-dict
+        // tokens map to NONE: they can equal no constant key token.
+        auto.ltoks.clear();
+        for &tok in ids {
+            auto.ltoks.push(match self.dict.binary_search(&tok) {
+                Ok(lt) => lt as u32,
+                Err(_) => NONE,
+            });
+        }
+        // Exact phase: every terminal reached is a live instance.
+        let exact = match &self.machine {
+            Machine::Dense(dfa) => dfa.walk(&auto.ltoks),
+            Machine::Frontier(nfa) => nfa.walk(&auto.ltoks, &mut auto.frontier),
+        };
+        if exact != NONE {
+            return AutoMatch::Exact(self.keys[exact as usize]);
+        }
+        // Scored phase on dense arrays with touched-list resets.
+        let n = ids.len();
+        if auto.counts.len() < self.dict.len() {
+            auto.counts.resize(self.dict.len(), 0);
+        }
+        if auto.overlap.len() < self.keys.len() {
+            auto.overlap.resize(self.keys.len(), 0);
+        }
+        for &lt in &auto.ltoks {
+            if lt != NONE {
+                if auto.counts[lt as usize] == 0 {
+                    auto.touched_tokens.push(lt);
+                }
+                auto.counts[lt as usize] += 1;
+            }
+        }
+        for &lt in &auto.touched_tokens {
+            let cm = auto.counts[lt as usize];
+            let (lo, hi) = (
+                self.post_start[lt as usize] as usize,
+                self.post_start[lt as usize + 1] as usize,
+            );
+            for &(lk, ck) in &self.postings[lo..hi] {
+                if auto.overlap[lk as usize] == 0 {
+                    auto.touched_keys.push(lk);
+                }
+                auto.overlap[lk as usize] += ck.min(cm);
+            }
+        }
+        auto.cands.clear();
+        for &lk in &auto.touched_keys {
+            let bound =
+                (self.stars[lk as usize] as usize + auto.overlap[lk as usize] as usize).min(n);
+            if bound >= self.required {
+                auto.cands.push((lk, bound));
+            }
+        }
+        for &lk in &self.high_star {
+            if auto.overlap[lk as usize] == 0 {
+                // stars ≥ required and stars ≤ len = n, so always a candidate.
+                auto.cands.push((lk, self.stars[lk as usize] as usize));
+            }
+        }
+        // Reset dense scratch before any early return below.
+        for &lt in &auto.touched_tokens {
+            auto.counts[lt as usize] = 0;
+        }
+        auto.touched_tokens.clear();
+        for &lk in &auto.touched_keys {
+            auto.overlap[lk as usize] = 0;
+        }
+        auto.touched_keys.clear();
+        // Ascending local key == ascending global key: ties resolve to the
+        // lowest id exactly as in the live matcher.
+        auto.cands.sort_unstable_by_key(|&(lk, _)| lk);
+        let mut best: Option<(usize, u32)> = None;
+        for &(lk, bound) in auto.cands.iter() {
+            if best.is_some_and(|(s, _)| bound <= s) {
+                continue;
+            }
+            let key = &self.key_toks[lk as usize * self.len..(lk as usize + 1) * self.len];
+            let pos = positional_matches_wild_ids(key, ids);
+            let score = if pos == bound {
+                pos
+            } else {
+                lcs_len_wild_ids(key, ids)
+            };
+            if score >= self.required && best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, lk));
+            }
+        }
+        match best {
+            Some((_, lk)) => AutoMatch::Scored(self.keys[lk as usize]),
+            None => AutoMatch::Miss,
+        }
+    }
+
+    // lint: ingest-hot(end)
+}
+
+impl Nfa {
+    /// Build the garbage-free trie over local token ids. Terminals hold the
+    /// lowest local key ending at the node (keys are inserted in ascending
+    /// order, so first write wins).
+    fn build(len: usize, nkeys: usize, key_toks: &[TokenId], dict: &[TokenId]) -> Nfa {
+        struct Node {
+            edges: BTreeMap<u32, u32>,
+            star: u32,
+            terminal: u32,
+        }
+        let mut nodes: Vec<Node> = vec![Node {
+            edges: BTreeMap::new(),
+            star: NONE,
+            terminal: NONE,
+        }];
+        for lk in 0..nkeys {
+            let mut at = 0usize;
+            for &tok in &key_toks[lk * len..(lk + 1) * len] {
+                let lt = if tok == STAR_ID {
+                    NONE
+                } else {
+                    dict.binary_search(&tok).expect("token in dictionary") as u32
+                };
+                let existing = if lt == NONE {
+                    nodes[at].star
+                } else {
+                    nodes[at].edges.get(&lt).copied().unwrap_or(NONE)
+                };
+                let child = if existing == NONE {
+                    let new_id = nodes.len() as u32;
+                    nodes.push(Node {
+                        edges: BTreeMap::new(),
+                        star: NONE,
+                        terminal: NONE,
+                    });
+                    if lt == NONE {
+                        nodes[at].star = new_id;
+                    } else {
+                        nodes[at].edges.insert(lt, new_id);
+                    }
+                    new_id
+                } else {
+                    existing
+                };
+                at = child as usize;
+            }
+            if nodes[at].terminal == NONE {
+                nodes[at].terminal = lk as u32;
+            }
+        }
+        let mut edge_start = Vec::with_capacity(nodes.len() + 1);
+        let mut edges = Vec::new();
+        let mut star_child = Vec::with_capacity(nodes.len());
+        let mut terminal = Vec::with_capacity(nodes.len());
+        edge_start.push(0u32);
+        for node in &nodes {
+            for (&lt, &child) in &node.edges {
+                edges.push((lt, child));
+            }
+            edge_start.push(edges.len() as u32);
+            star_child.push(node.star);
+            terminal.push(node.terminal);
+        }
+        Nfa {
+            edge_start,
+            edges,
+            star_child,
+            terminal,
+        }
+    }
+
+    #[inline]
+    fn edge(&self, node: u32, lt: u32) -> u32 {
+        let (lo, hi) = (
+            self.edge_start[node as usize] as usize,
+            self.edge_start[node as usize + 1] as usize,
+        );
+        match self.edges[lo..hi].binary_search_by_key(&lt, |&(l, _)| l) {
+            Ok(at) => self.edges[lo + at].1,
+            Err(_) => NONE,
+        }
+    }
+
+    // lint: ingest-hot(begin)
+
+    /// Frontier walk: the fallback exact phase for buckets whose DFA would
+    /// blow the state budget. Returns the lowest terminating local key.
+    fn walk(&self, ltoks: &[u32], frontier: &mut (Vec<u32>, Vec<u32>)) -> u32 {
+        let (active, next) = frontier;
+        active.clear();
+        active.push(0);
+        for &lt in ltoks {
+            next.clear();
+            for &node in active.iter() {
+                if lt != NONE {
+                    let via = self.edge(node, lt);
+                    if via != NONE && !next.contains(&via) {
+                        next.push(via);
+                    }
+                }
+                let star = self.star_child[node as usize];
+                if star != NONE && !next.contains(&star) {
+                    next.push(star);
+                }
+            }
+            if next.is_empty() {
+                return NONE;
+            }
+            std::mem::swap(active, next);
+        }
+        let mut best = NONE;
+        for &node in active.iter() {
+            best = best.min(self.terminal[node as usize]);
+        }
+        best
+    }
+
+    // lint: ingest-hot(end)
+}
+
+impl Dfa {
+    /// Subset construction over the trie. Wildcard children become the
+    /// per-state default transition and are folded into every labelled
+    /// transition (a message token matches a key's constant *or* its `*`).
+    /// Returns `None` when the state or edge budget is exceeded.
+    fn determinise(nfa: &Nfa) -> Option<Dfa> {
+        let (max_states, max_edges) = dfa_budget(nfa.star_child.len(), nfa.edges.len());
+        let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        let mut queue: Vec<u32> = Vec::new();
+        let start = vec![0u32];
+        ids.insert(start.clone(), 0);
+        members.push(start);
+        queue.push(0);
+        let mut edge_start = vec![0u32];
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut star_next: Vec<u32> = Vec::new();
+        let mut terminal: Vec<u32> = Vec::new();
+        let mut qi = 0usize;
+        // `labels` reused across states: distinct outgoing labels of the set.
+        let mut labels: Vec<u32> = Vec::new();
+        while qi < queue.len() {
+            let state = queue[qi] as usize;
+            qi += 1;
+            // members are processed in BFS order, so all states of one
+            // depth are numbered before any of the next; the tables below
+            // are pushed in that same order.
+            let set = members[state].clone();
+            labels.clear();
+            for &node in &set {
+                let (lo, hi) = (
+                    nfa.edge_start[node as usize] as usize,
+                    nfa.edge_start[node as usize + 1] as usize,
+                );
+                for &(lt, _) in &nfa.edges[lo..hi] {
+                    labels.push(lt);
+                }
+            }
+            labels.sort_unstable();
+            labels.dedup();
+            // Star-only successor set (the default transition).
+            let mut star_set: Vec<u32> = set
+                .iter()
+                .map(|&n| nfa.star_child[n as usize])
+                .filter(|&c| c != NONE)
+                .collect();
+            star_set.sort_unstable();
+            star_set.dedup();
+            let intern_set = |s: Vec<u32>,
+                                  ids: &mut HashMap<Vec<u32>, u32>,
+                                  members: &mut Vec<Vec<u32>>,
+                                  queue: &mut Vec<u32>|
+             -> u32 {
+                if s.is_empty() {
+                    return NONE;
+                }
+                if let Some(&id) = ids.get(&s) {
+                    return id;
+                }
+                let id = members.len() as u32;
+                ids.insert(s.clone(), id);
+                members.push(s);
+                queue.push(id);
+                id
+            };
+            let sn = intern_set(star_set.clone(), &mut ids, &mut members, &mut queue);
+            star_next.push(sn);
+            for &lt in &labels {
+                let mut tset = star_set.clone();
+                for &node in &set {
+                    let via = nfa.edge(node, lt);
+                    if via != NONE {
+                        tset.push(via);
+                    }
+                }
+                tset.sort_unstable();
+                tset.dedup();
+                let tid = intern_set(tset, &mut ids, &mut members, &mut queue);
+                edges.push((lt, tid));
+            }
+            edge_start.push(edges.len() as u32);
+            let mut term = NONE;
+            for &node in &set {
+                term = term.min(nfa.terminal[node as usize]);
+            }
+            terminal.push(term);
+            if members.len() > max_states || edges.len() > max_edges {
+                return None;
+            }
+        }
+        Some(Dfa {
+            edge_start,
+            edges,
+            star_next,
+            terminal,
+        })
+    }
+
+    // lint: ingest-hot(begin)
+
+    /// One transition per message token: binary search the state's sorted
+    /// edge run, falling back to the wildcard default. Returns the lowest
+    /// terminating local key, or `NONE`.
+    #[inline]
+    fn walk(&self, ltoks: &[u32]) -> u32 {
+        let mut state = 0u32;
+        for &lt in ltoks {
+            let next = if lt == NONE {
+                self.star_next[state as usize]
+            } else {
+                let (lo, hi) = (
+                    self.edge_start[state as usize] as usize,
+                    self.edge_start[state as usize + 1] as usize,
+                );
+                match self.edges[lo..hi].binary_search_by_key(&lt, |&(l, _)| l) {
+                    Ok(at) => self.edges[lo + at].1,
+                    Err(_) => self.star_next[state as usize],
+                }
+            };
+            if next == NONE {
+                return NONE;
+            }
+            state = next;
+        }
+        self.terminal[state as usize]
+    }
+
+    // lint: ingest-hot(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::Interner;
+
+    fn keyset(keys: &[&str]) -> (Vec<Vec<TokenId>>, Interner) {
+        let mut it = Interner::new();
+        let ikeys = keys
+            .iter()
+            .map(|k| k.split_whitespace().map(|t| it.intern(t)).collect())
+            .collect();
+        (ikeys, it)
+    }
+
+    fn req(t: f64) -> impl Fn(usize) -> usize {
+        move |n| (n as f64 / t).ceil() as usize
+    }
+
+    fn ids(it: &Interner, msg: &str) -> Vec<TokenId> {
+        msg.split_whitespace()
+            .map(|t| it.lookup(t).unwrap_or(crate::intern::UNKNOWN_ID))
+            .collect()
+    }
+
+    #[test]
+    fn exact_instance_hits_lowest_key() {
+        let (ikeys, it) = keyset(&["a * c", "a b c", "x y z"]);
+        let auto = KeyAutomaton::compile(&ikeys, &req(1.7));
+        // "a b c" instantiates both key 0 (via *) and key 1 — lowest wins.
+        assert_eq!(auto.match_ids(&ids(&it, "a b c")), AutoMatch::Exact(0));
+        assert_eq!(auto.match_ids(&ids(&it, "x y z")), AutoMatch::Exact(2));
+        assert_eq!(auto.match_ids(&ids(&it, "a q c")), AutoMatch::Exact(0));
+    }
+
+    #[test]
+    fn scored_phase_matches_near_misses() {
+        let (ikeys, it) = keyset(&["read block b1 from disk zero"]);
+        let auto = KeyAutomaton::compile(&ikeys, &req(1.7)); // 6 toks → need 4
+        assert_eq!(
+            auto.match_ids(&ids(&it, "read block b1 from cable one")),
+            AutoMatch::Scored(0)
+        );
+        assert_eq!(
+            auto.match_ids(&ids(&it, "w x y z u v")),
+            AutoMatch::Miss
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_a_miss() {
+        let (ikeys, it) = keyset(&["a b c"]);
+        let auto = KeyAutomaton::compile(&ikeys, &req(1.7));
+        assert_eq!(auto.match_ids(&ids(&it, "a b")), AutoMatch::Miss);
+        assert_eq!(auto.match_ids(&ids(&it, "a b c d")), AutoMatch::Miss);
+        assert_eq!(auto.match_ids(&[]), AutoMatch::Miss);
+    }
+
+    #[test]
+    fn empty_key_matches_empty_message() {
+        let (mut ikeys, it) = keyset(&["a b"]);
+        ikeys.push(Vec::new());
+        let auto = KeyAutomaton::compile(&ikeys, &req(1.7));
+        assert_eq!(auto.match_ids(&[]), AutoMatch::Exact(1));
+        drop(it);
+    }
+
+    #[test]
+    fn stats_report_dense_buckets() {
+        let (ikeys, _it) = keyset(&["a b c", "a b d", "p q"]);
+        let auto = KeyAutomaton::compile(&ikeys, &req(1.7));
+        let s = auto.stats();
+        assert_eq!(s.buckets, 2);
+        assert_eq!(s.keys, 3);
+        assert!(s.dense_buckets >= 1);
+        assert!(s.states > 0);
+    }
+
+    #[test]
+    fn star_heavy_keys_stay_correct() {
+        // Keys that are mostly stars exercise high_star candidates and the
+        // default transitions.
+        let (ikeys, it) = keyset(&["* * * end", "* * * fin", "a b c end"]);
+        let auto = KeyAutomaton::compile(&ikeys, &req(1.7)); // 4 toks → need 3
+        assert_eq!(auto.match_ids(&ids(&it, "q r s end")), AutoMatch::Exact(0));
+        assert_eq!(auto.match_ids(&ids(&it, "q r s fin")), AutoMatch::Exact(1));
+        // Unknown-token probe: stars still carry it over the threshold.
+        assert_eq!(
+            auto.match_ids(&ids(&it, "zz yy xx ww")),
+            AutoMatch::Scored(0)
+        );
+    }
+}

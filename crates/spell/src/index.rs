@@ -98,10 +98,12 @@ impl Trie {
     }
 
     /// Key indices whose trie path matches `ids` (star edges match any
-    /// token). May contain stale entries — callers verify against the live
-    /// key. Ascending order. The node frontiers live in per-thread scratch
-    /// (this runs once per matched message).
-    fn walk(&self, ids: &[TokenId]) -> Vec<u32> {
+    /// token), written into `out` (cleared first). May contain stale
+    /// entries — callers verify against the live key. Ascending order. The
+    /// node frontiers live in per-thread scratch and `out` is
+    /// caller-provided, so a walk allocates nothing in the steady state.
+    fn walk_into(&self, ids: &[TokenId], out: &mut Vec<u32>) {
+        out.clear();
         crate::scratch::with_walk(|active, next| {
             active.clear();
             active.push(0);
@@ -123,17 +125,15 @@ impl Trie {
                     }
                 }
                 if next.is_empty() {
-                    return Vec::new();
+                    return;
                 }
                 std::mem::swap(active, next);
             }
-            let mut out: Vec<u32> = Vec::new();
             for &n in active.iter() {
                 out.extend_from_slice(&self.nodes[n as usize].terminals);
             }
             out.sort_unstable();
             out.dedup();
-            out
         })
     }
 }
@@ -213,17 +213,20 @@ impl MatchIndex {
     }
 
     /// Keys the message may be an exact instance of (trie walk; may contain
-    /// stale entries — verify against the live key). Ascending order.
-    pub(crate) fn exact_candidates(&self, ids: &[TokenId]) -> Vec<u32> {
-        self.trie.walk(ids)
+    /// stale entries — verify against the live key), written into `out`
+    /// (cleared first). Ascending order.
+    pub(crate) fn exact_candidates_into(&self, ids: &[TokenId], out: &mut Vec<u32>) {
+        self.trie.walk_into(ids, out);
     }
 
     /// Candidate keys for the LCS phase, with a sound upper bound on their
-    /// wildcard LCS against `ids`. Only candidates whose bound meets the
-    /// bucket's required LCS are returned. Ascending key order.
-    pub(crate) fn scored_candidates(&self, ids: &[TokenId]) -> Vec<(u32, usize)> {
+    /// wildcard LCS against `ids`, written into `out` (cleared first). Only
+    /// candidates whose bound meets the bucket's required LCS are returned.
+    /// Ascending key order.
+    pub(crate) fn scored_candidates_into(&self, ids: &[TokenId], out: &mut Vec<(u32, usize)>) {
+        out.clear();
         let Some(bucket) = self.buckets.get(&ids.len()) else {
-            return Vec::new();
+            return;
         };
         // The count/overlap maps come from per-thread scratch: scoring runs
         // once per non-exact match, and clearing a warm map is far cheaper
@@ -245,8 +248,6 @@ impl MatchIndex {
                     }
                 }
             }
-            let mut out: Vec<(u32, usize)> =
-                Vec::with_capacity(overlap.len() + bucket.high_star.len());
             for (&ki, &ov) in overlap.iter() {
                 let bound = (self.stars[ki as usize] as usize + ov).min(ids.len());
                 if bound >= bucket.required {
@@ -259,7 +260,6 @@ impl MatchIndex {
                 }
             }
             out.sort_unstable_by_key(|&(ki, _)| ki);
-            out
         })
     }
 }

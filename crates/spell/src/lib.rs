@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 
+mod automaton;
 pub mod format;
 mod index;
 pub mod intern;
@@ -20,10 +21,12 @@ pub mod lcs;
 pub mod parser;
 mod scratch;
 
+pub use automaton::AutomatonStats;
 pub use format::{Level, LogFormat, LogLine};
 pub use intern::{Interner, TokenId, STAR_ID, UNKNOWN_ID};
 pub use key::{KeyId, LogKey, STAR};
-pub use parser::{tokenize_message, MatchMemo, ParseOutcome, SpellParser};
+pub use lognlp::{tokenize_spans, Span};
+pub use parser::{tokenize_message, LineOutcome, MatchMemo, ParseOutcome, SpellParser};
 
 use serde::{Deserialize, Serialize};
 

@@ -23,10 +23,12 @@
 //! LCS wins; ties go to the **lowest** [`KeyId`]. (An exact instance has
 //! LCS `n`, the maximum, so exact matches always win.)
 
+use crate::automaton::{AutoMatch, AutomatonStats, KeyAutomaton};
 use crate::index::MatchIndex;
-use crate::intern::{Interner, TokenId, STAR_ID};
+use crate::intern::{Interner, TokenId, STAR_ID, UNKNOWN_ID};
 use crate::key::{KeyId, LogKey, STAR};
 use crate::lcs::{lcs_len_wild_ids, positional_matches_wild_ids};
+use lognlp::Span;
 use serde::{Content, DeError, Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -51,6 +53,17 @@ pub struct ParseOutcome {
     pub is_new_key: bool,
     /// The message tokens (as used for matching).
     pub tokens: Vec<String>,
+}
+
+/// Result of feeding one raw line through the zero-copy ingest path
+/// ([`SpellParser::parse_line`]). Unlike [`ParseOutcome`] it carries no
+/// materialised tokens — steady-state ingest never builds them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineOutcome {
+    /// The key this message belongs to.
+    pub key_id: KeyId,
+    /// Whether the message founded a brand-new key.
+    pub is_new_key: bool,
 }
 
 /// Per-caller memo for repeated-message matching against a *frozen* parser.
@@ -94,6 +107,9 @@ pub struct SpellParser {
     ikeys: Vec<Vec<TokenId>>,
     /// Prefix tree + inverted token index for candidate pruning.
     index: MatchIndex,
+    /// Compiled matcher over the frozen key set ([`SpellParser::freeze`]);
+    /// `None` while training. Any structural mutation invalidates it.
+    automaton: Option<KeyAutomaton>,
     /// Counts structural changes (new key, token flipped to `*`). Lets
     /// batch callers validate speculative match results: a match computed
     /// against a snapshot is still exact iff the counter is unchanged.
@@ -128,9 +144,34 @@ impl SpellParser {
             interner: Interner::new(),
             ikeys: Vec::new(),
             index: MatchIndex::new(),
+            automaton: None,
             mutations: 0,
             use_index: true,
         }
+    }
+
+    /// Compile the current key set into the dense matching automaton (see
+    /// `automaton.rs`). Call when training is done — detection, replay and
+    /// the serving path all match against the compiled form. Any subsequent
+    /// training call invalidates the automaton automatically.
+    pub fn freeze(&mut self) {
+        let t = self.threshold;
+        self.automaton = Some(KeyAutomaton::compile(&self.ikeys, &|n| required_for(t, n)));
+    }
+
+    /// Drop the compiled automaton (training resumes on the live index).
+    pub fn thaw(&mut self) {
+        self.automaton = None;
+    }
+
+    /// `true` while a compiled automaton is active.
+    pub fn is_frozen(&self) -> bool {
+        self.automaton.is_some()
+    }
+
+    /// Compile-time statistics of the active automaton, if frozen.
+    pub fn automaton_stats(&self) -> Option<AutomatonStats> {
+        self.automaton.as_ref().map(|a| a.stats())
     }
 
     /// Enable/disable the candidate index (benchmark ablation; matching
@@ -205,43 +246,79 @@ impl SpellParser {
         })
     }
 
-    /// Indexed matcher over interned tokens. See the module docs for the
-    /// matching contract; equivalent to [`SpellParser::match_ids_linear`].
+    // lint: ingest-hot(begin)
+
+    /// Matcher over interned tokens. See the module docs for the matching
+    /// contract; equivalent to [`SpellParser::match_ids_linear`]. Dispatch:
+    /// the compiled automaton when frozen, the live prefix-tree + inverted
+    /// index otherwise, the linear scan under the ablation switch.
     pub fn match_ids(&self, ids: &[TokenId]) -> Option<KeyId> {
         if !self.use_index {
             return self.match_ids_linear(ids);
         }
+        if let Some(auto) = &self.automaton {
+            return match auto.match_ids(ids) {
+                AutoMatch::Exact(ki) => {
+                    obs::inc!("spell.match.trie_hits");
+                    Some(self.keys[ki as usize].id)
+                }
+                AutoMatch::Scored(ki) => {
+                    obs::inc!("spell.match.index_hits");
+                    Some(self.keys[ki as usize].id)
+                }
+                AutoMatch::Miss => {
+                    obs::inc!("spell.match.misses");
+                    None
+                }
+            };
+        }
+        self.match_ids_index(ids)
+    }
+
+    /// The live-index matcher (prefix tree + inverted index), regardless of
+    /// freeze state. Public so benchmarks and equivalence tests can compare
+    /// it against the automaton directly.
+    pub fn match_ids_index(&self, ids: &[TokenId]) -> Option<KeyId> {
         // Exact-instance fast path: the prefix tree yields every key this
         // message instantiates (stale paths are filtered by verification);
         // an exact instance has the maximal LCS `n`, so the lowest such
         // KeyId is the final answer.
-        for ki in self.index.exact_candidates(ids) {
-            if is_instance(&self.ikeys[ki as usize], ids) {
-                obs::inc!("spell.match.trie_hits");
-                return Some(self.keys[ki as usize].id);
-            }
+        let exact = crate::scratch::with_exact(|cands| {
+            self.index.exact_candidates_into(ids, cands);
+            cands
+                .iter()
+                .copied()
+                .find(|&ki| is_instance(&self.ikeys[ki as usize], ids))
+        });
+        if let Some(ki) = exact {
+            obs::inc!("spell.match.trie_hits");
+            return Some(self.keys[ki as usize].id);
         }
         let required = self.required_lcs(ids.len());
-        let mut best: Option<(usize, u32)> = None;
-        for (ki, bound) in self.index.scored_candidates(ids) {
-            // Even reaching its upper bound, this key cannot strictly beat
-            // the best so far (earlier id wins ties) — skip the LCS.
-            if best.is_some_and(|(s, _)| bound <= s) {
-                continue;
+        let best = crate::scratch::with_cands(|cands| {
+            self.index.scored_candidates_into(ids, cands);
+            let mut best: Option<(usize, u32)> = None;
+            for &(ki, bound) in cands.iter() {
+                // Even reaching its upper bound, this key cannot strictly
+                // beat the best so far (earlier id wins ties) — skip the LCS.
+                if best.is_some_and(|(s, _)| bound <= s) {
+                    continue;
+                }
+                let key = &self.ikeys[ki as usize];
+                let pos = positional_matches_wild_ids(key, ids);
+                // `pos ≤ lcs ≤ bound`, so hitting the bound positionally
+                // settles the LCS without running the dynamic program.
+                let score = if pos == bound {
+                    pos
+                } else {
+                    lcs_len_wild_ids(key, ids)
+                };
+                if score >= required && best.is_none_or(|(s, _)| score > s) {
+                    best = Some((score, ki));
+                }
             }
-            let key = &self.ikeys[ki as usize];
-            let pos = positional_matches_wild_ids(key, ids);
-            // `pos ≤ lcs ≤ bound`, so hitting the bound positionally
-            // settles the LCS without running the dynamic program.
-            let score = if pos == bound {
-                pos
-            } else {
-                lcs_len_wild_ids(key, ids)
-            };
-            if score >= required && best.is_none_or(|(s, _)| score > s) {
-                best = Some((score, ki));
-            }
-        }
+            best
+        });
         match best {
             Some((_, ki)) => {
                 obs::inc!("spell.match.index_hits");
@@ -253,6 +330,8 @@ impl SpellParser {
             }
         }
     }
+
+    // lint: ingest-hot(end)
 
     /// Memoised [`SpellParser::match_ids`] for frozen-parser workloads.
     /// See [`MatchMemo`] for the soundness condition.
@@ -308,6 +387,9 @@ impl SpellParser {
         tokens: Vec<String>,
         hint: Option<Option<KeyId>>,
     ) -> ParseOutcome {
+        // Training invalidates any compiled automaton (its key set would
+        // go stale on the first refinement or new key).
+        self.automaton = None;
         obs::inc!("spell.lines_parsed");
         let ids = self.interner.intern_all(&tokens);
         let matched = match hint {
@@ -315,39 +397,54 @@ impl SpellParser {
             None => self.match_ids(&ids),
         };
         if let Some(id) = matched {
-            let ki = id.0 as usize;
-            // Refine the key: any position where the key's constant token
-            // disagrees with the message becomes a variable position.
-            let mut flipped = 0u32;
-            {
-                let key = &mut self.keys[ki];
-                let ikey = &mut self.ikeys[ki];
-                for (p, &mid) in ids.iter().enumerate() {
-                    if ikey[p] != STAR_ID && ikey[p] != mid {
-                        ikey[p] = STAR_ID;
-                        key.tokens[p] = STAR.to_string();
-                        flipped += 1;
-                    }
-                }
-                key.count += 1;
-            }
-            if flipped > 0 {
-                obs::inc!("spell.keys_refined");
-                obs::add!("spell.positions_wildcarded", flipped as u64);
-                obs::event!("spell.key_refined", "key" = id.0, "flipped" = flipped);
-                self.mutations += 1;
-                self.index.note_refinement(id.0, &self.ikeys[ki], flipped);
-                if self.index.needs_rebuild() {
-                    obs::inc!("spell.index_rebuilds");
-                    self.rebuild_index();
-                }
-            }
+            self.refine(id, &ids);
             return ParseOutcome {
                 key_id: id,
                 is_new_key: false,
                 tokens,
             };
         }
+        let id = self.found_key(ids, tokens.clone());
+        ParseOutcome {
+            key_id: id,
+            is_new_key: true,
+            tokens,
+        }
+    }
+
+    /// Refine key `id` against a matched message: any position where the
+    /// key's constant token disagrees with the message becomes a variable
+    /// position. Allocation-free when nothing flips (the steady state).
+    fn refine(&mut self, id: KeyId, ids: &[TokenId]) {
+        let ki = id.0 as usize;
+        let mut flipped = 0u32;
+        {
+            let key = &mut self.keys[ki];
+            let ikey = &mut self.ikeys[ki];
+            for (p, &mid) in ids.iter().enumerate() {
+                if ikey[p] != STAR_ID && ikey[p] != mid {
+                    ikey[p] = STAR_ID;
+                    key.tokens[p] = STAR.to_string();
+                    flipped += 1;
+                }
+            }
+            key.count += 1;
+        }
+        if flipped > 0 {
+            obs::inc!("spell.keys_refined");
+            obs::add!("spell.positions_wildcarded", flipped as u64);
+            obs::event!("spell.key_refined", "key" = id.0, "flipped" = flipped);
+            self.mutations += 1;
+            self.index.note_refinement(id.0, &self.ikeys[ki], flipped);
+            if self.index.needs_rebuild() {
+                obs::inc!("spell.index_rebuilds");
+                self.rebuild_index();
+            }
+        }
+    }
+
+    /// Found a brand-new key from an unmatched message.
+    fn found_key(&mut self, ids: Vec<TokenId>, tokens: Vec<String>) -> KeyId {
         let id = KeyId(self.keys.len() as u32);
         obs::inc!("spell.keys_created");
         obs::event!("spell.new_key", "key" = id.0, "len" = ids.len());
@@ -357,15 +454,11 @@ impl SpellParser {
         self.keys.push(LogKey {
             id,
             tokens: tokens.clone(),
-            sample: tokens.clone(),
+            sample: tokens,
             count: 1,
         });
         self.ikeys.push(ids);
-        ParseOutcome {
-            key_id: id,
-            is_new_key: true,
-            tokens,
-        }
+        id
     }
 
     /// Feed one raw message string.
@@ -373,9 +466,84 @@ impl SpellParser {
         self.parse_tokens(tokenize_message(message))
     }
 
-    /// Match a raw message without mutating the key set.
+    // lint: ingest-hot(begin)
+
+    /// Feed one raw line through the zero-copy ingest path: byte-span
+    /// tokenisation straight off the line buffer, span-slice interning,
+    /// and matching — with no per-line `String` or `Vec` in the steady
+    /// state (tokens are materialised only when the line founds a new key;
+    /// see `tests/zero_alloc.rs`). Equivalent to
+    /// [`SpellParser::parse_message`] minus the returned token vector.
+    pub fn parse_line(&mut self, message: &str) -> LineOutcome {
+        self.automaton = None;
+        obs::inc!("spell.lines_parsed");
+        crate::scratch::with_line(|line| {
+            lognlp::tokenize_spans(message, &mut line.spans);
+            line.ids.clear();
+            for s in line.spans.iter() {
+                line.ids.push(self.interner.intern(s.of(message)));
+            }
+            if let Some(id) = self.match_ids(&line.ids) {
+                self.refine(id, &line.ids);
+                return LineOutcome {
+                    key_id: id,
+                    is_new_key: false,
+                };
+            }
+            // lint: allow(alloc) — founding a key is a rare structural
+            // mutation; tokens are materialised only here.
+            let tokens: Vec<String> = line.spans.iter().map(|s| s.of(message).to_string()).collect();
+            let id = self.found_key(line.ids.clone(), tokens);
+            LineOutcome {
+                key_id: id,
+                is_new_key: true,
+            }
+        })
+    }
+
+    /// Match a raw line without mutating anything, through the zero-copy
+    /// path: spans are resolved against the interner by byte slice
+    /// ([`Interner::lookup_bytes`]), so a match against a frozen parser
+    /// performs no allocation at all.
+    pub fn match_line(&self, message: &str) -> Option<KeyId> {
+        crate::scratch::with_line(|line| {
+            self.lookup_line_into_buffers(message, &mut line.spans, &mut line.ids);
+            self.match_ids(&line.ids)
+        })
+    }
+
+    /// Tokenise and intern-lookup one raw line into caller-provided
+    /// buffers (both cleared first): spans index `message`, and unseen
+    /// tokens map to [`UNKNOWN_ID`]. Streaming callers keep both buffers
+    /// across lines so the per-line cost is allocation-free.
+    pub fn lookup_line_into(&self, message: &str, spans: &mut Vec<Span>, out: &mut Vec<TokenId>) {
+        self.lookup_line_into_buffers(message, spans, out);
+    }
+
+    #[inline]
+    fn lookup_line_into_buffers(
+        &self,
+        message: &str,
+        spans: &mut Vec<Span>,
+        out: &mut Vec<TokenId>,
+    ) {
+        lognlp::tokenize_spans(message, spans);
+        out.clear();
+        for s in spans.iter() {
+            out.push(
+                self.interner
+                    .lookup_bytes(s.of(message).as_bytes())
+                    .unwrap_or(UNKNOWN_ID),
+            );
+        }
+    }
+
+    // lint: ingest-hot(end)
+
+    /// Match a raw message without mutating the key set. Routed through
+    /// the zero-copy span path ([`SpellParser::match_line`]).
     pub fn match_raw(&self, message: &str) -> Option<KeyId> {
-        self.match_message(&tokenize_message(message))
+        self.match_line(message)
     }
 
     fn rebuild_index(&mut self) {
@@ -384,7 +552,11 @@ impl SpellParser {
     }
 
     /// Reassemble a parser from its serialised parts (threshold + keys).
-    /// The interner and index are derived state and are rebuilt here.
+    /// The interner, index and automaton are derived state and are rebuilt
+    /// here. Deserialised parsers arrive frozen: loading a model (the
+    /// model store, serve/gateway `LOAD`, replay) is exactly the moment
+    /// the key set stops changing, so the compiled matcher is active from
+    /// the first line served.
     fn from_parts(threshold: f64, keys: Vec<LogKey>) -> SpellParser {
         let mut p = SpellParser::new(threshold);
         for key in keys {
@@ -399,6 +571,7 @@ impl SpellParser {
             p.ikeys.push(ids);
             p.keys.push(key);
         }
+        p.freeze();
         p
     }
 }

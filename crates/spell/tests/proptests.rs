@@ -126,8 +126,94 @@ proptest! {
         let json = serde_json::to_string(&p).unwrap();
         let q: SpellParser = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(q.keys(), p.keys());
+        // Deserialised parsers arrive frozen (the serving/replay read-path
+        // configuration), so this also crosses automaton vs live index.
+        prop_assert!(q.is_frozen());
         for probe in probes {
             prop_assert_eq!(q.match_message(&probe), p.match_message(&probe));
+        }
+    }
+
+    /// Three-way matcher equivalence: the compiled key automaton (frozen
+    /// parser), the live prefix-tree + inverted index, and the linear-scan
+    /// reference must return the same verdict on every probe — trained
+    /// messages and held-out probes with never-interned tokens alike.
+    #[test]
+    fn automaton_equals_index_equals_linear(
+        msgs in prop::collection::vec(message(), 1..40),
+        probes in prop::collection::vec(message(), 1..10),
+    ) {
+        let mut p = SpellParser::default();
+        for m in &msgs {
+            p.parse_tokens(m.clone());
+        }
+        p.freeze();
+        prop_assert!(p.is_frozen());
+        for probe in msgs.iter().chain(&probes) {
+            let ids = p.lookup_ids(probe);
+            let auto = p.match_ids(&ids);
+            prop_assert_eq!(
+                auto, p.match_ids_index(&ids),
+                "automaton vs live index diverged on {:?}", probe
+            );
+            prop_assert_eq!(
+                auto, p.match_ids_linear(&ids),
+                "automaton vs linear diverged on {:?}", probe
+            );
+        }
+    }
+
+    /// Training after a freeze invalidates the automaton (a stale compiled
+    /// key set must never answer for a grown one), and refreezing restores
+    /// verdicts identical to the reference matcher.
+    #[test]
+    fn training_invalidates_freeze_and_refreeze_agrees(
+        before in prop::collection::vec(message(), 1..20),
+        after in prop::collection::vec(message(), 1..20),
+    ) {
+        let mut p = SpellParser::default();
+        for m in &before {
+            p.parse_tokens(m.clone());
+        }
+        p.freeze();
+        prop_assert!(p.is_frozen());
+        for m in &after {
+            p.parse_tokens(m.clone());
+        }
+        prop_assert!(!p.is_frozen(), "training must thaw the automaton");
+        p.freeze();
+        for probe in before.iter().chain(&after) {
+            let ids = p.lookup_ids(probe);
+            prop_assert_eq!(p.match_ids(&ids), p.match_ids_linear(&ids));
+        }
+    }
+
+    /// The zero-alloc byte-level line path must be observationally
+    /// identical to the token-vector path: same key assignments during
+    /// training, same key set afterwards, same match verdicts when frozen.
+    #[test]
+    fn parse_line_equals_parse_message(
+        msgs in prop::collection::vec(message(), 1..30),
+        probes in prop::collection::vec(message(), 1..8),
+    ) {
+        let mut byte_path = SpellParser::default();
+        let mut token_path = SpellParser::default();
+        for m in &msgs {
+            let line = m.join(" ");
+            let a = byte_path.parse_line(&line);
+            let b = token_path.parse_message(&line);
+            prop_assert_eq!(a.key_id, b.key_id);
+            prop_assert_eq!(a.is_new_key, b.is_new_key);
+        }
+        prop_assert_eq!(byte_path.keys(), token_path.keys());
+        byte_path.freeze();
+        for probe in msgs.iter().chain(&probes) {
+            let line = probe.join(" ");
+            prop_assert_eq!(
+                byte_path.match_line(&line),
+                token_path.match_message(probe),
+                "line path diverged on {:?}", line
+            );
         }
     }
 }

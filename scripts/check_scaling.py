@@ -11,12 +11,14 @@ numbers are noise) and enforces:
     time-slices one core), so the gate degrades to a non-regression
     bound: threads4 >= PARITY_MIN * sequential, i.e. the executor's
     scheduling overhead stays bounded.
-  * pipeline: absolute per-stage Spell throughput floors, set far below
-    any observed run (local measurements are 289k parse / 210k match
-    msgs/s; GitHub runners are slower but not 10x slower) so only a
-    genuine hot-path regression trips them, plus the indexed-vs-linear
-    ratio floor which is load-independent because both sides run
-    back-to-back on identical probes.
+  * pipeline: absolute per-stage throughput floors — Spell byte-level
+    parse, frozen-automaton match, and Intel-Key extraction — set far
+    below any observed run (local measurements after the zero-alloc
+    ingest + compiled-automaton work are ~1.5M parse / ~900k match msgs/s
+    and ~150k extraction keys/s; GitHub runners are slower but not 10x
+    slower) so only a genuine hot-path regression trips them, plus the
+    indexed-vs-linear ratio floor which is load-independent because
+    both sides run back-to-back on identical probes.
   * serve: lines/s is monotone non-decreasing from 1 -> 2 -> 4 shards,
     with multiplicative noise slack per step (on a single-CPU host the
     series is flat; more shards must never make it *worse* than slack).
@@ -42,8 +44,9 @@ PARITY_MIN = 0.70  # threads4 vs sequential, smaller hosts (overhead bound)
 SERVE_STEP_SLACK = 0.85  # per-step noise slack on the shard series
 CONN_FLOOR = 5_000  # gateway lines/s at any connection count
 CONN_PARITY = 0.60  # 8 connections vs 1 (sweep overhead bound)
-PARSE_FLOOR = 25_000  # Spell streaming parse, msgs/s
-MATCH_FLOOR = 15_000  # Spell indexed match, msgs/s
+PARSE_FLOOR = 150_000  # Spell byte-level streaming parse, msgs/s
+MATCH_FLOOR = 100_000  # Spell frozen-automaton match, msgs/s
+EXTRACT_FLOOR = 20_000  # Intel-Key extraction, keys/s
 RATIO_FLOOR = 3.0  # indexed vs linear matcher, same probes
 
 
@@ -99,6 +102,11 @@ def main() -> int:
         spell["index_speedup"] >= RATIO_FLOOR,
         f"spell indexed/linear ratio: {spell['index_speedup']:.1f}x >= "
         f"{RATIO_FLOOR}x",
+    )
+    extraction = pipeline["extraction"]
+    gate(
+        extraction["keys_per_s"] >= EXTRACT_FLOOR,
+        f"extraction: {extraction['keys_per_s']:.0f} keys/s >= {EXTRACT_FLOOR}",
     )
 
     # --- serve: shard scaling monotone within slack ----------------------

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI-gated concurrency-invariant linter (DESIGN.md §11).
 
-Five rules over the workspace's Rust sources:
+Six rules over the workspace's Rust sources:
 
   R1  raw-sync     `std::sync` / `std::thread` are forbidden outside the
                    facade (`crates/sync/`) and the vendored dependency
@@ -25,6 +25,17 @@ Five rules over the workspace's Rust sources:
                    every server-side socket must go through the poller's
                    nonblocking readiness API, where the never-block rules
                    are enforced in one place.
+  R6  alloc        per-line allocation is forbidden inside declared
+                   ingest-hot regions (`// lint: ingest-hot(begin)` …
+                   `// lint: ingest-hot(end)`): tokenise, intern-lookup
+                   and match code on the zero-alloc byte-level ingest
+                   path must use caller/scratch buffers. Patterns caught:
+                   `.to_string()`, `String::from(`, `String::new()`,
+                   `.to_owned()`, `Vec::new()`, `vec![`, `.to_vec()`,
+                   `format!(`, `Box::new(`, `with_capacity(`. Escape per
+                   site with `// lint: allow(alloc)` plus a reason (e.g.
+                   the new-key materialisation in `parse_line`, which is
+                   rare by construction).
 
 Escape hatch: a `// lint: allow(<rule>)` comment on the offending line or
 within the 5 lines above suppresses that rule there (used exactly once in
@@ -81,6 +92,23 @@ RAW_NET_WHITELIST = (
 R5_PATTERN = re.compile(r"\bstd\s*::\s*net\b")
 
 R3_EXEMPT: tuple[str, ...] = ()
+
+# R6: allocation patterns forbidden inside `// lint: ingest-hot(begin/end)`
+# regions. `.clone()` is deliberately absent: cloning a `Copy` span or id
+# is free and common; the listed constructors are the ones that heap-allocate.
+R6_PATTERN = re.compile(
+    r"\.\s*to_string\s*\(\s*\)"
+    r"|\bString\s*::\s*(from|new)\b"
+    r"|\.\s*to_owned\s*\(\s*\)"
+    r"|\bVec\s*::\s*new\b"
+    r"|\bvec!"
+    r"|\.\s*to_vec\s*\(\s*\)"
+    r"|\bformat!"
+    r"|\bBox\s*::\s*new\b"
+    r"|\bwith_capacity\s*\("
+)
+INGEST_BEGIN = re.compile(r"//\s*lint:\s*ingest-hot\(begin\)")
+INGEST_END = re.compile(r"//\s*lint:\s*ingest-hot\(end\)")
 
 ALLOW = re.compile(r"//\s*lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 LOOKBACK = 5  # lines of grace for SAFETY comments and allow markers
@@ -169,10 +197,26 @@ def lint_file(path: Path, relpath: str, violations: list[str]) -> None:
                 test_tail_start = i
                 break
 
+    in_hot = False
     for i, raw in enumerate(lines):
+        # R6 region markers live in comments, so they are read off the raw
+        # line before comment stripping.
+        if INGEST_BEGIN.search(raw):
+            in_hot = True
+            continue
+        if INGEST_END.search(raw):
+            in_hot = False
+            continue
         code = strip_noncode(raw)
         if not code.strip():
             continue
+        if in_hot and R6_PATTERN.search(code):
+            if not allowed(lines, i, "alloc"):
+                violations.append(
+                    f"{relpath}:{i + 1}: [alloc] heap allocation inside an "
+                    "ingest-hot region — use scratch/caller buffers, or "
+                    "mark the rare path with `// lint: allow(alloc)`"
+                )
         if not raw_sync_ok and R1_PATTERN.search(code):
             if not allowed(lines, i, "std-sync"):
                 violations.append(
@@ -337,6 +381,49 @@ def self_test() -> int:
         "forbid-attr accepts the attribute": (
             "crates/fake/src/lib.rs",
             "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            False,
+        ),
+        "alloc fires inside an ingest-hot region": (
+            "crates/spell/src/hot.rs",
+            "// lint: ingest-hot(begin)\n"
+            "fn f(s: &str) -> String { s.to_string() }\n"
+            "// lint: ingest-hot(end)\n",
+            True,
+        ),
+        "alloc fires on vec! inside a region": (
+            "crates/spell/src/hot2.rs",
+            "// lint: ingest-hot(begin)\n"
+            "fn f() -> Vec<u32> { vec![1, 2] }\n"
+            "// lint: ingest-hot(end)\n",
+            True,
+        ),
+        "alloc ignores code outside regions": (
+            "crates/spell/src/cold.rs",
+            "fn f(s: &str) -> String { s.to_string() }\n",
+            False,
+        ),
+        "alloc region ends at its end marker": (
+            "crates/spell/src/bounded.rs",
+            "// lint: ingest-hot(begin)\n"
+            "fn hot(a: &[u32], out: &mut Vec<u32>) { out.extend(a); }\n"
+            "// lint: ingest-hot(end)\n"
+            "fn cold() -> Vec<u32> { Vec::new() }\n",
+            False,
+        ),
+        "alloc honors allow marker": (
+            "crates/spell/src/rare.rs",
+            "// lint: ingest-hot(begin)\n"
+            "// lint: allow(alloc) — new-key path, rare by construction\n"
+            "fn f(s: &str) -> String { s.to_string() }\n"
+            "// lint: ingest-hot(end)\n",
+            False,
+        ),
+        "alloc ignores patterns in comments and strings": (
+            "crates/spell/src/docs.rs",
+            "// lint: ingest-hot(begin)\n"
+            "// callers must NOT use .to_string() here\n"
+            'fn f() -> &\'static str { "Vec::new()" }\n'
+            "// lint: ingest-hot(end)\n",
             False,
         ),
     }

@@ -20,7 +20,7 @@
 
 mod pool;
 
-use pool::{Chunk, Pool, PoolCore, CHUNKS_PER_WORKER};
+use pool::{Chunk, Pool, PoolCore, CHUNKS_PER_WORKER, MIN_ITEMS_PER_CHUNK};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -307,8 +307,11 @@ fn run_par_map<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(slice: &'a [T], f
         return slice.iter().map(f).collect();
     }
 
-    // Many small chunks so stealing can balance skewed per-item cost.
-    let chunk_count = n.min(threads * CHUNKS_PER_WORKER);
+    // Several chunks per worker so stealing can balance skewed per-item
+    // cost — but never slice finer than MIN_ITEMS_PER_CHUNK items unless
+    // that would leave some workers without a chunk at all.
+    let by_floor = n.div_ceil(MIN_ITEMS_PER_CHUNK).max(threads);
+    let chunk_count = n.min(threads * CHUNKS_PER_WORKER).min(by_floor);
     let chunk_size = n.div_ceil(chunk_count);
     let chunk_count = n.div_ceil(chunk_size);
 

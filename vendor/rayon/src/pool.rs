@@ -31,8 +31,18 @@ use sync::{Arc, Condvar, Mutex};
 /// Chunks created per worker per parallel operation. Several small chunks
 /// (instead of one contiguous chunk per thread) let stealing absorb skewed
 /// per-item cost: a worker stuck on an expensive item only holds back its
-/// current chunk, not 1/threads of the input.
-pub(crate) const CHUNKS_PER_WORKER: usize = 8;
+/// current chunk, not 1/threads of the input. Tuned down from 8: the
+/// dominant parallel ops (speculative Spell match rounds, per-session
+/// detection) have items cheap enough that per-chunk submit/latch overhead
+/// at 8 chunks/worker outweighed the extra balance headroom; 4 keeps one
+/// steal's worth of slack per worker while halving the fixed cost.
+pub(crate) const CHUNKS_PER_WORKER: usize = 4;
+
+/// Minimum items per chunk (unless fewer chunks than workers would
+/// result). Per-chunk cost is an injector push + a latch decrement;
+/// splitting cheap items (a read-only Spell match is microseconds) finer
+/// than this spends more on bookkeeping than the stealing can recover.
+pub(crate) const MIN_ITEMS_PER_CHUNK: usize = 16;
 
 /// How many chunks a worker moves from the injector into its own deque per
 /// grab. Amortises the injector lock without hoarding work other idle
