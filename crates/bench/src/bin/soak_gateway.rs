@@ -33,7 +33,12 @@ use std::path::PathBuf;
 use std::time::Duration;
 use sync::Arc;
 
-const SYSTEMS: [SystemKind; 3] = [SystemKind::Spark, SystemKind::MapReduce, SystemKind::Tez];
+const SYSTEMS: [SystemKind; 4] = [
+    SystemKind::Spark,
+    SystemKind::MapReduce,
+    SystemKind::Tez,
+    SystemKind::TensorFlow,
+];
 const FAULTS: [Option<FaultKind>; 4] = [
     Some(FaultKind::SessionKill),
     Some(FaultKind::NodeFailure),

@@ -1,4 +1,4 @@
-//! Table 4 — accuracy of information extraction in the three systems.
+//! Table 4 — accuracy of information extraction in the evaluated systems.
 //!
 //! Ground truth comes from the simulator's template catalog (standing in
 //! for the paper's manual source-code inspection). Reported per system:
@@ -32,7 +32,7 @@ fn main() {
     );
 
     let mut totals = (0usize, 0usize, 0usize); // entity tot/fp/fn across systems
-    for system in SystemKind::ANALYTICS {
+    for system in SystemKind::EVALUATED {
         let corpus = training_jobs(system, jobs, 40 + system as u64);
         let row = evaluate(system, &corpus);
         println!(

@@ -1,4 +1,4 @@
-//! Table 5 — log and HW-graph statistics for the three systems.
+//! Table 5 — log and HW-graph statistics for the evaluated systems.
 //!
 //! Paper shape: entity groups are 5–10× fewer than the messages of one
 //! session (critical groups 10–50× fewer); subroutines are short enough for
@@ -20,7 +20,7 @@ fn main() {
         "{:<11} {:>12} {:>16} {:>30}",
         "Framework", "session len", "groups all/crit", "subroutine max/avg/avg-crit"
     );
-    for system in SystemKind::ANALYTICS {
+    for system in SystemKind::EVALUATED {
         let sessions = training_sessions(system, jobs, 70 + system as u64);
         let il = IntelLog::train(&sessions);
         let s = &il.graph().stats;

@@ -6,9 +6,14 @@
 //!   benchmarks);
 //! * [`sessions_from_raw`] — the full-fidelity path: the simulator renders
 //!   raw log text and the `spell` formatters parse it back, exercising the
-//!   same code a deployment against real log files would use.
+//!   same code a deployment against real log files would use;
+//! * [`sessions_from_foreign`] — the adapter path: the simulator renders a
+//!   *foreign* syntax (HDFS/BGL header, RFC-3164 syslog, JSON lines) and a
+//!   `lognlp::format` adapter normalises it back, exercising the
+//!   `--format` ingestion a deployment against outside corpora would use.
 
-use dlasim::{GenJob, GenSession, RawFormat, SimLevel};
+use dlasim::{ForeignFormat, GenJob, GenSession, RawFormat, SimLevel};
+use lognlp::format::{AdapterKind, RawLevel};
 use spell::{Level, LogFormat, LogLine, Session};
 
 /// Map a simulator severity onto the formatter's level type.
@@ -62,6 +67,55 @@ pub fn sessions_from_raw(job: &GenJob) -> Vec<Session> {
         .collect()
 }
 
+/// Map an adapter severity onto the formatter's level type.
+pub fn level_of_raw(raw: RawLevel) -> Level {
+    match raw {
+        RawLevel::Trace => Level::Trace,
+        RawLevel::Debug => Level::Debug,
+        RawLevel::Info => Level::Info,
+        RawLevel::Warn => Level::Warn,
+        RawLevel::Error => Level::Error,
+        RawLevel::Fatal => Level::Fatal,
+    }
+}
+
+/// The adapter that understands a foreign rendering.
+pub fn adapter_for(format: ForeignFormat) -> AdapterKind {
+    match format {
+        ForeignFormat::Hdfs => AdapterKind::Hdfs,
+        ForeignFormat::Syslog => AdapterKind::Syslog,
+        ForeignFormat::Json => AdapterKind::Json,
+    }
+}
+
+/// Adapter-path conversion: render the job in a foreign syntax, normalise
+/// each line back through the matching `lognlp::format` adapter. Rejected
+/// lines are dropped, like the raw path. Within one session the stable
+/// sort in `Session::new` preserves emission order even where the foreign
+/// header's one-second resolution collapses distinct millisecond stamps.
+pub fn sessions_from_foreign(job: &GenJob, format: ForeignFormat) -> Vec<Session> {
+    let adapter = adapter_for(format).adapter();
+    job.sessions
+        .iter()
+        .map(|s| {
+            let lines = format
+                .render_session(s)
+                .iter()
+                .filter_map(|raw| {
+                    let rec = adapter.parse_record(raw).ok()?;
+                    Some(LogLine {
+                        ts_ms: rec.ts_ms,
+                        level: level_of_raw(rec.level),
+                        source: rec.source.to_string(),
+                        message: rec.message.to_string(),
+                    })
+                })
+                .collect();
+            Session::new(s.id.clone(), lines)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +161,64 @@ mod tests {
         let j = job(SystemKind::MapReduce);
         for s in sessions_from_raw(&j) {
             assert!(s.lines.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+        }
+    }
+
+    #[test]
+    fn foreign_paths_agree_with_structural_on_messages() {
+        for system in [SystemKind::Spark, SystemKind::TensorFlow] {
+            let j = job(system);
+            let direct = sessions_from_job(&j);
+            for format in ForeignFormat::ALL {
+                let adapted = sessions_from_foreign(&j, format);
+                assert_eq!(direct.len(), adapted.len());
+                for (sa, sb) in direct.iter().zip(&adapted) {
+                    assert_eq!(sa.id, sb.id);
+                    assert_eq!(
+                        sa.len(),
+                        sb.len(),
+                        "{format:?} adapter dropped lines for {system:?}"
+                    );
+                    for (la, lb) in sa.lines.iter().zip(&sb.lines) {
+                        assert_eq!(la.message, lb.message);
+                        assert_eq!(la.source, lb.source);
+                        // levels survive every adapter except the syslog
+                        // PRI round-trip, which is also exact here (the
+                        // simulator only emits INFO/WARN/ERROR)
+                        assert_eq!(la.level, lb.level);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_paths_preserve_ordering_despite_second_resolution() {
+        let j = job(SystemKind::TensorFlow);
+        let direct = sessions_from_job(&j);
+        for format in ForeignFormat::ALL {
+            for (sd, sf) in direct.iter().zip(sessions_from_foreign(&j, format)) {
+                assert!(sf.lines.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+                // message order must equal the structural path even where
+                // one-second headers collapsed distinct millisecond stamps
+                let da: Vec<&str> = sd.lines.iter().map(|l| l.message.as_str()).collect();
+                let fa: Vec<&str> = sf.lines.iter().map(|l| l.message.as_str()).collect();
+                assert_eq!(da, fa, "{format:?} reordered lines");
+            }
+        }
+    }
+
+    #[test]
+    fn json_foreign_path_keeps_exact_millis() {
+        let j = job(SystemKind::Spark);
+        let direct = sessions_from_job(&j);
+        for (sd, sf) in direct
+            .iter()
+            .zip(sessions_from_foreign(&j, ForeignFormat::Json))
+        {
+            for (ld, lf) in sd.lines.iter().zip(&sf.lines) {
+                assert_eq!(ld.ts_ms, lf.ts_ms);
+            }
         }
     }
 }

@@ -13,5 +13,8 @@
 pub mod bridge;
 pub mod pipeline;
 
-pub use bridge::{session_from_gen, sessions_from_job, sessions_from_raw};
+pub use bridge::{
+    adapter_for, level_of_raw, session_from_gen, sessions_from_foreign, sessions_from_job,
+    sessions_from_raw,
+};
 pub use pipeline::{IntelLog, IntelLogBuilder};

@@ -13,14 +13,18 @@
 //!   generation (§6.1), the five §6.4 config sets;
 //! * [`faults`] — the §6.4 problem-injection tool (kill / network / node)
 //!   plus the spill and starvation anomalies of the case studies;
-//! * [`spark`] / [`mapreduce`] / [`tez`] / [`yarn`] / [`nova`] — the system
-//!   models and their truth catalogs.
+//! * [`spark`] / [`mapreduce`] / [`tez`] / [`yarn`] / [`nova`] /
+//!   [`tensorflow`] — the system models and their truth catalogs;
+//! * [`foreign`] — HDFS/BGL, RFC-3164 syslog and JSON-line renderings of
+//!   any generated session, for exercising the `lognlp::format` adapters
+//!   against corpora with known ground truth.
 
 #![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod emit;
 pub mod faults;
+pub mod foreign;
 pub mod mapreduce;
 pub mod nova;
 pub mod spark;
@@ -33,5 +37,8 @@ pub mod yarn;
 pub use catalog::{catalog, truth_of, Truth};
 pub use emit::Emitter;
 pub use faults::{FaultKind, FaultPlan};
+pub use foreign::ForeignFormat;
 pub use types::{GenJob, GenSession, RawFormat, SimLevel, SimLine, SystemKind};
-pub use workload::{generate, JobConfig, WorkloadGen, CONFIG_SETS, HIBENCH_JOBS, TPCH_QUERIES};
+pub use workload::{
+    generate, JobConfig, WorkloadGen, CONFIG_SETS, HIBENCH_JOBS, TF_MODELS, TPCH_QUERIES,
+};

@@ -40,6 +40,16 @@ impl SystemKind {
     /// The three data analytics systems evaluated end to end.
     pub const ANALYTICS: [SystemKind; 3] =
         [SystemKind::Spark, SystemKind::MapReduce, SystemKind::Tez];
+
+    /// The systems carried through the full accuracy evaluation (Table
+    /// 4/5/8 golden rows): the three analytics systems plus distributed
+    /// TensorFlow, promoted from future work.
+    pub const EVALUATED: [SystemKind; 4] = [
+        SystemKind::Spark,
+        SystemKind::MapReduce,
+        SystemKind::Tez,
+        SystemKind::TensorFlow,
+    ];
 }
 
 /// Log severity (mirrors `spell::Level` without the dependency).

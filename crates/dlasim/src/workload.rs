@@ -51,6 +51,20 @@ pub const TPCH_QUERIES: &[&str] = &[
     "query1", "query3", "query5", "query6", "query8", "query10", "query12", "query14",
 ];
 
+/// Model names used for distributed TensorFlow training jobs. Same count as
+/// [`HIBENCH_JOBS`] so the generator draws identically many random values
+/// regardless of system — existing seeds stay aligned.
+pub const TF_MODELS: &[&str] = &[
+    "resnet50",
+    "inception",
+    "vgg16",
+    "lstm-ptb",
+    "transformer",
+    "bert-base",
+    "wide-deep",
+    "ncf",
+];
+
 /// The five configuration sets of §6.4 (input sizes and resources vary to
 /// produce sessions of very different lengths).
 pub const CONFIG_SETS: [(u32, u32, u32, u32); 5] = [
@@ -84,6 +98,7 @@ impl WorkloadGen {
     pub fn training_config(&mut self, system: SystemKind) -> JobConfig {
         let workload = match system {
             SystemKind::Tez => TPCH_QUERIES[self.rng.gen_range(0..TPCH_QUERIES.len())],
+            SystemKind::TensorFlow => TF_MODELS[self.rng.gen_range(0..TF_MODELS.len())],
             _ => HIBENCH_JOBS[self.rng.gen_range(0..HIBENCH_JOBS.len())],
         };
         JobConfig {
@@ -103,6 +118,7 @@ impl WorkloadGen {
         let (input_gb, mem_mb, cores, executors) = CONFIG_SETS[set % CONFIG_SETS.len()];
         let workload = match system {
             SystemKind::Tez => TPCH_QUERIES[self.rng.gen_range(0..TPCH_QUERIES.len())],
+            SystemKind::TensorFlow => TF_MODELS[self.rng.gen_range(0..TF_MODELS.len())],
             _ => HIBENCH_JOBS[self.rng.gen_range(0..HIBENCH_JOBS.len())],
         };
         JobConfig {

@@ -1,11 +1,12 @@
 //! The subsystem's core correctness property, now through the event-driven
 //! gateway: replaying a workload over concurrent sockets with lossless
 //! (`block`) backpressure yields exactly the per-session anomaly sets that
-//! offline batch detection computes — for all three analytics systems,
-//! including a fault-injected job.
+//! offline batch detection computes — for the analytics systems including
+//! TensorFlow, a fault-injected job, and an adapter-normalised foreign
+//! corpus (`--format`-style syslog ingestion).
 
 use anomaly::Detector;
-use dlasim::{FaultKind, SystemKind};
+use dlasim::{FaultKind, ForeignFormat, SystemKind};
 use intellog_core::sessions_from_job;
 use intellog_gateway::{Gateway, GatewayConfig};
 use intellog_serve::{run_replay, Backpressure, ReplayConfig};
@@ -40,7 +41,12 @@ fn gateway_config() -> GatewayConfig {
     }
 }
 
-fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>, connections: usize) {
+fn replay_matches_offline_via(
+    system: SystemKind,
+    fault: Option<FaultKind>,
+    connections: usize,
+    adapter: Option<ForeignFormat>,
+) {
     let detector = Arc::new(anomaly::Trainer::default().train(&train_sessions(system, 2, 42)));
     let gateway = Gateway::bind(&gateway_config(), Arc::clone(&detector)).expect("bind");
     let (addr, join) = gateway.spawn().expect("spawn gateway");
@@ -51,6 +57,7 @@ fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>, connecti
         seed: 9,
         fault,
         connections,
+        adapter,
         ..ReplayConfig::default()
     };
     let outcome = run_replay(&addr.to_string(), &detector, &replay_cfg).expect("replay");
@@ -87,6 +94,10 @@ fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>, connecti
     join.join().expect("gateway thread").expect("gateway run");
 }
 
+fn replay_matches_offline(system: SystemKind, fault: Option<FaultKind>, connections: usize) {
+    replay_matches_offline_via(system, fault, connections, None);
+}
+
 #[test]
 fn spark_replay_with_network_fault_matches_offline() {
     replay_matches_offline(SystemKind::Spark, Some(FaultKind::NetworkFailure), 1);
@@ -100,6 +111,26 @@ fn mapreduce_replay_matches_offline_over_concurrent_connections() {
 #[test]
 fn tez_replay_matches_offline() {
     replay_matches_offline(SystemKind::Tez, Some(FaultKind::SessionKill), 2);
+}
+
+#[test]
+fn tensorflow_replay_matches_offline() {
+    replay_matches_offline(SystemKind::TensorFlow, Some(FaultKind::NodeFailure), 2);
+}
+
+/// The `--format` ingestion path end to end: the corpus is rendered as
+/// RFC-3164 syslog, normalised back through the adapter, sent over the
+/// gateway and verified against offline detection on the same adapted
+/// sessions — verdicts must agree exactly despite the second-resolution
+/// timestamps the foreign header imposes.
+#[test]
+fn adapted_syslog_replay_matches_offline() {
+    replay_matches_offline_via(
+        SystemKind::Spark,
+        Some(FaultKind::NetworkFailure),
+        2,
+        Some(ForeignFormat::Syslog),
+    );
 }
 
 #[test]

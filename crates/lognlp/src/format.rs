@@ -1,0 +1,611 @@
+//! Pluggable log-format adapters — foreign corpora into the zero-alloc path.
+//!
+//! The built-in `spell` formatters understand the two syntaxes the paper's
+//! testbed produces (Hadoop- and Spark-style). Real-world corpora arrive in
+//! other shapes: HDFS/BGL-style numeric headers, RFC-3164 syslog, and
+//! JSON-structured lines. A [`LineAdapter`] normalises one foreign line into
+//! a [`RawRecord`] whose `source` and `message` fields **borrow from the
+//! input line** — no heap allocation on the steady-state parse, so an
+//! adapted record feeds [`crate::tokenize_spans`] and the interned-token
+//! match path exactly like a native line (the counting-allocator proof in
+//! `crates/spell/tests/zero_alloc.rs` covers the adapted path too).
+//!
+//! Malformed input is a first-class case, not a panic: every adapter is
+//! total, returning a typed [`FormatError`] for lines it cannot normalise
+//! (truncated headers, bad timestamps, partial JSON). Property tests in
+//! `tests/format_props.rs` fuzz arbitrary bytes through every adapter and
+//! lockstep the adapted message against the reference tokenizer.
+
+use std::fmt;
+
+/// Severity recovered by an adapter. Mirrors `spell::Level` without the
+/// dependency (lognlp sits below spell in the crate graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RawLevel {
+    /// TRACE
+    Trace,
+    /// DEBUG (syslog severity 7).
+    Debug,
+    /// INFO (syslog severities 5–6).
+    Info,
+    /// WARN (syslog severity 4).
+    Warn,
+    /// ERROR (syslog severities 0–3).
+    Error,
+    /// FATAL
+    Fatal,
+}
+
+impl RawLevel {
+    /// Parse the conventional upper-case level token.
+    pub fn parse(s: &str) -> Option<RawLevel> {
+        Some(match s {
+            "TRACE" => RawLevel::Trace,
+            "DEBUG" => RawLevel::Debug,
+            "INFO" => RawLevel::Info,
+            "WARN" | "WARNING" => RawLevel::Warn,
+            "ERROR" => RawLevel::Error,
+            "FATAL" => RawLevel::Fatal,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RawLevel::Trace => "TRACE",
+            RawLevel::Debug => "DEBUG",
+            RawLevel::Info => "INFO",
+            RawLevel::Warn => "WARN",
+            RawLevel::Error => "ERROR",
+            RawLevel::Fatal => "FATAL",
+        }
+    }
+}
+
+/// One normalised log record. `source` and `message` are byte slices of the
+/// adapted input line — resolving them costs nothing and the steady-state
+/// ingest path stays allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawRecord<'a> {
+    /// Milliseconds since an arbitrary per-format epoch. Only ordering
+    /// matters downstream (lifespan analysis sorts by this); formats with
+    /// one-second resolution (HDFS headers, RFC-3164) keep emission order
+    /// for equal timestamps because `Session::new` sorts stably.
+    pub ts_ms: u64,
+    /// Severity.
+    pub level: RawLevel,
+    /// Emitting component (HDFS class, syslog tag, JSON `source` field).
+    pub source: &'a str,
+    /// The free-text message body consumed by Spell.
+    pub message: &'a str,
+}
+
+/// Typed reason an adapter rejected a line. Every variant is a normal
+/// outcome for real-world corpora (stack-trace continuations, partial
+/// writes, binary junk) — adapters never panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatError {
+    /// Empty or whitespace-only line.
+    Empty,
+    /// The fixed header shape did not match; the payload names which part.
+    Header(&'static str),
+    /// A timestamp field failed to parse.
+    Timestamp(&'static str),
+    /// The severity token was not a recognised level / priority.
+    Level,
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// Structural JSON error (truncated, unbalanced, non-object, nested
+    /// containers where a scalar was expected).
+    Json(&'static str),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Empty => write!(f, "empty line"),
+            FormatError::Header(part) => write!(f, "malformed header: {part}"),
+            FormatError::Timestamp(part) => write!(f, "bad timestamp: {part}"),
+            FormatError::Level => write!(f, "unrecognised severity"),
+            FormatError::MissingField(name) => write!(f, "missing field: {name}"),
+            FormatError::Json(what) => write!(f, "malformed JSON line: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// A pluggable foreign-format adapter. Implementations must be total
+/// (return `FormatError`, never panic) and allocation-free on the accept
+/// path — `parse_record` output borrows from `line`.
+pub trait LineAdapter: Sync {
+    /// Short name used by `--format` and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Normalise one raw line.
+    fn parse_record<'a>(&self, line: &'a str) -> Result<RawRecord<'a>, FormatError>;
+}
+
+/// The built-in foreign formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdapterKind {
+    /// HDFS/BGL-style numeric header: `YYMMDD HHMMSS pid LEVEL source: msg`.
+    Hdfs,
+    /// RFC-3164 syslog: `<PRI>Mmm dd hh:mm:ss host tag: msg`.
+    Syslog,
+    /// JSON-structured line: `{"ts":…, "level":…, "source":…, "msg":…}`.
+    Json,
+}
+
+impl AdapterKind {
+    /// Every built-in adapter, in stable order.
+    pub const ALL: [AdapterKind; 3] = [AdapterKind::Hdfs, AdapterKind::Syslog, AdapterKind::Json];
+
+    /// Parse a `--format` style name.
+    pub fn parse(name: &str) -> Option<AdapterKind> {
+        Some(match name {
+            "hdfs" => AdapterKind::Hdfs,
+            "syslog" => AdapterKind::Syslog,
+            "json" => AdapterKind::Json,
+            _ => return None,
+        })
+    }
+
+    /// Short name used by `--format` and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdapterKind::Hdfs => "hdfs",
+            AdapterKind::Syslog => "syslog",
+            AdapterKind::Json => "json",
+        }
+    }
+
+    /// The adapter implementation for this kind.
+    pub fn adapter(self) -> &'static dyn LineAdapter {
+        match self {
+            AdapterKind::Hdfs => &HdfsAdapter,
+            AdapterKind::Syslog => &SyslogAdapter,
+            AdapterKind::Json => &JsonAdapter,
+        }
+    }
+}
+
+/// HDFS/BGL-style numeric header adapter.
+pub struct HdfsAdapter;
+
+/// RFC-3164 syslog adapter.
+pub struct SyslogAdapter;
+
+/// JSON-structured-line adapter.
+pub struct JsonAdapter;
+
+// lint: ingest-hot(begin)
+
+/// Fixed-width decimal field (`"190622"` → 190622). Rejects empty input,
+/// non-ASCII-digit bytes and values that would overflow the fold.
+#[inline]
+fn parse_digits(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 12 {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for b in s.bytes() {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v * 10 + (b - b'0') as u64;
+    }
+    Some(v)
+}
+
+impl LineAdapter for HdfsAdapter {
+    fn name(&self) -> &'static str {
+        "hdfs"
+    }
+
+    /// `081109 203615 148 INFO dfs.DataNode$PacketResponder: message`.
+    /// Date and time are fixed-width digit runs; the third field is the
+    /// log-line id (BGL) / pid, which the pipeline does not need.
+    fn parse_record<'a>(&self, line: &'a str) -> Result<RawRecord<'a>, FormatError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.trim().is_empty() {
+            return Err(FormatError::Empty);
+        }
+        let mut it = line.splitn(5, ' ');
+        let date = it.next().ok_or(FormatError::Header("date"))?;
+        let time = it.next().ok_or(FormatError::Header("time"))?;
+        let id = it.next().ok_or(FormatError::Header("line id"))?;
+        let level_tok = it.next().ok_or(FormatError::Header("level"))?;
+        let rest = it.next().ok_or(FormatError::Header("body"))?;
+        if date.len() != 6 {
+            return Err(FormatError::Timestamp("date"));
+        }
+        let date = parse_digits(date).ok_or(FormatError::Timestamp("date"))?;
+        if time.len() != 6 {
+            return Err(FormatError::Timestamp("time"));
+        }
+        let time = parse_digits(time).ok_or(FormatError::Timestamp("time"))?;
+        parse_digits(id).ok_or(FormatError::Header("line id"))?;
+        let level = RawLevel::parse(level_tok).ok_or(FormatError::Level)?;
+        // YYMMDD / HHMMSS → a day count that orders across month and year
+        // boundaries (months as 31-day frames; exactness is irrelevant,
+        // ordering is what downstream consumes).
+        let (yy, mm, dd) = (date / 10_000, (date / 100) % 100, date % 100);
+        let (h, m, s) = (time / 10_000, (time / 100) % 100, time % 100);
+        if mm == 0 || mm > 12 || dd == 0 || dd > 31 || h > 23 || m > 59 || s > 60 {
+            return Err(FormatError::Timestamp("range"));
+        }
+        let day = yy * 372 + (mm - 1) * 31 + (dd - 1);
+        let ts_ms = (((day * 24 + h) * 60 + m) * 60 + s) * 1000;
+        let (source, message) = rest
+            .split_once(": ")
+            .ok_or(FormatError::MissingField("source"))?;
+        Ok(RawRecord {
+            ts_ms,
+            level,
+            source,
+            message,
+        })
+    }
+}
+
+/// Three-letter month → 0-based index.
+#[inline]
+fn month_index(m: &str) -> Option<u64> {
+    Some(match m {
+        "Jan" => 0,
+        "Feb" => 1,
+        "Mar" => 2,
+        "Apr" => 3,
+        "May" => 4,
+        "Jun" => 5,
+        "Jul" => 6,
+        "Aug" => 7,
+        "Sep" => 8,
+        "Oct" => 9,
+        "Nov" => 10,
+        "Dec" => 11,
+        _ => return None,
+    })
+}
+
+impl LineAdapter for SyslogAdapter {
+    fn name(&self) -> &'static str {
+        "syslog"
+    }
+
+    /// `<34>Oct 11 22:14:15 mymachine su: 'su root' failed …` (RFC 3164).
+    /// Severity comes from the PRI field (`pri & 7`); the day may be
+    /// space-padded (`Jun  2`). The hostname is consumed but not kept —
+    /// localities live inside message bodies in this pipeline.
+    fn parse_record<'a>(&self, line: &'a str) -> Result<RawRecord<'a>, FormatError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.trim().is_empty() {
+            return Err(FormatError::Empty);
+        }
+        let rest = line.strip_prefix('<').ok_or(FormatError::Header("PRI"))?;
+        let (pri, rest) = rest.split_once('>').ok_or(FormatError::Header("PRI"))?;
+        let pri = parse_digits(pri).ok_or(FormatError::Header("PRI"))?;
+        if pri > 191 {
+            return Err(FormatError::Header("PRI"));
+        }
+        let level = match pri % 8 {
+            0..=3 => RawLevel::Error,
+            4 => RawLevel::Warn,
+            5 | 6 => RawLevel::Info,
+            _ => RawLevel::Debug,
+        };
+        let (mon, rest) = rest.split_once(' ').ok_or(FormatError::Header("month"))?;
+        let month = month_index(mon).ok_or(FormatError::Timestamp("month"))?;
+        // space-padded day: "Jun  2" leaves a leading blank on the remainder
+        let rest = rest.strip_prefix(' ').unwrap_or(rest);
+        let (day, rest) = rest.split_once(' ').ok_or(FormatError::Header("day"))?;
+        let day = parse_digits(day).ok_or(FormatError::Timestamp("day"))?;
+        if day == 0 || day > 31 {
+            return Err(FormatError::Timestamp("day"));
+        }
+        let (hms, rest) = rest.split_once(' ').ok_or(FormatError::Header("time"))?;
+        let mut t = hms.splitn(3, ':');
+        let h = t
+            .next()
+            .and_then(parse_digits)
+            .ok_or(FormatError::Timestamp("hour"))?;
+        let m = t
+            .next()
+            .and_then(parse_digits)
+            .ok_or(FormatError::Timestamp("minute"))?;
+        let s = t
+            .next()
+            .and_then(parse_digits)
+            .ok_or(FormatError::Timestamp("second"))?;
+        if h > 23 || m > 59 || s > 60 {
+            return Err(FormatError::Timestamp("range"));
+        }
+        let ts_ms = ((((month * 31 + (day - 1)) * 24 + h) * 60 + m) * 60 + s) * 1000;
+        // hostname, then `tag: message`
+        let (_host, rest) = rest
+            .split_once(' ')
+            .ok_or(FormatError::MissingField("host"))?;
+        let (source, message) = rest
+            .split_once(": ")
+            .ok_or(FormatError::MissingField("tag"))?;
+        Ok(RawRecord {
+            ts_ms,
+            level,
+            source,
+            message,
+        })
+    }
+}
+
+/// Scan one JSON string value starting *after* its opening quote; returns
+/// (inner slice, offset one past the closing quote). Escape sequences are
+/// validated for balance but left **verbatim** in the slice — decoding
+/// would allocate, and Spell treats the rare escaped byte pair as opaque
+/// token text.
+#[inline]
+fn scan_json_string(s: &str) -> Result<(&str, usize), FormatError> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((&s[..i], i + 1)),
+            b'\\' => {
+                if i + 1 >= bytes.len() {
+                    return Err(FormatError::Json("truncated escape"));
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    Err(FormatError::Json("unterminated string"))
+}
+
+/// Byte length of one scalar JSON value (number / true / false / null).
+#[inline]
+fn scan_json_scalar(s: &str) -> usize {
+    s.bytes()
+        .position(|b| matches!(b, b',' | b'}' | b' ' | b'\t'))
+        .unwrap_or(s.len())
+}
+
+impl LineAdapter for JsonAdapter {
+    fn name(&self) -> &'static str {
+        "json"
+    }
+
+    /// One flat JSON object per line: `{"ts":1234,"level":"INFO",
+    /// "source":"Saver","msg":"…"}`. `ts` is epoch milliseconds (numeric —
+    /// the only foreign format with millisecond fidelity); unknown scalar
+    /// fields are skipped; nested containers are rejected (structured log
+    /// lines are flat by convention, and skipping them would need a depth
+    /// stack on the hot path).
+    fn parse_record<'a>(&self, line: &'a str) -> Result<RawRecord<'a>, FormatError> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Err(FormatError::Empty);
+        }
+        let mut rest = line
+            .strip_prefix('{')
+            .ok_or(FormatError::Json("not an object"))?
+            .trim_start();
+        let mut ts: Option<u64> = None;
+        let mut level: Option<RawLevel> = None;
+        let mut source: Option<&str> = None;
+        let mut message: Option<&str> = None;
+        loop {
+            if let Some(tail) = rest.strip_prefix('}') {
+                if !tail.trim().is_empty() {
+                    return Err(FormatError::Json("trailing bytes"));
+                }
+                break;
+            }
+            let body = rest
+                .strip_prefix('"')
+                .ok_or(FormatError::Json("expected key"))?;
+            let (key, used) = scan_json_string(body)?;
+            rest = body[used..].trim_start();
+            rest = rest
+                .strip_prefix(':')
+                .ok_or(FormatError::Json("expected ':'"))?
+                .trim_start();
+            if let Some(body) = rest.strip_prefix('"') {
+                let (value, used) = scan_json_string(body)?;
+                match key {
+                    "level" => level = Some(RawLevel::parse(value).ok_or(FormatError::Level)?),
+                    "source" | "logger" => source = Some(value),
+                    "msg" | "message" => message = Some(value),
+                    _ => {}
+                }
+                rest = body[used..].trim_start();
+            } else if rest.starts_with(['{', '[']) {
+                return Err(FormatError::Json("nested container"));
+            } else {
+                let used = scan_json_scalar(rest);
+                if used == 0 {
+                    return Err(FormatError::Json("empty value"));
+                }
+                if key == "ts" {
+                    ts = Some(parse_digits(&rest[..used]).ok_or(FormatError::Timestamp("ts"))?);
+                }
+                rest = rest[used..].trim_start();
+            }
+            if let Some(tail) = rest.strip_prefix(',') {
+                rest = tail.trim_start();
+            } else if !rest.starts_with('}') {
+                return Err(FormatError::Json("expected ',' or '}'"));
+            }
+        }
+        Ok(RawRecord {
+            ts_ms: ts.ok_or(FormatError::MissingField("ts"))?,
+            level: level.ok_or(FormatError::MissingField("level"))?,
+            source: source.ok_or(FormatError::MissingField("source"))?,
+            message: message.ok_or(FormatError::MissingField("msg"))?,
+        })
+    }
+}
+
+// lint: ingest-hot(end)
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdfs_line() {
+        let r = HdfsAdapter
+            .parse_record(
+                "081109 203615 148 INFO dfs.DataNode$PacketResponder: \
+                 PacketResponder 1 for block blk_38865049064139660 terminating",
+            )
+            .unwrap();
+        assert_eq!(r.level, RawLevel::Info);
+        assert_eq!(r.source, "dfs.DataNode$PacketResponder");
+        assert!(r.message.starts_with("PacketResponder 1"));
+    }
+
+    #[test]
+    fn hdfs_timestamps_order() {
+        let a = HdfsAdapter
+            .parse_record("081109 235959 1 INFO X: m")
+            .unwrap();
+        let b = HdfsAdapter
+            .parse_record("081110 000000 1 INFO X: m")
+            .unwrap();
+        assert!(b.ts_ms > a.ts_ms);
+    }
+
+    #[test]
+    fn hdfs_rejections_are_typed() {
+        for (line, want) in [
+            ("", FormatError::Empty),
+            ("081109", FormatError::Header("time")),
+            ("081109 203615 xx INFO X: m", FormatError::Header("line id")),
+            ("0811 203615 148 INFO X: m", FormatError::Timestamp("date")),
+            ("081109 203615 148 NOPE X: m", FormatError::Level),
+            (
+                "081109 203615 148 INFO no-colon",
+                FormatError::MissingField("source"),
+            ),
+            (
+                "081199 203615 148 INFO X: m",
+                FormatError::Timestamp("range"),
+            ),
+        ] {
+            assert_eq!(HdfsAdapter.parse_record(line), Err(want), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn syslog_line() {
+        let r = SyslogAdapter
+            .parse_record("<34>Oct 11 22:14:15 mymachine su: 'su root' failed for lonvick")
+            .unwrap();
+        assert_eq!(r.level, RawLevel::Error); // severity 2 (critical)
+        assert_eq!(r.source, "su");
+        assert_eq!(r.message, "'su root' failed for lonvick");
+    }
+
+    #[test]
+    fn syslog_space_padded_day_and_severities() {
+        let r = SyslogAdapter
+            .parse_record("<134>Jun  2 01:02:03 host1 BlockManager: registered")
+            .unwrap();
+        assert_eq!(r.level, RawLevel::Info);
+        let w = SyslogAdapter
+            .parse_record("<132>Jun 12 01:02:03 host1 X: m")
+            .unwrap();
+        assert_eq!(w.level, RawLevel::Warn);
+        let d = SyslogAdapter
+            .parse_record("<135>Jun 12 01:02:03 host1 X: m")
+            .unwrap();
+        assert_eq!(d.level, RawLevel::Debug);
+    }
+
+    #[test]
+    fn syslog_rejections_are_typed() {
+        for (line, want) in [
+            ("   ", FormatError::Empty),
+            ("no pri at all", FormatError::Header("PRI")),
+            ("<999>Jun 2 01:02:03 h X: m", FormatError::Header("PRI")),
+            ("<34>Nop 2 01:02:03 h X: m", FormatError::Timestamp("month")),
+            ("<34>Jun 42 01:02:03 h X: m", FormatError::Timestamp("day")),
+            ("<34>Jun 2 99:02:03 h X: m", FormatError::Timestamp("range")),
+            (
+                "<34>Jun 2 01:02:03 hostonly",
+                FormatError::MissingField("host"),
+            ),
+            (
+                "<34>Jun 2 01:02:03 h no-tag-colon",
+                FormatError::MissingField("tag"),
+            ),
+        ] {
+            assert_eq!(SyslogAdapter.parse_record(line), Err(want), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn json_line_any_field_order() {
+        let r = JsonAdapter
+            .parse_record(r#"{"msg":"worker 2 finished step 10","ts":4321,"source":"learner","level":"INFO","extra":7}"#)
+            .unwrap();
+        assert_eq!(r.ts_ms, 4321);
+        assert_eq!(r.level, RawLevel::Info);
+        assert_eq!(r.source, "learner");
+        assert_eq!(r.message, "worker 2 finished step 10");
+    }
+
+    #[test]
+    fn json_escapes_stay_verbatim() {
+        let r = JsonAdapter
+            .parse_record(r#"{"ts":1,"level":"WARN","source":"X","msg":"path \"/tmp\\x\" gone"}"#)
+            .unwrap();
+        assert_eq!(r.message, r#"path \"/tmp\\x\" gone"#);
+    }
+
+    #[test]
+    fn json_rejections_are_typed() {
+        use FormatError::*;
+        for (line, want) in [
+            ("", Empty),
+            ("not json", Json("not an object")),
+            (
+                r#"{"ts":1,"level":"INFO","source":"X""#,
+                Json("expected ',' or '}'"),
+            ),
+            (r#"{"msg":"truncat"#, Json("unterminated string")),
+            (r#"{"msg":"bad \"#, Json("truncated escape")),
+            (r#"{"nested":{"a":1}}"#, Json("nested container")),
+            (
+                r#"{"ts":1,"level":"INFO","source":"X","msg":"m"} tail"#,
+                Json("trailing bytes"),
+            ),
+            (
+                r#"{"ts":1,"level":"INFO","msg":"m"}"#,
+                MissingField("source"),
+            ),
+            (
+                r#"{"level":"INFO","source":"X","msg":"m"}"#,
+                MissingField("ts"),
+            ),
+            (
+                r#"{"ts":9e9,"level":"INFO","source":"X","msg":"m"}"#,
+                Timestamp("ts"),
+            ),
+            (r#"{"ts":1,"level":"LOUD","source":"X","msg":"m"}"#, Level),
+        ] {
+            assert_eq!(JsonAdapter.parse_record(line), Err(want), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn kind_name_roundtrip() {
+        for kind in AdapterKind::ALL {
+            assert_eq!(AdapterKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.adapter().name(), kind.name());
+        }
+        assert_eq!(AdapterKind::parse("spark"), None);
+    }
+}

@@ -132,7 +132,10 @@ pub fn tokenize_spans(text: &str, out: &mut Vec<Span>) {
             }
         }
         if let Some(p) = sentence_period {
-            out.push(Span { start: p, end: p + 1 });
+            out.push(Span {
+                start: p,
+                end: p + 1,
+            });
         }
     }
 }
@@ -144,7 +147,7 @@ mod tests {
     use super::*;
     use crate::token::tokenize;
 
-    fn span_texts<'a>(text: &'a str) -> Vec<&'a str> {
+    fn span_texts(text: &str) -> Vec<&str> {
         let mut spans = Vec::new();
         tokenize_spans(text, &mut spans);
         spans.iter().map(|s| s.of(text)).collect()

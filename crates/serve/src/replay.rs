@@ -16,8 +16,8 @@
 use crate::client::ServeClient;
 use crate::metrics::StatsSnapshot;
 use anomaly::{Detector, SessionReport};
-use dlasim::{FaultKind, SystemKind, WorkloadGen};
-use intellog_core::{sessions_from_job, IntelLog};
+use dlasim::{FaultKind, ForeignFormat, SystemKind, WorkloadGen};
+use intellog_core::{sessions_from_foreign, sessions_from_job, IntelLog};
 use spell::Session;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -47,6 +47,12 @@ pub struct ReplayConfig {
     /// Send traffic as this tenant (`TENANT` handshake) and scope the
     /// drain + report fetch to it; `None` uses the server default.
     pub tenant: Option<String>,
+    /// Render the corpus in a foreign syntax and normalise it back through
+    /// the matching `lognlp::format` adapter before sending — the
+    /// `--format` ingestion path. Offline verification runs on the same
+    /// adapted sessions, so verdict equivalence is checked end to end
+    /// through the adapter. `None` replays the native structural path.
+    pub adapter: Option<ForeignFormat>,
 }
 
 impl Default for ReplayConfig {
@@ -61,6 +67,7 @@ impl Default for ReplayConfig {
             verify: true,
             connections: 1,
             tenant: None,
+            adapter: None,
         }
     }
 }
@@ -115,11 +122,25 @@ struct SenderPlan {
     ends: Vec<String>,
 }
 
+/// Convert one job into the sessions that will be both sent and verified:
+/// the structural path natively, or rendered foreign and normalised back
+/// through the adapter when one is configured. Using the same conversion
+/// for senders and the offline reference is what makes the verdict
+/// comparison exact through the adapter.
+fn job_sessions(job: &dlasim::GenJob, adapter: Option<ForeignFormat>) -> Vec<Session> {
+    match adapter {
+        Some(format) => sessions_from_foreign(job, format),
+        None => sessions_from_job(job),
+    }
+}
+
 /// Partition the replay corpus across `connections` senders. A session's
 /// whole stream goes to exactly one sender (round-robin by session index),
 /// so per-session line order is preserved no matter how the sockets
-/// interleave at the server.
-fn plan_senders(jobs: &[dlasim::GenJob], connections: usize) -> Vec<SenderPlan> {
+/// interleave at the server. Within one job, lines from all sessions are
+/// interleaved into one cluster-wide timeline (stable sort by timestamp —
+/// for the native path this reproduces `GenJob::merged_timeline` exactly).
+fn plan_senders(session_jobs: &[Vec<Session>], connections: usize) -> Vec<SenderPlan> {
     let c = connections.max(1);
     let mut plans: Vec<SenderPlan> = (0..c)
         .map(|_| SenderPlan {
@@ -128,9 +149,8 @@ fn plan_senders(jobs: &[dlasim::GenJob], connections: usize) -> Vec<SenderPlan> 
         })
         .collect();
     let mut session_index = 0usize;
-    for job in jobs {
-        let conn_of: Vec<usize> = job
-            .sessions
+    for sessions in session_jobs {
+        let conn_of: Vec<usize> = sessions
             .iter()
             .map(|_| {
                 let conn = session_index % c;
@@ -138,19 +158,18 @@ fn plan_senders(jobs: &[dlasim::GenJob], connections: usize) -> Vec<SenderPlan> 
                 conn
             })
             .collect();
-        for (i, line) in job.merged_timeline() {
-            let session = &job.sessions[i].id;
-            plans[conn_of[i]].lines.push((
-                session.clone(),
-                spell::LogLine {
-                    ts_ms: line.ts_ms,
-                    level: intellog_core::bridge::level_of(line.level),
-                    source: line.source.clone(),
-                    message: line.message.clone(),
-                },
-            ));
+        let mut merged: Vec<(usize, &spell::LogLine)> = sessions
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.lines.iter().map(move |l| (i, l)))
+            .collect();
+        merged.sort_by_key(|(_, l)| l.ts_ms);
+        for (i, line) in merged {
+            plans[conn_of[i]]
+                .lines
+                .push((sessions[i].id.clone(), line.clone()));
         }
-        for (i, s) in job.sessions.iter().enumerate() {
+        for (i, s) in sessions.iter().enumerate() {
             plans[conn_of[i]].ends.push(s.id.clone());
         }
     }
@@ -203,8 +222,10 @@ pub fn run_replay(
     cfg: &ReplayConfig,
 ) -> Result<ReplayOutcome, String> {
     let jobs = generate_jobs(cfg);
-    let offline_sessions: Vec<Session> = jobs.iter().flat_map(sessions_from_job).collect();
-    let total_lines: usize = jobs.iter().map(|j| j.total_lines()).sum();
+    let session_jobs: Vec<Vec<Session>> =
+        jobs.iter().map(|j| job_sessions(j, cfg.adapter)).collect();
+    let offline_sessions: Vec<Session> = session_jobs.iter().flatten().cloned().collect();
+    let total_lines: usize = offline_sessions.iter().map(|s| s.len()).sum();
     let connections = cfg.connections.max(1);
     let per_conn_rate = cfg.rate.map(|r| (r / connections as u64).max(1));
 
@@ -214,7 +235,7 @@ pub fn run_replay(
         client.tenant(t).map_err(|e| format!("tenant: {e}"))?;
     }
 
-    let mut plans = plan_senders(&jobs, connections);
+    let mut plans = plan_senders(&session_jobs, connections);
     let start = Instant::now();
     // N−1 sender threads; the last plan is sent from this thread so a
     // single-connection replay spawns nothing.

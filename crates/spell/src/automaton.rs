@@ -538,9 +538,9 @@ impl Dfa {
             star_set.sort_unstable();
             star_set.dedup();
             let intern_set = |s: Vec<u32>,
-                                  ids: &mut HashMap<Vec<u32>, u32>,
-                                  members: &mut Vec<Vec<u32>>,
-                                  queue: &mut Vec<u32>|
+                              ids: &mut HashMap<Vec<u32>, u32>,
+                              members: &mut Vec<Vec<u32>>,
+                              queue: &mut Vec<u32>|
              -> u32 {
                 if s.is_empty() {
                     return NONE;
@@ -661,10 +661,7 @@ mod tests {
             auto.match_ids(&ids(&it, "read block b1 from cable one")),
             AutoMatch::Scored(0)
         );
-        assert_eq!(
-            auto.match_ids(&ids(&it, "w x y z u v")),
-            AutoMatch::Miss
-        );
+        assert_eq!(auto.match_ids(&ids(&it, "w x y z u v")), AutoMatch::Miss);
     }
 
     #[test]

@@ -492,7 +492,11 @@ impl SpellParser {
             }
             // lint: allow(alloc) — founding a key is a rare structural
             // mutation; tokens are materialised only here.
-            let tokens: Vec<String> = line.spans.iter().map(|s| s.of(message).to_string()).collect();
+            let tokens: Vec<String> = line
+                .spans
+                .iter()
+                .map(|s| s.of(message).to_string())
+                .collect();
             let id = self.found_key(line.ids.clone(), tokens);
             LineOutcome {
                 key_id: id,

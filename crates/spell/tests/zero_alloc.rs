@@ -10,7 +10,11 @@
 //! * `parse_line` in the steady state (every line matches an existing
 //!   key, nothing flips to `*`) performs **zero** heap allocations —
 //!   founding or refining a key is the only allocating path, and neither
-//!   occurs once the key set has converged.
+//!   occurs once the key set has converged;
+//! * the `lognlp::format` adapters normalise foreign lines (HDFS/BGL
+//!   header, RFC-3164 syslog, JSON) with **zero** heap allocations — the
+//!   returned record borrows from the input — and feeding an adapted
+//!   message to the frozen matcher stays allocation-free end to end.
 //!
 //! Both tests warm the per-thread scratch first: scratch buffers and the
 //! scoring hash maps grow to their high-water mark on the first pass and
@@ -119,8 +123,7 @@ fn frozen_match_line_is_allocation_free() {
 
     // Warmup: grow every scratch buffer to its high-water mark and record
     // the expected verdicts.
-    let expected: Vec<Option<spell::KeyId>> =
-        probes.iter().map(|l| parser.match_line(l)).collect();
+    let expected: Vec<Option<spell::KeyId>> = probes.iter().map(|l| parser.match_line(l)).collect();
     assert!(
         expected.iter().filter(|v| v.is_some()).count() >= corpus().len(),
         "probe mix must exercise the hit path"
@@ -141,6 +144,97 @@ fn frozen_match_line_is_allocation_free() {
         after - before,
         0,
         "frozen match_line allocated on the steady-state read path"
+    );
+}
+
+/// The probe corpus rendered in each foreign syntax, with headers typical
+/// of that format. Message bodies are the exact probe lines, so the
+/// adapted ingest exercises the same hit/miss mix as the native test.
+fn foreign_probes() -> Vec<(lognlp::format::AdapterKind, Vec<String>)> {
+    use lognlp::format::AdapterKind;
+    let probes = probes();
+    vec![
+        (
+            AdapterKind::Hdfs,
+            probes
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    format!(
+                        "190622 01{:02}{:02} 148 INFO spell.Task: {m}",
+                        i / 60,
+                        i % 60
+                    )
+                })
+                .collect(),
+        ),
+        (
+            AdapterKind::Syslog,
+            probes
+                .iter()
+                .enumerate()
+                .map(|(i, m)| format!("<134>Jun 22 01:{:02}:{:02} host3 Task: {m}", i / 60, i % 60))
+                .collect(),
+        ),
+        (
+            AdapterKind::Json,
+            probes
+                .iter()
+                .enumerate()
+                .map(|(i, m)| format!(r#"{{"ts":{i},"level":"INFO","source":"Task","msg":"{m}"}}"#))
+                .collect(),
+        ),
+    ]
+}
+
+#[test]
+fn adapted_ingest_is_allocation_free() {
+    let _guard = lock();
+    let mut parser = SpellParser::default();
+    for line in corpus() {
+        parser.parse_line(&line);
+    }
+    parser.freeze();
+    let foreign = foreign_probes();
+
+    // Warmup: verify every foreign line adapts to its probe message and
+    // record the expected verdicts, growing the matcher scratch.
+    let mut expected: Vec<Vec<Option<spell::KeyId>>> = Vec::new();
+    for (kind, lines) in &foreign {
+        let adapter = kind.adapter();
+        let mut verdicts = Vec::new();
+        for (line, probe) in lines.iter().zip(probes()) {
+            let rec = adapter
+                .parse_record(line)
+                .unwrap_or_else(|e| panic!("{kind:?} rejected {line:?}: {e}"));
+            assert_eq!(rec.message, probe, "{kind:?} mangled the message body");
+            verdicts.push(parser.match_line(rec.message));
+        }
+        assert!(
+            verdicts.iter().filter(|v| v.is_some()).count() >= corpus().len(),
+            "{kind:?}: adapted probe mix must exercise the hit path"
+        );
+        expected.push(verdicts);
+    }
+
+    let before = allocations();
+    for _ in 0..3 {
+        for ((kind, lines), verdicts) in foreign.iter().zip(&expected) {
+            let adapter = kind.adapter();
+            for (line, want) in lines.iter().zip(verdicts) {
+                let rec = match adapter.parse_record(line) {
+                    Ok(rec) => rec,
+                    Err(_) => unreachable!("validated during warmup"),
+                };
+                assert_eq!(parser.match_line(rec.message), *want);
+            }
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "adapter normalisation + frozen match allocated on the steady state"
     );
 }
 

@@ -19,6 +19,11 @@ numbers are noise) and enforces:
     slower) so only a genuine hot-path regression trips them, plus the
     indexed-vs-linear ratio floor which is load-independent because
     both sides run back-to-back on identical probes.
+  * pipeline: every lognlp::format adapter (hdfs, syslog, json) keeps its
+    normalisation overhead — header parse ahead of the same streaming
+    Spell parse — at or below ADAPTER_OVERHEAD_MAX percent of the native
+    parse cost, and its adapted throughput clears an absolute floor, so
+    `--format` ingestion can never silently decay into a slow path.
   * serve: lines/s is monotone non-decreasing from 1 -> 2 -> 4 shards,
     with multiplicative noise slack per step (on a single-CPU host the
     series is flat; more shards must never make it *worse* than slack).
@@ -48,6 +53,8 @@ PARSE_FLOOR = 150_000  # Spell byte-level streaming parse, msgs/s
 MATCH_FLOOR = 100_000  # Spell frozen-automaton match, msgs/s
 EXTRACT_FLOOR = 20_000  # Intel-Key extraction, keys/s
 RATIO_FLOOR = 3.0  # indexed vs linear matcher, same probes
+ADAPTER_OVERHEAD_MAX = 15.0  # % over native streaming parse, per adapter
+ADAPTER_FLOOR = 100_000  # adapted (header + parse) ingest, msgs/s
 
 
 def main() -> int:
@@ -108,6 +115,21 @@ def main() -> int:
         extraction["keys_per_s"] >= EXTRACT_FLOOR,
         f"extraction: {extraction['keys_per_s']:.0f} keys/s >= {EXTRACT_FLOOR}",
     )
+
+    # --- pipeline: format-adapter overhead vs native ingest ---------------
+    adapters = {a["name"]: a for a in pipeline["adapters"]}
+    for name in ("hdfs", "syslog", "json"):
+        a = adapters[name]
+        gate(
+            a["overhead_pct"] <= ADAPTER_OVERHEAD_MAX,
+            f"adapter {name}: overhead {a['overhead_pct']:+.1f}% <= "
+            f"{ADAPTER_OVERHEAD_MAX}% of native raw-line ingest",
+        )
+        gate(
+            a["adapted_msgs_per_s"] >= ADAPTER_FLOOR,
+            f"adapter {name}: {a['adapted_msgs_per_s']:.0f} msgs/s >= "
+            f"{ADAPTER_FLOOR}",
+        )
 
     # --- serve: shard scaling monotone within slack ----------------------
     by_shards = {s["shards"]: s["lines_per_s"] for s in serve["scaling"]}

@@ -9,6 +9,7 @@
 //! intellog graph  --model model.ilm
 //! intellog serve  --model model.ilm --addr 127.0.0.1:4317 --shards 4
 //! intellog replay --model model.ilm --addr 127.0.0.1:4317 --system spark
+//! intellog emit   --sim spark --format syslog --out corpus/
 //! intellog demo
 //! ```
 
@@ -18,9 +19,10 @@ mod cliargs;
 
 use cliargs::FlagSet;
 use intellog::anomaly::{Detector, JobReport, Trainer};
-use intellog::core::IntelLog;
-use intellog::dlasim::{FaultKind, SystemKind};
-use intellog::spell::{LogFormat, Session};
+use intellog::core::{level_of_raw, IntelLog};
+use intellog::dlasim::{FaultKind, ForeignFormat, SystemKind};
+use intellog::lognlp::format::AdapterKind;
+use intellog::spell::{LogFormat, LogLine, Session};
 use intellog_gateway::{Gateway, GatewayConfig};
 use intellog_serve::{Backpressure, ModelStore, ReplayConfig, TenantRegistry};
 use std::path::{Path, PathBuf};
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         "graph" => cmd_graph(rest),
         "serve" => cmd_serve(rest),
         "replay" => cmd_replay(rest),
+        "emit" => cmd_emit(rest),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -58,19 +61,22 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  intellog train  --format spark|hadoop --model MODEL.ilm LOGFILE...
-  intellog train  --sim spark|mapreduce|tez [--sim-jobs N] [--seed N] --model MODEL.ilm
-  intellog detect --model MODEL.ilm --format spark|hadoop [--json] LOGFILE...
+  intellog train  --format spark|hadoop|hdfs|syslog|json --model MODEL.ilm LOGFILE...
+  intellog train  --sim spark|mapreduce|tez|tensorflow [--sim-jobs N] [--seed N] --model MODEL.ilm
+  intellog detect --model MODEL.ilm --format spark|hadoop|hdfs|syslog|json [--json] LOGFILE...
   intellog graph  --model MODEL.ilm
   intellog serve  --model MODEL.ilm [--addr HOST:PORT] [--shards N] [--queue-cap N]
                   [--backpressure block|drop-newest|drop-oldest] [--idle-timeout-ms N]
                   [--ring-cap N] [--sink FILE.jsonl] [--addr-file PATH]
                   [--tenant NAME] [--tenant-model NAME=MODEL.ilm]... [--vnodes N]
-  intellog replay --model MODEL.ilm --addr HOST:PORT [--system spark|mapreduce|tez]
+  intellog replay --model MODEL.ilm --addr HOST:PORT [--system spark|mapreduce|tez|tensorflow]
                   [--jobs N] [--seed N] [--hosts N] [--rate LINES_PER_S]
                   [--fault session-kill|network-failure|node-failure]
-                  [--connections N] [--tenant NAME]
+                  [--connections N] [--tenant NAME] [--format native|hdfs|syslog|json]
                   [--no-verify] [--expect-anomalies] [--shutdown]
+  intellog emit   --sim spark|mapreduce|tez|tensorflow --out DIR
+                  [--format spark|hadoop|hdfs|syslog|json] [--sim-jobs N] [--seed N]
+                  [--fault session-kill|network-failure|node-failure]
   intellog demo
 
 'train', 'detect' and 'replay' also accept [--metrics PATH|-] to dump
@@ -88,8 +94,11 @@ online detectors, with per-tenant models ('--tenant-model', or the LOAD
 verb at runtime for hot reload) and live re-sharding (ADDSHARD /
 DRAINSHARD verbs). 'replay' drives simulated workloads through it over
 '--connections' concurrent sockets and checks the verdicts against
-offline detection. 'demo' trains on simulated Spark jobs and diagnoses an
-injected network failure.";
+offline detection; with '--format' the corpus is first rendered in a
+foreign syntax and normalised back through the matching adapter. 'emit'
+writes a simulated corpus to disk as raw per-session log files in any
+native or foreign syntax. 'demo' trains on simulated Spark jobs and
+diagnoses an injected network failure.";
 
 /// Observability wiring for `train|detect|replay`: `--metrics <path|->`
 /// enables the obs layer and dumps the registry (Prometheus text) there on
@@ -135,11 +144,24 @@ fn take_flag(args: &[String], flag: &str) -> (Option<String>, Vec<String>) {
     (value, flags.finish())
 }
 
-fn parse_format(s: Option<String>) -> Result<LogFormat, String> {
+/// What `--format` selects: one of the two native `spell` formatters, or a
+/// `lognlp::format` adapter for a foreign syntax.
+#[derive(Debug, Clone, Copy)]
+enum InputFormat {
+    Native(LogFormat),
+    Foreign(AdapterKind),
+}
+
+fn parse_format(s: Option<String>) -> Result<InputFormat, String> {
     match s.as_deref() {
-        Some("spark") => Ok(LogFormat::Spark),
-        Some("hadoop") | None => Ok(LogFormat::Hadoop),
-        Some(other) => Err(format!("unknown --format '{other}' (use spark or hadoop)")),
+        Some("spark") => Ok(InputFormat::Native(LogFormat::Spark)),
+        Some("hadoop") | None => Ok(InputFormat::Native(LogFormat::Hadoop)),
+        Some(other) => match AdapterKind::parse(other) {
+            Some(kind) => Ok(InputFormat::Foreign(kind)),
+            None => Err(format!(
+                "unknown --format '{other}' (use spark, hadoop, hdfs, syslog or json)"
+            )),
+        },
     }
 }
 
@@ -148,8 +170,9 @@ fn parse_system(s: &str) -> Result<SystemKind, String> {
         "spark" => Ok(SystemKind::Spark),
         "mapreduce" => Ok(SystemKind::MapReduce),
         "tez" => Ok(SystemKind::Tez),
+        "tensorflow" => Ok(SystemKind::TensorFlow),
         other => Err(format!(
-            "unknown system '{other}' (use spark, mapreduce or tez)"
+            "unknown system '{other}' (use spark, mapreduce, tez or tensorflow)"
         )),
     }
 }
@@ -165,14 +188,30 @@ fn parse_fault(s: &str) -> Result<FaultKind, String> {
     })
 }
 
-/// Read one log file as a session; lines the formatter rejects (stack-trace
-/// continuations) are skipped.
-fn read_session(path: &Path, format: LogFormat) -> Result<Session, String> {
+/// Read one log file as a session; lines the formatter or adapter rejects
+/// (stack-trace continuations, partial writes) are skipped.
+fn read_session(path: &Path, format: InputFormat) -> Result<Session, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let lines = text
-        .lines()
-        .filter_map(|l| format.parse(l))
-        .collect::<Vec<_>>();
+    let lines = match format {
+        InputFormat::Native(fmt) => text
+            .lines()
+            .filter_map(|l| fmt.parse(l))
+            .collect::<Vec<_>>(),
+        InputFormat::Foreign(kind) => {
+            let adapter = kind.adapter();
+            text.lines()
+                .filter_map(|l| {
+                    let rec = adapter.parse_record(l).ok()?;
+                    Some(LogLine {
+                        ts_ms: rec.ts_ms,
+                        level: level_of_raw(rec.level),
+                        source: rec.source.to_string(),
+                        message: rec.message.to_string(),
+                    })
+                })
+                .collect()
+        }
+    };
     if lines.is_empty() {
         return Err(format!(
             "{}: no parseable log lines (wrong --format?)",
@@ -186,7 +225,7 @@ fn read_session(path: &Path, format: LogFormat) -> Result<Session, String> {
     Ok(Session::new(id, lines))
 }
 
-fn read_sessions(files: &[String], format: LogFormat) -> Result<Vec<Session>, String> {
+fn read_sessions(files: &[String], format: InputFormat) -> Result<Vec<Session>, String> {
     if files.is_empty() {
         return Err("no log files given".into());
     }
@@ -395,6 +434,12 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         verify: !flags.bool("--no-verify"),
         connections: flags.parse("--connections", 1)?,
         tenant: flags.value("--tenant").filter(|v| !v.is_empty()),
+        adapter: match flags.value("--format").as_deref() {
+            None | Some("native") => None,
+            Some(name) => Some(ForeignFormat::parse(name).ok_or_else(|| {
+                format!("unknown --format '{name}' (use native, hdfs, syslog or json)")
+            })?),
+        },
     };
     let expect_anomalies = flags.bool("--expect-anomalies");
     let shutdown = flags.bool("--shutdown");
@@ -450,6 +495,71 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         return Err("expected anomalies, but every session came back clean".into());
     }
     obs_out.finish()
+}
+
+/// `intellog emit` — write a simulated corpus to disk as raw log files,
+/// one per session, in a native or foreign syntax. Pairs with `--format`
+/// on `train`/`detect`: the emitted files are what a deployment against
+/// that corpus shape would ingest, so CI can smoke the adapter path end to
+/// end without checked-in fixtures.
+fn cmd_emit(args: &[String]) -> Result<(), String> {
+    use intellog::dlasim::{self, WorkloadGen};
+    let mut flags = FlagSet::new(args);
+    let system = parse_system(&flags.value("--sim").unwrap_or_else(|| "spark".into()))?;
+    let jobs: usize = flags.parse("--sim-jobs", 2)?;
+    let seed: u64 = flags.parse("--seed", 7)?;
+    let format_name = flags.value("--format").unwrap_or_else(|| "syslog".into());
+    let out_dir = flags
+        .value("--out")
+        .filter(|v| !v.is_empty())
+        .ok_or("--out DIR is required")?;
+    let fault = match flags.value("--fault") {
+        Some(f) => Some(parse_fault(&f)?),
+        None => None,
+    };
+    let extra = flags.finish();
+    if !extra.is_empty() {
+        return Err(format!("unexpected arguments: {extra:?}"));
+    }
+    let out_dir = PathBuf::from(out_dir);
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+
+    let mut gen = WorkloadGen::new(seed, 8);
+    let mut sessions = 0usize;
+    let mut lines = 0usize;
+    for j in 0..jobs.max(1) {
+        let cfg = gen.training_config(system);
+        let plan = match fault {
+            Some(kind) if j == 0 => Some(gen.fault_plan(kind)),
+            _ => None,
+        };
+        let job = dlasim::generate(&cfg, plan.as_ref());
+        for s in &job.sessions {
+            let rendered: Vec<String> = match ForeignFormat::parse(&format_name) {
+                Some(foreign) => foreign.render_session(s),
+                None => match format_name.as_str() {
+                    "spark" => s.raw_lines(dlasim::RawFormat::Spark),
+                    "hadoop" => s.raw_lines(dlasim::RawFormat::Hadoop),
+                    other => {
+                        return Err(format!(
+                            "unknown --format '{other}' (use spark, hadoop, hdfs, syslog or json)"
+                        ))
+                    }
+                },
+            };
+            let path = out_dir.join(format!("j{j}_{}.log", s.id));
+            let mut text = rendered.join("\n");
+            text.push('\n');
+            std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+            sessions += 1;
+            lines += s.lines.len();
+        }
+    }
+    println!(
+        "emitted {sessions} sessions ({lines} lines) as {format_name} under {}",
+        out_dir.display()
+    );
+    Ok(())
 }
 
 fn cmd_demo() -> Result<(), String> {

@@ -8,10 +8,13 @@
 //! detection results, so all three matchers are run over realistic
 //! corpora from **every** dlasim workload generator — Spark, MapReduce,
 //! Tez, Yarn, Nova and TensorFlow — on trained lines, held-out evaluation
-//! lines (fresh parameter values, unseen tokens) and adversarial probes.
+//! lines (fresh parameter values, unseen tokens) and adversarial probes,
+//! plus every adapter-normalised foreign rendering (HDFS header, RFC-3164
+//! syslog, JSON lines) of each system's detection corpus.
 
-use dlasim::SystemKind;
+use dlasim::{ForeignFormat, SystemKind};
 use intellog_bench::training_sessions;
+use intellog_core::sessions_from_foreign;
 use spell::SpellParser;
 
 const ALL_SYSTEMS: [SystemKind; 6] = [
@@ -83,13 +86,42 @@ fn all_six_systems_agree_across_matchers() {
             "   ".into(),
             "x".into(),
             "[ ] ( ) : , ; !".into(),
-            (0..40).map(|i| format!("zz{i}")).collect::<Vec<_>>().join(" "),
+            (0..40)
+                .map(|i| format!("zz{i}"))
+                .collect::<Vec<_>>()
+                .join(" "),
         ];
         assert_three_way(
             &detector.parser,
             &adversarial,
             &format!("{system:?}/adversarial"),
         );
+    }
+}
+
+/// Adapter-normalised corpora flow through the same three-way check:
+/// messages recovered from HDFS-, syslog- and JSON-rendered renderings of
+/// every system's detection corpus must get identical verdicts from the
+/// automaton, the live index and the linear reference. The adapters hand
+/// Spell byte-identical message bodies, so the held-out hit rate must be
+/// non-zero exactly as it is on the structural path.
+#[test]
+fn adapter_normalized_corpora_agree_across_matchers() {
+    for system in ALL_SYSTEMS {
+        let train = training_sessions(system, 2, 7);
+        let detector = anomaly::Trainer::default().train(&train);
+        let mut gen = dlasim::WorkloadGen::new(60 + system as u64, 8);
+        let job = dlasim::generate(&gen.detection_config(system, 0), None);
+        for format in ForeignFormat::ALL {
+            let probes: Vec<String> = sessions_from_foreign(&job, format)
+                .iter()
+                .flat_map(|s| s.lines.iter().map(|l| l.message.clone()))
+                .collect();
+            let ctx = format!("{system:?}/{}", format.name());
+            assert!(!probes.is_empty(), "{ctx}: adapted corpus is empty");
+            let hits = assert_three_way(&detector.parser, &probes, &ctx);
+            assert!(hits > 0, "{ctx}: adapted corpus never hit a key");
+        }
     }
 }
 

@@ -15,9 +15,10 @@
 //!
 //! and commit the rewritten files under `tests/golden/`.
 
-use dlasim::{RawFormat, SystemKind};
+use baselines::{SemVec, SemVecConfig};
+use dlasim::{ForeignFormat, RawFormat, SystemKind};
 use intellog_bench::{evaluate, prf, score_jobs, table6_jobs, training_jobs, AccuracyRow, EvalJob};
-use intellog_core::{sessions_from_job, IntelLog};
+use intellog_core::{sessions_from_foreign, sessions_from_job, IntelLog};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -66,7 +67,20 @@ fn system_slug(system: SystemKind) -> &'static str {
         SystemKind::Spark => "spark",
         SystemKind::MapReduce => "mapreduce",
         SystemKind::Tez => "tez",
+        SystemKind::TensorFlow => "tensorflow",
         other => panic!("no golden corpus for {}", other.name()),
+    }
+}
+
+/// The foreign rendering each golden-gated system carries alongside its
+/// native corpus: one per adapter, spread across systems so all three
+/// foreign formats are drift-guarded without tripling every corpus.
+fn foreign_of(system: SystemKind) -> ForeignFormat {
+    match system {
+        SystemKind::Spark => ForeignFormat::Syslog,
+        SystemKind::MapReduce => ForeignFormat::Hdfs,
+        SystemKind::Tez | SystemKind::TensorFlow => ForeignFormat::Json,
+        other => panic!("no foreign corpus for {}", other.name()),
     }
 }
 
@@ -146,16 +160,16 @@ fn render_table5(system: SystemKind) -> String {
     out
 }
 
-/// Spark-only Table 8-style detection pass (per-session and per-job
-/// scoring). One system keeps the debug-profile runtime reasonable; the
-/// detector code paths are system-independent.
-fn render_table8_spark() -> String {
-    let train: Vec<_> = training_jobs(SystemKind::Spark, 4, TRAIN_SEED)
+/// Table 8-style detection pass (per-session and per-job scoring) for one
+/// system. Spark and TensorFlow keep the debug-profile runtime
+/// reasonable; the detector code paths are system-independent.
+fn render_table8(system: SystemKind) -> String {
+    let train: Vec<_> = training_jobs(system, 4, TRAIN_SEED)
         .iter()
         .flat_map(sessions_from_job)
         .collect();
     let il = IntelLog::train(&train);
-    let eval = table6_jobs(SystemKind::Spark, EVAL_SEED);
+    let eval = table6_jobs(system, EVAL_SEED);
 
     let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
     let mut verdicts: Vec<(bool, &EvalJob)> = Vec::new();
@@ -177,7 +191,8 @@ fn render_table8_spark() -> String {
     let mut out = String::new();
     writeln!(
         out,
-        "system Spark train_jobs=4 seed={TRAIN_SEED} eval_seed={EVAL_SEED}"
+        "system {} train_jobs=4 seed={TRAIN_SEED} eval_seed={EVAL_SEED}",
+        system.name()
     )
     .unwrap();
     writeln!(out, "session tp={tp} fp={fp} fn={fn_}").unwrap();
@@ -195,9 +210,84 @@ fn render_table8_spark() -> String {
     out
 }
 
+/// Render the training corpus in a foreign syntax — the drift guard for
+/// `dlasim::foreign` rendering, and the fixture shape `--format` ingests.
+fn render_foreign_corpus(system: SystemKind, format: ForeignFormat) -> String {
+    let mut out = String::new();
+    for (i, job) in training_jobs(system, TRAIN_JOBS, TRAIN_SEED)
+        .iter()
+        .enumerate()
+    {
+        writeln!(
+            out,
+            "# job {i} system={} workload={} format={}",
+            system.name(),
+            job.workload,
+            format.name()
+        )
+        .unwrap();
+        for session in &job.sessions {
+            writeln!(
+                out,
+                "# session {} host={} affected={}",
+                session.id, session.host, session.affected
+            )
+            .unwrap();
+            for line in format.render_session(session) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Parsing-free baseline accuracy: SemVec consumes **raw rendered lines**
+/// (headers included, no parser, no adapter), trains on the clean corpus
+/// and is scored per session against ground truth on the Table 6 eval
+/// corpus. `foreign` picks the corpus shape; `None` is the native syntax.
+fn render_semvec_accuracy(system: SystemKind, foreign: Option<ForeignFormat>) -> String {
+    let raw_session = |s: &dlasim::GenSession| -> Vec<String> {
+        match foreign {
+            Some(f) => f.render_session(s),
+            None => s.raw_lines(RawFormat::for_system(system)),
+        }
+    };
+    let train: Vec<Vec<String>> = training_jobs(system, 4, TRAIN_SEED)
+        .iter()
+        .flat_map(|j| j.sessions.iter().map(raw_session))
+        .collect();
+    let detector = SemVec::train(SemVecConfig::default(), &train);
+
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for job in &table6_jobs(system, EVAL_SEED) {
+        for gen in &job.job.sessions {
+            match (detector.is_anomalous(&raw_session(gen)), gen.affected) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let (p, r, f) = prf(tp, fp, fn_);
+    let corpus = foreign.map(|f| f.name()).unwrap_or("native");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "system {} corpus={corpus} train_jobs=4 seed={TRAIN_SEED} eval_seed={EVAL_SEED}",
+        system.name()
+    )
+    .unwrap();
+    writeln!(out, "threshold {:.6}", detector.threshold()).unwrap();
+    writeln!(out, "session tp={tp} fp={fp} fn={fn_}").unwrap();
+    writeln!(out, "session precision={p:.6} recall={r:.6} f1={f:.6}").unwrap();
+    out
+}
+
 #[test]
 fn corpus_matches_checked_in_logs() {
-    for system in SystemKind::ANALYTICS {
+    for system in SystemKind::EVALUATED {
         golden_check(
             &format!("corpus_{}.log", system_slug(system)),
             &render_corpus(system),
@@ -206,8 +296,19 @@ fn corpus_matches_checked_in_logs() {
 }
 
 #[test]
+fn foreign_corpora_match_checked_in_logs() {
+    for system in SystemKind::EVALUATED {
+        let format = foreign_of(system);
+        golden_check(
+            &format!("corpus_{}_{}.log", system_slug(system), format.name()),
+            &render_foreign_corpus(system, format),
+        );
+    }
+}
+
+#[test]
 fn table4_extraction_counts_are_stable() {
-    for system in SystemKind::ANALYTICS {
+    for system in SystemKind::EVALUATED {
         let jobs = training_jobs(system, TRAIN_JOBS, TRAIN_SEED);
         let row = evaluate(system, &jobs);
         golden_check(
@@ -219,7 +320,7 @@ fn table4_extraction_counts_are_stable() {
 
 #[test]
 fn table5_graph_shape_is_stable() {
-    for system in SystemKind::ANALYTICS {
+    for system in SystemKind::EVALUATED {
         golden_check(
             &format!("table5_{}.txt", system_slug(system)),
             &render_table5(system),
@@ -229,14 +330,72 @@ fn table5_graph_shape_is_stable() {
 
 #[test]
 fn table8_spark_detection_score_is_stable() {
-    golden_check("table8_spark.txt", &render_table8_spark());
+    golden_check("table8_spark.txt", &render_table8(SystemKind::Spark));
+}
+
+#[test]
+fn table8_tensorflow_detection_score_is_stable() {
+    golden_check(
+        "table8_tensorflow.txt",
+        &render_table8(SystemKind::TensorFlow),
+    );
+}
+
+/// Parsing-free baseline rows: two systems natively plus the noisy foreign
+/// corpus (syslog-rendered Spark, headers and all) for the parsed-vs-
+/// parsing-free comparison in EXPERIMENTS.md.
+#[test]
+fn semvec_accuracy_is_stable() {
+    golden_check(
+        "semvec_spark.txt",
+        &render_semvec_accuracy(SystemKind::Spark, None),
+    );
+    golden_check(
+        "semvec_tensorflow.txt",
+        &render_semvec_accuracy(SystemKind::TensorFlow, None),
+    );
+    golden_check(
+        "semvec_spark_syslog.txt",
+        &render_semvec_accuracy(SystemKind::Spark, Some(ForeignFormat::Syslog)),
+    );
+}
+
+/// Training on adapter-normalised sessions must land on exactly the model
+/// the native path produces: the adapters hand Spell byte-identical
+/// message bodies in identical order, so key and group structure cannot
+/// differ. Stronger than a golden — the native goldens then cover the
+/// adapted path too.
+#[test]
+fn adapted_training_is_equivalent_to_native() {
+    for system in [SystemKind::Spark, SystemKind::TensorFlow] {
+        let jobs = training_jobs(system, TRAIN_JOBS, TRAIN_SEED);
+        let native: Vec<_> = jobs.iter().flat_map(sessions_from_job).collect();
+        let il_native = IntelLog::train(&native);
+        for format in ForeignFormat::ALL {
+            let adapted: Vec<_> = jobs
+                .iter()
+                .flat_map(|j| sessions_from_foreign(j, format))
+                .collect();
+            let il = IntelLog::train(&adapted);
+            assert_eq!(
+                il.detector().keys.len(),
+                il_native.detector().keys.len(),
+                "{system:?}/{format:?}: key count diverged from native"
+            );
+            assert_eq!(
+                il.graph().groups.len(),
+                il_native.graph().groups.len(),
+                "{system:?}/{format:?}: group count diverged from native"
+            );
+        }
+    }
 }
 
 /// The whole evaluation must be deterministic within one process too:
 /// two back-to-back runs of generation + training + scoring are identical.
 #[test]
 fn evaluation_is_deterministic_in_process() {
-    for system in SystemKind::ANALYTICS {
+    for system in SystemKind::EVALUATED {
         assert_eq!(
             render_corpus(system),
             render_corpus(system),
@@ -252,5 +411,16 @@ fn evaluation_is_deterministic_in_process() {
             "table 5 nondeterministic for {}",
             system.name()
         );
+        assert_eq!(
+            render_foreign_corpus(system, foreign_of(system)),
+            render_foreign_corpus(system, foreign_of(system)),
+            "foreign corpus nondeterministic for {}",
+            system.name()
+        );
     }
+    assert_eq!(
+        render_semvec_accuracy(SystemKind::Spark, Some(ForeignFormat::Syslog)),
+        render_semvec_accuracy(SystemKind::Spark, Some(ForeignFormat::Syslog)),
+        "semvec scoring nondeterministic"
+    );
 }

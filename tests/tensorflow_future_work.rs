@@ -1,6 +1,11 @@
-//! Future-work validation (paper §9): IntelLog extends to distributed
-//! machine-learning systems. The simulator's TensorFlow model (chief +
-//! parameter servers + workers) runs through the unmodified pipeline.
+//! Deep-dive validation of the paper's §9 future-work direction:
+//! IntelLog extends to distributed machine-learning systems. The
+//! simulator's TensorFlow model (chief + parameter servers + workers)
+//! runs through the unmodified pipeline. TensorFlow has since graduated
+//! to a first-class evaluated system (`SystemKind::EVALUATED`): the
+//! golden Table 4/5/8 suites, the cross-system differential and
+//! automaton-equivalence suites, and the gateway soak all cover it —
+//! this file keeps the focused workflow-reconstruction assertions.
 
 use intellog::core::{sessions_from_job, IntelLog};
 use intellog::dlasim::{self, FaultKind, FaultPlan, JobConfig, SystemKind};
