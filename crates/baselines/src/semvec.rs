@@ -52,7 +52,7 @@ impl Default for SemVecConfig {
 type Vector = [f64; BUCKETS];
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x1000_0000_01b3;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 #[inline]
 fn fnv1a(h: u64, b: u8) -> u64 {
@@ -156,16 +156,33 @@ impl SemVec {
         self.reference.len()
     }
 
+    /// Check the internal invariants serde cannot enforce: every persisted
+    /// reference vector must be exactly [`BUCKETS`] wide. Call this after
+    /// deserializing a model from untrusted or version-skewed storage; a
+    /// freshly trained model always passes.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, r) in self.reference.iter().enumerate() {
+            if r.len() != BUCKETS {
+                return Err(format!(
+                    "reference vector {i} has {} buckets, expected {BUCKETS} \
+                     (corrupt or version-skewed persisted model)",
+                    r.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Cosine similarity of a session to its nearest training session.
+    /// Reference vectors whose width does not match [`BUCKETS`] (possible
+    /// only in a corrupt persisted model — see [`SemVec::validate`]) are
+    /// skipped rather than panicking.
     pub fn best_similarity<S: AsRef<str>>(&self, lines: &[S]) -> f64 {
         let v = vectorize(lines);
         self.reference
             .iter()
-            .map(|r| {
-                let mut rv = [0.0; BUCKETS];
-                rv.copy_from_slice(r);
-                dot(&v, &rv)
-            })
+            .filter(|r| r.len() == BUCKETS)
+            .map(|r| v.iter().zip(r.iter()).map(|(x, y)| x * y).sum::<f64>())
             .fold(0.0f64, f64::max)
     }
 
@@ -244,6 +261,24 @@ mod tests {
         let d = SemVec::train(SemVecConfig::default(), &Vec::<Vec<String>>::new());
         assert!(d.is_anomalous(&["anything".to_string()]));
         assert_eq!(d.reference_count(), 0);
+    }
+
+    #[test]
+    fn skewed_persisted_model_errors_instead_of_panicking() {
+        let train: Vec<Vec<String>> = (0..3).map(|_| session("INFO X:", 4)).collect();
+        let d = SemVec::train(SemVecConfig::default(), &train);
+        assert!(d.validate().is_ok());
+        // Simulate a version-skewed persisted model: a reference vector of
+        // the wrong width survives serde (Vec<Vec<f64>> carries no length
+        // invariant) but must not panic scoring.
+        let skewed: SemVec = serde_json::from_str(
+            r#"{"config":{"margin":0.05,"floor":0.6,"ceiling":0.995},
+                "reference":[[1.0,2.0,3.0]],"threshold":0.9}"#,
+        )
+        .unwrap();
+        assert!(skewed.validate().is_err());
+        let sim = skewed.best_similarity(&session("INFO X:", 4));
+        assert!(sim.is_finite());
     }
 
     #[test]

@@ -53,21 +53,24 @@ impl ForeignFormat {
     }
 
     /// Render one line as emitted on `host`. The simulated clock starts at
-    /// 2019-06-22 00:00:00, matching the native `RawFormat` renderings.
+    /// 2019-06-22 00:00:00, matching the native `RawFormat` renderings; day
+    /// counts roll through calendar month lengths (Jun 30 → Jul 1, …) so
+    /// long simulated sessions keep emitting dates the adapters accept.
     pub fn render(self, l: &SimLine, host: &str) -> String {
         let total_s = l.ts_ms / 1000;
         let (s, m, h) = (total_s % 60, (total_s / 60) % 60, (total_s / 3600) % 24);
-        let day = 22 + total_s / 86_400;
+        let (mon_name, mon, day) = calendar_2019(22 + total_s / 86_400);
+        debug_assert!((1..=31).contains(&day), "unrenderable day {day}");
         match self {
             ForeignFormat::Hdfs => format!(
-                "1906{day:02} {h:02}{m:02}{s:02} {} {} {}: {}",
+                "19{mon:02}{day:02} {h:02}{m:02}{s:02} {} {} {}: {}",
                 pid_of(host),
                 l.level.as_str(),
                 l.source,
                 l.message
             ),
             ForeignFormat::Syslog => format!(
-                "<{}>Jun {day:>2} {h:02}:{m:02}:{s:02} {host} {}: {}",
+                "<{}>{mon_name} {day:>2} {h:02}:{m:02}:{s:02} {host} {}: {}",
                 128 + syslog_severity(l.level),
                 l.source,
                 l.message
@@ -91,6 +94,30 @@ impl ForeignFormat {
             .map(|l| self.render(l, &session.host))
             .collect()
     }
+}
+
+/// Map a June day count (`22 + elapsed days`; may exceed 30) to
+/// `(month name, month number, day of month)` in the simulated year 2019,
+/// rolling through real month lengths. Sessions long enough to leave
+/// December (190+ simulated days — far beyond anything the generator
+/// produces) saturate at Dec 31 rather than emit a date adapters reject.
+fn calendar_2019(mut day: u64) -> (&'static str, u64, u64) {
+    const MONTHS: [(&str, u64, u64); 7] = [
+        ("Jun", 6, 30),
+        ("Jul", 7, 31),
+        ("Aug", 8, 31),
+        ("Sep", 9, 30),
+        ("Oct", 10, 31),
+        ("Nov", 11, 30),
+        ("Dec", 12, 31),
+    ];
+    for (name, num, len) in MONTHS {
+        if day <= len {
+            return (name, num, day);
+        }
+        day -= len;
+    }
+    ("Dec", 12, 31)
 }
 
 /// RFC-3164 severity for a simulated level (facility is local0 = 16).
@@ -192,6 +219,30 @@ mod tests {
         assert!(ForeignFormat::Syslog
             .render(&l, "h")
             .contains("Jun 23 00:00:01"));
+    }
+
+    #[test]
+    fn renderings_roll_over_month_boundaries() {
+        // 9 simulated days past the Jun 22 epoch crosses Jun 30 → Jul 1;
+        // the rendered dates must stay adapter-acceptable (no "Jun 32").
+        let mut l = line();
+        l.ts_ms = 9 * 86_400_000;
+        assert!(
+            ForeignFormat::Hdfs.render(&l, "h").starts_with("190701 "),
+            "{}",
+            ForeignFormat::Hdfs.render(&l, "h")
+        );
+        assert!(
+            ForeignFormat::Syslog.render(&l, "h").contains("Jul  1 "),
+            "{}",
+            ForeignFormat::Syslog.render(&l, "h")
+        );
+        // Deep into the simulated calendar: Jun 22 + 40 days = Aug 1.
+        l.ts_ms = 40 * 86_400_000;
+        assert!(ForeignFormat::Hdfs.render(&l, "h").starts_with("190801 "));
+        // Past the renderable range the date saturates instead of overflowing.
+        l.ts_ms = 400 * 86_400_000;
+        assert!(ForeignFormat::Hdfs.render(&l, "h").starts_with("191231 "));
     }
 
     #[test]
